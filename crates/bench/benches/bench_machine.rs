@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the cycle-accurate machine model itself
+//! (simulator throughput in slots/second).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mib_compiler::elementwise::load_vec;
+use mib_compiler::spmv::{mac_spmv, SpmvOptions};
+use mib_compiler::{schedule, Allocator, KernelBuilder, Schedule, ScheduleOptions};
+use mib_core::hbm::HbmStream;
+use mib_core::machine::{HazardPolicy, Machine};
+use mib_core::MibConfig;
+use mib_problems::{instance, Domain};
+
+fn compiled_spmv() -> (MibConfig, Schedule) {
+    let inst = instance(Domain::Lasso, 6);
+    let a = inst.problem.a().to_csr();
+    let config = MibConfig::c32();
+    let mut b = KernelBuilder::new("A_multiply", config.width, config.latency());
+    let mut alloc = Allocator::new(config.width);
+    let x = alloc.alloc(a.ncols());
+    let y = alloc.alloc(a.nrows());
+    load_vec(&mut b, x, &vec![1.0; a.ncols()]);
+    mac_spmv(&mut b, &mut alloc, &a, x, y, false, SpmvOptions::default());
+    (config, schedule(&b.finish(), ScheduleOptions::default()))
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let (config, s) = compiled_spmv();
+    c.bench_function("machine/run_spmv_schedule", |b| {
+        b.iter_batched(
+            || (Machine::new(config), HbmStream::new(s.hbm.clone())),
+            |(mut m, mut hbm)| {
+                m.run(&s.program, &mut hbm, HazardPolicy::Strict).unwrap();
+                std::hint::black_box(m)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

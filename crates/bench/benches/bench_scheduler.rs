@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the compiler: kernel generation and first-fit
+//! scheduling (the "few seconds to perform network instruction scheduling"
+//! the paper amortizes over problem instances).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mib_compiler::elementwise::load_vec;
+use mib_compiler::spmv::{mac_spmv, SpmvOptions};
+use mib_compiler::{schedule, Allocator, KernelBuilder, ScheduleOptions};
+use mib_core::MibConfig;
+use mib_problems::{instance, Domain};
+
+fn spmv_kernel(width: usize) -> mib_compiler::Kernel {
+    let inst = instance(Domain::Svm, 6);
+    let a = inst.problem.a().to_csr();
+    let config = MibConfig::with_width(width);
+    let mut b = KernelBuilder::new("A_multiply", config.width, config.latency());
+    let mut alloc = Allocator::new(config.width);
+    let x = alloc.alloc(a.ncols());
+    let y = alloc.alloc(a.nrows());
+    load_vec(&mut b, x, &vec![1.0; a.ncols()]);
+    mac_spmv(&mut b, &mut alloc, &a, x, y, false, SpmvOptions::default());
+    b.finish()
+}
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("compile/spmv_kernel_c32", |b| {
+        b.iter(|| std::hint::black_box(spmv_kernel(32)))
+    });
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let k = spmv_kernel(32);
+    c.bench_function("schedule/first_fit_multi_issue", |b| {
+        b.iter(|| std::hint::black_box(schedule(&k, ScheduleOptions::default())))
+    });
+    c.bench_function("schedule/single_issue", |b| {
+        b.iter(|| {
+            std::hint::black_box(schedule(
+                &k,
+                ScheduleOptions { multi_issue: false, ..Default::default() },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_scheduling);
+criterion_main!(benches);

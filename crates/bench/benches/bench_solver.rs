@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the reference ADMM solver on representative
+//! instances of each domain (the CPU-native side of Fig. 10's pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mib_problems::{instance, Domain};
+use mib_qp::{KktBackend, Settings, Solver};
+
+fn solve(domain: Domain, index: usize, backend: KktBackend) -> usize {
+    let inst = instance(domain, index);
+    let mut settings = Settings::with_backend(backend);
+    settings.max_iter = 20_000;
+    let r = Solver::new(inst.problem, settings).expect("valid").solve();
+    r.iterations
+}
+
+fn bench_solver(c: &mut Criterion) {
+    for domain in [Domain::Portfolio, Domain::Mpc, Domain::Svm] {
+        c.bench_function(&format!("solve_direct/{domain}"), |b| {
+            b.iter(|| std::hint::black_box(solve(domain, 5, KktBackend::Direct)))
+        });
+        c.bench_function(&format!("solve_indirect/{domain}"), |b| {
+            b.iter(|| std::hint::black_box(solve(domain, 5, KktBackend::Indirect)))
+        });
+    }
+}
+
+fn bench_setup(c: &mut Criterion) {
+    let inst = instance(Domain::Lasso, 8);
+    c.bench_function("solver_setup/lasso", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Solver::new(inst.problem.clone(), Settings::default()).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_solver, bench_setup);
+criterion_main!(benches);

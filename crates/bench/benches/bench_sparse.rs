@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the sparse substrate: SpMV, orderings and
+//! LDLᵀ factorization — the kernels whose cost structure Fig. 3 profiles.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mib_problems::{instance, Domain};
+use mib_qp::kkt::KktMatrix;
+use mib_sparse::ldl::LdlSymbolic;
+use mib_sparse::order::{compute, Ordering};
+
+fn kkt_for(domain: Domain, index: usize) -> mib_sparse::CscMatrix {
+    let inst = instance(domain, index);
+    let rho = vec![0.1; inst.problem.num_constraints()];
+    let kkt =
+        KktMatrix::assemble(inst.problem.p(), inst.problem.a(), 1e-6, &rho).expect("valid");
+    let perm = compute(kkt.matrix(), Ordering::MinDegree).expect("square");
+    perm.sym_perm_upper(kkt.matrix()).expect("square")
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let inst = instance(Domain::Svm, 10);
+    let a = inst.problem.a().clone();
+    let x = vec![1.0; a.ncols()];
+    let y = vec![1.0; a.nrows()];
+    c.bench_function("spmv/A_mul_x", |b| b.iter(|| std::hint::black_box(a.mul_vec(&x))));
+    c.bench_function("spmv/At_mul_y", |b| b.iter(|| std::hint::black_box(a.tr_mul_vec(&y))));
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let inst = instance(Domain::Portfolio, 10);
+    let rho = vec![0.1; inst.problem.num_constraints()];
+    let kkt =
+        KktMatrix::assemble(inst.problem.p(), inst.problem.a(), 1e-6, &rho).expect("valid");
+    c.bench_function("ordering/min_degree", |b| {
+        b.iter(|| std::hint::black_box(compute(kkt.matrix(), Ordering::MinDegree).unwrap()))
+    });
+    c.bench_function("ordering/rcm", |b| {
+        b.iter(|| std::hint::black_box(compute(kkt.matrix(), Ordering::Rcm).unwrap()))
+    });
+}
+
+fn bench_factorization(c: &mut Criterion) {
+    let permuted = kkt_for(Domain::Mpc, 10);
+    let sym = LdlSymbolic::new(&permuted).expect("symmetric");
+    c.bench_function("ldl/symbolic", |b| {
+        b.iter(|| std::hint::black_box(LdlSymbolic::new(&permuted).unwrap()))
+    });
+    c.bench_function("ldl/numeric_refactor", |b| {
+        b.iter_batched(
+            || sym.factor(&permuted).unwrap(),
+            |mut f| {
+                sym.refactor(&permuted, &mut f).unwrap();
+                std::hint::black_box(f)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let f = sym.factor(&permuted).expect("quasi-definite");
+    let rhs = vec![1.0; sym.n()];
+    c.bench_function("ldl/triangular_solve", |b| {
+        b.iter(|| std::hint::black_box(f.solve(&rhs)))
+    });
+}
+
+criterion_group!(benches, bench_spmv, bench_ordering, bench_factorization);
+criterion_main!(benches);

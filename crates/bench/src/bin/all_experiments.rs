@@ -1,0 +1,29 @@
+//! Runs the complete evaluation, regenerating every figure and table into
+//! `results/` (see DESIGN.md §3 for the experiment index).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table2_specs",
+        "fig02_pattern",
+        "fig09_resources",
+        "fig08_schedule",
+        "fig03_flops",
+        "fig11_jitter",
+        "fig10_runtime",
+        "table3_summary",
+        "ablation_width",
+        "ablation_ordering",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n########## {bin} ##########");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments complete; reports in results/");
+}

@@ -1,0 +1,27 @@
+//! Figure 2: the portfolio-domain sparsity pattern (half-arrow constraint
+//! matrix) shared across problem instances.
+
+use mib_problems::portfolio;
+use mib_qp::kkt::KktMatrix;
+
+fn main() {
+    let mut body = String::new();
+    body.push_str("== Figure 2: portfolio sparsity pattern ==\n\n");
+    let pr = portfolio(60, 6, 42);
+    body.push_str("Constraint matrix A (budget row + factor block + long-only identity):\n");
+    body.push_str(&mib_bench::spy(pr.a(), 48));
+    body.push('\n');
+    let rho = vec![0.1; pr.num_constraints()];
+    let kkt = KktMatrix::assemble(pr.p(), pr.a(), 1e-6, &rho).expect("valid problem");
+    body.push_str("\nKKT matrix K (upper triangle):\n");
+    body.push_str(&mib_bench::spy(kkt.matrix(), 48));
+    body.push_str("\nThe pattern is identical for every problem instance of the domain;\n");
+    body.push_str("only numeric values change between instances (Section II.B).\n");
+    // Demonstrate: a re-valued instance (e.g. a new trading day's data on
+    // the same factor structure) has the same pattern, so the compiled
+    // schedules amortize across instances.
+    let pr2 = pr.a().map_values(|v| 1.3 * v);
+    assert!(pr.a().same_pattern(&pr2), "pattern must be instance-invariant");
+    body.push_str("verified: re-valued problem instances share the A pattern exactly\n");
+    mib_bench::emit_report("fig02_pattern", &body);
+}

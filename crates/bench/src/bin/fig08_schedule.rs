@@ -1,0 +1,105 @@
+//! Figure 8: multi-issue network-instruction scheduling.
+//!
+//! The paper's example compiles the SVM domain's A-matrix multiplication
+//! into a network program at C = 32 (192 nodes) and shows first-fit
+//! reordering compressing 2072 issue slots to 271. This binary rebuilds
+//! that experiment: same matrix kind, same width, before/after slot
+//! counts, plus the factorization-schedule variant (Section IV.C) and the
+//! prefetch ablation.
+
+use std::fmt::Write as _;
+
+use mib_compiler::elementwise::load_vec;
+use mib_compiler::factor::{factor_kernel, plan_factor_exact};
+use mib_compiler::spmv::{mac_spmv, SpmvOptions};
+use mib_compiler::{schedule, Allocator, KernelBuilder, ScheduleOptions};
+use mib_core::hbm::HbmStream;
+use mib_core::machine::{HazardPolicy, Machine};
+use mib_core::MibConfig;
+use mib_problems::svm;
+use mib_qp::kkt::KktMatrix;
+use mib_sparse::ldl::LdlSymbolic;
+use mib_sparse::order::{self, Ordering};
+
+fn main() {
+    let config = MibConfig::c32();
+    let mut body = String::new();
+    body.push_str("== Figure 8: first-fit multi-issue instruction scheduling (C = 32, 192 nodes) ==\n\n");
+
+    // --- SpMV program for the SVM A matrix (the paper's example). ---
+    let pr = svm(80, 160, 7);
+    let a_csr = pr.a().to_csr();
+    let xv = vec![1.0; pr.num_vars()];
+    let build = |prefetch: bool| {
+        let mut b = KernelBuilder::new("A_multiply", config.width, config.latency());
+        let mut alloc = Allocator::new(config.width);
+        let x = alloc.alloc(pr.num_vars());
+        let y = alloc.alloc(pr.num_constraints());
+        load_vec(&mut b, x, &xv);
+        mac_spmv(&mut b, &mut alloc, &a_csr, x, y, false, SpmvOptions { prefetch });
+        b.finish()
+    };
+    let kernel = build(true);
+    let single = schedule(&kernel, ScheduleOptions { multi_issue: false, ..Default::default() });
+    let multi = schedule(&kernel, ScheduleOptions::default());
+    let _ = writeln!(body, "SVM A-matrix multiplication ({} logical network instructions):", kernel.len());
+    let _ = writeln!(body, "  before reordering (single issue): {:>6} cycles", single.slots());
+    let _ = writeln!(body, "  after  reordering (multi issue) : {:>6} cycles", multi.slots());
+    let _ = writeln!(
+        body,
+        "  compression: {:.1}x  (paper example: 2072 -> 271, 7.6x)",
+        single.slots() as f64 / multi.slots() as f64
+    );
+
+    // Verify both execute identically and hazard-free.
+    let run = |s: &mib_compiler::Schedule| {
+        let mut m = Machine::new(config);
+        m.run(&s.program, &mut HbmStream::new(s.hbm.clone()), HazardPolicy::Strict)
+            .expect("schedule is hazard-free");
+        m
+    };
+    let m1 = run(&single);
+    let m2 = run(&multi);
+    assert_eq!(m1.regs(), m2.regs(), "reordering must not change results");
+    body.push_str("  verified: both schedules produce identical register state\n\n");
+
+    // --- Prefetch ablation (Section IV.A structural-hazard resolution). ---
+    let no_pf = build(false);
+    let multi_no_pf = schedule(&no_pf, ScheduleOptions::default());
+    let _ = writeln!(
+        body,
+        "prefetch ablation: with prefetch {} cycles / {} instrs, without {} cycles / {} instrs",
+        multi.slots(),
+        kernel.len(),
+        multi_no_pf.slots(),
+        no_pf.len()
+    );
+
+    // --- Factorization schedule (Section IV.C: elimination-tree order). ---
+    let rho = vec![0.1; pr.num_constraints()];
+    let kkt = KktMatrix::assemble(pr.p(), pr.a(), 1e-6, &rho).expect("valid");
+    let perm = order::compute(kkt.matrix(), Ordering::MinDegree).expect("square");
+    let permuted = perm.sym_perm_upper(kkt.matrix()).expect("square");
+    let sym = LdlSymbolic::new(&permuted).expect("symmetric");
+    let mut fb = KernelBuilder::new("factor", config.width, config.latency());
+    let mut alloc = Allocator::new(config.width);
+    let (fl, y) = plan_factor_exact(&permuted, &sym, &mut alloc);
+    factor_kernel(&mut fb, &permuted, &sym, &fl, y);
+    let fk = fb.finish();
+    let fsingle = schedule(&fk, ScheduleOptions { multi_issue: false, ..Default::default() });
+    let fmulti = schedule(&fk, ScheduleOptions::default());
+    let _ = writeln!(
+        body,
+        "\nLDL^T factorization (etree-guided, {} logical instructions, L nnz = {}):",
+        fk.len(),
+        sym.l_nnz()
+    );
+    let _ = writeln!(body, "  before reordering: {:>7} cycles", fsingle.slots());
+    let _ = writeln!(body, "  after  reordering: {:>7} cycles", fmulti.slots());
+    let _ = writeln!(
+        body,
+        "  compression: {:.1}x (denser dependency graph than SpMV -> lower gain, as in the paper)",
+        fsingle.slots() as f64 / fmulti.slots() as f64
+    );
+    mib_bench::emit_report("fig08_schedule", &body);
+}

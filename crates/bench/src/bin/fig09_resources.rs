@@ -1,0 +1,41 @@
+//! Figure 9: prototype resource usage on the Alveo U50, modelled for
+//! C = 16 and C = 32 (and the hypothetical C = 64 the paper defers to
+//! ASICs).
+
+use std::fmt::Write as _;
+
+use mib_platforms::resources::{alveo_u50, estimate};
+
+fn main() {
+    let dev = alveo_u50();
+    let mut body = String::new();
+    body.push_str("== Figure 9: prototype resource usage (Alveo U50) ==\n\n");
+    let _ = writeln!(
+        body,
+        "{:>6} {:>12} {:>12} {:>8} {:>8} | {:>7} {:>7} {:>7} {:>7}",
+        "C", "LUTs", "Registers", "DSPs", "BRAMs", "LUT%", "Reg%", "DSP%", "BRAM%"
+    );
+    for c in [8usize, 16, 32, 64] {
+        let u = estimate(c);
+        let pct = u.percent_of(&dev);
+        let _ = writeln!(
+            body,
+            "{:>6} {:>12} {:>12} {:>8} {:>8} | {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%{}",
+            c,
+            u.luts,
+            u.registers,
+            u.dsps,
+            u.brams,
+            pct[0],
+            pct[1],
+            pct[2],
+            pct[3],
+            if pct[0] > 100.0 || pct[1] > 100.0 { "  (does not fit: ASIC territory)" } else { "" }
+        );
+    }
+    body.push_str("\nThe butterfly's floating-point units map to LUTs/registers (DSP grid\n");
+    body.push_str("misalignment, Section V.A), so DSP usage stays at zero and logic\n");
+    body.push_str("grows as C*log2(C) — the C=64 row shows why the paper defers wider\n");
+    body.push_str("networks to an ASIC.\n");
+    mib_bench::emit_report("fig09_resources", &body);
+}

@@ -1,0 +1,8 @@
+//! Table II: architecture specifications of all compared platforms.
+
+fn main() {
+    let mut body = String::new();
+    body.push_str("== Table II: architecture specifications ==\n\n");
+    body.push_str(&mib_platforms::specs::render_table());
+    mib_bench::emit_report("table2_specs", &body);
+}

@@ -1,0 +1,530 @@
+//! Element-wise kernel builders: the vector half of the top-level ISA
+//! (`axpby`, `ew_prod`, `select_min`/`select_max` projections, `norm_inf`,
+//! `load_vec`).
+//!
+//! Every builder appends logical instructions to a shared
+//! [`KernelBuilder`], so dependencies against earlier kernels (e.g. a
+//! triangular solve that produced the vector being scaled) are tracked
+//! automatically.
+
+use mib_core::instruction::{InstrKind, LaneSource, LaneWrite, NetInstruction, WriteMode};
+
+use crate::kernel::KernelBuilder;
+use crate::layout::Layout;
+
+/// Splits `0..len` into chunks whose elements map to distinct lanes under a
+/// cyclic layout: simply consecutive runs of `width`.
+fn chunks(len: usize, width: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    (0..len.div_ceil(width)).map(move |c| {
+        let start = c * width;
+        start..((c + 1) * width).min(len)
+    })
+}
+
+/// Writes zeros over a layout.
+pub fn zero(b: &mut KernelBuilder, v: Layout) {
+    let width = b.width();
+    for range in chunks(v.len, width) {
+        let mut inst = NetInstruction::nop(width);
+        inst.kind = InstrKind::Elementwise;
+        for e in range {
+            let (lane, addr) = v.loc(e);
+            inst.set_input(lane, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
+            inst.route(lane, lane);
+            inst.set_write(lane, LaneWrite { addr, mode: WriteMode::Store });
+        }
+        b.push(inst, vec![]);
+    }
+}
+
+/// Streams `values` from HBM into the layout (`load_vec`).
+///
+/// # Panics
+///
+/// Panics if `values.len() != v.len`.
+pub fn load_vec(b: &mut KernelBuilder, v: Layout, values: &[f64]) {
+    assert_eq!(values.len(), v.len, "load_vec length mismatch");
+    let width = b.width();
+    for range in chunks(v.len, width) {
+        let mut inst = NetInstruction::nop(width);
+        inst.kind = InstrKind::Elementwise;
+        let mut stream = Vec::new();
+        for e in range {
+            let (lane, addr) = v.loc(e);
+            inst.set_input(lane, LaneSource::Stream);
+            inst.route(lane, lane);
+            inst.set_write(lane, LaneWrite { addr, mode: WriteMode::Store });
+            stream.push((lane, values[e]));
+        }
+        b.push(inst, stream);
+    }
+}
+
+/// Reads a layout and discards the values (`write_vec` — the result words
+/// leave on the HBM write port, which the functional model does not
+/// represent; the cycle cost is what matters).
+pub fn write_vec(b: &mut KernelBuilder, v: Layout) {
+    let width = b.width();
+    for range in chunks(v.len, width) {
+        let mut inst = NetInstruction::nop(width);
+        inst.kind = InstrKind::Elementwise;
+        for e in range {
+            let (lane, addr) = v.loc(e);
+            inst.set_input(lane, LaneSource::Reg { addr });
+            inst.route(lane, lane);
+        }
+        b.push(inst, vec![]);
+    }
+}
+
+/// `dst = s * src` (or `dst += s * src` with [`WriteMode::Add`]).
+///
+/// `src` and `dst` must have the same length (banks align automatically
+/// under cyclic layouts).
+pub fn scale(b: &mut KernelBuilder, src: Layout, dst: Layout, s: f64, mode: WriteMode) {
+    assert_eq!(src.len, dst.len, "scale length mismatch");
+    let width = b.width();
+    for range in chunks(src.len, width) {
+        let mut inst = NetInstruction::nop(width);
+        inst.kind = InstrKind::Elementwise;
+        for e in range {
+            let lane = src.bank(e);
+            inst.set_input(lane, LaneSource::RegTimesImm { addr: src.addr(e), imm: s });
+            inst.route(lane, lane);
+            inst.set_write(lane, LaneWrite { addr: dst.addr(e), mode });
+        }
+        b.push(inst, vec![]);
+    }
+}
+
+/// `dst = x .* y` via the broadcast-latch path: one instruction latches a
+/// chunk of `y`, the next multiplies the matching chunk of `x` against the
+/// latches (`ew_prod`).
+pub fn ew_prod(b: &mut KernelBuilder, x: Layout, y: Layout, dst: Layout, mode: WriteMode) {
+    assert_eq!(x.len, y.len, "ew_prod length mismatch");
+    assert_eq!(x.len, dst.len, "ew_prod length mismatch");
+    let width = b.width();
+    for range in chunks(x.len, width) {
+        let mut latch = NetInstruction::nop(width);
+        latch.kind = InstrKind::Elementwise;
+        for e in range.clone() {
+            let lane = y.bank(e);
+            latch.set_input(lane, LaneSource::Reg { addr: y.addr(e) });
+            latch.route(lane, lane);
+            latch.set_write(lane, LaneWrite { addr: 0, mode: WriteMode::Latch });
+        }
+        b.push(latch, vec![]);
+        let mut mul = NetInstruction::nop(width);
+        mul.kind = InstrKind::Elementwise;
+        for e in range {
+            let lane = x.bank(e);
+            mul.set_input(
+                lane,
+                LaneSource::RegTimesLatch { addr: x.addr(e), negate: false },
+            );
+            mul.route(lane, lane);
+            mul.set_write(lane, LaneWrite { addr: dst.addr(e), mode });
+        }
+        b.push(mul, vec![]);
+    }
+}
+
+/// Box projection `dst = min(max(x, l), u)` — `select_max` then
+/// `select_min` against register-resident bound vectors.
+pub fn clip(b: &mut KernelBuilder, x: Layout, l: Layout, u: Layout, dst: Layout) {
+    assert_eq!(x.len, l.len, "clip length mismatch");
+    assert_eq!(x.len, u.len, "clip length mismatch");
+    assert_eq!(x.len, dst.len, "clip length mismatch");
+    let width = b.width();
+    // Pass 1: dst = x.
+    scale(b, x, dst, 1.0, WriteMode::Store);
+    // Pass 2: dst = max(dst, l). Pass 3: dst = min(dst, u).
+    for (bounds, mode) in [(l, WriteMode::Max), (u, WriteMode::Min)] {
+        for range in chunks(x.len, width) {
+            let mut inst = NetInstruction::nop(width);
+            inst.kind = InstrKind::Elementwise;
+            for e in range {
+                let lane = bounds.bank(e);
+                inst.set_input(lane, LaneSource::Reg { addr: bounds.addr(e) });
+                inst.route(lane, lane);
+                inst.set_write(lane, LaneWrite { addr: dst.addr(e), mode });
+            }
+            b.push(inst, vec![]);
+        }
+    }
+}
+
+/// Number of interleaved partial-maximum rows used by [`norm_inf`]; chosen
+/// to cover the pipeline latency so the reduction streams at full rate.
+const NORM_PARTIALS: usize = 8;
+
+/// `result = ‖x‖∞` (the `norm_inf` reduction), leaving the scalar at
+/// `(bank 0, result_addr)`. Uses `NORM_PARTIALS` scratch rows starting at
+/// `scratch_base`.
+pub fn norm_inf(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_addr: usize) {
+    let width = b.width();
+    // Zero the partial rows and the result.
+    for row in 0..NORM_PARTIALS {
+        let mut inst = NetInstruction::nop(width);
+        inst.kind = InstrKind::Elementwise;
+        for lane in 0..width {
+            inst.set_input(lane, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
+            inst.route(lane, lane);
+            inst.set_write(lane, LaneWrite { addr: scratch_base + row, mode: WriteMode::Store });
+        }
+        b.push(inst, vec![]);
+    }
+    // Accumulate |x| into rotating partial rows.
+    for (c, range) in chunks(x.len, width).enumerate() {
+        let row = scratch_base + c % NORM_PARTIALS;
+        let mut inst = NetInstruction::nop(width);
+        inst.kind = InstrKind::Elementwise;
+        for e in range {
+            let lane = x.bank(e);
+            inst.set_input(lane, LaneSource::Reg { addr: x.addr(e) });
+            inst.route(lane, lane);
+            inst.set_write(lane, LaneWrite { addr: row, mode: WriteMode::MaxAbs });
+        }
+        b.push(inst, vec![]);
+    }
+    // Fold the partial rows into row 0 with a binary tree over addresses
+    // (each pass is one full-width instruction; passes are latency-spaced).
+    let mut span = NORM_PARTIALS;
+    while span > 1 {
+        span /= 2;
+        for row in 0..span {
+            let mut inst = NetInstruction::nop(width);
+            inst.kind = InstrKind::Elementwise;
+            for lane in 0..width {
+                inst.set_input(lane, LaneSource::Reg { addr: scratch_base + row + span });
+                inst.route(lane, lane);
+                inst.set_write(
+                    lane,
+                    LaneWrite { addr: scratch_base + row, mode: WriteMode::MaxAbs },
+                );
+            }
+            b.push(inst, vec![]);
+        }
+    }
+    // Cross-lane fold into (0, result_addr): binary tree over lanes — the
+    // upper half routes to the lower half and max-combines, log₂C passes.
+    let mut bit = width;
+    while bit > 1 {
+        bit /= 2;
+        let mut inst = NetInstruction::nop(width);
+        inst.kind = InstrKind::Elementwise;
+        for lo in 0..bit {
+            let hi = lo + bit;
+            inst.set_input(hi, LaneSource::Reg { addr: scratch_base });
+            inst.route(hi, lo);
+            inst.set_write(lo, LaneWrite { addr: scratch_base, mode: WriteMode::MaxAbs });
+        }
+        b.push(inst, vec![]);
+    }
+    let mut fin = NetInstruction::nop(width);
+    fin.kind = InstrKind::Elementwise;
+    fin.set_input(0, LaneSource::Reg { addr: scratch_base });
+    fin.route(0, 0);
+    fin.set_write(0, LaneWrite { addr: result_addr, mode: WriteMode::Store });
+    b.push(fin, vec![]);
+}
+
+/// Sum-reduces a vector into the scalar at `(bank 0, result_addr)` using
+/// the MAC tree (each chunk reduces through the network in one
+/// instruction; partial sums rotate over `NORM_PARTIALS` scratch slots to
+/// hide the accumulator latency). Used for dot products in the PCG kernel.
+pub fn sum_reduce(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_addr: usize) {
+    use crate::route::RouteSpace;
+    let width = b.width();
+    let partial_lanes = NORM_PARTIALS.min(width);
+    // Zero the partial slots (one scratch row, spread across lanes).
+    let mut zero_inst = NetInstruction::nop(width);
+    zero_inst.kind = InstrKind::Elementwise;
+    for lane in 0..partial_lanes {
+        zero_inst.set_input(lane, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
+        zero_inst.route(lane, lane);
+        zero_inst.set_write(lane, LaneWrite { addr: scratch_base, mode: WriteMode::Store });
+    }
+    b.push(zero_inst, vec![]);
+    // Each chunk reduces through the MAC tree into a rotating partial lane
+    // (the rotation hides the accumulator latency).
+    for (c, range) in chunks(x.len, width).enumerate() {
+        let dst = c % partial_lanes;
+        let mut inst = NetInstruction::nop(width);
+        inst.kind = InstrKind::Mac;
+        let mut rs = RouteSpace::new(width);
+        let lanes: Vec<usize> = range.clone().map(|e| x.bank(e)).collect();
+        for e in range {
+            let lane = x.bank(e);
+            inst.set_input(lane, LaneSource::Reg { addr: x.addr(e) });
+            rs.try_claim_input(lane, 0);
+        }
+        assert!(rs.try_reduce(&mut inst, 0, &lanes, dst));
+        inst.set_write(dst, LaneWrite { addr: scratch_base, mode: WriteMode::Add });
+        b.push(inst, vec![]);
+    }
+    // Binary-tree fold across the partial lanes.
+    let mut bit = partial_lanes;
+    while bit > 1 {
+        bit /= 2;
+        let mut inst = NetInstruction::nop(width);
+        inst.kind = InstrKind::Elementwise;
+        for lo in 0..bit {
+            let hi = lo + bit;
+            inst.set_input(hi, LaneSource::Reg { addr: scratch_base });
+            inst.route(hi, lo);
+            inst.set_write(lo, LaneWrite { addr: scratch_base, mode: WriteMode::Add });
+        }
+        b.push(inst, vec![]);
+    }
+    let mut fin = NetInstruction::nop(width);
+    fin.kind = InstrKind::Elementwise;
+    fin.set_input(0, LaneSource::Reg { addr: scratch_base });
+    fin.route(0, 0);
+    fin.set_write(0, LaneWrite { addr: result_addr, mode: WriteMode::Store });
+    b.push(fin, vec![]);
+}
+
+/// Broadcasts the scalar at `(bank, addr)` into the latches of every lane.
+pub fn broadcast_scalar(b: &mut KernelBuilder, bank: usize, addr: usize) {
+    use crate::route::RouteSpace;
+    let width = b.width();
+    let mut inst = NetInstruction::nop(width);
+    inst.kind = InstrKind::Broadcast;
+    inst.set_input(bank, LaneSource::Reg { addr });
+    let mut rs = RouteSpace::new(width);
+    rs.try_claim_input(bank, 0);
+    for t in 0..width {
+        assert!(rs.try_route(&mut inst, 0, bank, t));
+        inst.set_write(t, LaneWrite { addr: 0, mode: WriteMode::Latch });
+    }
+    b.push(inst, vec![]);
+}
+
+/// `dst ⟵op⟵ latch * src` element-wise, where every lane's latch holds the
+/// same runtime scalar (loaded by [`broadcast_scalar`]).
+pub fn scale_by_latch(
+    b: &mut KernelBuilder,
+    src: Layout,
+    dst: Layout,
+    negate: bool,
+    mode: WriteMode,
+) {
+    assert_eq!(src.len, dst.len, "scale_by_latch length mismatch");
+    let width = b.width();
+    for range in chunks(src.len, width) {
+        let mut inst = NetInstruction::nop(width);
+        inst.kind = InstrKind::Elementwise;
+        for e in range {
+            let lane = src.bank(e);
+            inst.set_input(lane, LaneSource::RegTimesLatch { addr: src.addr(e), negate });
+            inst.route(lane, lane);
+            inst.set_write(lane, LaneWrite { addr: dst.addr(e), mode });
+        }
+        b.push(inst, vec![]);
+    }
+}
+
+/// Stores the reciprocal of the scalar at `src` into `dst` (same bank).
+pub fn scalar_recip(b: &mut KernelBuilder, bank: usize, src: usize, dst: usize) {
+    let width = b.width();
+    let mut inst = NetInstruction::nop(width);
+    inst.kind = InstrKind::Elementwise;
+    inst.set_input(bank, LaneSource::Reg { addr: src });
+    inst.route(bank, bank);
+    inst.set_write(bank, LaneWrite { addr: dst, mode: WriteMode::StoreRecip });
+    b.push(inst, vec![]);
+}
+
+/// `dst = a * b` for two scalars in the same bank: latches `a`, multiplies
+/// by `b`.
+pub fn scalar_mul(b: &mut KernelBuilder, bank: usize, a_addr: usize, b_addr: usize, dst: usize) {
+    let width = b.width();
+    let mut latch = NetInstruction::nop(width);
+    latch.kind = InstrKind::Elementwise;
+    latch.set_input(bank, LaneSource::Reg { addr: a_addr });
+    latch.route(bank, bank);
+    latch.set_write(bank, LaneWrite { addr: 0, mode: WriteMode::Latch });
+    b.push(latch, vec![]);
+    let mut mul = NetInstruction::nop(width);
+    mul.kind = InstrKind::Elementwise;
+    mul.set_input(bank, LaneSource::RegTimesLatch { addr: b_addr, negate: false });
+    mul.route(bank, bank);
+    mul.set_write(bank, LaneWrite { addr: dst, mode: WriteMode::Store });
+    b.push(mul, vec![]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Allocator;
+    use crate::schedule::{schedule, ScheduleOptions};
+    use mib_core::hbm::HbmStream;
+    use mib_core::machine::{HazardPolicy, Machine};
+    use mib_core::MibConfig;
+
+    fn run(b: KernelBuilder) -> Machine {
+        run_with(b, Machine::new(MibConfig { width: 8, bank_depth: 256, clock_hz: 1e6 }))
+    }
+
+    fn run_with(b: KernelBuilder, mut m: Machine) -> Machine {
+        let k = b.finish();
+        let s = schedule(&k, ScheduleOptions::default());
+        let mut hbm = HbmStream::new(s.hbm.clone());
+        m.run(&s.program, &mut hbm, HazardPolicy::Strict)
+            .expect("scheduled kernel must be hazard-free");
+        m
+    }
+
+    fn read_layout(m: &Machine, v: Layout) -> Vec<f64> {
+        (0..v.len)
+            .map(|e| m.regs().read(v.bank(e), v.addr(e)).unwrap())
+            .collect()
+    }
+
+    fn builder() -> (KernelBuilder, Allocator) {
+        let cfg = MibConfig { width: 8, bank_depth: 256, clock_hz: 1e6 };
+        (KernelBuilder::new("t", 8, cfg.latency()), Allocator::new(8))
+    }
+
+    #[test]
+    fn load_and_scale() {
+        let (mut b, mut a) = builder();
+        let v = a.alloc(10);
+        let w = a.alloc(10);
+        let data: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        load_vec(&mut b, v, &data);
+        scale(&mut b, v, w, 2.5, WriteMode::Store);
+        let m = run(b);
+        assert_eq!(read_layout(&m, w), data.iter().map(|x| x * 2.5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn axpby_via_two_scales() {
+        let (mut b, mut a) = builder();
+        let x = a.alloc(9);
+        let y = a.alloc(9);
+        let z = a.alloc(9);
+        load_vec(&mut b, x, &[1.0; 9]);
+        load_vec(&mut b, y, &[2.0; 9]);
+        scale(&mut b, x, z, 3.0, WriteMode::Store);
+        scale(&mut b, y, z, 0.5, WriteMode::Add);
+        let m = run(b);
+        assert_eq!(read_layout(&m, z), vec![4.0; 9]);
+    }
+
+    #[test]
+    fn elementwise_product() {
+        let (mut b, mut a) = builder();
+        let x = a.alloc(11);
+        let y = a.alloc(11);
+        let z = a.alloc(11);
+        let xv: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let yv: Vec<f64> = (0..11).map(|i| (i as f64) - 5.0).collect();
+        load_vec(&mut b, x, &xv);
+        load_vec(&mut b, y, &yv);
+        ew_prod(&mut b, x, y, z, WriteMode::Store);
+        let m = run(b);
+        let expect: Vec<f64> = xv.iter().zip(&yv).map(|(a, b)| a * b).collect();
+        assert_eq!(read_layout(&m, z), expect);
+    }
+
+    #[test]
+    fn clip_projects_onto_box() {
+        let (mut b, mut a) = builder();
+        let x = a.alloc(5);
+        let l = a.alloc(5);
+        let u = a.alloc(5);
+        let z = a.alloc(5);
+        load_vec(&mut b, x, &[-3.0, 0.5, 2.0, 1.0, -0.1]);
+        load_vec(&mut b, l, &[0.0, 0.0, 0.0, 0.0, 0.0]);
+        load_vec(&mut b, u, &[1.0, 1.0, 1.0, 1.0, 1.0]);
+        clip(&mut b, x, l, u, z);
+        let m = run(b);
+        assert_eq!(read_layout(&m, z), vec![0.0, 0.5, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn norm_inf_reduces_correctly() {
+        let (mut b, mut a) = builder();
+        let x = a.alloc(37);
+        let scratch = a.alloc_rows(NORM_PARTIALS);
+        let result = a.alloc_rows(1);
+        let data: Vec<f64> = (0..37).map(|i| ((i * 7) % 23) as f64 - 11.0).collect();
+        load_vec(&mut b, x, &data);
+        norm_inf(&mut b, x, scratch, result);
+        let m = run(b);
+        let expect = data.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        assert_eq!(m.regs().read(0, result).unwrap(), expect);
+    }
+
+    #[test]
+    fn sum_reduce_matches_sum() {
+        let (mut b, mut a) = builder();
+        let x = a.alloc(29);
+        let scratch = a.alloc_rows(NORM_PARTIALS);
+        let result = a.alloc_rows(1);
+        let data: Vec<f64> = (0..29).map(|i| (i as f64) * 0.25 - 3.0).collect();
+        load_vec(&mut b, x, &data);
+        sum_reduce(&mut b, x, scratch, result);
+        let m = run(b);
+        let expect: f64 = data.iter().sum();
+        let got = m.regs().read(0, result).unwrap();
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn scalar_broadcast_and_scale() {
+        let (mut b, mut a) = builder();
+        let x = a.alloc(10);
+        let y = a.alloc(10);
+        let s = a.alloc_rows(1);
+        load_vec(&mut b, x, &[2.0; 10]);
+        // Write 3.0 into the scalar slot via a stream load of length 1.
+        let sl = Layout { base: s, len: 1, width: 8 };
+        load_vec(&mut b, sl, &[3.0]);
+        broadcast_scalar(&mut b, 0, s);
+        scale_by_latch(&mut b, x, y, false, WriteMode::Store);
+        let m = run(b);
+        assert_eq!(read_layout(&m, y), vec![6.0; 10]);
+    }
+
+    #[test]
+    fn scalar_recip_and_mul() {
+        let (mut b, mut a) = builder();
+        let s = a.alloc_rows(4);
+        let sl = Layout { base: s, len: 2, width: 8 };
+        // Two scalars... cyclic layout puts them in banks 0 and 1; use two
+        // single-element loads into bank 0 instead.
+        let _ = sl;
+        load_vec(&mut b, Layout { base: s, len: 1, width: 8 }, &[4.0]);
+        load_vec(&mut b, Layout { base: s + 1, len: 1, width: 8 }, &[10.0]);
+        scalar_recip(&mut b, 0, s, s + 2); // 1/4
+        scalar_mul(&mut b, 0, s + 2, s + 1, s + 3); // 10 * 0.25
+        let m = run(b);
+        assert_eq!(m.regs().read(0, s + 2).unwrap(), 0.25);
+        assert_eq!(m.regs().read(0, s + 3).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn zero_clears_layout() {
+        let (mut b, mut a) = builder();
+        let x = a.alloc(12);
+        load_vec(&mut b, x, &[9.0; 12]);
+        zero(&mut b, x);
+        let m = run(b);
+        assert_eq!(read_layout(&m, x), vec![0.0; 12]);
+    }
+
+    #[test]
+    fn write_vec_costs_cycles_without_mutating() {
+        let (mut b, mut a) = builder();
+        let x = a.alloc(8);
+        load_vec(&mut b, x, &[1.0; 8]);
+        let before_len = b.len();
+        write_vec(&mut b, x);
+        assert!(b.len() > before_len);
+        let m = run(b);
+        assert_eq!(read_layout(&m, x), vec![1.0; 8]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Logical instruction streams with automatic dependency tracking.
+//!
+//! A [`KernelBuilder`] collects network instructions in *algorithm order*
+//! and derives, for each one, the set of earlier instructions it must wait
+//! for and by how many cycles:
+//!
+//! * **read-after-write** (and read-modify-write after write): the full
+//!   pipeline latency — the paper's data hazards (Section IV.A),
+//! * **write-after-write**: one cycle (in-order commit),
+//! * **write-after-read**: zero cycles (reads happen at issue, writes land
+//!   `latency` later).
+//!
+//! The per-lane broadcast latch is tracked like a register location.
+//! The resulting [`Kernel`] is the input of the first-fit scheduler.
+
+use std::collections::HashMap;
+
+use mib_core::instruction::{NetInstruction, WriteMode};
+
+/// A logical network instruction plus its dependencies and HBM words.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalInstr {
+    /// The network configuration.
+    pub inst: NetInstruction,
+    /// `(producer index, minimum slot distance)` pairs.
+    pub deps: Vec<(usize, u64)>,
+    /// HBM words consumed, tagged by sort key: `lane` for input-stage
+    /// words, `width + lane` for output-multiplier words (the machine
+    /// consumes a slot's input-phase words in lane order first, then the
+    /// output-multiplier words in lane order).
+    pub stream: Vec<(usize, f64)>,
+}
+
+/// A finished logical instruction stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Human-readable kernel name (e.g. `"A_multiply"`).
+    pub name: String,
+    /// Machine width the kernel was built for.
+    pub width: usize,
+    /// The logical instructions in algorithm order.
+    pub instrs: Vec<LogicalInstr>,
+}
+
+impl Kernel {
+    /// Total logical instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the kernel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Concatenates another kernel after this one, shifting its dependency
+    /// indices. The combined kernel preserves both dependency structures;
+    /// cross-kernel hazards are still tracked because indices are local —
+    /// callers that need cross-kernel dependencies should build through one
+    /// [`KernelBuilder`] instead.
+    pub fn concat(mut self, other: Kernel) -> Kernel {
+        assert_eq!(self.width, other.width, "kernel width mismatch");
+        let offset = self.instrs.len();
+        for mut li in other.instrs {
+            for d in &mut li.deps {
+                d.0 += offset;
+            }
+            self.instrs.push(li);
+        }
+        self
+    }
+}
+
+/// Sentinel address used to key latch locations in the dependency maps.
+const LATCH_ADDR: usize = usize::MAX;
+
+/// Builds a [`Kernel`], deriving dependencies from each instruction's
+/// register and latch accesses.
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    width: usize,
+    latency: u64,
+    instrs: Vec<LogicalInstr>,
+    last_write: HashMap<(usize, usize), usize>,
+    readers: HashMap<(usize, usize), Vec<usize>>,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel for a width-`width` machine with the given pipeline
+    /// latency (use [`mib_core::MibConfig::latency`]).
+    pub fn new(name: impl Into<String>, width: usize, latency: u64) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            width,
+            latency,
+            instrs: Vec::new(),
+            last_write: HashMap::new(),
+            readers: HashMap::new(),
+        }
+    }
+
+    /// Machine width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of instructions so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instruction has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Appends an instruction, computing its dependencies. `stream` holds
+    /// the HBM words the instruction consumes, tagged by lane.
+    ///
+    /// Returns the logical index of the instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction width differs from the kernel width.
+    pub fn push(&mut self, inst: NetInstruction, stream: Vec<(usize, f64)>) -> usize {
+        assert_eq!(inst.width(), self.width, "instruction width mismatch");
+        let id = self.instrs.len();
+        let mut deps: HashMap<usize, u64> = HashMap::new();
+        let mut add_dep = |deps: &mut HashMap<usize, u64>, producer: usize, delay: u64| {
+            let e = deps.entry(producer).or_insert(0);
+            *e = (*e).max(delay);
+        };
+
+        // Reads (multiplier stage, at issue time).
+        for (lane, input) in inst.inputs().iter().enumerate() {
+            let Some(src) = input else { continue };
+            if let Some(addr) = src.reg_addr() {
+                self.note_read((lane, addr), id, &mut deps, &mut add_dep);
+            }
+            if src.uses_latch() {
+                self.note_read((lane, LATCH_ADDR), id, &mut deps, &mut add_dep);
+            }
+        }
+        // Writes (writeback stage).
+        for (lane, write) in inst.writes().iter().enumerate() {
+            let Some(w) = write else { continue };
+            let loc = if w.mode == WriteMode::Latch {
+                (lane, LATCH_ADDR)
+            } else {
+                (lane, w.addr)
+            };
+            self.note_write(loc, id, w.mode.is_rmw(), &mut deps, &mut add_dep);
+        }
+
+        let mut deps: Vec<(usize, u64)> = deps.into_iter().collect();
+        deps.sort_unstable();
+        self.instrs.push(LogicalInstr { inst, deps, stream });
+        id
+    }
+
+    fn note_read(
+        &mut self,
+        loc: (usize, usize),
+        id: usize,
+        deps: &mut HashMap<usize, u64>,
+        add_dep: &mut impl FnMut(&mut HashMap<usize, u64>, usize, u64),
+    ) {
+        if let Some(&w) = self.last_write.get(&loc) {
+            add_dep(deps, w, self.latency);
+        }
+        self.readers.entry(loc).or_default().push(id);
+    }
+
+    fn note_write(
+        &mut self,
+        loc: (usize, usize),
+        id: usize,
+        rmw: bool,
+        deps: &mut HashMap<usize, u64>,
+        add_dep: &mut impl FnMut(&mut HashMap<usize, u64>, usize, u64),
+    ) {
+        if let Some(&w) = self.last_write.get(&loc) {
+            // A read-modify-write must wait for the previous value; a plain
+            // store only needs commit ordering.
+            add_dep(deps, w, if rmw { self.latency } else { 1 });
+        }
+        if let Some(readers) = self.readers.remove(&loc) {
+            for r in readers {
+                if r != id {
+                    add_dep(deps, r, 0);
+                }
+            }
+        }
+        self.last_write.insert(loc, id);
+    }
+
+    /// Marks a location as externally written **after** all instructions so
+    /// far (e.g. the boundary between two phases built by different
+    /// builders); subsequent readers will not be reordered before `id`.
+    pub fn barrier_loc(&mut self, bank: usize, addr: usize, id: usize) {
+        self.last_write.insert((bank, addr), id);
+    }
+
+    /// Finishes the kernel.
+    pub fn finish(self) -> Kernel {
+        Kernel { name: self.name, width: self.width, instrs: self.instrs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mib_core::instruction::{LaneSource, LaneWrite, WriteMode};
+
+    fn store(width: usize, lane: usize, from_addr: usize, to_addr: usize) -> NetInstruction {
+        let mut i = NetInstruction::nop(width);
+        i.set_input(lane, LaneSource::Reg { addr: from_addr });
+        i.route(lane, lane);
+        i.set_write(lane, LaneWrite { addr: to_addr, mode: WriteMode::Store });
+        i
+    }
+
+    #[test]
+    fn raw_dependency_has_full_latency() {
+        let mut b = KernelBuilder::new("t", 8, 5);
+        let p = b.push(store(8, 0, 0, 1), vec![]);
+        let c = b.push(store(8, 0, 1, 2), vec![]); // reads what p wrote
+        let k = b.finish();
+        assert_eq!(k.instrs[c].deps, vec![(p, 5)]);
+        assert!(k.instrs[p].deps.is_empty());
+    }
+
+    #[test]
+    fn waw_is_one_cycle_and_war_is_zero() {
+        let mut b = KernelBuilder::new("t", 8, 5);
+        let w1 = b.push(store(8, 0, 9, 1), vec![]);
+        let r = b.push(store(8, 0, 1, 3), vec![]); // reads (0,1)
+        let w2 = b.push(store(8, 0, 9, 1), vec![]); // overwrites (0,1)
+        let k = b.finish();
+        // w2 depends on w1 with delay 1 (WAW) and on r with delay 0 (WAR).
+        assert!(k.instrs[w2].deps.contains(&(w1, 1)));
+        assert!(k.instrs[w2].deps.contains(&(r, 0)));
+    }
+
+    #[test]
+    fn rmw_write_waits_full_latency() {
+        let mut b = KernelBuilder::new("t", 8, 5);
+        let w1 = b.push(store(8, 2, 0, 7), vec![]);
+        let mut acc = NetInstruction::nop(8);
+        acc.set_input(2, LaneSource::Reg { addr: 0 });
+        acc.route(2, 2);
+        acc.set_write(2, LaneWrite { addr: 7, mode: WriteMode::Add });
+        let a = b.push(acc, vec![]);
+        let k = b.finish();
+        assert!(k.instrs[a].deps.contains(&(w1, 5)));
+    }
+
+    #[test]
+    fn latch_tracked_as_location() {
+        let mut b = KernelBuilder::new("t", 8, 5);
+        let mut bcast = NetInstruction::nop(8);
+        bcast.set_input(1, LaneSource::Reg { addr: 0 });
+        bcast.route(1, 3);
+        bcast.set_write(3, LaneWrite { addr: 0, mode: WriteMode::Latch });
+        let p = b.push(bcast, vec![]);
+        let mut use_latch = NetInstruction::nop(8);
+        use_latch.set_input(3, LaneSource::RegTimesLatch { addr: 2, negate: false });
+        use_latch.route(3, 3);
+        use_latch.set_write(3, LaneWrite { addr: 4, mode: WriteMode::Store });
+        let c = b.push(use_latch, vec![]);
+        let k = b.finish();
+        assert!(k.instrs[c].deps.contains(&(p, 5)));
+    }
+
+    #[test]
+    fn independent_instructions_have_no_deps() {
+        let mut b = KernelBuilder::new("t", 8, 5);
+        b.push(store(8, 0, 0, 1), vec![]);
+        let i2 = b.push(store(8, 1, 0, 1), vec![]); // different bank
+        let k = b.finish();
+        assert!(k.instrs[i2].deps.is_empty());
+    }
+
+    #[test]
+    fn concat_shifts_indices() {
+        let mut b1 = KernelBuilder::new("a", 8, 5);
+        b1.push(store(8, 0, 0, 1), vec![]);
+        let mut b2 = KernelBuilder::new("b", 8, 5);
+        let p = b2.push(store(8, 0, 0, 1), vec![]);
+        let c = b2.push(store(8, 0, 1, 2), vec![]);
+        let k = b1.finish().concat(b2.finish());
+        assert_eq!(k.len(), 3);
+        assert_eq!(k.instrs[1 + c].deps, vec![(1 + p, 5)]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Register-file data layouts.
+//!
+//! The compiler distributes every vector cyclically over the `C` banks:
+//! element `e` lives in bank `e mod C` at address `base + e div C`. This is
+//! the distribution the paper's input alignment network establishes
+//! (Section III.A) — it makes contiguous `load_vec` streams trivially
+//! alignable and spreads random accesses evenly.
+
+/// A cyclic layout of a length-`len` vector over `width` banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// First address used in each bank.
+    pub base: usize,
+    /// Vector length.
+    pub len: usize,
+    /// Number of banks (`C`).
+    pub width: usize,
+}
+
+impl Layout {
+    /// Bank holding element `e`.
+    pub fn bank(&self, e: usize) -> usize {
+        debug_assert!(e < self.len);
+        e % self.width
+    }
+
+    /// Address of element `e` within its bank.
+    pub fn addr(&self, e: usize) -> usize {
+        debug_assert!(e < self.len);
+        self.base + e / self.width
+    }
+
+    /// `(bank, addr)` of element `e`.
+    pub fn loc(&self, e: usize) -> (usize, usize) {
+        (self.bank(e), self.addr(e))
+    }
+
+    /// Rows of register space occupied (addresses `base..base+rows`).
+    pub fn rows(&self) -> usize {
+        self.len.div_ceil(self.width)
+    }
+}
+
+/// Bump allocator for register-file address space, shared by all vectors of
+/// one compiled problem.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    width: usize,
+    next: usize,
+}
+
+impl Allocator {
+    /// Creates an allocator for a machine of the given width.
+    pub fn new(width: usize) -> Self {
+        Allocator { width, next: 0 }
+    }
+
+    /// Allocates a cyclic layout for a vector of length `len`.
+    pub fn alloc(&mut self, len: usize) -> Layout {
+        let layout = Layout { base: self.next, len, width: self.width };
+        self.next += len.div_ceil(self.width).max(1);
+        layout
+    }
+
+    /// Allocates `rows` raw rows (one address across every bank), returning
+    /// the base address — used for scratch pads with custom indexing.
+    pub fn alloc_rows(&mut self, rows: usize) -> usize {
+        let base = self.next;
+        self.next += rows;
+        base
+    }
+
+    /// Machine width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Addresses used so far (per bank).
+    pub fn used(&self) -> usize {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_mapping() {
+        let l = Layout { base: 4, len: 10, width: 4 };
+        assert_eq!(l.loc(0), (0, 4));
+        assert_eq!(l.loc(5), (1, 5));
+        assert_eq!(l.loc(9), (1, 6));
+        assert_eq!(l.rows(), 3);
+    }
+
+    #[test]
+    fn allocator_never_overlaps() {
+        let mut a = Allocator::new(8);
+        let v1 = a.alloc(8);
+        let v2 = a.alloc(9);
+        let v3 = a.alloc(1);
+        assert_eq!(v1.base, 0);
+        assert_eq!(v2.base, 1);
+        assert_eq!(v3.base, 3);
+        assert_eq!(a.used(), 4);
+        let r = a.alloc_rows(2);
+        assert_eq!(r, 4);
+        assert_eq!(a.used(), 6);
+    }
+
+    #[test]
+    fn zero_length_vector_takes_one_row() {
+        let mut a = Allocator::new(4);
+        let v = a.alloc(0);
+        let w = a.alloc(4);
+        assert_ne!(v.base, w.base);
+    }
+}

@@ -1,0 +1,194 @@
+//! Routing within one network instruction: ownership-tracked path and
+//! reduction-tree construction.
+//!
+//! The butterfly path between a source and destination lane is unique (the
+//! XOR rule of Section III.C), so packing several transfers into one
+//! instruction reduces to checking that no intermediate node must carry two
+//! different values. [`RouteSpace`] tracks which *value group* owns each
+//! node: transfers of the same group may share nodes (multicast fan-out and
+//! reduction fan-in), different groups may not.
+
+use mib_core::instruction::{NetInstruction, NodeMode};
+
+/// Per-instruction node ownership. Row 0 is the multiplier stage, rows
+/// `1..=stages` the adder stages.
+#[derive(Debug, Clone)]
+pub struct RouteSpace {
+    width: usize,
+    stages: usize,
+    owner: Vec<Option<u32>>,
+}
+
+impl RouteSpace {
+    /// Creates an empty route space for a width-`width` instruction.
+    pub fn new(width: usize) -> Self {
+        let stages = width.trailing_zeros() as usize;
+        RouteSpace { width, stages, owner: vec![None; width * (stages + 1)] }
+    }
+
+    fn idx(&self, row: usize, lane: usize) -> usize {
+        row * self.width + lane
+    }
+
+    /// Claims the multiplier node of `lane` for `group`. Returns `false`
+    /// if another group holds it.
+    pub fn try_claim_input(&mut self, lane: usize, group: u32) -> bool {
+        let i = self.idx(0, lane);
+        match self.owner[i] {
+            None => {
+                self.owner[i] = Some(group);
+                true
+            }
+            Some(g) => g == group,
+        }
+    }
+
+    /// Attempts to route `src -> dst` for `group`, configuring `inst` on
+    /// success. Multicast reuse within the same group is allowed.
+    pub fn try_route(
+        &mut self,
+        inst: &mut NetInstruction,
+        group: u32,
+        src: usize,
+        dst: usize,
+    ) -> bool {
+        // First pass: feasibility.
+        let mut lane = src;
+        let mut plan: Vec<(usize, usize, NodeMode)> = Vec::with_capacity(self.stages);
+        for s in 0..self.stages {
+            let bit = 1usize << s;
+            let cross = (src ^ dst) & bit != 0;
+            let next = if cross { lane ^ bit } else { lane };
+            let mode = if cross { NodeMode::Cross } else { NodeMode::Direct };
+            let i = self.idx(s + 1, next);
+            match self.owner[i] {
+                None => {}
+                Some(g) if g == group => {
+                    // Shared prefix of a multicast: the mode must agree.
+                    if inst.node(s, next) != mode {
+                        return false;
+                    }
+                }
+                Some(_) => return false,
+            }
+            plan.push((s, next, mode));
+            lane = next;
+        }
+        // Second pass: claim.
+        for &(s, next, mode) in &plan {
+            let i = self.idx(s + 1, next);
+            self.owner[i] = Some(group);
+            if inst.node(s, next) == NodeMode::Idle {
+                inst.set_node(s, next, mode);
+            }
+        }
+        true
+    }
+
+    /// Attempts to build a reduction tree from `sources` to `dst` for
+    /// `group`, configuring `inst` (with `Sum` at collision nodes) on
+    /// success. All nodes must be unowned.
+    pub fn try_reduce(
+        &mut self,
+        inst: &mut NetInstruction,
+        group: u32,
+        sources: &[usize],
+        dst: usize,
+    ) -> bool {
+        let mut live: Vec<usize> = sources.to_vec();
+        live.sort_unstable();
+        live.dedup();
+        if live.len() != sources.len() {
+            return false; // duplicate sources are a builder bug upstream
+        }
+        let mut plan: Vec<(usize, usize, NodeMode)> = Vec::new();
+        for s in 0..self.stages {
+            let bit = 1usize << s;
+            let mut next: Vec<usize> = live.iter().map(|&l| (l & !bit) | (dst & bit)).collect();
+            next.sort_unstable();
+            next.dedup();
+            for &t in &next {
+                let from_direct = live.binary_search(&t).is_ok();
+                let from_cross = live.binary_search(&(t ^ bit)).is_ok();
+                let mode = match (from_direct, from_cross) {
+                    (true, true) => NodeMode::Sum,
+                    (true, false) => NodeMode::Direct,
+                    (false, true) => NodeMode::Cross,
+                    (false, false) => unreachable!("reduction target with no live input"),
+                };
+                if self.owner[self.idx(s + 1, t)].is_some() {
+                    return false;
+                }
+                plan.push((s, t, mode));
+            }
+            live = next;
+        }
+        for &(s, t, mode) in &plan {
+            let i = self.idx(s + 1, t);
+            self.owner[i] = Some(group);
+            if mode == NodeMode::Sum {
+                inst.set_node_sum(s, t);
+            } else {
+                inst.set_node(s, t, mode);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_routes_pack_together() {
+        let mut inst = NetInstruction::nop(8);
+        let mut rs = RouteSpace::new(8);
+        assert!(rs.try_route(&mut inst, 0, 0, 5));
+        assert!(rs.try_route(&mut inst, 1, 1, 4));
+        // 0->5 path: stage0 cross (lane 1), stage1 direct (1), stage2 cross (5).
+        assert_eq!(inst.node(0, 1), NodeMode::Cross);
+    }
+
+    #[test]
+    fn conflicting_routes_rejected_without_side_effects() {
+        let mut inst = NetInstruction::nop(8);
+        let mut rs = RouteSpace::new(8);
+        assert!(rs.try_route(&mut inst, 0, 0, 2));
+        let before = inst.clone();
+        // 6 -> 2 needs the same final node (2, 2).
+        assert!(!rs.try_route(&mut inst, 1, 6, 2));
+        assert_eq!(inst, before, "failed attempt must not mutate the instruction");
+    }
+
+    #[test]
+    fn multicast_same_group_shares_prefix() {
+        let mut inst = NetInstruction::nop(8);
+        let mut rs = RouteSpace::new(8);
+        assert!(rs.try_claim_input(2, 7));
+        for dst in 0..8 {
+            assert!(rs.try_route(&mut inst, 7, 2, dst), "dst {dst}");
+        }
+    }
+
+    #[test]
+    fn reduce_claims_whole_tree() {
+        let mut inst = NetInstruction::nop(8);
+        let mut rs = RouteSpace::new(8);
+        assert!(rs.try_reduce(&mut inst, 0, &[0, 1, 2, 3], 0));
+        assert_eq!(inst.node(0, 0), NodeMode::Sum);
+        assert_eq!(inst.node(1, 0), NodeMode::Sum);
+        // Another reduce overlapping the tree must fail.
+        assert!(!rs.try_reduce(&mut inst, 1, &[4, 5], 0));
+        // A disjoint reduce into lane 7 must succeed (4..8 subtree).
+        assert!(rs.try_reduce(&mut inst, 1, &[4, 5, 6, 7], 7));
+    }
+
+    #[test]
+    fn input_claims_respect_groups() {
+        let mut rs = RouteSpace::new(8);
+        assert!(rs.try_claim_input(3, 0));
+        assert!(rs.try_claim_input(3, 0));
+        assert!(!rs.try_claim_input(3, 1));
+    }
+}

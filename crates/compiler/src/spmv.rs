@@ -1,0 +1,450 @@
+//! Sparse matrix–vector multiplication kernels.
+//!
+//! Two generators, matching Section IV.B of the paper ("the multiplication
+//! of A is performed with the MAC primitive instruction and Aᵀ is performed
+//! with column elimination instruction"):
+//!
+//! * [`mac_spmv`] — row-oriented `y = A·x`: each row's nonzeros stream from
+//!   HBM in CSR order, multiply register-resident `x` elements, and reduce
+//!   through the MAC tree to the row's destination bank. Rows with more
+//!   nonzeros than routable lanes split into chunks that accumulate through
+//!   the writeback port. When an operand's home bank is already taken
+//!   inside a chunk, the generator either starts a new chunk or (with
+//!   prefetching enabled) emits a bank-to-bank **prefetch copy** that the
+//!   first-fit scheduler hides in an earlier slot — the structural-hazard
+//!   resolution of Section IV.A.
+//! * [`col_spmv`] — column-oriented `y = Aᵀ·w`: for each row `i` of `A`,
+//!   `w_i` fans out through the butterfly (Fig. 6b), each target lane's
+//!   output multiplier scales it by the streamed matrix value, and the
+//!   accumulating writeback folds the products into `y`.
+
+use std::collections::HashMap;
+
+use mib_core::instruction::{InstrKind, LaneSource, LaneWrite, NetInstruction, OutMul, WriteMode};
+use mib_sparse::{CscMatrix, CsrMatrix};
+
+use crate::kernel::KernelBuilder;
+use crate::layout::{Allocator, Layout};
+use crate::route::RouteSpace;
+
+/// Options for the MAC generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmvOptions {
+    /// Resolve intra-chunk bank conflicts with prefetch copies instead of
+    /// starting a new chunk (Section IV.A). Ablation knob.
+    pub prefetch: bool,
+}
+
+impl Default for SpmvOptions {
+    fn default() -> Self {
+        SpmvOptions { prefetch: true }
+    }
+}
+
+/// Builds `y = A·x` (or `y += A·x` when `accumulate`) with the MAC
+/// primitive. `a` is the matrix in CSR form; `x` and `y` are cyclic
+/// register layouts.
+///
+/// # Panics
+///
+/// Panics if layout lengths do not match the matrix shape.
+pub fn mac_spmv(
+    b: &mut KernelBuilder,
+    alloc: &mut Allocator,
+    a: &CsrMatrix,
+    x: Layout,
+    y: Layout,
+    accumulate: bool,
+    opts: SpmvOptions,
+) {
+    assert_eq!(x.len, a.ncols(), "x layout does not match A columns");
+    assert_eq!(y.len, a.nrows(), "y layout does not match A rows");
+    let width = b.width();
+    // Copies of x elements made by prefetch instructions: x index -> extra
+    // locations.
+    let mut copies: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+
+    for r in 0..a.nrows() {
+        let entries: Vec<(usize, f64)> = a.row(r).collect();
+        if entries.is_empty() {
+            if !accumulate {
+                // y_r = 0.
+                let (lane, addr) = y.loc(r);
+                let mut inst = NetInstruction::nop(width);
+                inst.kind = InstrKind::Elementwise;
+                inst.set_input(lane, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
+                inst.route(lane, lane);
+                inst.set_write(lane, LaneWrite { addr, mode: WriteMode::Store });
+                b.push(inst, vec![]);
+            }
+            continue;
+        }
+        let dst_lane = y.bank(r);
+        let mut first_chunk = true;
+        let mut idx = 0usize;
+        while idx < entries.len() {
+            // Greedily fill one chunk with operands on distinct lanes.
+            let mut used: Vec<Option<usize>> = vec![None; width]; // lane -> addr
+            let mut chunk: Vec<(usize, usize, f64)> = Vec::new(); // (lane, addr, matval)
+            while idx < entries.len() && chunk.len() < width {
+                let (j, v) = entries[idx];
+                let home = x.loc(j);
+                let mut placed = None;
+                if used[home.0].is_none() {
+                    placed = Some(home);
+                } else if let Some(locs) = copies.get(&j) {
+                    placed = locs.iter().copied().find(|&(bank, _)| used[bank].is_none());
+                }
+                if placed.is_none() && opts.prefetch {
+                    // Prefetch x_j into a free lane.
+                    if let Some(free) = (0..width).find(|&l| used[l].is_none()) {
+                        let scratch = alloc.alloc_rows(1);
+                        let mut pf = NetInstruction::nop(width);
+                        pf.kind = InstrKind::Prefetch;
+                        pf.set_input(home.0, LaneSource::Reg { addr: home.1 });
+                        pf.route(home.0, free);
+                        pf.set_write(free, LaneWrite { addr: scratch, mode: WriteMode::Store });
+                        b.push(pf, vec![]);
+                        copies.entry(j).or_default().push((free, scratch));
+                        placed = Some((free, scratch));
+                    }
+                }
+                match placed {
+                    Some((lane, addr)) => {
+                        used[lane] = Some(addr);
+                        chunk.push((lane, addr, v));
+                        idx += 1;
+                    }
+                    None => break, // chunk full for this bank pattern
+                }
+            }
+            debug_assert!(!chunk.is_empty(), "chunk must make progress");
+            // Emit the MAC instruction: multiply and reduce to dst_lane.
+            let mut inst = NetInstruction::nop(width);
+            inst.kind = InstrKind::Mac;
+            let mut rs = RouteSpace::new(width);
+            let mut stream = Vec::with_capacity(chunk.len());
+            let lanes: Vec<usize> = chunk.iter().map(|&(l, _, _)| l).collect();
+            for &(lane, addr, v) in &chunk {
+                inst.set_input(lane, LaneSource::RegTimesStream { addr, negate: false });
+                assert!(rs.try_claim_input(lane, 0));
+                stream.push((lane, v));
+            }
+            assert!(
+                rs.try_reduce(&mut inst, 0, &lanes, dst_lane),
+                "single reduction tree is always routable"
+            );
+            let mode = if first_chunk && !accumulate { WriteMode::Store } else { WriteMode::Add };
+            inst.set_write(dst_lane, LaneWrite { addr: y.addr(r), mode });
+            b.push(inst, stream);
+            first_chunk = false;
+        }
+    }
+}
+
+/// Builds `y = Aᵀ·w` (or `y += Aᵀ·w` when `accumulate`) with the column
+/// elimination primitive: `w_i` fans out through the butterfly to the
+/// lanes owning the target `y` elements (Fig. 6b), the **output
+/// multiplier** of each target lane scales it by the streamed matrix
+/// value, and the accumulating writeback folds it into `y` — one network
+/// instruction per chunk of distinct target banks.
+///
+/// `a` is in CSR form (rows of `A`); `w` has length `nrows`, `y` length
+/// `ncols`.
+///
+/// # Panics
+///
+/// Panics if layout lengths do not match the matrix shape.
+pub fn col_spmv(
+    b: &mut KernelBuilder,
+    alloc: &mut Allocator,
+    a: &CsrMatrix,
+    w: Layout,
+    y: Layout,
+    accumulate: bool,
+) {
+    assert_eq!(w.len, a.nrows(), "w layout does not match A rows");
+    assert_eq!(y.len, a.ncols(), "y layout does not match A columns");
+    let width = b.width();
+    if !accumulate {
+        crate::elementwise::zero(b, y);
+    }
+    // High-degree y elements would serialize on the accumulating writeback
+    // (one RMW per pipeline latency); give them rotating partial slots that
+    // are tree-folded afterwards.
+    const PARTIALS: usize = 8;
+    let mut degree = vec![0usize; a.ncols()];
+    for i in 0..a.nrows() {
+        for (j, _) in a.row(i) {
+            degree[j] += 1;
+        }
+    }
+    // j -> (partial base addr, touches so far).
+    let mut partials: std::collections::HashMap<usize, (usize, usize)> =
+        std::collections::HashMap::new();
+    for (j, &d) in degree.iter().enumerate() {
+        if d > PARTIALS {
+            let base = alloc.alloc_rows(PARTIALS);
+            partials.insert(j, (base, 0));
+            // Zero this column's partial slots.
+            let lane = y.bank(j);
+            for p in 0..PARTIALS {
+                let mut z = NetInstruction::nop(width);
+                z.kind = InstrKind::Elementwise;
+                z.set_input(lane, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
+                z.route(lane, lane);
+                z.set_write(lane, LaneWrite { addr: base + p, mode: WriteMode::Store });
+                b.push(z, vec![]);
+            }
+        }
+    }
+    for i in 0..a.nrows() {
+        let entries: Vec<(usize, f64)> = a.row(i).collect();
+        if entries.is_empty() {
+            continue;
+        }
+        let (src_lane, src_addr) = w.loc(i);
+        let mut idx = 0usize;
+        while idx < entries.len() {
+            let mut used = vec![false; width];
+            let mut inst = NetInstruction::nop(width);
+            inst.kind = InstrKind::ColElim;
+            inst.set_input(src_lane, LaneSource::Reg { addr: src_addr });
+            let mut rs = RouteSpace::new(width);
+            rs.try_claim_input(src_lane, 0);
+            let mut stream = Vec::new();
+            while idx < entries.len() {
+                let (j, v) = entries[idx];
+                let lane = y.bank(j);
+                if used[lane] {
+                    break;
+                }
+                assert!(
+                    rs.try_route(&mut inst, 0, src_lane, lane),
+                    "multicast is always routable"
+                );
+                used[lane] = true;
+                let addr = match partials.get_mut(&j) {
+                    Some((base, touches)) => {
+                        let slot = *base + *touches % PARTIALS;
+                        *touches += 1;
+                        slot
+                    }
+                    None => y.addr(j),
+                };
+                inst.set_out_mul(lane, OutMul::MulStream { negate: false });
+                inst.set_write(lane, LaneWrite { addr, mode: WriteMode::Add });
+                // Output-phase stream key: width + lane (consumed after all
+                // input-phase words of the issue slot).
+                stream.push((width + lane, v));
+                idx += 1;
+            }
+            b.push(inst, stream);
+        }
+    }
+    // Fold the partial slots into y (binary tree over addresses; folds of
+    // different columns pack into shared slots when their lanes differ).
+    let mut fold_cols: Vec<(usize, usize)> = partials.iter().map(|(&j, &(b0, _))| (j, b0)).collect();
+    fold_cols.sort_unstable();
+    for (j, base) in fold_cols {
+        let lane = y.bank(j);
+        let mut span = PARTIALS;
+        while span > 1 {
+            span /= 2;
+            for p in 0..span {
+                let mut inst = NetInstruction::nop(width);
+                inst.kind = InstrKind::ColElim;
+                inst.set_input(lane, LaneSource::Reg { addr: base + p + span });
+                inst.route(lane, lane);
+                inst.set_write(lane, LaneWrite { addr: base + p, mode: WriteMode::Add });
+                b.push(inst, vec![]);
+            }
+        }
+        let mut fin = NetInstruction::nop(width);
+        fin.kind = InstrKind::ColElim;
+        fin.set_input(lane, LaneSource::Reg { addr: base });
+        fin.route(lane, lane);
+        fin.set_write(lane, LaneWrite { addr: y.addr(j), mode: WriteMode::Add });
+        b.push(fin, vec![]);
+    }
+}
+
+/// Expands an upper-triangle-stored symmetric matrix into its full form —
+/// used to run the MAC generator over the objective matrix `P`.
+pub fn symmetrize_upper(upper: &CscMatrix) -> CscMatrix {
+    let n = upper.ncols();
+    let mut rows = Vec::with_capacity(2 * upper.nnz());
+    let mut cols = Vec::with_capacity(2 * upper.nnz());
+    let mut vals = Vec::with_capacity(2 * upper.nnz());
+    for (i, j, v) in upper.iter() {
+        rows.push(i);
+        cols.push(j);
+        vals.push(v);
+        if i != j {
+            rows.push(j);
+            cols.push(i);
+            vals.push(v);
+        }
+    }
+    CscMatrix::from_triplet_parts(n, n, &rows, &cols, &vals)
+        .expect("mirroring preserves csc invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elementwise::load_vec;
+    use crate::schedule::{schedule, Schedule, ScheduleOptions};
+    use mib_core::hbm::HbmStream;
+    use mib_core::machine::{HazardPolicy, Machine};
+    use mib_core::MibConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cfg() -> MibConfig {
+        MibConfig { width: 8, bank_depth: 4096, clock_hz: 1e6 }
+    }
+
+    fn run_schedule(s: &Schedule) -> Machine {
+        let mut m = Machine::new(cfg());
+        let mut hbm = HbmStream::new(s.hbm.clone());
+        m.run(&s.program, &mut hbm, HazardPolicy::Strict)
+            .expect("scheduled kernel must be hazard-free");
+        m
+    }
+
+    fn read_layout(m: &Machine, v: Layout) -> Vec<f64> {
+        (0..v.len)
+            .map(|e| m.regs().read(v.bank(e), v.addr(e)).unwrap())
+            .collect()
+    }
+
+    fn random_sparse(nrows: usize, ncols: usize, density: f64, seed: u64) -> CscMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..nrows {
+            for j in 0..ncols {
+                if rng.gen::<f64>() < density {
+                    rows.push(i);
+                    cols.push(j);
+                    vals.push(rng.gen_range(-2.0..2.0));
+                }
+            }
+        }
+        CscMatrix::from_triplet_parts(nrows, ncols, &rows, &cols, &vals).unwrap()
+    }
+
+    fn check_mac(a: &CscMatrix, seed: u64, prefetch: bool) {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xv: Vec<f64> = (0..a.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut b = KernelBuilder::new("spmv", c.width, c.latency());
+        let mut alloc = Allocator::new(c.width);
+        let x = alloc.alloc(a.ncols());
+        let y = alloc.alloc(a.nrows());
+        load_vec(&mut b, x, &xv);
+        mac_spmv(&mut b, &mut alloc, &a.to_csr(), x, y, false, SpmvOptions { prefetch });
+        let s = schedule(&b.finish(), ScheduleOptions::default());
+        let m = run_schedule(&s);
+        let got = read_layout(&m, y);
+        let want = a.mul_vec(&xv);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12, "mac mismatch: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn mac_matches_reference_with_prefetch() {
+        let a = random_sparse(20, 17, 0.3, 1);
+        check_mac(&a, 2, true);
+    }
+
+    #[test]
+    fn mac_matches_reference_without_prefetch() {
+        let a = random_sparse(20, 17, 0.3, 3);
+        check_mac(&a, 4, false);
+    }
+
+    #[test]
+    fn mac_handles_dense_rows_and_empty_rows() {
+        // One dense row (forces chunking), one empty row.
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for j in 0..30 {
+            rows.push(0);
+            cols.push(j);
+            vals.push(1.0 + j as f64);
+        }
+        rows.push(2);
+        cols.push(5);
+        vals.push(-3.0);
+        let a = CscMatrix::from_triplet_parts(3, 30, &rows, &cols, &vals).unwrap();
+        check_mac(&a, 5, true);
+    }
+
+    #[test]
+    fn col_spmv_matches_reference() {
+        let a = random_sparse(19, 23, 0.25, 7);
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(8);
+        let wv: Vec<f64> = (0..a.nrows()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut b = KernelBuilder::new("at_mul", c.width, c.latency());
+        let mut alloc = Allocator::new(c.width);
+        let w = alloc.alloc(a.nrows());
+        let y = alloc.alloc(a.ncols());
+        load_vec(&mut b, w, &wv);
+        col_spmv(&mut b, &mut alloc, &a.to_csr(), w, y, false);
+        let s = schedule(&b.finish(), ScheduleOptions::default());
+        let m = run_schedule(&s);
+        let got = read_layout(&m, y);
+        let want = a.tr_mul_vec(&wv);
+        for (g, wnt) in got.iter().zip(&want) {
+            assert!((g - wnt).abs() < 1e-12, "col spmv mismatch: {g} vs {wnt}");
+        }
+    }
+
+    #[test]
+    fn symmetric_product_via_symmetrize() {
+        let upper = {
+            let full = random_sparse(12, 12, 0.3, 9);
+            // Make symmetric by taking upper triangle.
+            full.upper_triangle().unwrap()
+        };
+        let full = symmetrize_upper(&upper);
+        let xv: Vec<f64> = (0..12).map(|i| (i as f64) / 3.0 - 2.0).collect();
+        let want = upper.sym_upper_mul_vec(&xv);
+        assert_eq!(full.mul_vec(&xv), want);
+        check_mac(&full, 10, true);
+    }
+
+    #[test]
+    fn multi_issue_beats_single_issue_on_spmv() {
+        let a = random_sparse(40, 40, 0.1, 11);
+        let c = cfg();
+        let mut b = KernelBuilder::new("spmv", c.width, c.latency());
+        let mut alloc = Allocator::new(c.width);
+        let x = alloc.alloc(40);
+        let y = alloc.alloc(40);
+        load_vec(&mut b, x, &vec![1.0; 40]);
+        mac_spmv(&mut b, &mut alloc, &a.to_csr(), x, y, false, SpmvOptions::default());
+        let k = b.finish();
+        let multi = schedule(&k, ScheduleOptions::default());
+        let single = schedule(
+            &k,
+            ScheduleOptions { multi_issue: false, ..ScheduleOptions::default() },
+        );
+        assert!(
+            multi.slots() * 2 < single.slots(),
+            "multi-issue {} vs single-issue {}",
+            multi.slots(),
+            single.slots()
+        );
+        // Both must execute correctly.
+        let m1 = run_schedule(&multi);
+        let m2 = run_schedule(&single);
+        assert_eq!(read_layout(&m1, y), read_layout(&m2, y));
+    }
+}

@@ -1,0 +1,267 @@
+//! The top-level instruction set (Table I of the paper).
+//!
+//! The MIB programming model is two-level: a small **top-level ISA**
+//! expresses whole matrix/vector operations, and each top-level instruction
+//! that touches the computation network (`net_compute`) expands into many
+//! **network instructions** scheduled against the problem's sparsity
+//! pattern by the compiler (`mib-compiler`). The top-level program is
+//! shared across problem domains and "doesn't need to be recompiled"
+//! (Section III.D); only the `net_schedule`s it references are
+//! pattern-specific.
+//!
+//! This module defines the typed top-level ISA. Operands are symbolic
+//! (named vectors/scalars); the compiler binds them to register-file
+//! layouts and HBM addresses.
+
+use std::fmt;
+
+/// A symbolic reference to a vector operand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VecRef(pub String);
+
+impl fmt::Display for VecRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for VecRef {
+    fn from(s: &str) -> Self {
+        VecRef(s.to_owned())
+    }
+}
+
+/// A symbolic reference to a scalar operand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScalarRef(pub String);
+
+impl fmt::Display for ScalarRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ScalarRef {
+    fn from(s: &str) -> Self {
+        ScalarRef(s.to_owned())
+    }
+}
+
+/// One top-level instruction (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopInstruction {
+    /// `s0 = |v1|_inf`.
+    NormInf {
+        /// Destination scalar.
+        s0: ScalarRef,
+        /// Input vector.
+        v1: VecRef,
+    },
+    /// Conditionally set vector values:
+    /// `v0[i] = s0 if v1[i] satisfies the condition else s1`.
+    CondSet {
+        /// Value when the condition holds.
+        s0: ScalarRef,
+        /// Value otherwise.
+        s1: ScalarRef,
+        /// Destination vector.
+        v0: VecRef,
+        /// Condition vector.
+        v1: VecRef,
+    },
+    /// Element-wise reciprocal `v0 = 1 ./ v0`.
+    EwReci {
+        /// In/out vector.
+        v0: VecRef,
+    },
+    /// Element-wise product `v0 = v0 .* v1`.
+    EwProd {
+        /// In/out vector.
+        v0: VecRef,
+        /// Second factor.
+        v1: VecRef,
+    },
+    /// `v0 = s0*v0 + s1*v1`.
+    Axpby {
+        /// Scale of `v0`.
+        s0: ScalarRef,
+        /// Scale of `v1`.
+        s1: ScalarRef,
+        /// In/out vector.
+        v0: VecRef,
+        /// Added vector.
+        v1: VecRef,
+    },
+    /// Element-wise minimum `v0 = min(v0, v1)`.
+    SelectMin {
+        /// In/out vector.
+        v0: VecRef,
+        /// Comparand.
+        v1: VecRef,
+    },
+    /// Element-wise maximum `v0 = max(v0, v1)`.
+    SelectMax {
+        /// In/out vector.
+        v0: VecRef,
+        /// Comparand.
+        v1: VecRef,
+    },
+    /// Run a compiled network schedule (`net_compute n0, a0`).
+    NetCompute {
+        /// Name of the `net_schedule` to execute.
+        schedule: String,
+    },
+    /// Stream a vector from HBM into the register files.
+    LoadVec {
+        /// The vector being loaded.
+        v0: VecRef,
+    },
+    /// Stream a vector from the register files back to HBM.
+    WriteVec {
+        /// The vector being stored.
+        v0: VecRef,
+    },
+}
+
+impl TopInstruction {
+    /// The Table-I mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            TopInstruction::NormInf { .. } => "norm_inf",
+            TopInstruction::CondSet { .. } => "cond_set",
+            TopInstruction::EwReci { .. } => "ew_reci",
+            TopInstruction::EwProd { .. } => "ew_prod",
+            TopInstruction::Axpby { .. } => "axpby",
+            TopInstruction::SelectMin { .. } => "select_min",
+            TopInstruction::SelectMax { .. } => "select_max",
+            TopInstruction::NetCompute { .. } => "net_compute",
+            TopInstruction::LoadVec { .. } => "load_vec",
+            TopInstruction::WriteVec { .. } => "write_vec",
+        }
+    }
+
+    /// Whether this instruction uses the butterfly network (vs. the vector
+    /// path only).
+    pub fn uses_network(&self) -> bool {
+        matches!(self, TopInstruction::NetCompute { .. })
+    }
+}
+
+impl fmt::Display for TopInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopInstruction::NormInf { s0, v1 } => write!(f, "norm_inf {s0}, {v1}"),
+            TopInstruction::CondSet { s0, s1, v0, v1 } => {
+                write!(f, "cond_set {s0}, {s1}, {v0}, {v1}")
+            }
+            TopInstruction::EwReci { v0 } => write!(f, "ew_reci {v0}"),
+            TopInstruction::EwProd { v0, v1 } => write!(f, "ew_prod {v0}, {v1}"),
+            TopInstruction::Axpby { s0, s1, v0, v1 } => {
+                write!(f, "axpby {s0}, {s1}, {v0}, {v1}")
+            }
+            TopInstruction::SelectMin { v0, v1 } => write!(f, "select_min {v0}, {v1}"),
+            TopInstruction::SelectMax { v0, v1 } => write!(f, "select_max {v0}, {v1}"),
+            TopInstruction::NetCompute { schedule } => write!(f, "net_compute {schedule}"),
+            TopInstruction::LoadVec { v0 } => write!(f, "load_vec {v0}"),
+            TopInstruction::WriteVec { v0 } => write!(f, "write_vec {v0}"),
+        }
+    }
+}
+
+/// A top-level program: the algorithm skeleton shared across domains.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TopProgram {
+    instructions: Vec<TopInstruction>,
+}
+
+impl TopProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        TopProgram::default()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: TopInstruction) -> &mut Self {
+        self.instructions.push(inst);
+        self
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[TopInstruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Names of all referenced network schedules, in first-use order.
+    pub fn schedules(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for inst in &self.instructions {
+            if let TopInstruction::NetCompute { schedule } = inst {
+                if !seen.contains(&schedule.as_str()) {
+                    seen.push(schedule.as_str());
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Display for TopProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for inst in &self.instructions {
+            writeln!(f, "{inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_match_table_one() {
+        let cases: Vec<(TopInstruction, &str)> = vec![
+            (
+                TopInstruction::NormInf { s0: "prim_res".into(), v1: "r".into() },
+                "norm_inf",
+            ),
+            (TopInstruction::EwReci { v0: "d".into() }, "ew_reci"),
+            (
+                TopInstruction::Axpby {
+                    s0: "alpha".into(),
+                    s1: "one_minus_alpha".into(),
+                    v0: "x".into(),
+                    v1: "xtilde".into(),
+                },
+                "axpby",
+            ),
+            (TopInstruction::NetCompute { schedule: "L_solve".into() }, "net_compute"),
+            (TopInstruction::LoadVec { v0: "xtilde_view".into() }, "load_vec"),
+        ];
+        for (inst, mnem) in cases {
+            assert_eq!(inst.mnemonic(), mnem);
+            assert!(inst.to_string().starts_with(mnem));
+        }
+    }
+
+    #[test]
+    fn program_lists_schedules_in_order() {
+        let mut p = TopProgram::new();
+        p.push(TopInstruction::NetCompute { schedule: "permutate".into() })
+            .push(TopInstruction::NetCompute { schedule: "L_solve".into() })
+            .push(TopInstruction::NetCompute { schedule: "permutate".into() });
+        assert_eq!(p.schedules(), vec!["permutate", "L_solve"]);
+        assert_eq!(p.len(), 3);
+        assert!(p.instructions()[0].uses_network());
+    }
+}

@@ -1,0 +1,111 @@
+//! Banked register files.
+//!
+//! The MIB machine has one register-file bank per network lane. Each bank
+//! has a single read port (multiplier stage) and a single write port
+//! (writeback stage) per cycle — the port constraint behind the structural
+//! hazards of Section IV.A. The banks here are plain storage; port
+//! scheduling is enforced by instruction merging and verified by the
+//! machine.
+
+use crate::{MibError, Result};
+
+/// `C` register-file banks of equal depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterFiles {
+    banks: Vec<Vec<f64>>,
+    depth: usize,
+}
+
+impl RegisterFiles {
+    /// Allocates `width` banks of `depth` words, zero-initialized.
+    pub fn new(width: usize, depth: usize) -> Self {
+        RegisterFiles { banks: vec![vec![0.0; depth]; width], depth }
+    }
+
+    /// Number of banks (`C`).
+    pub fn width(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Words per bank.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Reads `bank[addr]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MibError::AddressOutOfRange`] for bad addresses.
+    pub fn read(&self, bank: usize, addr: usize) -> Result<f64> {
+        self.check(bank, addr)?;
+        Ok(self.banks[bank][addr])
+    }
+
+    /// Writes `bank[addr] = value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MibError::AddressOutOfRange`] for bad addresses.
+    pub fn write(&mut self, bank: usize, addr: usize, value: f64) -> Result<()> {
+        self.check(bank, addr)?;
+        self.banks[bank][addr] = value;
+        Ok(())
+    }
+
+    /// Accumulates `bank[addr] += value` (the accumulating writeback port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MibError::AddressOutOfRange`] for bad addresses.
+    pub fn accumulate(&mut self, bank: usize, addr: usize, value: f64) -> Result<()> {
+        self.check(bank, addr)?;
+        self.banks[bank][addr] += value;
+        Ok(())
+    }
+
+    /// Clears every bank to zero.
+    pub fn clear(&mut self) {
+        for bank in &mut self.banks {
+            bank.fill(0.0);
+        }
+    }
+
+    fn check(&self, bank: usize, addr: usize) -> Result<()> {
+        if bank >= self.banks.len() || addr >= self.depth {
+            return Err(MibError::AddressOutOfRange { bank, addr, depth: self.depth });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut r = RegisterFiles::new(4, 8);
+        r.write(2, 3, 1.5).unwrap();
+        assert_eq!(r.read(2, 3).unwrap(), 1.5);
+        assert_eq!(r.read(2, 4).unwrap(), 0.0);
+        r.accumulate(2, 3, 0.5).unwrap();
+        assert_eq!(r.read(2, 3).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn bad_addresses_rejected() {
+        let mut r = RegisterFiles::new(2, 4);
+        assert!(r.read(2, 0).is_err());
+        assert!(r.read(0, 4).is_err());
+        assert!(r.write(0, 9, 1.0).is_err());
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut r = RegisterFiles::new(2, 2);
+        r.write(1, 1, 9.0).unwrap();
+        r.clear();
+        assert_eq!(r.read(1, 1).unwrap(), 0.0);
+    }
+}

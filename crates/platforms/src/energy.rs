@@ -1,0 +1,74 @@
+//! Energy-efficiency accounting (Section V.C of the paper).
+//!
+//! The paper reports *problems solved per second per watt* as the
+//! normalized efficiency metric, measured once with device power alone and
+//! once with total system power (host idle power included, since the FPGA
+//! and GPU need a host CPU to feed them).
+
+use crate::models::PlatformModel;
+
+/// Energy and efficiency figures for one solve on one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Solve time in seconds.
+    pub seconds: f64,
+    /// Device energy in joules (load power × time).
+    pub device_joules: f64,
+    /// System energy in joules (adds host idle power).
+    pub system_joules: f64,
+    /// Problems per second per watt, device power.
+    pub device_efficiency: f64,
+    /// Problems per second per watt, system power.
+    pub system_efficiency: f64,
+}
+
+/// Computes the energy report for a platform given its solve time.
+pub fn report(model: &dyn PlatformModel, seconds: f64) -> EnergyReport {
+    let device_power = model.load_power();
+    let system_power = device_power + model.host_idle_power();
+    let device_joules = device_power * seconds;
+    let system_joules = system_power * seconds;
+    EnergyReport {
+        seconds,
+        device_joules,
+        system_joules,
+        device_efficiency: 1.0 / device_joules,
+        system_efficiency: 1.0 / system_joules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{CpuModel, CpuVariant, GpuModel, MibPlatform};
+
+    #[test]
+    fn efficiency_is_inverse_energy() {
+        let cpu = CpuModel::new(CpuVariant::Mkl);
+        let r = report(&cpu, 2.0);
+        assert_eq!(r.device_joules, 98.0);
+        assert!((r.device_efficiency - 1.0 / 98.0).abs() < 1e-12);
+        // CPU hosts itself: no extra idle power.
+        assert_eq!(r.system_joules, r.device_joules);
+    }
+
+    #[test]
+    fn accelerators_charge_host_idle_for_system_energy() {
+        let gpu = GpuModel::new();
+        let r = report(&gpu, 1.0);
+        assert_eq!(r.device_joules, 65.0);
+        assert_eq!(r.system_joules, 65.0 + 22.0);
+        let mib = MibPlatform { name: "MIB C=32", seconds: 1.0 };
+        let r = report(&mib, 1.0);
+        assert_eq!(r.device_joules, 18.0);
+        assert_eq!(r.system_joules, 40.0);
+    }
+
+    #[test]
+    fn faster_is_more_efficient() {
+        let mib = MibPlatform { name: "MIB C=32", seconds: 1.0 };
+        let fast = report(&mib, 0.001);
+        let slow = report(&mib, 0.1);
+        assert!(fast.device_efficiency > slow.device_efficiency * 50.0);
+    }
+}

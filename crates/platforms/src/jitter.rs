@@ -1,0 +1,93 @@
+//! Runtime-jitter models (Section V.D of the paper).
+//!
+//! The paper quantifies timing determinism as the standard deviation of
+//! solve time normalized by the mean, over repeated runs of the MPC
+//! benchmark. Each platform's jitter arises from a different mechanism:
+//! OS scheduling noise (CPU), driver/boost-clock variance (GPU), PCIe
+//! round trips (RSQP), and — for the MIB machine — only host invocation,
+//! since execution itself is cycle-deterministic.
+//!
+//! Runtimes are sampled as `t·exp(σ·Z + shift)` with `Z ~ N(0,1)` (a
+//! lognormal multiplicative noise floored at the deterministic minimum),
+//! which matches the long-tailed distributions interference produces.
+
+use rand::Rng;
+
+use crate::models::PlatformModel;
+
+/// Samples `runs` runtimes for a platform around the mean `seconds`.
+pub fn sample_runtimes(
+    model: &dyn PlatformModel,
+    seconds: f64,
+    runs: usize,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let cv = model.jitter_cv();
+    // Lognormal with sd ≈ cv·mean for small cv: sigma = sqrt(ln(1+cv²)).
+    let sigma = (1.0 + cv * cv).ln().sqrt();
+    let mu = -0.5 * sigma * sigma; // keep the mean at `seconds`
+    (0..runs)
+        .map(|_| {
+            let z = standard_normal(rng);
+            // Interference only ever *adds* time: floor at 97% of the mean
+            // (pipeline-deterministic part).
+            (seconds * (mu + sigma * z).exp()).max(seconds * 0.97)
+        })
+        .collect()
+}
+
+/// Normalized jitter: `std(runtimes) / mean(runtimes)` — the paper's
+/// Figure 11 metric.
+pub fn normalized_jitter(runtimes: &[f64]) -> f64 {
+    if runtimes.len() < 2 {
+        return 0.0;
+    }
+    let n = runtimes.len() as f64;
+    let mean = runtimes.iter().sum::<f64>() / n;
+    let var = runtimes.iter().map(|&t| (t - mean) * (t - mean)).sum::<f64>() / (n - 1.0);
+    var.sqrt() / mean
+}
+
+/// Box–Muller standard normal.
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{CpuModel, CpuVariant, MibPlatform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_jitter_tracks_model_cv() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cpu = CpuModel::new(CpuVariant::Mkl);
+        let samples = sample_runtimes(&cpu, 0.01, 4000, &mut rng);
+        let j = normalized_jitter(&samples);
+        assert!(
+            (j - cpu.jitter_cv()).abs() < 0.35 * cpu.jitter_cv(),
+            "sampled cv {j} far from model {}",
+            cpu.jitter_cv()
+        );
+    }
+
+    #[test]
+    fn mib_is_much_more_deterministic_than_cpu() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mib = MibPlatform { name: "MIB C=32", seconds: 1e-3 };
+        let cpu = CpuModel::new(CpuVariant::Mkl);
+        let jm = normalized_jitter(&sample_runtimes(&mib, 1e-3, 2000, &mut rng));
+        let jc = normalized_jitter(&sample_runtimes(&cpu, 1e-3, 2000, &mut rng));
+        assert!(jc / jm > 5.0, "cpu {jc} vs mib {jm}");
+    }
+
+    #[test]
+    fn jitter_of_constant_series_is_zero() {
+        assert_eq!(normalized_jitter(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(normalized_jitter(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Reference-platform models for the cross-platform evaluation.
+//!
+//! The paper compares its FPGA prototypes against a CPU (i7-10700KF running
+//! OSQP with MKL or the built-in QDLDL), a GPU (RTX 3070 running cuOSQP /
+//! cuSparse) and the CPU+FPGA RSQP system. We do not have that hardware;
+//! following the substitution plan in DESIGN.md §1, this crate provides
+//! **analytic timing/energy/jitter models** parameterized by the paper's
+//! Table II specifications and Section V power measurements. The models
+//! capture the *mechanisms* the paper identifies:
+//!
+//! * CPUs run sparse kernels far below peak (memory-bound irregular
+//!   access) but have negligible per-iteration overhead;
+//! * GPUs add kernel-launch and device↔host synchronization costs to every
+//!   ADMM step ("the GPU backend sends scalar values from the GPU to the
+//!   CPU multiple times per loop step"), so they only win on large
+//!   problems;
+//! * RSQP ships the KKT solution vector across PCIe every iteration;
+//! * the MIB machine is cycle-deterministic, so its jitter is limited to
+//!   host-side invocation noise.
+//!
+//! The work quantities come from the reference solver's exact profile
+//! ([`WorkSummary`]); the MIB platform's own time comes from the compiled
+//! schedules in `mib-compiler` and is *not* modelled here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod jitter;
+pub mod models;
+pub mod resources;
+pub mod specs;
+
+pub use models::{CpuModel, CpuVariant, GpuModel, PlatformModel, RsqpModel, WorkSummary};
+pub use specs::PlatformSpec;

@@ -1,0 +1,115 @@
+//! FPGA resource model (Figure 9 of the paper).
+//!
+//! The paper's prototypes map the butterfly's floating-point adders and
+//! multipliers to LUTs and registers (the network topology does not align
+//! with the grid DSP layout), with register files in BRAM and HBM/PCIe
+//! shells fixed. This module models per-component costs so the Fig. 9
+//! usage chart can be regenerated for any width.
+
+/// Available resources of the Xilinx Alveo U50 (Section V.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCapacity {
+    /// Lookup tables.
+    pub luts: u64,
+    /// Flip-flop registers.
+    pub registers: u64,
+    /// DSP slices.
+    pub dsps: u64,
+    /// Block RAMs (36 kb).
+    pub brams: u64,
+}
+
+/// The Alveo U50 capacity from the paper: 872K LUTs, 1743K registers,
+/// 5952 DSPs (plus 1344 BRAM36).
+pub fn alveo_u50() -> DeviceCapacity {
+    DeviceCapacity { luts: 872_000, registers: 1_743_000, dsps: 5_952, brams: 1_344 }
+}
+
+/// Estimated resource usage of one MIB instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceUsage {
+    /// Network width.
+    pub width: usize,
+    /// LUTs used.
+    pub luts: u64,
+    /// Registers used.
+    pub registers: u64,
+    /// DSPs used.
+    pub dsps: u64,
+    /// BRAMs used.
+    pub brams: u64,
+}
+
+impl ResourceUsage {
+    /// Usage as percentages of a device's capacity
+    /// `(lut%, reg%, dsp%, bram%)`.
+    pub fn percent_of(&self, dev: &DeviceCapacity) -> [f64; 4] {
+        [
+            100.0 * self.luts as f64 / dev.luts as f64,
+            100.0 * self.registers as f64 / dev.registers as f64,
+            100.0 * self.dsps as f64 / dev.dsps as f64,
+            100.0 * self.brams as f64 / dev.brams as f64,
+        ]
+    }
+}
+
+/// Models the resource usage of a width-`c` MIB instance.
+///
+/// Component costs (per-unit estimates for LUT-mapped double-precision
+/// floating point, consistent with the paper's observation that the
+/// network avoids DSPs): adder node ≈ 900 LUT / 1500 FF, multiplier node
+/// ≈ 2500 LUT / 3000 FF, per-lane register file ≈ 8 BRAM, plus the fixed
+/// HBM + PCIe shell.
+pub fn estimate(c: usize) -> ResourceUsage {
+    assert!(c.is_power_of_two() && c >= 2, "width must be a power of two");
+    let stages = c.trailing_zeros() as u64;
+    let adders = c as u64 * stages;
+    let multipliers = c as u64;
+    // Control/mux overhead per node grows mildly with width (longer
+    // routes, wider config distribution).
+    let ctrl = 120 * (c as u64) * (stages + 1);
+    let shell_luts = 120_000u64; // HBM controller + PCIe + DMA shell
+    let shell_regs = 180_000u64;
+    let shell_brams = 150u64;
+    ResourceUsage {
+        width: c,
+        luts: shell_luts + adders * 900 + multipliers * 2500 + ctrl,
+        registers: shell_regs + adders * 1500 + multipliers * 3000 + ctrl,
+        dsps: 0,
+        brams: shell_brams + 8 * c as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_prototypes_fit_the_u50() {
+        let dev = alveo_u50();
+        for c in [16, 32] {
+            let u = estimate(c);
+            let pct = u.percent_of(&dev);
+            assert!(pct[0] < 100.0 && pct[1] < 100.0 && pct[3] < 100.0, "C={c}: {pct:?}");
+        }
+    }
+
+    #[test]
+    fn usage_grows_superlinearly_in_width() {
+        let u16 = estimate(16);
+        let u32 = estimate(32);
+        // log factor: C log C scaling of the adder stages.
+        assert!(u32.luts - 120_000 > 2 * (u16.luts - 120_000));
+    }
+
+    #[test]
+    fn network_uses_no_dsps() {
+        assert_eq!(estimate(32).dsps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_width() {
+        estimate(20);
+    }
+}

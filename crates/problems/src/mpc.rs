@@ -1,0 +1,266 @@
+//! Model predictive control problem generator.
+//!
+//! The paper motivates MPC as the latency-critical domain ("applying Model
+//! Predictive Control to systems with millisecond-scale sampling periods …
+//! requires solving a QP after each sensor sample"). The generator builds
+//! the standard condensed-free (sparse) MPC QP over a random controllable
+//! linear system:
+//!
+//! ```text
+//! min  Σₖ xₖᵀQxₖ + uₖᵀRuₖ + x_TᵀQ_T x_T
+//! s.t. x₀ = x_init,  x_{k+1} = Ad·xₖ + Bd·uₖ,
+//!      x_min ≤ xₖ ≤ x_max,  u_min ≤ uₖ ≤ u_max
+//! ```
+//!
+//! The constraint matrix is block-banded along the horizon — the MPC
+//! sparsity pattern of Figure 3. [`MpcInstance`] keeps the dynamics so the
+//! closed-loop example can re-solve with updated initial states via
+//! bound updates only (the parametric workflow the architecture amortizes
+//! its compile time over).
+
+use mib_qp::{Problem, INFTY};
+use mib_sparse::{CscMatrix, TripletMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated MPC instance: the QP plus the underlying system data.
+#[derive(Debug, Clone)]
+pub struct MpcInstance {
+    /// The standard-form QP.
+    pub problem: Problem,
+    /// Discrete-time state matrix (`nx × nx`, dense row-major).
+    pub a_dyn: Vec<f64>,
+    /// Discrete-time input matrix (`nx × nu`, dense row-major).
+    pub b_dyn: Vec<f64>,
+    /// State dimension.
+    pub nx: usize,
+    /// Input dimension.
+    pub nu: usize,
+    /// Horizon length `T`.
+    pub horizon: usize,
+    /// Initial state used in the generated bounds.
+    pub x_init: Vec<f64>,
+}
+
+impl MpcInstance {
+    /// Total decision variables: `(T+1)·nx + T·nu`.
+    pub fn num_vars(&self) -> usize {
+        (self.horizon + 1) * self.nx + self.horizon * self.nu
+    }
+
+    /// Produces updated `(l, u)` bound vectors for a new initial state —
+    /// the only data that changes between closed-loop solves.
+    pub fn bounds_for(&self, x_init: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(x_init.len(), self.nx, "x_init has wrong dimension");
+        let (mut l, mut u) = (
+            self.problem.l().to_vec(),
+            self.problem.u().to_vec(),
+        );
+        // The first nx equality rows encode -x0 = -x_init.
+        for (i, &v) in x_init.iter().enumerate() {
+            l[i] = -v;
+            u[i] = -v;
+        }
+        (l, u)
+    }
+
+    /// Simulates one step of the true system: `x⁺ = Ad·x + Bd·u`.
+    pub fn step(&self, x: &[f64], u: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.nx];
+        for i in 0..self.nx {
+            for j in 0..self.nx {
+                out[i] += self.a_dyn[i * self.nx + j] * x[j];
+            }
+            for j in 0..self.nu {
+                out[i] += self.b_dyn[i * self.nu + j] * u[j];
+            }
+        }
+        out
+    }
+
+    /// Extracts the first control move `u₀` from a QP solution vector.
+    pub fn first_input<'a>(&self, x_sol: &'a [f64]) -> &'a [f64] {
+        let off = (self.horizon + 1) * self.nx;
+        &x_sol[off..off + self.nu]
+    }
+}
+
+/// Generates an MPC instance with `nx` states, `nu` inputs and horizon `t`.
+pub fn mpc(nx: usize, nu: usize, t: usize, seed: u64) -> MpcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random marginally-stable dynamics: A = I + 0.1·N, sparse-ish N.
+    let mut a_dyn = vec![0.0; nx * nx];
+    for i in 0..nx {
+        a_dyn[i * nx + i] = 1.0;
+        for j in 0..nx {
+            if rng.gen::<f64>() < 0.4 {
+                a_dyn[i * nx + j] += 0.1 * rng.gen_range(-1.0..1.0);
+            }
+        }
+    }
+    let mut b_dyn = vec![0.0; nx * nu];
+    for v in &mut b_dyn {
+        if rng.gen::<f64>() < 0.6 {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+    }
+    let x_init: Vec<f64> = (0..nx).map(|_| rng.gen_range(-0.5..0.5)).collect();
+
+    let n_state = (t + 1) * nx;
+    let n_input = t * nu;
+    let nv = n_state + n_input;
+
+    // Objective: Q = I, R = 0.1·I, Q_T = 5·I (stage costs doubled into P).
+    let mut p = TripletMatrix::new(nv, nv);
+    for k in 0..=t {
+        let w = if k == t { 10.0 } else { 2.0 };
+        for i in 0..nx {
+            p.push(k * nx + i, k * nx + i, w).expect("in bounds");
+        }
+    }
+    for k in 0..t {
+        for i in 0..nu {
+            let idx = n_state + k * nu + i;
+            p.push(idx, idx, 0.2).expect("in bounds");
+        }
+    }
+    let p = CscMatrix::from_triplets(&p).expect("valid triplets");
+    let q = vec![0.0; nv];
+
+    // Equality block: row block 0: -x0 = -x_init; block k+1:
+    // Ad·xₖ + Bd·uₖ − x_{k+1} = 0.
+    let m_eq = (t + 1) * nx;
+    let m_ineq = nv; // box on every state and input
+    let mut a = TripletMatrix::new(m_eq + m_ineq, nv);
+    for i in 0..nx {
+        a.push(i, i, -1.0).expect("in bounds");
+    }
+    for k in 0..t {
+        let row0 = (k + 1) * nx;
+        for i in 0..nx {
+            for j in 0..nx {
+                let v = a_dyn[i * nx + j];
+                if v != 0.0 {
+                    a.push(row0 + i, k * nx + j, v).expect("in bounds");
+                }
+            }
+            for j in 0..nu {
+                let v = b_dyn[i * nu + j];
+                if v != 0.0 {
+                    a.push(row0 + i, n_state + k * nu + j, v).expect("in bounds");
+                }
+            }
+            a.push(row0 + i, (k + 1) * nx + i, -1.0).expect("in bounds");
+        }
+    }
+    for v in 0..nv {
+        a.push(m_eq + v, v, 1.0).expect("in bounds");
+    }
+    let a = CscMatrix::from_triplets(&a).expect("valid triplets");
+
+    let mut l = Vec::with_capacity(m_eq + m_ineq);
+    let mut u = Vec::with_capacity(m_eq + m_ineq);
+    for &v in &x_init {
+        l.push(-v);
+        u.push(-v);
+    }
+    for _ in nx..m_eq {
+        l.push(0.0);
+        u.push(0.0);
+    }
+    // State box ±4 (finite but slack), input box ±1 (the binding ones).
+    for _ in 0..n_state {
+        l.push(-4.0);
+        u.push(4.0);
+    }
+    for _ in 0..n_input {
+        l.push(-1.0);
+        u.push(1.0);
+    }
+    // Mark unused capacity of INFTY for clarity in tests.
+    let _ = INFTY;
+
+    let problem = Problem::new(
+        p.upper_triangle().expect("square"),
+        q,
+        a,
+        l,
+        u,
+    )
+    .expect("mpc problem is valid");
+    MpcInstance { problem, a_dyn, b_dyn, nx, nu, horizon: t, x_init }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mib_qp::{Settings, Solver};
+
+    #[test]
+    fn mpc_solves_and_respects_dynamics() {
+        let inst = mpc(4, 2, 8, 5);
+        let mut settings = Settings::default();
+        settings.eps_abs = 1e-5;
+        settings.eps_rel = 1e-5;
+        settings.max_iter = 20_000;
+        let r = Solver::new(inst.problem.clone(), settings).unwrap().solve();
+        assert!(r.status.is_solved());
+        // The first state block equals x_init.
+        for i in 0..inst.nx {
+            assert!(
+                (r.x[i] - inst.x_init[i]).abs() < 1e-3,
+                "x0[{i}] = {} vs {}",
+                r.x[i],
+                inst.x_init[i]
+            );
+        }
+        // Dynamics hold along the horizon.
+        for k in 0..inst.horizon {
+            let xk = &r.x[k * inst.nx..(k + 1) * inst.nx];
+            let uk_off = (inst.horizon + 1) * inst.nx + k * inst.nu;
+            let uk = &r.x[uk_off..uk_off + inst.nu];
+            let pred = inst.step(xk, uk);
+            let xk1 = &r.x[(k + 1) * inst.nx..(k + 2) * inst.nx];
+            for i in 0..inst.nx {
+                assert!((pred[i] - xk1[i]).abs() < 1e-2, "dynamics violated at k={k}");
+            }
+        }
+        // Inputs respect the box.
+        let u0 = inst.first_input(&r.x);
+        for &v in u0 {
+            assert!(v.abs() <= 1.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn bounds_update_moves_initial_state() {
+        let inst = mpc(3, 1, 5, 9);
+        let new_x = vec![0.2, -0.1, 0.3];
+        let (l, u) = inst.bounds_for(&new_x);
+        for i in 0..3 {
+            assert_eq!(l[i], -new_x[i]);
+            assert_eq!(u[i], -new_x[i]);
+        }
+        assert_eq!(l.len(), inst.problem.num_constraints());
+    }
+
+    #[test]
+    fn pattern_is_block_banded() {
+        let inst = mpc(3, 1, 6, 2);
+        // Every equality-row entry's column lies within two blocks of its
+        // row block (banded structure along the horizon).
+        let nx = inst.nx;
+        for (i, j, _) in inst.problem.a().iter() {
+            if i < (inst.horizon + 1) * nx {
+                let row_block = i / nx;
+                if j < (inst.horizon + 1) * nx {
+                    let col_block = j / nx;
+                    assert!(
+                        col_block + 1 >= row_block && col_block <= row_block,
+                        "entry ({i},{j}) outside band"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! KKT linear-system backends: direct LDLᵀ and indirect PCG.
+//!
+//! Both backends solve the same abstract problem — given the right-hand side
+//! `(r_x, r_z)` of equation (2), produce `(x̃, ν)` with
+//!
+//! ```text
+//! [ P + σI   Aᵀ        ] [ x̃ ]   [ r_x ]
+//! [ A       -diag(1/ρ) ] [ ν  ] = [ r_z ]
+//! ```
+//!
+//! The direct backend ([`DirectKkt`]) factors the quasi-definite KKT matrix
+//! once and refactors numerically when `ρ` changes. The indirect backend
+//! ([`IndirectKkt`]) eliminates the second block row to get the positive
+//! definite system `(P + σI + Aᵀ diag(ρ) A) x̃ = r_x + Aᵀ diag(ρ) r_z` and
+//! runs Preconditioned Conjugate Gradient (Algorithm 2 of the paper) with a
+//! Jacobi preconditioner, never forming `AᵀA` explicitly.
+
+use mib_sparse::ldl::LdlSolver;
+use mib_sparse::order::Ordering;
+use mib_sparse::{vector, CscMatrix};
+
+use crate::kkt::KktMatrix;
+use crate::profile::Profile;
+use crate::{KktBackend, QpError, Result};
+
+/// Interface shared by the two KKT backends.
+pub trait KktSolver: std::fmt::Debug {
+    /// Solves the KKT system for the given right-hand side, writing `x̃`
+    /// into `out_x` and `ν` into `out_nu`, and charging the work to
+    /// `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying factorization or iteration fails.
+    fn solve(
+        &mut self,
+        rhs_x: &[f64],
+        rhs_z: &[f64],
+        out_x: &mut [f64],
+        out_nu: &mut [f64],
+        profile: &mut Profile,
+    ) -> Result<()>;
+
+    /// Installs a new `ρ` vector (refactoring or re-preconditioning as
+    /// needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the refactorization fails.
+    fn update_rho(&mut self, rho_vec: &[f64], profile: &mut Profile) -> Result<()>;
+
+    /// Adjusts the iterative tolerance; no-op for the direct backend.
+    fn set_tolerance(&mut self, _tol: f64) {}
+
+    /// Which variant this backend implements.
+    fn backend(&self) -> KktBackend;
+}
+
+/// Direct backend: sparse LDLᵀ of the KKT matrix with minimum-degree
+/// ordering (OSQP-direct).
+#[derive(Debug)]
+pub struct DirectKkt {
+    kkt: KktMatrix,
+    ldl: LdlSolver,
+    work: Vec<f64>,
+}
+
+impl DirectKkt {
+    /// Assembles and factors the KKT matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QpError::KktFactorization`] if the quasi-definite
+    /// factorization fails (which indicates invalid problem data).
+    pub fn new(
+        p: &CscMatrix,
+        a: &CscMatrix,
+        sigma: f64,
+        rho_vec: &[f64],
+        profile: &mut Profile,
+    ) -> Result<Self> {
+        let kkt = KktMatrix::assemble(p, a, sigma, rho_vec)?;
+        let ldl = LdlSolver::new(kkt.matrix(), Ordering::MinDegree)
+            .map_err(|e| QpError::KktFactorization(e.to_string()))?;
+        profile.add_factor(ldl.factor().flops() as f64);
+        let dim = kkt.dim();
+        Ok(DirectKkt { kkt, ldl, work: vec![0.0; dim] })
+    }
+
+    /// Below-diagonal nonzeros of the factor `L` (drives per-solve cost).
+    pub fn l_nnz(&self) -> usize {
+        self.ldl.factor().l_nnz()
+    }
+
+    /// The assembled KKT matrix (for inspection by the compiler stack).
+    pub fn kkt(&self) -> &KktMatrix {
+        &self.kkt
+    }
+
+    /// The LDLᵀ solver (permutation + factor), exposed for the MIB
+    /// compiler, which turns it into network schedules.
+    pub fn ldl(&self) -> &LdlSolver {
+        &self.ldl
+    }
+}
+
+impl KktSolver for DirectKkt {
+    fn solve(
+        &mut self,
+        rhs_x: &[f64],
+        rhs_z: &[f64],
+        out_x: &mut [f64],
+        out_nu: &mut [f64],
+        profile: &mut Profile,
+    ) -> Result<()> {
+        let n = self.kkt.num_vars();
+        let m = self.kkt.num_constraints();
+        debug_assert_eq!(rhs_x.len(), n);
+        debug_assert_eq!(rhs_z.len(), m);
+        self.work[..n].copy_from_slice(rhs_x);
+        self.work[n..].copy_from_slice(rhs_z);
+        let sol = self.ldl.solve(&self.work);
+        out_x.copy_from_slice(&sol[..n]);
+        out_nu.copy_from_slice(&sol[n..]);
+        profile.add_triangular_solve(self.ldl.factor().l_nnz(), n + m);
+        Ok(())
+    }
+
+    fn update_rho(&mut self, rho_vec: &[f64], profile: &mut Profile) -> Result<()> {
+        self.kkt.update_rho(rho_vec);
+        self.ldl
+            .update_values(self.kkt.matrix())
+            .map_err(|e| QpError::KktFactorization(e.to_string()))?;
+        profile.add_factor(self.ldl.factor().flops() as f64);
+        Ok(())
+    }
+
+    fn backend(&self) -> KktBackend {
+        KktBackend::Direct
+    }
+}
+
+/// Indirect backend: PCG on the reduced positive-definite system
+/// (OSQP-indirect).
+#[derive(Debug)]
+pub struct IndirectKkt {
+    p: CscMatrix,
+    a: CscMatrix,
+    sigma: f64,
+    rho_vec: Vec<f64>,
+    /// Jacobi preconditioner: `M = diag(P) + σ + Σᵢ ρᵢ A²ᵢⱼ`.
+    precond_inv: Vec<f64>,
+    /// Warm-start state: solution of the previous KKT solve.
+    x_prev: Vec<f64>,
+    /// Relative tolerance for the next solve.
+    tol: f64,
+    /// Absolute floor on the residual norm.
+    eps_min: f64,
+    max_iter: usize,
+    // Workspaces.
+    r: Vec<f64>,
+    pdir: Vec<f64>,
+    sp: Vec<f64>,
+    dvec: Vec<f64>,
+    az: Vec<f64>,
+}
+
+impl IndirectKkt {
+    /// Prepares the PCG backend.
+    pub fn new(
+        p: &CscMatrix,
+        a: &CscMatrix,
+        sigma: f64,
+        rho_vec: &[f64],
+        tol0: f64,
+        eps_min: f64,
+        max_iter: usize,
+    ) -> Self {
+        let n = p.ncols();
+        let m = a.nrows();
+        let max_iter = if max_iter == 0 { (4 * n).max(20) } else { max_iter };
+        let mut solver = IndirectKkt {
+            p: p.clone(),
+            a: a.clone(),
+            sigma,
+            rho_vec: rho_vec.to_vec(),
+            precond_inv: vec![1.0; n],
+            x_prev: vec![0.0; n],
+            tol: tol0,
+            eps_min,
+            max_iter,
+            r: vec![0.0; n],
+            pdir: vec![0.0; n],
+            sp: vec![0.0; n],
+            dvec: vec![0.0; n],
+            az: vec![0.0; m],
+        };
+        solver.rebuild_preconditioner();
+        solver
+    }
+
+    fn rebuild_preconditioner(&mut self) {
+        let n = self.p.ncols();
+        let mut diag = vec![self.sigma; n];
+        for j in 0..n {
+            diag[j] += self.p.get(j, j);
+        }
+        for (i, j, v) in self.a.iter() {
+            diag[j] += self.rho_vec[i] * v * v;
+        }
+        self.precond_inv = diag.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 1.0 }).collect();
+    }
+
+    /// Applies `v -> S v = (P + σI + Aᵀ diag(ρ) A) v` without forming `S`.
+    fn apply_s(&mut self, v: &[f64], out: &mut [f64], profile: &mut Profile) {
+        // out = P v (symmetric product) ...
+        out.fill(0.0);
+        self.p.sym_upper_mul_vec_acc(v, out);
+        profile.add_spmv_mac(2 * self.p.nnz());
+        // ... + σ v ...
+        for (o, &vi) in out.iter_mut().zip(v) {
+            *o += self.sigma * vi;
+        }
+        // ... + Aᵀ (ρ ∘ (A v)): A·v is the MAC primitive, Aᵀ·w is column
+        // elimination (Section IV.B of the paper).
+        self.az.fill(0.0);
+        self.a.mul_vec_acc(v, &mut self.az);
+        profile.add_spmv_mac(self.a.nnz());
+        for (azi, &rho) in self.az.iter_mut().zip(&self.rho_vec) {
+            *azi *= rho;
+        }
+        self.a.tr_mul_vec_acc(&self.az, out);
+        profile.add_spmv_col_elim(self.a.nnz());
+        profile.add_vector((2 * v.len() + self.az.len()) as f64);
+    }
+
+    /// Runs PCG to solve `S x = b`, warm-started from the previous
+    /// solution. Returns the iteration count.
+    fn pcg(&mut self, b: &[f64], x: &mut [f64], profile: &mut Profile) -> usize {
+        let n = b.len();
+        x.copy_from_slice(&self.x_prev);
+        // r = S x - b
+        let mut sx = std::mem::take(&mut self.sp);
+        self.apply_s(x, &mut sx, profile);
+        self.sp = sx;
+        for i in 0..n {
+            self.r[i] = self.sp[i] - b[i];
+        }
+        let b_norm = vector::norm2(b);
+        let threshold = (self.tol * b_norm).max(self.eps_min);
+        let mut r_norm = vector::norm2(&self.r);
+        if r_norm <= threshold {
+            self.x_prev.copy_from_slice(x);
+            return 0;
+        }
+        // d = M⁻¹ r, p = -d
+        for i in 0..n {
+            self.dvec[i] = self.precond_inv[i] * self.r[i];
+            self.pdir[i] = -self.dvec[i];
+        }
+        let mut rd = vector::dot(&self.r, &self.dvec);
+        let mut iters = 0usize;
+        while iters < self.max_iter {
+            iters += 1;
+            let mut sp = std::mem::take(&mut self.sp);
+            let pdir = std::mem::take(&mut self.pdir);
+            self.apply_s(&pdir, &mut sp, profile);
+            self.pdir = pdir;
+            self.sp = sp;
+            let p_sp = vector::dot(&self.pdir, &self.sp);
+            if p_sp <= 0.0 {
+                // Numerical breakdown; S is PD so this indicates roundoff —
+                // accept the current iterate.
+                break;
+            }
+            let lambda = rd / p_sp;
+            for i in 0..n {
+                x[i] += lambda * self.pdir[i];
+                self.r[i] += lambda * self.sp[i];
+            }
+            r_norm = vector::norm2(&self.r);
+            profile.add_vector(6.0 * n as f64);
+            if r_norm <= threshold {
+                break;
+            }
+            for i in 0..n {
+                self.dvec[i] = self.precond_inv[i] * self.r[i];
+            }
+            let rd_new = vector::dot(&self.r, &self.dvec);
+            let mu = rd_new / rd;
+            rd = rd_new;
+            for i in 0..n {
+                self.pdir[i] = -self.dvec[i] + mu * self.pdir[i];
+            }
+            profile.add_vector(5.0 * n as f64);
+        }
+        self.x_prev.copy_from_slice(x);
+        profile.pcg_iters += iters;
+        iters
+    }
+}
+
+impl KktSolver for IndirectKkt {
+    fn solve(
+        &mut self,
+        rhs_x: &[f64],
+        rhs_z: &[f64],
+        out_x: &mut [f64],
+        out_nu: &mut [f64],
+        profile: &mut Profile,
+    ) -> Result<()> {
+        let n = self.p.ncols();
+        debug_assert_eq!(rhs_x.len(), n);
+        // b = rhs_x + Aᵀ (ρ ∘ rhs_z)
+        let mut b = rhs_x.to_vec();
+        let rz: Vec<f64> = rhs_z.iter().zip(&self.rho_vec).map(|(&z, &r)| z * r).collect();
+        self.a.tr_mul_vec_acc(&rz, &mut b);
+        profile.add_spmv_col_elim(self.a.nnz());
+        profile.add_vector(rhs_z.len() as f64);
+        self.pcg(&b, out_x, profile);
+        // ν = ρ ∘ (A x̃ - rhs_z)
+        let ax = self.a.mul_vec(out_x);
+        profile.add_spmv_mac(self.a.nnz());
+        for i in 0..out_nu.len() {
+            out_nu[i] = self.rho_vec[i] * (ax[i] - rhs_z[i]);
+        }
+        profile.add_vector(2.0 * out_nu.len() as f64);
+        Ok(())
+    }
+
+    fn update_rho(&mut self, rho_vec: &[f64], profile: &mut Profile) -> Result<()> {
+        self.rho_vec.copy_from_slice(rho_vec);
+        self.rebuild_preconditioner();
+        profile.add_vector((self.a.nnz() + self.p.ncols()) as f64);
+        Ok(())
+    }
+
+    fn set_tolerance(&mut self, tol: f64) {
+        self.tol = tol;
+    }
+
+    fn backend(&self) -> KktBackend {
+        KktBackend::Indirect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem_data() -> (CscMatrix, CscMatrix, f64, Vec<f64>) {
+        let p = CscMatrix::from_dense(3, 3, &[4.0, 1.0, 0.0, 0.0, 3.0, 1.0, 0.0, 0.0, 5.0])
+            .upper_triangle()
+            .unwrap();
+        let a = CscMatrix::from_dense(2, 3, &[1.0, 1.0, 0.0, 0.0, 1.0, 2.0]);
+        (p, a, 1e-6, vec![0.4, 0.7])
+    }
+
+    /// Checks that a backend's (x̃, ν) satisfies both KKT block equations.
+    fn check_backend(solver: &mut dyn KktSolver, tol: f64) {
+        let (p, a, sigma, rho) = problem_data();
+        let rhs_x = [1.0, -2.0, 0.5];
+        let rhs_z = [0.3, -0.1];
+        let mut x = vec![0.0; 3];
+        let mut nu = vec![0.0; 2];
+        let mut prof = Profile::default();
+        solver.solve(&rhs_x, &rhs_z, &mut x, &mut nu, &mut prof).unwrap();
+        // Block 1: (P + σI) x̃ + Aᵀ ν = rhs_x
+        let mut r1 = p.sym_upper_mul_vec(&x);
+        for (r, &xi) in r1.iter_mut().zip(&x) {
+            *r += sigma * xi;
+        }
+        a.tr_mul_vec_acc(&nu, &mut r1);
+        for (got, want) in r1.iter().zip(&rhs_x) {
+            assert!((got - want).abs() < tol, "block1: {got} vs {want}");
+        }
+        // Block 2: A x̃ - ν/ρ = rhs_z
+        let ax = a.mul_vec(&x);
+        for i in 0..2 {
+            let got = ax[i] - nu[i] / rho[i];
+            assert!((got - rhs_z[i]).abs() < tol, "block2: {got} vs {}", rhs_z[i]);
+        }
+    }
+
+    #[test]
+    fn direct_solves_kkt() {
+        let (p, a, sigma, rho) = problem_data();
+        let mut prof = Profile::default();
+        let mut solver = DirectKkt::new(&p, &a, sigma, &rho, &mut prof).unwrap();
+        assert_eq!(prof.factor_count, 1);
+        check_backend(&mut solver, 1e-9);
+    }
+
+    #[test]
+    fn indirect_solves_kkt() {
+        let (p, a, sigma, rho) = problem_data();
+        let mut solver = IndirectKkt::new(&p, &a, sigma, &rho, 1e-10, 1e-12, 500);
+        check_backend(&mut solver, 1e-6);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let (p, a, sigma, rho) = problem_data();
+        let mut prof = Profile::default();
+        let mut direct = DirectKkt::new(&p, &a, sigma, &rho, &mut prof).unwrap();
+        let mut indirect = IndirectKkt::new(&p, &a, sigma, &rho, 1e-12, 1e-14, 1000);
+        let rhs_x = [0.2, 0.4, -0.6];
+        let rhs_z = [1.0, 1.0];
+        let (mut x1, mut nu1) = (vec![0.0; 3], vec![0.0; 2]);
+        let (mut x2, mut nu2) = (vec![0.0; 3], vec![0.0; 2]);
+        direct.solve(&rhs_x, &rhs_z, &mut x1, &mut nu1, &mut prof).unwrap();
+        indirect.solve(&rhs_x, &rhs_z, &mut x2, &mut nu2, &mut prof).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-7, "x mismatch: {u} vs {v}");
+        }
+        for (u, v) in nu1.iter().zip(&nu2) {
+            assert!((u - v).abs() < 1e-6, "nu mismatch: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn direct_rho_update_refactors() {
+        let (p, a, sigma, rho) = problem_data();
+        let mut prof = Profile::default();
+        let mut solver = DirectKkt::new(&p, &a, sigma, &rho, &mut prof).unwrap();
+        solver.update_rho(&[1.0, 1.0], &mut prof).unwrap();
+        assert_eq!(prof.factor_count, 2);
+        // The refactored system must reflect the new rho.
+        let rhs_x = [0.0, 0.0, 0.0];
+        let rhs_z = [1.0, 0.0];
+        let mut x = vec![0.0; 3];
+        let mut nu = vec![0.0; 2];
+        solver.solve(&rhs_x, &rhs_z, &mut x, &mut nu, &mut prof).unwrap();
+        let ax = a.mul_vec(&x);
+        assert!((ax[0] - nu[0] / 1.0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcg_warm_start_cuts_iterations() {
+        let (p, a, sigma, rho) = problem_data();
+        let mut solver = IndirectKkt::new(&p, &a, sigma, &rho, 1e-10, 1e-12, 500);
+        let rhs_x = [1.0, 1.0, 1.0];
+        let rhs_z = [0.5, 0.5];
+        let mut x = vec![0.0; 3];
+        let mut nu = vec![0.0; 2];
+        let mut prof = Profile::default();
+        solver.solve(&rhs_x, &rhs_z, &mut x, &mut nu, &mut prof).unwrap();
+        let cold = prof.pcg_iters;
+        let mut prof2 = Profile::default();
+        solver.solve(&rhs_x, &rhs_z, &mut x, &mut nu, &mut prof2).unwrap();
+        let warm = prof2.pcg_iters;
+        assert!(warm <= 1, "warm-started identical solve should converge immediately, took {warm} (cold: {cold})");
+    }
+}

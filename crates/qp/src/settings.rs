@@ -1,0 +1,195 @@
+use crate::{QpError, Result};
+
+/// Which linear-system backend solves the KKT system (2) — the choice
+/// between the paper's OSQP-direct and OSQP-indirect variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KktBackend {
+    /// Sparse LDLᵀ factorization with forward/backward substitution
+    /// (OSQP-direct, Section II.C).
+    #[default]
+    Direct,
+    /// Preconditioned Conjugate Gradient on the reduced system
+    /// `(P + σI + AᵀρA) x = b` (OSQP-indirect, Section II.D).
+    Indirect,
+}
+
+impl KktBackend {
+    /// Short lowercase name (`"direct"` / `"indirect"`), used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KktBackend::Direct => "direct",
+            KktBackend::Indirect => "indirect",
+        }
+    }
+}
+
+/// Solver configuration, with OSQP-compatible defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Settings {
+    /// Initial ADMM step size `ρ > 0` (default `0.1`).
+    pub rho: f64,
+    /// Regularization `σ > 0` added to `P` in the KKT matrix (default `1e-6`).
+    pub sigma: f64,
+    /// Relaxation parameter `α ∈ (0, 2)` (default `1.6`).
+    pub alpha: f64,
+    /// Absolute tolerance for the termination criterion (default `1e-3`).
+    pub eps_abs: f64,
+    /// Relative tolerance for the termination criterion (default `1e-3`).
+    pub eps_rel: f64,
+    /// Primal infeasibility tolerance (default `1e-4`).
+    pub eps_prim_inf: f64,
+    /// Dual infeasibility tolerance (default `1e-4`).
+    pub eps_dual_inf: f64,
+    /// Iteration limit (default `4000`).
+    pub max_iter: usize,
+    /// Check the termination criterion every this many iterations
+    /// (default `25`).
+    pub check_termination: usize,
+    /// Number of Ruiz equilibration passes; `0` disables scaling
+    /// (default `10`).
+    pub scaling_iters: usize,
+    /// Enable adaptive `ρ` updates (default `true`).
+    pub adaptive_rho: bool,
+    /// Interval (in iterations) between adaptive `ρ` checks (default `100`).
+    pub adaptive_rho_interval: usize,
+    /// `ρ` changes only when the new value differs by more than this factor
+    /// (default `5.0`).
+    pub adaptive_rho_tolerance: f64,
+    /// Lower clamp for `ρ` (default `1e-6`).
+    pub rho_min: f64,
+    /// Upper clamp for `ρ` (default `1e6`).
+    pub rho_max: f64,
+    /// Multiplier applied to `ρ` on equality constraint rows
+    /// (default `1e3`).
+    pub rho_eq_scale: f64,
+    /// The KKT backend — direct LDLᵀ or indirect PCG.
+    pub backend: KktBackend,
+    /// PCG convergence floor: iteration stops when
+    /// `‖r‖₂ ≤ max(eps_pcg_min, tol·‖b‖₂)` (default `1e-7`).
+    pub eps_pcg_min: f64,
+    /// Initial PCG relative tolerance (default `1e-4`); tightened
+    /// adaptively as ADMM residuals shrink.
+    pub eps_pcg_start: f64,
+    /// PCG iteration cap per KKT solve (default `4 * n` chosen at setup
+    /// when `0`).
+    pub max_pcg_iter: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            rho: 0.1,
+            sigma: 1e-6,
+            alpha: 1.6,
+            eps_abs: 1e-3,
+            eps_rel: 1e-3,
+            eps_prim_inf: 1e-4,
+            eps_dual_inf: 1e-4,
+            max_iter: 4000,
+            check_termination: 25,
+            scaling_iters: 10,
+            adaptive_rho: true,
+            adaptive_rho_interval: 100,
+            adaptive_rho_tolerance: 5.0,
+            rho_min: 1e-6,
+            rho_max: 1e6,
+            rho_eq_scale: 1e3,
+            backend: KktBackend::Direct,
+            eps_pcg_min: 1e-7,
+            eps_pcg_start: 1e-4,
+            max_pcg_iter: 0,
+        }
+    }
+}
+
+impl Settings {
+    /// OSQP defaults with the given backend selected.
+    pub fn with_backend(backend: KktBackend) -> Self {
+        Settings { backend, ..Settings::default() }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QpError::InvalidSetting`] naming the offending parameter.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.rho > 0.0 && self.rho.is_finite()) {
+            return Err(QpError::InvalidSetting(format!("rho must be positive, got {}", self.rho)));
+        }
+        if !(self.sigma > 0.0 && self.sigma.is_finite()) {
+            return Err(QpError::InvalidSetting(format!(
+                "sigma must be positive, got {}",
+                self.sigma
+            )));
+        }
+        if !(self.alpha > 0.0 && self.alpha < 2.0) {
+            return Err(QpError::InvalidSetting(format!(
+                "alpha must lie in (0, 2), got {}",
+                self.alpha
+            )));
+        }
+        if self.eps_abs < 0.0 || self.eps_rel < 0.0 || (self.eps_abs == 0.0 && self.eps_rel == 0.0)
+        {
+            return Err(QpError::InvalidSetting(
+                "eps_abs and eps_rel must be nonnegative and not both zero".into(),
+            ));
+        }
+        if self.max_iter == 0 {
+            return Err(QpError::InvalidSetting("max_iter must be at least 1".into()));
+        }
+        if self.check_termination == 0 {
+            return Err(QpError::InvalidSetting(
+                "check_termination must be at least 1".into(),
+            ));
+        }
+        if self.rho_min <= 0.0 || self.rho_max < self.rho_min {
+            return Err(QpError::InvalidSetting("rho bounds must satisfy 0 < rho_min <= rho_max".into()));
+        }
+        if self.adaptive_rho_tolerance < 1.0 {
+            return Err(QpError::InvalidSetting(
+                "adaptive_rho_tolerance must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        Settings::default().validate().unwrap();
+        Settings::with_backend(KktBackend::Indirect).validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let bad = |f: fn(&mut Settings)| {
+            let mut s = Settings::default();
+            f(&mut s);
+            s.validate().is_err()
+        };
+        assert!(bad(|s| s.rho = 0.0));
+        assert!(bad(|s| s.rho = -1.0));
+        assert!(bad(|s| s.sigma = 0.0));
+        assert!(bad(|s| s.alpha = 2.0));
+        assert!(bad(|s| s.alpha = 0.0));
+        assert!(bad(|s| {
+            s.eps_abs = 0.0;
+            s.eps_rel = 0.0;
+        }));
+        assert!(bad(|s| s.max_iter = 0));
+        assert!(bad(|s| s.check_termination = 0));
+        assert!(bad(|s| s.rho_max = 1e-9));
+        assert!(bad(|s| s.adaptive_rho_tolerance = 0.5));
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(KktBackend::Direct.name(), "direct");
+        assert_eq!(KktBackend::Indirect.name(), "indirect");
+    }
+}

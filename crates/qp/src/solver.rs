@@ -1,0 +1,679 @@
+use std::time::Instant;
+
+use mib_sparse::vector;
+
+use crate::linsys::{DirectKkt, IndirectKkt, KktSolver};
+use crate::profile::Profile;
+use crate::scaling::{ruiz_equilibrate, Scaling};
+use crate::{KktBackend, Problem, QpError, Result, Settings, SolveResult, Status, INFTY};
+
+/// The ADMM QP solver (Algorithm 1 of the paper).
+///
+/// A `Solver` owns a scaled copy of the problem, the selected KKT backend
+/// and the current iterates; repeated [`Solver::solve`] calls warm-start
+/// from the previous solution, and the parametric update methods
+/// ([`Solver::update_q`], [`Solver::update_bounds`]) support the
+/// "millions of QPs with the same sparsity pattern" workflow the paper's
+/// portfolio example describes without re-running setup.
+#[derive(Debug)]
+pub struct Solver {
+    settings: Settings,
+    /// Original (unscaled) problem, used for residuals and certificates.
+    orig: Problem,
+    // Scaled data.
+    q: Vec<f64>,
+    l: Vec<f64>,
+    u: Vec<f64>,
+    scaling: Scaling,
+    rho: f64,
+    rho_vec: Vec<f64>,
+    rho_inv_vec: Vec<f64>,
+    kkt: Box<dyn KktSolver>,
+    // Scaled iterates.
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    profile: Profile,
+}
+
+/// Residual snapshot used by termination and adaptive-ρ logic.
+#[derive(Debug, Clone, Copy)]
+struct Residuals {
+    prim: f64,
+    dual: f64,
+    prim_norm: f64,
+    dual_norm: f64,
+}
+
+impl Solver {
+    /// Sets up the solver: validates settings, equilibrates the problem,
+    /// builds the `ρ` vector and the KKT backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns setting/problem validation errors or
+    /// [`QpError::KktFactorization`] if the initial factorization fails.
+    pub fn new(problem: Problem, settings: Settings) -> Result<Self> {
+        settings.validate()?;
+        let n = problem.num_vars();
+        let m = problem.num_constraints();
+
+        // Scale a copy of the data.
+        let mut p = problem.p().clone();
+        let mut q = problem.q().to_vec();
+        let mut a = problem.a().clone();
+        let mut l = problem.l().to_vec();
+        let mut u = problem.u().to_vec();
+        let scaling = if settings.scaling_iters > 0 {
+            ruiz_equilibrate(&mut p, &mut q, &mut a, &mut l, &mut u, settings.scaling_iters)
+        } else {
+            Scaling::identity(n, m)
+        };
+
+        let (rho_vec, rho_inv_vec) = build_rho_vec(&settings, settings.rho, &l, &u);
+
+        let mut profile = Profile::default();
+        let kkt: Box<dyn KktSolver> = match settings.backend {
+            KktBackend::Direct => Box::new(DirectKkt::new(
+                &p,
+                &a,
+                settings.sigma,
+                &rho_vec,
+                &mut profile,
+            )?),
+            KktBackend::Indirect => Box::new(IndirectKkt::new(
+                &p,
+                &a,
+                settings.sigma,
+                &rho_vec,
+                settings.eps_pcg_start,
+                settings.eps_pcg_min,
+                settings.max_pcg_iter,
+            )),
+        };
+
+        // `p`/`a` move into nothing — the backends clone what they need; we
+        // keep the scaled P/A inside the backend only, and original copies
+        // in `orig`. q/l/u stay here because updates and projections use them.
+        drop(p);
+        drop(a);
+
+        Ok(Solver {
+            settings,
+            orig: problem,
+            q,
+            l,
+            u,
+            scaling,
+            rho: 0.1,
+            rho_vec,
+            rho_inv_vec,
+            kkt,
+            x: vec![0.0; n],
+            y: vec![0.0; m],
+            z: vec![0.0; m],
+            profile,
+        })
+        .map(|mut s| {
+            s.rho = s.settings.rho;
+            s
+        })
+    }
+
+    /// The solver settings.
+    pub fn settings(&self) -> &Settings {
+        &self.settings
+    }
+
+    /// The original (unscaled) problem.
+    pub fn problem(&self) -> &Problem {
+        &self.orig
+    }
+
+    /// The current base step size `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Warm-starts the iterates from an (unscaled) primal/dual guess.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths do not match the problem dimensions.
+    pub fn warm_start(&mut self, x: &[f64], y: &[f64]) {
+        assert_eq!(x.len(), self.x.len(), "warm start x has wrong length");
+        assert_eq!(y.len(), self.y.len(), "warm start y has wrong length");
+        for (i, xs) in self.x.iter_mut().enumerate() {
+            *xs = x[i] * self.scaling.dinv[i];
+        }
+        for (i, ys) in self.y.iter_mut().enumerate() {
+            *ys = y[i] * self.scaling.c * self.scaling.einv[i];
+        }
+        // z = A x in the scaled space is re-established by the first
+        // iteration; initialize with the projection of the current guess.
+        let ax = self.orig.a().mul_vec(x);
+        for (i, zs) in self.z.iter_mut().enumerate() {
+            *zs = ax[i] * self.scaling.e[i];
+        }
+    }
+
+    /// Replaces the linear cost `q` (same dimensions), preserving scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QpError::InvalidProblem`] on length mismatch or non-finite
+    /// entries.
+    pub fn update_q(&mut self, q: &[f64]) -> Result<()> {
+        if q.len() != self.q.len() {
+            return Err(QpError::InvalidProblem(format!(
+                "q has length {} but problem has {} variables",
+                q.len(),
+                self.q.len()
+            )));
+        }
+        if q.iter().any(|v| !v.is_finite()) {
+            return Err(QpError::InvalidProblem("q entries must be finite".into()));
+        }
+        let (p0, _q0, a0, l0, u0) = self.orig.clone().into_parts();
+        self.orig = Problem::new(p0, q.to_vec(), a0, l0, u0)?;
+        for (j, qs) in self.q.iter_mut().enumerate() {
+            *qs = q[j] * self.scaling.c * self.scaling.d[j];
+        }
+        Ok(())
+    }
+
+    /// Replaces the bounds `l`, `u` (same dimensions), preserving scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QpError::InvalidProblem`] if any `l[i] > u[i]` or lengths
+    /// mismatch.
+    pub fn update_bounds(&mut self, l: &[f64], u: &[f64]) -> Result<()> {
+        if l.len() != self.l.len() || u.len() != self.u.len() {
+            return Err(QpError::InvalidProblem("bound length mismatch".into()));
+        }
+        let (p0, q0, a0, _l0, _u0) = self.orig.clone().into_parts();
+        self.orig = Problem::new(p0, q0, a0, l.to_vec(), u.to_vec())?;
+        for i in 0..l.len() {
+            self.l[i] = if l[i].abs() < INFTY { l[i] * self.scaling.e[i] } else { l[i] };
+            self.u[i] = if u[i].abs() < INFTY { u[i] * self.scaling.e[i] } else { u[i] };
+        }
+        Ok(())
+    }
+
+    /// Runs the ADMM iteration until convergence, infeasibility detection
+    /// or the iteration limit. Repeated calls warm-start from the previous
+    /// iterates.
+    pub fn solve(&mut self) -> SolveResult {
+        let start = Instant::now();
+        // Keep setup factorization work, reset per-solve counters.
+        let setup_profile = self.profile;
+        let mut prof = setup_profile;
+        prof.admm_iters = 0;
+
+        let n = self.x.len();
+        let m = self.y.len();
+        let s = self.settings.clone();
+        let check_every = s.check_termination;
+        // Round the adaptive interval up to a multiple of the termination
+        // check so fresh residuals are always available.
+        let adapt_every =
+            s.adaptive_rho_interval.div_ceil(check_every).max(1) * check_every;
+
+        let mut xtilde = vec![0.0; n];
+        let mut nu = vec![0.0; m];
+        let mut ztilde = vec![0.0; m];
+        let mut rhs_x = vec![0.0; n];
+        let mut rhs_z = vec![0.0; m];
+        let mut delta_x = vec![0.0; n];
+        let mut delta_y = vec![0.0; m];
+
+        let mut status = Status::MaxIterations;
+        let mut pcg_tol = s.eps_pcg_start;
+        let mut final_res: Option<Residuals> = None;
+        let mut certificate = Vec::new();
+        let mut iterations = 0usize;
+
+        for k in 1..=s.max_iter {
+            iterations = k;
+            // rhs = [σ xᵏ − q ; zᵏ − ρ⁻¹ yᵏ]
+            for j in 0..n {
+                rhs_x[j] = s.sigma * self.x[j] - self.q[j];
+            }
+            for i in 0..m {
+                rhs_z[i] = self.z[i] - self.rho_inv_vec[i] * self.y[i];
+            }
+            prof.add_vector((2 * n + 2 * m) as f64);
+
+            if self
+                .kkt
+                .solve(&rhs_x, &rhs_z, &mut xtilde, &mut nu, &mut prof)
+                .is_err()
+            {
+                // Factorization failures cannot occur mid-run (pattern and
+                // quasi-definiteness are fixed); treat defensively as a stall.
+                break;
+            }
+
+            // z̃ = z + ρ⁻¹(ν − y)
+            for i in 0..m {
+                ztilde[i] = self.z[i] + self.rho_inv_vec[i] * (nu[i] - self.y[i]);
+            }
+            prof.add_vector(3.0 * m as f64);
+
+            // x update (relaxed) and δx.
+            for j in 0..n {
+                let x_new = s.alpha * xtilde[j] + (1.0 - s.alpha) * self.x[j];
+                delta_x[j] = x_new - self.x[j];
+                self.x[j] = x_new;
+            }
+            prof.add_vector(4.0 * n as f64);
+
+            // z, y updates and δy.
+            for i in 0..m {
+                let z_relaxed = s.alpha * ztilde[i] + (1.0 - s.alpha) * self.z[i];
+                let w = z_relaxed + self.rho_inv_vec[i] * self.y[i];
+                let z_new = w.max(self.l[i]).min(self.u[i]);
+                let y_new = self.y[i] + self.rho_vec[i] * (z_relaxed - z_new);
+                delta_y[i] = y_new - self.y[i];
+                self.z[i] = z_new;
+                self.y[i] = y_new;
+            }
+            prof.add_vector(9.0 * m as f64);
+
+            let checking = k % check_every == 0 || k == s.max_iter;
+            if checking {
+                let res = self.compute_residuals(&mut prof);
+                final_res = Some(res);
+                let eps_prim = s.eps_abs + s.eps_rel * res.prim_norm;
+                let eps_dual = s.eps_abs + s.eps_rel * res.dual_norm;
+                if res.prim < eps_prim && res.dual < eps_dual {
+                    status = Status::Solved;
+                    break;
+                }
+                if let Some(cert) = self.check_primal_infeasible(&delta_y, &mut prof) {
+                    status = Status::PrimalInfeasible;
+                    certificate = cert;
+                    break;
+                }
+                if let Some(cert) = self.check_dual_infeasible(&delta_x, &mut prof) {
+                    status = Status::DualInfeasible;
+                    certificate = cert;
+                    break;
+                }
+                // Adaptive PCG tolerance: tighten as the ADMM residuals
+                // fall, and halve unconditionally at every check so a
+                // stalled outer loop (caused by inexact inner solves)
+                // always escapes.
+                if self.kkt.backend() == KktBackend::Indirect {
+                    let target = 0.15
+                        * (res.prim / res.prim_norm.max(1e-12)
+                            * res.dual / res.dual_norm.max(1e-12))
+                        .sqrt();
+                    pcg_tol = (0.5 * pcg_tol).min(target).max(1e-9);
+                    self.kkt.set_tolerance(pcg_tol);
+                }
+                if s.adaptive_rho && k % adapt_every == 0 {
+                    self.maybe_update_rho(res, &mut prof);
+                }
+            }
+            prof.admm_iters = k;
+        }
+
+        // Unscale the solution.
+        let x_us = self.scaling.unscale_x(&self.x);
+        let y_us = self.scaling.unscale_y(&self.y);
+        let z_us = self.scaling.unscale_z(&self.z);
+        let res = final_res.unwrap_or(Residuals {
+            prim: f64::INFINITY,
+            dual: f64::INFINITY,
+            prim_norm: 1.0,
+            dual_norm: 1.0,
+        });
+        let obj_val = self.orig.objective(&x_us);
+
+        SolveResult {
+            status,
+            x: x_us,
+            y: y_us,
+            z: z_us,
+            obj_val,
+            prim_res: res.prim,
+            dual_res: res.dual,
+            iterations,
+            profile: prof,
+            solve_time: start.elapsed(),
+            certificate,
+        }
+    }
+
+    /// Computes unscaled residuals and their normalization terms.
+    fn compute_residuals(&self, prof: &mut Profile) -> Residuals {
+        let x_us = self.scaling.unscale_x(&self.x);
+        let y_us = self.scaling.unscale_y(&self.y);
+        let z_us = self.scaling.unscale_z(&self.z);
+        let a = self.orig.a();
+        let p = self.orig.p();
+
+        let ax = a.mul_vec(&x_us);
+        prof.add_spmv_mac(a.nnz());
+        let prim = vector::norm_inf_diff(&ax, &z_us);
+        let prim_norm = vector::norm_inf(&ax).max(vector::norm_inf(&z_us));
+
+        let px = p.sym_upper_mul_vec(&x_us);
+        prof.add_spmv_mac(2 * p.nnz());
+        let aty = a.tr_mul_vec(&y_us);
+        prof.add_spmv_col_elim(a.nnz());
+        let mut dual = 0.0f64;
+        for j in 0..x_us.len() {
+            dual = dual.max((px[j] + self.orig.q()[j] + aty[j]).abs());
+        }
+        let dual_norm = vector::norm_inf(&px)
+            .max(vector::norm_inf(&aty))
+            .max(vector::norm_inf(self.orig.q()));
+        prof.add_vector(4.0 * (x_us.len() + z_us.len()) as f64);
+
+        Residuals { prim, dual, prim_norm, dual_norm }
+    }
+
+    /// Tests the primal infeasibility certificate on the unscaled `δy`.
+    fn check_primal_infeasible(&self, delta_y: &[f64], prof: &mut Profile) -> Option<Vec<f64>> {
+        let eps = self.settings.eps_prim_inf;
+        // Unscale: δy = E δȳ / c.
+        let dy: Vec<f64> = delta_y
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * self.scaling.e[i] * self.scaling.cinv)
+            .collect();
+        let norm = vector::norm_inf(&dy);
+        if norm <= 0.0 {
+            return None;
+        }
+        let a = self.orig.a();
+        let at_dy = a.tr_mul_vec(&dy);
+        prof.add_spmv_col_elim(a.nnz());
+        if vector::norm_inf(&at_dy) > eps * norm {
+            return None;
+        }
+        // Support function: uᵀ(δy)₊ + lᵀ(δy)₋ must be certifiably negative.
+        // Infinite bounds (±1e30) make the sum astronomically positive when
+        // the corresponding component has the wrong sign, failing the test
+        // exactly as intended.
+        let mut lhs = 0.0;
+        for (i, &d) in dy.iter().enumerate() {
+            if d > 0.0 {
+                lhs += self.orig.u()[i] * d;
+            } else if d < 0.0 {
+                lhs += self.orig.l()[i] * d;
+            }
+        }
+        prof.add_vector(2.0 * dy.len() as f64);
+        if lhs <= -eps * norm {
+            Some(dy)
+        } else {
+            None
+        }
+    }
+
+    /// Tests the dual infeasibility certificate on the unscaled `δx`.
+    fn check_dual_infeasible(&self, delta_x: &[f64], prof: &mut Profile) -> Option<Vec<f64>> {
+        let eps = self.settings.eps_dual_inf;
+        let dx: Vec<f64> = delta_x
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| v * self.scaling.d[j])
+            .collect();
+        let norm = vector::norm_inf(&dx);
+        if norm <= 0.0 {
+            return None;
+        }
+        let p = self.orig.p();
+        let pdx = p.sym_upper_mul_vec(&dx);
+        prof.add_spmv_mac(2 * p.nnz());
+        if vector::norm_inf(&pdx) > eps * norm {
+            return None;
+        }
+        if vector::dot(self.orig.q(), &dx) > -eps * norm {
+            return None;
+        }
+        let a = self.orig.a();
+        let adx = a.mul_vec(&dx);
+        prof.add_spmv_mac(a.nnz());
+        prof.add_vector(2.0 * dx.len() as f64);
+        for (i, &v) in adx.iter().enumerate() {
+            let u_inf = self.orig.u()[i] >= INFTY;
+            let l_inf = self.orig.l()[i] <= -INFTY;
+            let ok = match (l_inf, u_inf) {
+                (true, true) => true,
+                (false, true) => v >= -eps * norm,
+                (true, false) => v <= eps * norm,
+                (false, false) => v.abs() <= eps * norm,
+            };
+            if !ok {
+                return None;
+            }
+        }
+        Some(dx)
+    }
+
+    /// Applies the OSQP adaptive-ρ rule if the residual balance warrants it.
+    fn maybe_update_rho(&mut self, res: Residuals, prof: &mut Profile) {
+        let prim_rel = res.prim / res.prim_norm.max(1e-12);
+        let dual_rel = res.dual / res.dual_norm.max(1e-12);
+        if prim_rel <= 0.0 || dual_rel <= 0.0 {
+            return;
+        }
+        let rho_new = (self.rho * (prim_rel / dual_rel).sqrt())
+            .clamp(self.settings.rho_min, self.settings.rho_max);
+        let tol = self.settings.adaptive_rho_tolerance;
+        if rho_new > self.rho * tol || rho_new < self.rho / tol {
+            self.rho = rho_new;
+            let (rho_vec, rho_inv_vec) = build_rho_vec(&self.settings, rho_new, &self.l, &self.u);
+            self.rho_vec = rho_vec;
+            self.rho_inv_vec = rho_inv_vec;
+            if self.kkt.update_rho(&self.rho_vec, prof).is_ok() {
+                prof.rho_updates += 1;
+            }
+        }
+    }
+}
+
+/// Builds the per-constraint step sizes: equality rows get
+/// `ρ · rho_eq_scale`, loose rows get `rho_min`, everything else `ρ`.
+fn build_rho_vec(settings: &Settings, rho: f64, l: &[f64], u: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let rho_vec: Vec<f64> = l
+        .iter()
+        .zip(u)
+        .map(|(&lo, &hi)| {
+            if lo <= -INFTY && hi >= INFTY {
+                settings.rho_min
+            } else if lo == hi {
+                (rho * settings.rho_eq_scale).clamp(settings.rho_min, settings.rho_max)
+            } else {
+                rho
+            }
+        })
+        .collect();
+    let rho_inv_vec = vector::ew_reci(&rho_vec);
+    (rho_vec, rho_inv_vec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mib_sparse::CscMatrix;
+
+    fn box_qp(backend: KktBackend) -> SolveResult {
+        // minimize x0^2 + x1^2 - x0 - x1 s.t. 0 <= x <= 0.3
+        // Unconstrained optimum (0.5, 0.5); clipped to (0.3, 0.3).
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::identity(2);
+        let problem =
+            Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![0.3; 2]).unwrap();
+        let mut settings = Settings::with_backend(backend);
+        settings.eps_abs = 1e-6;
+        settings.eps_rel = 1e-6;
+        Solver::new(problem, settings).unwrap().solve()
+    }
+
+    #[test]
+    fn solves_box_qp_direct() {
+        let r = box_qp(KktBackend::Direct);
+        assert_eq!(r.status, Status::Solved);
+        assert!((r.x[0] - 0.3).abs() < 1e-4, "x0 = {}", r.x[0]);
+        assert!((r.x[1] - 0.3).abs() < 1e-4);
+        // Active upper bounds => positive duals y = -(Px+q) = 1 - 2*0.3 = 0.4.
+        assert!((r.y[0] - 0.4).abs() < 1e-3, "y0 = {}", r.y[0]);
+    }
+
+    #[test]
+    fn solves_box_qp_indirect() {
+        let r = box_qp(KktBackend::Indirect);
+        assert_eq!(r.status, Status::Solved);
+        assert!((r.x[0] - 0.3).abs() < 1e-4);
+        assert!(r.profile.pcg_iters > 0, "indirect run must use PCG");
+    }
+
+    #[test]
+    fn equality_constrained_qp() {
+        // minimize x0^2 + x1^2 s.t. x0 + x1 = 1 -> x = (0.5, 0.5).
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::from_dense(1, 2, &[1.0, 1.0]);
+        let problem = Problem::new(p, vec![0.0; 2], a, vec![1.0], vec![1.0]).unwrap();
+        let mut settings = Settings::default();
+        settings.eps_abs = 1e-7;
+        settings.eps_rel = 1e-7;
+        let r = Solver::new(problem, settings).unwrap().solve();
+        assert_eq!(r.status, Status::Solved);
+        assert!((r.x[0] - 0.5).abs() < 1e-5);
+        assert!((r.x[1] - 0.5).abs() < 1e-5);
+        assert!((r.obj_val - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn detects_primal_infeasibility() {
+        // x >= 1 and x <= 0 simultaneously.
+        let p = CscMatrix::identity(1);
+        let a = CscMatrix::from_dense(2, 1, &[1.0, 1.0]);
+        let problem =
+            Problem::new(p, vec![0.0], a, vec![1.0, -2e30], vec![2e30, 0.0]).unwrap();
+        let r = Solver::new(problem, Settings::default()).unwrap().solve();
+        assert_eq!(r.status, Status::PrimalInfeasible);
+        assert!(!r.certificate.is_empty());
+    }
+
+    #[test]
+    fn detects_dual_infeasibility() {
+        // minimize x (linear, unbounded below on half line): P = 0, q = 1,
+        // constraint x <= 0 only.
+        let p = CscMatrix::zeros(1, 1);
+        let a = CscMatrix::identity(1);
+        let problem = Problem::new(p, vec![1.0], a, vec![-2e30], vec![0.0]).unwrap();
+        let r = Solver::new(problem, Settings::default()).unwrap().solve();
+        assert_eq!(r.status, Status::DualInfeasible);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let p = CscMatrix::from_dense(2, 2, &[4.0, 1.0, 0.0, 2.0]).upper_triangle().unwrap();
+        let a = CscMatrix::from_dense(3, 2, &[1.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+        let problem = Problem::new(
+            p,
+            vec![1.0, 1.0],
+            a,
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.7, 0.7],
+        )
+        .unwrap();
+        let mut solver = Solver::new(problem, Settings::default()).unwrap();
+        let r1 = solver.solve();
+        assert_eq!(r1.status, Status::Solved);
+        let r2 = solver.solve(); // warm from the solution
+        assert!(r2.iterations <= r1.iterations);
+    }
+
+    #[test]
+    fn update_q_resolves_parametrically() {
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::identity(2);
+        let problem =
+            Problem::new(p, vec![-1.0, -1.0], a, vec![-10.0; 2], vec![10.0; 2]).unwrap();
+        let mut settings = Settings::default();
+        settings.eps_abs = 1e-7;
+        settings.eps_rel = 1e-7;
+        let mut solver = Solver::new(problem, settings).unwrap();
+        let r1 = solver.solve();
+        assert!((r1.x[0] - 0.5).abs() < 1e-4);
+        solver.update_q(&[-2.0, -2.0]).unwrap();
+        let r2 = solver.solve();
+        assert!((r2.x[0] - 1.0).abs() < 1e-4, "x after q update: {}", r2.x[0]);
+    }
+
+    #[test]
+    fn update_bounds_resolves() {
+        let p = CscMatrix::from_dense(1, 1, &[2.0]);
+        let a = CscMatrix::identity(1);
+        let problem = Problem::new(p, vec![-2.0], a, vec![0.0], vec![0.4]).unwrap();
+        let mut settings = Settings::default();
+        settings.eps_abs = 1e-7;
+        settings.eps_rel = 1e-7;
+        let mut solver = Solver::new(problem, settings).unwrap();
+        let r1 = solver.solve();
+        assert!((r1.x[0] - 0.4).abs() < 1e-4);
+        solver.update_bounds(&[0.0], &[10.0]).unwrap();
+        let r2 = solver.solve();
+        assert!((r2.x[0] - 1.0).abs() < 1e-4, "x after bound update: {}", r2.x[0]);
+    }
+
+    #[test]
+    fn direct_and_indirect_agree() {
+        let p = CscMatrix::from_dense(3, 3, &[3.0, 1.0, 0.0, 0.0, 2.0, 0.5, 0.0, 0.0, 1.0])
+            .upper_triangle()
+            .unwrap();
+        let a = CscMatrix::from_dense(2, 3, &[1.0, 1.0, 1.0, 1.0, -1.0, 0.0]);
+        let problem = Problem::new(
+            p,
+            vec![-1.0, 0.5, 1.0],
+            a,
+            vec![1.0, -0.3],
+            vec![1.0, 0.3],
+        )
+        .unwrap();
+        let tight = |backend| {
+            let mut s = Settings::with_backend(backend);
+            s.eps_abs = 1e-7;
+            s.eps_rel = 1e-7;
+            s
+        };
+        let rd = Solver::new(problem.clone(), tight(KktBackend::Direct)).unwrap().solve();
+        let ri = Solver::new(problem, tight(KktBackend::Indirect)).unwrap().solve();
+        assert_eq!(rd.status, Status::Solved);
+        assert_eq!(ri.status, Status::Solved);
+        for (u, v) in rd.x.iter().zip(&ri.x) {
+            assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+        }
+        assert!((rd.obj_val - ri.obj_val).abs() < 1e-5);
+    }
+
+    #[test]
+    fn profile_accumulates_work() {
+        let r = box_qp(KktBackend::Direct);
+        assert!(r.profile.ops.total() > 0.0);
+        assert!(r.profile.factor_count >= 1);
+        assert!(r.profile.ops.col_elim > 0.0);
+        assert!(r.profile.ops.mac > 0.0);
+        assert_eq!(r.iterations, r.profile.admm_iters.max(r.iterations));
+    }
+
+    #[test]
+    fn scaling_disabled_still_solves() {
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::identity(2);
+        let problem =
+            Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![1.0; 2]).unwrap();
+        let mut settings = Settings::default();
+        settings.scaling_iters = 0;
+        let r = Solver::new(problem, settings).unwrap().solve();
+        assert_eq!(r.status, Status::Solved);
+    }
+}

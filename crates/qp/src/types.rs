@@ -1,0 +1,80 @@
+use std::time::Duration;
+
+use crate::profile::Profile;
+
+/// Outcome of a solver run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Both residuals dropped below their tolerances.
+    Solved,
+    /// The iteration limit was reached before convergence.
+    MaxIterations,
+    /// A certificate of primal infeasibility was found.
+    PrimalInfeasible,
+    /// A certificate of dual infeasibility (unboundedness) was found.
+    DualInfeasible,
+}
+
+impl Status {
+    /// `true` only for [`Status::Solved`].
+    pub fn is_solved(self) -> bool {
+        matches!(self, Status::Solved)
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Status::Solved => "solved",
+            Status::MaxIterations => "maximum iterations reached",
+            Status::PrimalInfeasible => "primal infeasible",
+            Status::DualInfeasible => "dual infeasible",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result of a solve: iterates (unscaled), status, residuals, work
+/// profile and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResult {
+    /// Termination status.
+    pub status: Status,
+    /// Primal solution `x` (original, unscaled space). For infeasible
+    /// statuses this holds the last iterate.
+    pub x: Vec<f64>,
+    /// Dual solution `y`.
+    pub y: Vec<f64>,
+    /// Constraint value `z ≈ A x`.
+    pub z: Vec<f64>,
+    /// Objective value at `x`.
+    pub obj_val: f64,
+    /// Final (unscaled) primal residual `‖Ax − z‖∞`.
+    pub prim_res: f64,
+    /// Final (unscaled) dual residual `‖Px + q + Aᵀy‖∞`.
+    pub dual_res: f64,
+    /// ADMM iterations executed.
+    pub iterations: usize,
+    /// FLOP/operation profile of the run.
+    pub profile: Profile,
+    /// Wall-clock time of `solve()` (native execution on this host — the
+    /// platform models in `mib-platforms` translate the profile to the
+    /// paper's reference hardware instead of using this directly).
+    pub solve_time: Duration,
+    /// The certificate vector for infeasible statuses (`δy` for primal,
+    /// `δx` for dual), empty otherwise.
+    pub certificate: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display_and_predicate() {
+        assert!(Status::Solved.is_solved());
+        assert!(!Status::MaxIterations.is_solved());
+        assert_eq!(Status::Solved.to_string(), "solved");
+        assert_eq!(Status::PrimalInfeasible.to_string(), "primal infeasible");
+    }
+}

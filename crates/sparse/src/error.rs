@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or manipulating sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// A row or column index lies outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows of the matrix.
+        nrows: usize,
+        /// Number of columns of the matrix.
+        ncols: usize,
+    },
+    /// The compressed-storage arrays are structurally inconsistent
+    /// (e.g. non-monotone column pointers, mismatched lengths).
+    InvalidStructure(String),
+    /// Two matrices have incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A numerically zero (or negative where positivity is required) pivot
+    /// was encountered during factorization at the given elimination step.
+    ZeroPivot(usize),
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// A permutation vector was not a bijection on `0..n`.
+    InvalidPermutation(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::InvalidStructure(msg) => {
+                write!(f, "invalid sparse structure: {msg}")
+            }
+            SparseError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::ZeroPivot(k) => {
+                write!(f, "zero pivot encountered at elimination step {k}")
+            }
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
+            }
+            SparseError::InvalidPermutation(msg) => {
+                write!(f, "invalid permutation: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 3, col: 4, nrows: 2, ncols: 2 };
+        assert_eq!(e.to_string(), "index (3, 4) out of bounds for 2x2 matrix");
+        let e = SparseError::ZeroPivot(7);
+        assert!(e.to_string().contains("step 7"));
+        let e = SparseError::DimensionMismatch { op: "spmv", lhs: (2, 3), rhs: (4, 1) };
+        assert!(e.to_string().contains("spmv"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

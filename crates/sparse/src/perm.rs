@@ -1,0 +1,210 @@
+use crate::{CscMatrix, Result, SparseError};
+
+/// A permutation of `0..n`, stored together with its inverse.
+///
+/// The convention follows CSparse: `perm[new] = old`, i.e. applying the
+/// permutation to a vector gathers `out[k] = x[perm[k]]`. The inverse
+/// satisfies `inv[perm[k]] == k`.
+///
+/// Permutations appear throughout the stack: fill-reducing orderings permute
+/// the KKT matrix before factorization, and the MIB machine realizes the
+/// same permutations as butterfly network programs (the `permutate` /
+/// `inverse_permutate` schedules in Listing 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    perm: Vec<usize>,
+    inv: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        let perm: Vec<usize> = (0..n).collect();
+        Permutation { inv: perm.clone(), perm }
+    }
+
+    /// Builds a permutation from `perm` where `perm[new] = old`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidPermutation`] if `perm` is not a
+    /// bijection on `0..perm.len()`.
+    pub fn from_vec(perm: Vec<usize>) -> Result<Self> {
+        let n = perm.len();
+        let mut inv = vec![usize::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            if old >= n {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "entry {old} out of range for length {n}"
+                )));
+            }
+            if inv[old] != usize::MAX {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "duplicate entry {old}"
+                )));
+            }
+            inv[old] = new;
+        }
+        Ok(Permutation { perm, inv })
+    }
+
+    /// Length of the permuted index set.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Returns `true` for the permutation of the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// The forward map: `perm()[new] = old`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The inverse map: `inv()[old] = new`.
+    pub fn inv(&self) -> &[usize] {
+        &self.inv
+    }
+
+    /// Gathers a vector: `out[k] = x[perm[k]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len(), "permutation length mismatch");
+        self.perm.iter().map(|&old| x[old]).collect()
+    }
+
+    /// Scatters a vector: `out[perm[k]] = x[k]` (the inverse gather).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply_inv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len(), "permutation length mismatch");
+        let mut out = vec![0.0; x.len()];
+        for (k, &old) in self.perm.iter().enumerate() {
+            out[old] = x[k];
+        }
+        out
+    }
+
+    /// Returns the inverse permutation as a new [`Permutation`].
+    pub fn inverse(&self) -> Permutation {
+        Permutation { perm: self.inv.clone(), inv: self.perm.clone() }
+    }
+
+    /// Composes two permutations: applying the result is equivalent to
+    /// applying `self` first, then `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "permutation length mismatch");
+        // (other ∘ self)[new] = self.perm[other.perm[new]]
+        let perm: Vec<usize> = other.perm.iter().map(|&mid| self.perm[mid]).collect();
+        Permutation::from_vec(perm).expect("composition of bijections is a bijection")
+    }
+
+    /// Symmetric permutation of a symmetric matrix stored by its **upper
+    /// triangle**: computes the upper triangle of `P A Pᵀ` where `P` is this
+    /// permutation (new row `k` is old row `perm[k]`).
+    ///
+    /// This is what the direct KKT solver applies before LDLᵀ factorization,
+    /// and what the MIB `permutate` network schedules realize on vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] if `a` is rectangular, or
+    /// [`SparseError::DimensionMismatch`] if sizes disagree.
+    pub fn sym_perm_upper(&self, a: &CscMatrix) -> Result<CscMatrix> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        if a.nrows() != self.len() {
+            return Err(SparseError::DimensionMismatch {
+                op: "sym_perm_upper",
+                lhs: (a.nrows(), a.ncols()),
+                rhs: (self.len(), self.len()),
+            });
+        }
+        let n = a.nrows();
+        let mut rows = Vec::with_capacity(a.nnz());
+        let mut cols = Vec::with_capacity(a.nnz());
+        let mut vals = Vec::with_capacity(a.nnz());
+        for (i, j, v) in a.iter() {
+            debug_assert!(i <= j, "input must be upper triangular");
+            let i2 = self.inv[i];
+            let j2 = self.inv[j];
+            let (r, c) = if i2 <= j2 { (i2, j2) } else { (j2, i2) };
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        CscMatrix::from_triplet_parts(n, n, &rows, &cols, &vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Permutation::from_vec(vec![0, 2, 1]).is_ok());
+        assert!(Permutation::from_vec(vec![0, 0, 1]).is_err());
+        assert!(Permutation::from_vec(vec![0, 3, 1]).is_err());
+    }
+
+    #[test]
+    fn apply_and_inverse_round_trip() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let x = [10.0, 20.0, 30.0];
+        let y = p.apply(&x);
+        assert_eq!(y, vec![30.0, 10.0, 20.0]);
+        assert_eq!(p.apply_inv(&y), x.to_vec());
+        assert_eq!(p.inverse().apply(&y), x.to_vec());
+    }
+
+    #[test]
+    fn inv_is_consistent() {
+        let p = Permutation::from_vec(vec![3, 1, 0, 2]).unwrap();
+        for k in 0..4 {
+            assert_eq!(p.inv()[p.perm()[k]], k);
+        }
+    }
+
+    #[test]
+    fn composition_applies_in_order() {
+        let p = Permutation::from_vec(vec![1, 2, 0]).unwrap();
+        let q = Permutation::from_vec(vec![2, 1, 0]).unwrap();
+        let x = [1.0, 2.0, 3.0];
+        let both = p.then(&q);
+        assert_eq!(both.apply(&x), q.apply(&p.apply(&x)));
+    }
+
+    #[test]
+    fn sym_perm_matches_dense_computation() {
+        // Full symmetric matrix:
+        // [ 4 1 0 ]
+        // [ 1 5 2 ]
+        // [ 0 2 6 ]
+        let upper =
+            CscMatrix::from_dense(3, 3, &[4.0, 1.0, 0.0, 0.0, 5.0, 2.0, 0.0, 0.0, 6.0]);
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let b = p.sym_perm_upper(&upper).unwrap();
+        // New index k corresponds to old index perm[k]: B[k,l] = A[perm[k], perm[l]].
+        let full = |m: &CscMatrix, i: usize, j: usize| {
+            if i <= j { m.get(i, j) } else { m.get(j, i) }
+        };
+        for k in 0..3 {
+            for l in k..3 {
+                assert_eq!(b.get(k, l), full(&upper, p.perm()[k].min(p.perm()[l]), p.perm()[k].max(p.perm()[l])));
+            }
+        }
+    }
+}

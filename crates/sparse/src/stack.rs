@@ -1,0 +1,217 @@
+//! Structural combinators: stacking and Kronecker products.
+//!
+//! The benchmark problem generators assemble standard-form QP matrices from
+//! blocks (Section II.B of the paper: "the three constraints are preserved as
+//! distinct blocks in the matrix A"). These helpers build those block
+//! matrices without going through dense intermediates.
+
+use crate::{CscMatrix, Result, SparseError};
+
+/// Stacks matrices vertically: `[A; B; ...]`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if the column counts differ,
+/// or [`SparseError::InvalidStructure`] for an empty input list.
+pub fn vstack(blocks: &[&CscMatrix]) -> Result<CscMatrix> {
+    let first = blocks
+        .first()
+        .ok_or_else(|| SparseError::InvalidStructure("vstack of zero blocks".into()))?;
+    let ncols = first.ncols();
+    let mut nrows = 0usize;
+    for b in blocks {
+        if b.ncols() != ncols {
+            return Err(SparseError::DimensionMismatch {
+                op: "vstack",
+                lhs: (first.nrows(), ncols),
+                rhs: b.shape(),
+            });
+        }
+        nrows += b.nrows();
+    }
+    let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+    let mut col_ptr = vec![0usize; ncols + 1];
+    let mut row_ind = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for j in 0..ncols {
+        let mut offset = 0usize;
+        for b in blocks {
+            for (i, v) in b.col(j) {
+                row_ind.push(i + offset);
+                values.push(v);
+            }
+            offset += b.nrows();
+        }
+        col_ptr[j + 1] = row_ind.len();
+    }
+    CscMatrix::from_parts(nrows, ncols, col_ptr, row_ind, values)
+}
+
+/// Stacks matrices horizontally: `[A, B, ...]`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if the row counts differ, or
+/// [`SparseError::InvalidStructure`] for an empty input list.
+pub fn hstack(blocks: &[&CscMatrix]) -> Result<CscMatrix> {
+    let first = blocks
+        .first()
+        .ok_or_else(|| SparseError::InvalidStructure("hstack of zero blocks".into()))?;
+    let nrows = first.nrows();
+    let mut ncols = 0usize;
+    for b in blocks {
+        if b.nrows() != nrows {
+            return Err(SparseError::DimensionMismatch {
+                op: "hstack",
+                lhs: (nrows, first.ncols()),
+                rhs: b.shape(),
+            });
+        }
+        ncols += b.ncols();
+    }
+    let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+    let mut col_ptr = Vec::with_capacity(ncols + 1);
+    col_ptr.push(0);
+    let mut row_ind = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for b in blocks {
+        for j in 0..b.ncols() {
+            for (i, v) in b.col(j) {
+                row_ind.push(i);
+                values.push(v);
+            }
+            col_ptr.push(row_ind.len());
+        }
+    }
+    CscMatrix::from_parts(nrows, ncols, col_ptr, row_ind, values)
+}
+
+/// Builds the block-diagonal matrix `diag(A, B, ...)`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::InvalidStructure`] for an empty input list.
+pub fn block_diag(blocks: &[&CscMatrix]) -> Result<CscMatrix> {
+    if blocks.is_empty() {
+        return Err(SparseError::InvalidStructure("block_diag of zero blocks".into()));
+    }
+    let nrows: usize = blocks.iter().map(|b| b.nrows()).sum();
+    let ncols: usize = blocks.iter().map(|b| b.ncols()).sum();
+    let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+    let mut col_ptr = Vec::with_capacity(ncols + 1);
+    col_ptr.push(0);
+    let mut row_ind = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    let mut row_offset = 0usize;
+    for b in blocks {
+        for j in 0..b.ncols() {
+            for (i, v) in b.col(j) {
+                row_ind.push(i + row_offset);
+                values.push(v);
+            }
+            col_ptr.push(row_ind.len());
+        }
+        row_offset += b.nrows();
+    }
+    CscMatrix::from_parts(nrows, ncols, col_ptr, row_ind, values)
+}
+
+/// Kronecker product `A ⊗ B`.
+///
+/// Used by the MPC generator, where the stage dynamics repeat along the
+/// horizon: the stacked equality constraints contain `I_T ⊗ A_d` style
+/// blocks.
+pub fn kron(a: &CscMatrix, b: &CscMatrix) -> CscMatrix {
+    let nrows = a.nrows() * b.nrows();
+    let ncols = a.ncols() * b.ncols();
+    let mut col_ptr = Vec::with_capacity(ncols + 1);
+    col_ptr.push(0usize);
+    let mut row_ind = Vec::with_capacity(a.nnz() * b.nnz());
+    let mut values = Vec::with_capacity(a.nnz() * b.nnz());
+    for ja in 0..a.ncols() {
+        for jb in 0..b.ncols() {
+            for (ia, va) in a.col(ja) {
+                for (ib, vb) in b.col(jb) {
+                    row_ind.push(ia * b.nrows() + ib);
+                    values.push(va * vb);
+                }
+            }
+            col_ptr.push(row_ind.len());
+        }
+    }
+    CscMatrix::from_parts(nrows, ncols, col_ptr, row_ind, values)
+        .expect("kron preserves csc invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(m: &CscMatrix) -> Vec<f64> {
+        m.to_dense()
+    }
+
+    #[test]
+    fn vstack_stacks_rows() {
+        let a = CscMatrix::identity(2);
+        let b = CscMatrix::from_dense(1, 2, &[3.0, 4.0]);
+        let s = vstack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(dense(&s), vec![1.0, 0.0, 0.0, 1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn hstack_stacks_cols() {
+        let a = CscMatrix::identity(2);
+        let b = CscMatrix::from_dense(2, 1, &[5.0, 6.0]);
+        let s = hstack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(dense(&s), vec![1.0, 0.0, 5.0, 0.0, 1.0, 6.0]);
+    }
+
+    #[test]
+    fn block_diag_places_blocks() {
+        let a = CscMatrix::from_dense(1, 1, &[2.0]);
+        let b = CscMatrix::from_dense(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let d = block_diag(&[&a, &b]).unwrap();
+        assert_eq!(d.shape(), (3, 3));
+        assert_eq!(d.get(0, 0), 2.0);
+        assert_eq!(d.get(1, 2), 1.0);
+        assert_eq!(d.get(2, 1), 1.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        let a = CscMatrix::identity(2);
+        let b = CscMatrix::identity(3);
+        assert!(vstack(&[&a, &b]).is_err());
+        assert!(hstack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn kron_matches_dense_definition() {
+        let a = CscMatrix::from_dense(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = CscMatrix::from_dense(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let k = kron(&a, &b);
+        assert_eq!(k.shape(), (4, 4));
+        // (A ⊗ B)[i*2+p, j*2+q] = A[i,j] * B[p,q]
+        for i in 0..2 {
+            for j in 0..2 {
+                for p in 0..2 {
+                    for q in 0..2 {
+                        assert_eq!(k.get(i * 2 + p, j * 2 + q), a.get(i, j) * b.get(p, q));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kron_with_identity_is_block_diag() {
+        let b = CscMatrix::from_dense(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let k = kron(&CscMatrix::identity(3), &b);
+        let d = block_diag(&[&b, &b, &b]).unwrap();
+        assert_eq!(k, d);
+    }
+}

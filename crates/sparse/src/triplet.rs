@@ -1,0 +1,128 @@
+use crate::{Result, SparseError};
+
+/// A sparse matrix in coordinate (COO / triplet) form.
+///
+/// Triplet form is the natural interchange format when assembling a matrix
+/// entry by entry — problem generators and the KKT assembly code build
+/// matrices this way and then convert once to [`CscMatrix`](crate::CscMatrix)
+/// for computation. Duplicate entries are allowed and are summed during
+/// conversion, matching the convention of CSparse and SciPy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TripletMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty triplet matrix with the given dimensions.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an empty triplet matrix with room for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (including duplicates and explicit zeros).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends the entry `(row, col, val)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if the indices do not fit
+    /// the matrix dimensions.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Iterates over the stored `(row, col, value)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Borrowed views of the row index, column index and value arrays.
+    pub fn parts(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.rows, &self.cols, &self.vals)
+    }
+}
+
+impl Extend<(usize, usize, f64)> for TripletMatrix {
+    /// Extends the matrix with entries, **panicking** on out-of-bounds
+    /// indices (use [`TripletMatrix::push`] for fallible insertion).
+    fn extend<I: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: I) {
+        for (r, c, v) in iter {
+            self.push(r, c, v).expect("triplet entry out of bounds");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iter_round_trip() {
+        let mut t = TripletMatrix::new(3, 2);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(2, 1, -2.5).unwrap();
+        assert_eq!(t.nnz(), 2);
+        let entries: Vec<_> = t.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 1.0), (2, 1, -2.5)]);
+    }
+
+    #[test]
+    fn push_out_of_bounds_is_rejected() {
+        let mut t = TripletMatrix::new(2, 2);
+        assert!(matches!(
+            t.push(2, 0, 1.0),
+            Err(SparseError::IndexOutOfBounds { row: 2, .. })
+        ));
+        assert!(t.push(1, 2, 1.0).is_err());
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn extend_collects_entries() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.extend(vec![(0, 1, 2.0), (1, 0, 3.0)]);
+        assert_eq!(t.nnz(), 2);
+    }
+}

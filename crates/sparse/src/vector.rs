@@ -1,0 +1,178 @@
+//! Dense vector kernels used by the solver algorithm.
+//!
+//! These correspond one-to-one with the element-wise top-level instructions
+//! of the MIB ISA (Table I of the paper): `norm_inf`, `ew_reci`, `ew_prod`,
+//! `axpby`, `select_min`, `select_max`, plus the dot products and Euclidean
+//! projection the ADMM loop needs.
+
+/// Infinity norm `max_i |x_i|` (`norm_inf` in the MIB ISA).
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// Euclidean norm `sqrt(sum x_i^2)`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm of the difference `max_i |x_i - y_i|`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn norm_inf_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "norm_inf_diff length mismatch");
+    x.iter().zip(y).fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+}
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// Element-wise reciprocal `out_i = 1 / x_i` (`ew_reci`).
+pub fn ew_reci(x: &[f64]) -> Vec<f64> {
+    x.iter().map(|&v| 1.0 / v).collect()
+}
+
+/// Element-wise product `out_i = x_i * y_i` (`ew_prod`).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn ew_prod(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "ew_prod length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a * b).collect()
+}
+
+/// Scaled sum `out = s0 * v0 + s1 * v1` (`axpby`).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpby(s0: f64, v0: &[f64], s1: f64, v1: &[f64]) -> Vec<f64> {
+    assert_eq!(v0.len(), v1.len(), "axpby length mismatch");
+    v0.iter().zip(v1).map(|(&a, &b)| s0 * a + s1 * b).collect()
+}
+
+/// In-place scaled sum `v0 <- s0 * v0 + s1 * v1`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpby_into(s0: f64, v0: &mut [f64], s1: f64, v1: &[f64]) {
+    assert_eq!(v0.len(), v1.len(), "axpby length mismatch");
+    for (a, &b) in v0.iter_mut().zip(v1) {
+        *a = s0 * *a + s1 * b;
+    }
+}
+
+/// Element-wise maximum (`select_max`).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn select_max(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "select_max length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a.max(b)).collect()
+}
+
+/// Element-wise minimum (`select_min`).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn select_min(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "select_min length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a.min(b)).collect()
+}
+
+/// Euclidean projection of `x` onto the box `[l, u]`, element-wise
+/// (the `Π(·)` operator in step 6 of the OSQP algorithm).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn project_box(x: &[f64], l: &[f64], u: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), l.len(), "project_box length mismatch");
+    assert_eq!(x.len(), u.len(), "project_box length mismatch");
+    x.iter()
+        .zip(l.iter().zip(u))
+        .map(|(&v, (&lo, &hi))| v.max(lo).min(hi))
+        .collect()
+}
+
+/// In-place box projection.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn project_box_into(x: &mut [f64], l: &[f64], u: &[f64]) {
+    assert_eq!(x.len(), l.len(), "project_box length mismatch");
+    assert_eq!(x.len(), u.len(), "project_box length mismatch");
+    for ((v, &lo), &hi) in x.iter_mut().zip(l).zip(u) {
+        *v = v.max(lo).min(hi);
+    }
+}
+
+/// Geometric mean of strictly positive values; returns `f64::NAN` on an
+/// empty slice.
+///
+/// The paper reports all cross-platform comparisons as geometric means.
+pub fn geomean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    let s: f64 = x.iter().map(|&v| v.ln()).sum();
+    (s / x.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_inf(&[1.0, -3.0, 2.0]), 3.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf_diff(&[1.0, 2.0], &[0.0, 5.0]), 3.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(ew_reci(&[2.0, 4.0]), vec![0.5, 0.25]);
+        assert_eq!(ew_prod(&[2.0, 3.0], &[4.0, -1.0]), vec![8.0, -3.0]);
+        assert_eq!(axpby(2.0, &[1.0, 0.0], 3.0, &[0.0, 1.0]), vec![2.0, 3.0]);
+        assert_eq!(select_max(&[1.0, 5.0], &[2.0, 3.0]), vec![2.0, 5.0]);
+        assert_eq!(select_min(&[1.0, 5.0], &[2.0, 3.0]), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn axpby_into_matches_axpby() {
+        let mut v = vec![1.0, -2.0];
+        axpby_into(0.5, &mut v, 2.0, &[4.0, 4.0]);
+        assert_eq!(v, axpby(0.5, &[1.0, -2.0], 2.0, &[4.0, 4.0]));
+    }
+
+    #[test]
+    fn projection_clamps_to_box() {
+        let p = project_box(&[-5.0, 0.5, 5.0], &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(p, vec![0.0, 0.5, 1.0]);
+        // Projection is idempotent.
+        assert_eq!(project_box(&p, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]), p);
+    }
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!(geomean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,59 @@
+//! Portfolio backtesting: the paper's motivating parametric workload
+//! ("millions of QPs with the same sparsity pattern must be solved each
+//! trading day" — here a risk-aversion sweep with warm-started re-solves).
+//!
+//! The problem structure (the half-arrow pattern of Figure 2) is built
+//! once; each backtest step only rescales the linear term `q = -μ/γ`, so
+//! the solver re-uses its setup (and on the MIB machine the compiled
+//! schedules would be replayed unchanged).
+//!
+//! ```sh
+//! cargo run --release --example portfolio_backtest
+//! ```
+
+use mib::problems::portfolio;
+use mib::qp::{Settings, Solver};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_assets = 80;
+    let n_factors = 8;
+    let problem = portfolio(n_assets, n_factors, 99);
+    let base_q = problem.q().to_vec();
+
+    let mut settings = Settings::default();
+    settings.eps_abs = 1e-5;
+    settings.eps_rel = 1e-5;
+    let mut solver = Solver::new(problem, settings)?;
+
+    println!("risk-aversion sweep over gamma (warm-started parametric re-solves)");
+    println!("{:>8} {:>8} {:>10} {:>10} {:>12}", "gamma", "iters", "risk", "return", "top weight");
+    let mut total_iters = 0usize;
+    for step in 0..12 {
+        let gamma = 0.25 * 1.6f64.powi(step);
+        // q = -mu/gamma on the asset block (zeros on the factor block):
+        // the generator built q at gamma=1, so scale it.
+        let q: Vec<f64> = base_q.iter().map(|&v| v / gamma).collect();
+        solver.update_q(&q)?;
+        let r = solver.solve();
+        assert!(r.status.is_solved(), "step {step}: {}", r.status);
+        total_iters += r.iterations;
+        let weights = &r.x[..n_assets];
+        let ret: f64 = base_q[..n_assets]
+            .iter()
+            .zip(weights)
+            .map(|(&negmu, &w)| -negmu * w)
+            .sum();
+        // Risk proxy: the quadratic part of the objective.
+        let risk = r.obj_val + ret / gamma;
+        let top = weights.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:>8.3} {:>8} {:>10.5} {:>10.5} {:>12.4}",
+            gamma, r.iterations, risk, ret, top
+        );
+        let budget: f64 = weights.iter().sum();
+        assert!((budget - 1.0).abs() < 1e-2, "budget violated: {budget}");
+    }
+    println!("\ntotal iterations across the sweep: {total_iters}");
+    println!("(higher gamma = less risk aversion: expected return rises with gamma)");
+    Ok(())
+}

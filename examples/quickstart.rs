@@ -1,0 +1,46 @@
+//! Quickstart: define a small QP, solve it with both algorithm variants,
+//! and inspect the solution and work profile.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mib::qp::{KktBackend, Problem, Settings, Solver};
+use mib::sparse::CscMatrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // minimize 1/2 xᵀ [4 1; 1 2] x + [1 1]ᵀ x
+    // subject to x0 + x1 = 1, 0 <= x <= 0.7
+    let p = CscMatrix::from_dense(2, 2, &[4.0, 1.0, 1.0, 2.0]).upper_triangle()?;
+    let a = CscMatrix::from_dense(3, 2, &[1.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+    let l = vec![1.0, 0.0, 0.0];
+    let u = vec![1.0, 0.7, 0.7];
+    let problem = Problem::new(p, vec![1.0, 1.0], a, l, u)?;
+
+    for backend in [KktBackend::Direct, KktBackend::Indirect] {
+        let mut settings = Settings::with_backend(backend);
+        settings.eps_abs = 1e-6;
+        settings.eps_rel = 1e-6;
+        let mut solver = Solver::new(problem.clone(), settings)?;
+        let result = solver.solve();
+        println!("=== OSQP-{} ===", backend.name());
+        println!("status:     {}", result.status);
+        println!("x:          [{:.4}, {:.4}]", result.x[0], result.x[1]);
+        println!("objective:  {:.6}", result.obj_val);
+        println!("iterations: {}", result.iterations);
+        println!(
+            "residuals:  prim {:.2e}, dual {:.2e}",
+            result.prim_res, result.dual_res
+        );
+        let ops = result.profile.ops;
+        println!(
+            "flops:      mac {:.0}, permute {:.0}, col-elim {:.0}, elementwise {:.0}",
+            ops.mac, ops.permute, ops.col_elim, ops.elementwise
+        );
+        if backend == KktBackend::Indirect {
+            println!("pcg iters:  {}", result.profile.pcg_iters);
+        }
+        println!();
+    }
+    Ok(())
+}

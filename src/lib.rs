@@ -1,0 +1,26 @@
+//! **MIB** — a from-scratch Rust reproduction of *"Multi-Issue Butterfly
+//! Architecture for Sparse Convex Quadratic Programming"* (MICRO 2024).
+//!
+//! This façade crate re-exports the whole stack; see the individual crates
+//! for the deep documentation:
+//!
+//! * [`sparse`] — sparse linear algebra (CSC/CSR, orderings, elimination
+//!   trees, LDLᵀ),
+//! * [`qp`] — the OSQP-style ADMM solver (direct and indirect variants),
+//! * [`core`] — the cycle-accurate Multi-Issue Butterfly machine model,
+//! * [`compiler`] — sparsity-pattern-driven network-instruction generation
+//!   and first-fit multi-issue scheduling,
+//! * [`problems`] — the five-domain benchmark generators,
+//! * [`platforms`] — reference CPU/GPU/RSQP performance models.
+//!
+//! Runnable entry points live in `examples/` (quickstart, portfolio
+//! backtest, closed-loop MPC, Lasso path, on-machine acceleration) and in
+//! the `mib-bench` crate's binaries, which regenerate every figure and
+//! table of the paper (see DESIGN.md and EXPERIMENTS.md).
+
+pub use mib_compiler as compiler;
+pub use mib_core as core;
+pub use mib_platforms as platforms;
+pub use mib_problems as problems;
+pub use mib_qp as qp;
+pub use mib_sparse as sparse;

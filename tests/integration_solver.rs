@@ -1,0 +1,123 @@
+//! Cross-crate integration: benchmark generators → reference solver →
+//! KKT optimality verification.
+
+use mib::problems::{instance, Domain};
+use mib::qp::{KktBackend, Settings, Solver};
+use mib::sparse::vector;
+
+/// Verifies the KKT conditions of a solved instance directly from the
+/// returned primal/dual pair (independent of the solver's own residuals).
+fn verify_kkt(domain: Domain, index: usize, backend: KktBackend) {
+    let inst = instance(domain, index);
+    let pr = &inst.problem;
+    let mut settings = Settings::with_backend(backend);
+    settings.eps_abs = 1e-5;
+    settings.eps_rel = 1e-5;
+    settings.max_iter = 30_000;
+    let r = Solver::new(pr.clone(), settings).unwrap().solve();
+    assert!(r.status.is_solved(), "{domain} #{index} ({}): {}", backend.name(), r.status);
+
+    // Stationarity: ||Px + q + A'y||_inf small relative to the data.
+    let mut grad = pr.p().sym_upper_mul_vec(&r.x);
+    for (g, &qj) in grad.iter_mut().zip(pr.q()) {
+        *g += qj;
+    }
+    pr.a().tr_mul_vec_acc(&r.y, &mut grad);
+    let scale = vector::norm_inf(pr.q()).max(1.0);
+    assert!(
+        vector::norm_inf(&grad) < 5e-3 * scale.max(vector::norm_inf(&r.y)),
+        "{domain} #{index}: stationarity violated: {}",
+        vector::norm_inf(&grad)
+    );
+
+    // Primal feasibility.
+    assert!(
+        pr.constraint_violation(&r.x) < 5e-3 * (1.0 + vector::norm_inf(&r.z)),
+        "{domain} #{index}: infeasible primal"
+    );
+
+    // Complementary slackness sign conventions: y_i > 0 only at (near)
+    // active upper bounds, y_i < 0 only at lower bounds.
+    let ax = pr.a().mul_vec(&r.x);
+    for i in 0..pr.num_constraints() {
+        let slack_tol = 5e-2 * (1.0 + ax[i].abs());
+        if r.y[i] > 1e-3 {
+            assert!(
+                pr.u()[i] - ax[i] < slack_tol,
+                "{domain} #{index}: positive dual with slack upper bound at row {i}"
+            );
+        }
+        if r.y[i] < -1e-3 {
+            assert!(
+                ax[i] - pr.l()[i] < slack_tol,
+                "{domain} #{index}: negative dual with slack lower bound at row {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn portfolio_direct_satisfies_kkt() {
+    verify_kkt(Domain::Portfolio, 3, KktBackend::Direct);
+}
+
+#[test]
+fn portfolio_indirect_satisfies_kkt() {
+    verify_kkt(Domain::Portfolio, 3, KktBackend::Indirect);
+}
+
+#[test]
+fn lasso_both_backends_satisfy_kkt() {
+    verify_kkt(Domain::Lasso, 4, KktBackend::Direct);
+    verify_kkt(Domain::Lasso, 4, KktBackend::Indirect);
+}
+
+#[test]
+fn huber_direct_satisfies_kkt() {
+    verify_kkt(Domain::Huber, 2, KktBackend::Direct);
+}
+
+#[test]
+fn mpc_both_backends_satisfy_kkt() {
+    verify_kkt(Domain::Mpc, 5, KktBackend::Direct);
+    verify_kkt(Domain::Mpc, 5, KktBackend::Indirect);
+}
+
+#[test]
+fn svm_direct_satisfies_kkt() {
+    verify_kkt(Domain::Svm, 3, KktBackend::Direct);
+}
+
+#[test]
+fn backends_agree_across_domains() {
+    for domain in Domain::all() {
+        let inst = instance(domain, 1);
+        let tight = |backend| {
+            let mut s = Settings::with_backend(backend);
+            s.eps_abs = 1e-6;
+            s.eps_rel = 1e-6;
+            s.max_iter = 50_000;
+            s
+        };
+        let rd = Solver::new(inst.problem.clone(), tight(KktBackend::Direct)).unwrap().solve();
+        let ri = Solver::new(inst.problem.clone(), tight(KktBackend::Indirect)).unwrap().solve();
+        assert!(rd.status.is_solved() && ri.status.is_solved(), "{domain}");
+        assert!(
+            (rd.obj_val - ri.obj_val).abs() < 1e-3 * (1.0 + rd.obj_val.abs()),
+            "{domain}: direct obj {} vs indirect obj {}",
+            rd.obj_val,
+            ri.obj_val
+        );
+    }
+}
+
+#[test]
+fn solver_is_deterministic() {
+    let inst = instance(Domain::Svm, 2);
+    let run = || Solver::new(inst.problem.clone(), Settings::default()).unwrap().solve();
+    let a = run();
+    let b = run();
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.x, b.x);
+    assert_eq!(a.profile.ops, b.profile.ops);
+}
