@@ -37,7 +37,10 @@ fn bench_scheduling(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(schedule(
                 &k,
-                ScheduleOptions { multi_issue: false, ..Default::default() },
+                ScheduleOptions {
+                    multi_issue: false,
+                    ..Default::default()
+                },
             ))
         })
     });

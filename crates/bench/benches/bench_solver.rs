@@ -28,9 +28,7 @@ fn bench_setup(c: &mut Criterion) {
     let inst = instance(Domain::Lasso, 8);
     c.bench_function("solver_setup/lasso", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                Solver::new(inst.problem.clone(), Settings::default()).unwrap(),
-            )
+            std::hint::black_box(Solver::new(inst.problem.clone(), Settings::default()).unwrap())
         })
     });
 }

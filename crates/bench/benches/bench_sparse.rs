@@ -10,8 +10,7 @@ use mib_sparse::order::{compute, Ordering};
 fn kkt_for(domain: Domain, index: usize) -> mib_sparse::CscMatrix {
     let inst = instance(domain, index);
     let rho = vec![0.1; inst.problem.num_constraints()];
-    let kkt =
-        KktMatrix::assemble(inst.problem.p(), inst.problem.a(), 1e-6, &rho).expect("valid");
+    let kkt = KktMatrix::assemble(inst.problem.p(), inst.problem.a(), 1e-6, &rho).expect("valid");
     let perm = compute(kkt.matrix(), Ordering::MinDegree).expect("square");
     perm.sym_perm_upper(kkt.matrix()).expect("square")
 }
@@ -21,15 +20,18 @@ fn bench_spmv(c: &mut Criterion) {
     let a = inst.problem.a().clone();
     let x = vec![1.0; a.ncols()];
     let y = vec![1.0; a.nrows()];
-    c.bench_function("spmv/A_mul_x", |b| b.iter(|| std::hint::black_box(a.mul_vec(&x))));
-    c.bench_function("spmv/At_mul_y", |b| b.iter(|| std::hint::black_box(a.tr_mul_vec(&y))));
+    c.bench_function("spmv/A_mul_x", |b| {
+        b.iter(|| std::hint::black_box(a.mul_vec(&x)))
+    });
+    c.bench_function("spmv/At_mul_y", |b| {
+        b.iter(|| std::hint::black_box(a.tr_mul_vec(&y)))
+    });
 }
 
 fn bench_ordering(c: &mut Criterion) {
     let inst = instance(Domain::Portfolio, 10);
     let rho = vec![0.1; inst.problem.num_constraints()];
-    let kkt =
-        KktMatrix::assemble(inst.problem.p(), inst.problem.a(), 1e-6, &rho).expect("valid");
+    let kkt = KktMatrix::assemble(inst.problem.p(), inst.problem.a(), 1e-6, &rho).expect("valid");
     c.bench_function("ordering/min_degree", |b| {
         b.iter(|| std::hint::black_box(compute(kkt.matrix(), Ordering::MinDegree).unwrap()))
     });

@@ -1,0 +1,96 @@
+//! Benchmarks of the workspace-centric solve pipeline: the allocating
+//! entry point vs. zero-allocation `solve_into` re-solves, the program
+//! cache's hit path vs. full lowering, and the batched frontend vs. a
+//! sequential loop over the same problems.
+//!
+//! A results snapshot lives in `results/bench_workspace.txt`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mib_compiler::cache::ProgramCache;
+use mib_compiler::lower::lower;
+use mib_core::MibConfig;
+use mib_problems::portfolio;
+use mib_qp::{BatchSolver, BatchUpdate, Settings, Solver};
+
+const BATCH: usize = 64;
+
+fn scenarios(base_q: &[f64]) -> Vec<BatchUpdate> {
+    (0..BATCH)
+        .map(|k| {
+            let q = base_q
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| v * (1.0 + 0.02 * (k as f64 % 7.0)) + 1e-3 * (k + j) as f64)
+                .collect();
+            BatchUpdate::with_q(q)
+        })
+        .collect()
+}
+
+/// Fresh-solver-per-solve (setup + allocating solve every time) vs.
+/// `solve_into` reusing one solver, one workspace and one result buffer —
+/// the core claim of the workspace refactor.
+fn bench_resolve_paths(c: &mut Criterion) {
+    let problem = portfolio(60, 8, 7);
+
+    c.bench_function("resolve/allocating_fresh_solver", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new(problem.clone(), Settings::default()).unwrap();
+            std::hint::black_box(solver.solve())
+        })
+    });
+
+    let mut solver = Solver::new(problem.clone(), Settings::default()).unwrap();
+    let mut result = solver.solve();
+    c.bench_function("resolve/workspace_solve_into", |b| {
+        b.iter(|| {
+            solver.reset();
+            solver.solve_into(&mut result);
+            std::hint::black_box(result.iterations)
+        })
+    });
+}
+
+/// Full lowering vs. the program cache's hit path (clone schedules +
+/// rebuild only the load program) for a parametric re-solve.
+fn bench_program_cache(c: &mut Criterion) {
+    let config = MibConfig::default();
+    let problem = portfolio(30, 5, 7);
+    let settings = Settings::default();
+
+    c.bench_function("compile/full_lower", |b| {
+        b.iter(|| std::hint::black_box(lower(&problem, &settings, config).unwrap()))
+    });
+
+    let mut cache = ProgramCache::new();
+    cache.lower_cached(&problem, &settings, config).unwrap();
+    c.bench_function("compile/cache_hit", |b| {
+        b.iter(|| std::hint::black_box(cache.lower_cached(&problem, &settings, config).unwrap()))
+    });
+}
+
+/// 64 same-pattern portfolio scenarios: sequential loop vs. the batched
+/// frontend on 4 worker threads (bitwise-identical results; see
+/// `tests/batch_parity.rs`).
+fn bench_batch(c: &mut Criterion) {
+    let problem = portfolio(60, 8, 11);
+    let batch = BatchSolver::new(problem, Settings::default())
+        .unwrap()
+        .with_threads(4);
+    let updates = scenarios(batch.template().problem().q());
+
+    c.bench_function("batch64/sequential", |b| {
+        b.iter(|| std::hint::black_box(batch.solve_sequential(&updates).unwrap().len()))
+    });
+    c.bench_function("batch64/threads4", |b| {
+        b.iter(|| std::hint::black_box(batch.solve_batch(&updates).unwrap().len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_resolve_paths,
+    bench_program_cache,
+    bench_batch
+);
+criterion_main!(benches);

@@ -21,7 +21,10 @@ fn main() {
     // the same factor structure) has the same pattern, so the compiled
     // schedules amortize across instances.
     let pr2 = pr.a().map_values(|v| 1.3 * v);
-    assert!(pr.a().same_pattern(&pr2), "pattern must be instance-invariant");
+    assert!(
+        pr.a().same_pattern(&pr2),
+        "pattern must be instance-invariant"
+    );
     body.push_str("verified: re-valued problem instances share the A pattern exactly\n");
     mib_bench::emit_report("fig02_pattern", &body);
 }

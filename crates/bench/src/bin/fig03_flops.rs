@@ -26,7 +26,13 @@ fn main() {
             let fd = rd.profile.ops;
             let fi = ri.profile.ops;
             let pct = |f: [f64; 4]| {
-                format!("{:>4.1}/{:>4.1}/{:>5.1}/{:>4.1}%", 100.0 * f[0], 100.0 * f[1], 100.0 * f[2], 100.0 * f[3])
+                format!(
+                    "{:>4.1}/{:>4.1}/{:>5.1}/{:>4.1}%",
+                    100.0 * f[0],
+                    100.0 * f[1],
+                    100.0 * f[2],
+                    100.0 * f[3]
+                )
             };
             let _ = writeln!(
                 body,
@@ -37,7 +43,11 @@ fn main() {
                 fi.total(),
                 pct(fd.fractions()),
                 pct(fi.fractions()),
-                if rd.status.is_solved() && ri.status.is_solved() { "" } else { "  (!)" },
+                if rd.status.is_solved() && ri.status.is_solved() {
+                    ""
+                } else {
+                    "  (!)"
+                },
             );
             let _ = (wd, wi);
         }

@@ -24,7 +24,9 @@ use mib_sparse::order::{self, Ordering};
 fn main() {
     let config = MibConfig::c32();
     let mut body = String::new();
-    body.push_str("== Figure 8: first-fit multi-issue instruction scheduling (C = 32, 192 nodes) ==\n\n");
+    body.push_str(
+        "== Figure 8: first-fit multi-issue instruction scheduling (C = 32, 192 nodes) ==\n\n",
+    );
 
     // --- SpMV program for the SVM A matrix (the paper's example). ---
     let pr = svm(80, 160, 7);
@@ -36,15 +38,41 @@ fn main() {
         let x = alloc.alloc(pr.num_vars());
         let y = alloc.alloc(pr.num_constraints());
         load_vec(&mut b, x, &xv);
-        mac_spmv(&mut b, &mut alloc, &a_csr, x, y, false, SpmvOptions { prefetch });
+        mac_spmv(
+            &mut b,
+            &mut alloc,
+            &a_csr,
+            x,
+            y,
+            false,
+            SpmvOptions { prefetch },
+        );
         b.finish()
     };
     let kernel = build(true);
-    let single = schedule(&kernel, ScheduleOptions { multi_issue: false, ..Default::default() });
+    let single = schedule(
+        &kernel,
+        ScheduleOptions {
+            multi_issue: false,
+            ..Default::default()
+        },
+    );
     let multi = schedule(&kernel, ScheduleOptions::default());
-    let _ = writeln!(body, "SVM A-matrix multiplication ({} logical network instructions):", kernel.len());
-    let _ = writeln!(body, "  before reordering (single issue): {:>6} cycles", single.slots());
-    let _ = writeln!(body, "  after  reordering (multi issue) : {:>6} cycles", multi.slots());
+    let _ = writeln!(
+        body,
+        "SVM A-matrix multiplication ({} logical network instructions):",
+        kernel.len()
+    );
+    let _ = writeln!(
+        body,
+        "  before reordering (single issue): {:>6} cycles",
+        single.slots()
+    );
+    let _ = writeln!(
+        body,
+        "  after  reordering (multi issue) : {:>6} cycles",
+        multi.slots()
+    );
     let _ = writeln!(
         body,
         "  compression: {:.1}x  (paper example: 2072 -> 271, 7.6x)",
@@ -54,8 +82,12 @@ fn main() {
     // Verify both execute identically and hazard-free.
     let run = |s: &mib_compiler::Schedule| {
         let mut m = Machine::new(config);
-        m.run(&s.program, &mut HbmStream::new(s.hbm.clone()), HazardPolicy::Strict)
-            .expect("schedule is hazard-free");
+        m.run(
+            &s.program,
+            &mut HbmStream::new(s.hbm.clone()),
+            HazardPolicy::Strict,
+        )
+        .expect("schedule is hazard-free");
         m
     };
     let m1 = run(&single);
@@ -86,7 +118,13 @@ fn main() {
     let (fl, y) = plan_factor_exact(&permuted, &sym, &mut alloc);
     factor_kernel(&mut fb, &permuted, &sym, &fl, y);
     let fk = fb.finish();
-    let fsingle = schedule(&fk, ScheduleOptions { multi_issue: false, ..Default::default() });
+    let fsingle = schedule(
+        &fk,
+        ScheduleOptions {
+            multi_issue: false,
+            ..Default::default()
+        },
+    );
     let fmulti = schedule(&fk, ScheduleOptions::default());
     let _ = writeln!(
         body,

@@ -30,7 +30,11 @@ fn main() {
             pct[1],
             pct[2],
             pct[3],
-            if pct[0] > 100.0 || pct[1] > 100.0 { "  (does not fit: ASIC territory)" } else { "" }
+            if pct[0] > 100.0 || pct[1] > 100.0 {
+                "  (does not fit: ASIC territory)"
+            } else {
+                ""
+            }
         );
     }
     body.push_str("\nThe butterfly's floating-point units map to LUTs/registers (DSP grid\n");

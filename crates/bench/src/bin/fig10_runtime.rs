@@ -28,7 +28,16 @@ fn main() {
         let _ = writeln!(
             body,
             "\n--- {domain} ---\n{:>4} {:>8} {:>6} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} | {:>6}",
-            "idx", "nnz", "iters", "MIB-ind", "CPU-MKL", "GPU", "RSQP", "MIB-dir", "CPU-QDLDL", "util%"
+            "idx",
+            "nnz",
+            "iters",
+            "MIB-ind",
+            "CPU-MKL",
+            "GPU",
+            "RSQP",
+            "MIB-dir",
+            "CPU-QDLDL",
+            "util%"
         );
         for inst in suite(domain) {
             let ei = evaluate(&inst, KktBackend::Indirect, config);
@@ -61,11 +70,30 @@ fn main() {
         }
     }
 
-    let _ = writeln!(body, "\n== geometric-mean end-to-end speedups (paper values in parentheses) ==");
-    let _ = writeln!(body, "  OSQP-indirect vs CPU (MKL):   {:>6.1}x   (30.5x)", geomean(&sp_cpu_ind));
-    let _ = writeln!(body, "  OSQP-indirect vs GPU:         {:>6.1}x   ( 4.3x)", geomean(&sp_gpu));
-    let _ = writeln!(body, "  OSQP-indirect vs RSQP:        {:>6.1}x   ( 9.5x)", geomean(&sp_rsqp));
-    let _ = writeln!(body, "  OSQP-direct   vs CPU (QDLDL): {:>6.1}x   ( 2.7x)", geomean(&sp_cpu_dir));
+    let _ = writeln!(
+        body,
+        "\n== geometric-mean end-to-end speedups (paper values in parentheses) =="
+    );
+    let _ = writeln!(
+        body,
+        "  OSQP-indirect vs CPU (MKL):   {:>6.1}x   (30.5x)",
+        geomean(&sp_cpu_ind)
+    );
+    let _ = writeln!(
+        body,
+        "  OSQP-indirect vs GPU:         {:>6.1}x   ( 4.3x)",
+        geomean(&sp_gpu)
+    );
+    let _ = writeln!(
+        body,
+        "  OSQP-indirect vs RSQP:        {:>6.1}x   ( 9.5x)",
+        geomean(&sp_rsqp)
+    );
+    let _ = writeln!(
+        body,
+        "  OSQP-direct   vs CPU (QDLDL): {:>6.1}x   ( 2.7x)",
+        geomean(&sp_cpu_dir)
+    );
     let _ = writeln!(
         body,
         "  MIB mean peak-FLOP utilization: {:.1}% (higher than CPU/GPU on sparse work,\n  the paper's normalized-efficiency claim)",

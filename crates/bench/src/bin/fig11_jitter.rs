@@ -21,7 +21,9 @@ fn main() {
     let runs = 20;
     let mut rng = StdRng::seed_from_u64(2024);
     let mut body = String::new();
-    body.push_str("== Figure 11: normalized runtime jitter (std/mean), MPC benchmark, 20 runs ==\n\n");
+    body.push_str(
+        "== Figure 11: normalized runtime jitter (std/mean), MPC benchmark, 20 runs ==\n\n",
+    );
     let _ = writeln!(
         body,
         "{:>4} {:>8} | {:>10} {:>10} {:>10} {:>10}",
@@ -54,9 +56,20 @@ fn main() {
         jg.push(g.max(1e-6));
         jr.push(r.max(1e-6));
     }
-    let _ = writeln!(body, "\n== geometric-mean jitter reduction (paper values in parentheses) ==");
-    let _ = writeln!(body, "  vs CPU:  {:>6.1}x  (16.5x)", geomean(&jc) / geomean(&jm));
-    let _ = writeln!(body, "  vs GPU:  {:>6.1}x  (33.4x)", geomean(&jg) / geomean(&jm));
+    let _ = writeln!(
+        body,
+        "\n== geometric-mean jitter reduction (paper values in parentheses) =="
+    );
+    let _ = writeln!(
+        body,
+        "  vs CPU:  {:>6.1}x  (16.5x)",
+        geomean(&jc) / geomean(&jm)
+    );
+    let _ = writeln!(
+        body,
+        "  vs GPU:  {:>6.1}x  (33.4x)",
+        geomean(&jg) / geomean(&jm)
+    );
     let _ = writeln!(body, "  vs RSQP: {:>6.1}x", geomean(&jr) / geomean(&jm));
     body.push_str("\nThe reduction comes from cycle-accurate control of program execution:\n");
     body.push_str("the compiled schedule's cycle count is exact and identical on every run.\n");

@@ -49,8 +49,10 @@ fn main() {
             let add = |agg: &mut Agg, model: &dyn PlatformModel, t: f64, rng: &mut StdRng| {
                 let en = report(model, t);
                 agg.speedup.push(t / e.mib_seconds);
-                agg.device_ee.push(mib_energy.device_efficiency / en.device_efficiency);
-                agg.system_ee.push(mib_energy.system_efficiency / en.system_efficiency);
+                agg.device_ee
+                    .push(mib_energy.device_efficiency / en.device_efficiency);
+                agg.system_ee
+                    .push(mib_energy.system_efficiency / en.system_efficiency);
                 agg.jitter.push(jit(model, t, rng) / mib_j);
             };
             add(&mut vs_cpu_ind, &cpu_mkl, e.cpu_seconds, &mut rng);
@@ -65,9 +67,15 @@ fn main() {
             let mib_j = jit(&mib, e.mib_seconds, &mut rng);
             let en = report(&cpu_qdldl, e.cpu_seconds);
             vs_cpu_dir.speedup.push(e.cpu_seconds / e.mib_seconds);
-            vs_cpu_dir.device_ee.push(mib_energy.device_efficiency / en.device_efficiency);
-            vs_cpu_dir.system_ee.push(mib_energy.system_efficiency / en.system_efficiency);
-            vs_cpu_dir.jitter.push(jit(&cpu_qdldl, e.cpu_seconds, &mut rng) / mib_j);
+            vs_cpu_dir
+                .device_ee
+                .push(mib_energy.device_efficiency / en.device_efficiency);
+            vs_cpu_dir
+                .system_ee
+                .push(mib_energy.system_efficiency / en.system_efficiency);
+            vs_cpu_dir
+                .jitter
+                .push(jit(&cpu_qdldl, e.cpu_seconds, &mut rng) / mib_j);
         }
     }
 
@@ -95,9 +103,33 @@ fn main() {
             paper[3],
         );
     };
-    row(&mut body, "OSQP-indirect", "GPU (cuSparse)", &vs_gpu, ["(4.3x)", "(21.7x)", "(9.5x)", "(33.4x)"]);
-    row(&mut body, "OSQP-indirect", "CPU (MKL)", &vs_cpu_ind, ["(30.5x)", "(127.0x)", "(37.3x)", "(16.5x)"]);
-    row(&mut body, "OSQP-indirect", "RSQP", &vs_rsqp, ["(9.5x)", "(N/A)", "(N/A)", "(N/A)"]);
-    row(&mut body, "OSQP-direct", "CPU (QDLDL)", &vs_cpu_dir, ["(2.7x)", "(11.2x)", "(3.3x)", "(13.8x)"]);
+    row(
+        &mut body,
+        "OSQP-indirect",
+        "GPU (cuSparse)",
+        &vs_gpu,
+        ["(4.3x)", "(21.7x)", "(9.5x)", "(33.4x)"],
+    );
+    row(
+        &mut body,
+        "OSQP-indirect",
+        "CPU (MKL)",
+        &vs_cpu_ind,
+        ["(30.5x)", "(127.0x)", "(37.3x)", "(16.5x)"],
+    );
+    row(
+        &mut body,
+        "OSQP-indirect",
+        "RSQP",
+        &vs_rsqp,
+        ["(9.5x)", "(N/A)", "(N/A)", "(N/A)"],
+    );
+    row(
+        &mut body,
+        "OSQP-direct",
+        "CPU (QDLDL)",
+        &vs_cpu_dir,
+        ["(2.7x)", "(11.2x)", "(3.3x)", "(13.8x)"],
+    );
     mib_bench::emit_report("table3_summary", &body);
 }

@@ -35,8 +35,8 @@ pub fn run_reference(
     backend: KktBackend,
 ) -> (SolveResult, WorkSummary) {
     let settings = eval_settings(backend);
-    let mut solver =
-        Solver::new(instance.problem.clone(), settings.clone()).expect("benchmark instance is valid");
+    let mut solver = Solver::new(instance.problem.clone(), settings.clone())
+        .expect("benchmark instance is valid");
     let result = solver.solve();
     let work = WorkSummary::from_result(&instance.problem, &settings, &result);
     (result, work)
@@ -75,7 +75,11 @@ pub struct Evaluation {
 
 /// Compiles the instance for the MIB machine and evaluates the full
 /// platform matrix.
-pub fn evaluate(instance: &BenchmarkInstance, backend: KktBackend, config: MibConfig) -> Evaluation {
+pub fn evaluate(
+    instance: &BenchmarkInstance,
+    backend: KktBackend,
+    config: MibConfig,
+) -> Evaluation {
     let (result, work) = run_reference(instance, backend);
     let settings = eval_settings(backend);
     let lowered = lower(&instance.problem, &settings, config).expect("lowering succeeds");
@@ -133,7 +137,10 @@ pub fn mib_solve_seconds(lowered: &LoweredQp, settings: &Settings, result: &Solv
 
 /// The MIB platform wrapper for energy/jitter reporting.
 pub fn mib_platform(seconds: f64) -> MibPlatform {
-    MibPlatform { name: "MIB C=32", seconds }
+    MibPlatform {
+        name: "MIB C=32",
+        seconds,
+    }
 }
 
 /// Formats a ratio table row.

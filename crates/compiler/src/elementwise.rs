@@ -31,7 +31,13 @@ pub fn zero(b: &mut KernelBuilder, v: Layout) {
             let (lane, addr) = v.loc(e);
             inst.set_input(lane, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
             inst.route(lane, lane);
-            inst.set_write(lane, LaneWrite { addr, mode: WriteMode::Store });
+            inst.set_write(
+                lane,
+                LaneWrite {
+                    addr,
+                    mode: WriteMode::Store,
+                },
+            );
         }
         b.push(inst, vec![]);
     }
@@ -53,7 +59,13 @@ pub fn load_vec(b: &mut KernelBuilder, v: Layout, values: &[f64]) {
             let (lane, addr) = v.loc(e);
             inst.set_input(lane, LaneSource::Stream);
             inst.route(lane, lane);
-            inst.set_write(lane, LaneWrite { addr, mode: WriteMode::Store });
+            inst.set_write(
+                lane,
+                LaneWrite {
+                    addr,
+                    mode: WriteMode::Store,
+                },
+            );
             stream.push((lane, values[e]));
         }
         b.push(inst, stream);
@@ -89,9 +101,21 @@ pub fn scale(b: &mut KernelBuilder, src: Layout, dst: Layout, s: f64, mode: Writ
         inst.kind = InstrKind::Elementwise;
         for e in range {
             let lane = src.bank(e);
-            inst.set_input(lane, LaneSource::RegTimesImm { addr: src.addr(e), imm: s });
+            inst.set_input(
+                lane,
+                LaneSource::RegTimesImm {
+                    addr: src.addr(e),
+                    imm: s,
+                },
+            );
             inst.route(lane, lane);
-            inst.set_write(lane, LaneWrite { addr: dst.addr(e), mode });
+            inst.set_write(
+                lane,
+                LaneWrite {
+                    addr: dst.addr(e),
+                    mode,
+                },
+            );
         }
         b.push(inst, vec![]);
     }
@@ -111,7 +135,13 @@ pub fn ew_prod(b: &mut KernelBuilder, x: Layout, y: Layout, dst: Layout, mode: W
             let lane = y.bank(e);
             latch.set_input(lane, LaneSource::Reg { addr: y.addr(e) });
             latch.route(lane, lane);
-            latch.set_write(lane, LaneWrite { addr: 0, mode: WriteMode::Latch });
+            latch.set_write(
+                lane,
+                LaneWrite {
+                    addr: 0,
+                    mode: WriteMode::Latch,
+                },
+            );
         }
         b.push(latch, vec![]);
         let mut mul = NetInstruction::nop(width);
@@ -120,10 +150,19 @@ pub fn ew_prod(b: &mut KernelBuilder, x: Layout, y: Layout, dst: Layout, mode: W
             let lane = x.bank(e);
             mul.set_input(
                 lane,
-                LaneSource::RegTimesLatch { addr: x.addr(e), negate: false },
+                LaneSource::RegTimesLatch {
+                    addr: x.addr(e),
+                    negate: false,
+                },
             );
             mul.route(lane, lane);
-            mul.set_write(lane, LaneWrite { addr: dst.addr(e), mode });
+            mul.set_write(
+                lane,
+                LaneWrite {
+                    addr: dst.addr(e),
+                    mode,
+                },
+            );
         }
         b.push(mul, vec![]);
     }
@@ -145,9 +184,20 @@ pub fn clip(b: &mut KernelBuilder, x: Layout, l: Layout, u: Layout, dst: Layout)
             inst.kind = InstrKind::Elementwise;
             for e in range {
                 let lane = bounds.bank(e);
-                inst.set_input(lane, LaneSource::Reg { addr: bounds.addr(e) });
+                inst.set_input(
+                    lane,
+                    LaneSource::Reg {
+                        addr: bounds.addr(e),
+                    },
+                );
                 inst.route(lane, lane);
-                inst.set_write(lane, LaneWrite { addr: dst.addr(e), mode });
+                inst.set_write(
+                    lane,
+                    LaneWrite {
+                        addr: dst.addr(e),
+                        mode,
+                    },
+                );
             }
             b.push(inst, vec![]);
         }
@@ -170,7 +220,13 @@ pub fn norm_inf(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_ad
         for lane in 0..width {
             inst.set_input(lane, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
             inst.route(lane, lane);
-            inst.set_write(lane, LaneWrite { addr: scratch_base + row, mode: WriteMode::Store });
+            inst.set_write(
+                lane,
+                LaneWrite {
+                    addr: scratch_base + row,
+                    mode: WriteMode::Store,
+                },
+            );
         }
         b.push(inst, vec![]);
     }
@@ -183,7 +239,13 @@ pub fn norm_inf(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_ad
             let lane = x.bank(e);
             inst.set_input(lane, LaneSource::Reg { addr: x.addr(e) });
             inst.route(lane, lane);
-            inst.set_write(lane, LaneWrite { addr: row, mode: WriteMode::MaxAbs });
+            inst.set_write(
+                lane,
+                LaneWrite {
+                    addr: row,
+                    mode: WriteMode::MaxAbs,
+                },
+            );
         }
         b.push(inst, vec![]);
     }
@@ -196,11 +258,19 @@ pub fn norm_inf(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_ad
             let mut inst = NetInstruction::nop(width);
             inst.kind = InstrKind::Elementwise;
             for lane in 0..width {
-                inst.set_input(lane, LaneSource::Reg { addr: scratch_base + row + span });
+                inst.set_input(
+                    lane,
+                    LaneSource::Reg {
+                        addr: scratch_base + row + span,
+                    },
+                );
                 inst.route(lane, lane);
                 inst.set_write(
                     lane,
-                    LaneWrite { addr: scratch_base + row, mode: WriteMode::MaxAbs },
+                    LaneWrite {
+                        addr: scratch_base + row,
+                        mode: WriteMode::MaxAbs,
+                    },
                 );
             }
             b.push(inst, vec![]);
@@ -217,7 +287,13 @@ pub fn norm_inf(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_ad
             let hi = lo + bit;
             inst.set_input(hi, LaneSource::Reg { addr: scratch_base });
             inst.route(hi, lo);
-            inst.set_write(lo, LaneWrite { addr: scratch_base, mode: WriteMode::MaxAbs });
+            inst.set_write(
+                lo,
+                LaneWrite {
+                    addr: scratch_base,
+                    mode: WriteMode::MaxAbs,
+                },
+            );
         }
         b.push(inst, vec![]);
     }
@@ -225,7 +301,13 @@ pub fn norm_inf(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_ad
     fin.kind = InstrKind::Elementwise;
     fin.set_input(0, LaneSource::Reg { addr: scratch_base });
     fin.route(0, 0);
-    fin.set_write(0, LaneWrite { addr: result_addr, mode: WriteMode::Store });
+    fin.set_write(
+        0,
+        LaneWrite {
+            addr: result_addr,
+            mode: WriteMode::Store,
+        },
+    );
     b.push(fin, vec![]);
 }
 
@@ -243,7 +325,13 @@ pub fn sum_reduce(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_
     for lane in 0..partial_lanes {
         zero_inst.set_input(lane, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
         zero_inst.route(lane, lane);
-        zero_inst.set_write(lane, LaneWrite { addr: scratch_base, mode: WriteMode::Store });
+        zero_inst.set_write(
+            lane,
+            LaneWrite {
+                addr: scratch_base,
+                mode: WriteMode::Store,
+            },
+        );
     }
     b.push(zero_inst, vec![]);
     // Each chunk reduces through the MAC tree into a rotating partial lane
@@ -260,7 +348,13 @@ pub fn sum_reduce(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_
             rs.try_claim_input(lane, 0);
         }
         assert!(rs.try_reduce(&mut inst, 0, &lanes, dst));
-        inst.set_write(dst, LaneWrite { addr: scratch_base, mode: WriteMode::Add });
+        inst.set_write(
+            dst,
+            LaneWrite {
+                addr: scratch_base,
+                mode: WriteMode::Add,
+            },
+        );
         b.push(inst, vec![]);
     }
     // Binary-tree fold across the partial lanes.
@@ -273,7 +367,13 @@ pub fn sum_reduce(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_
             let hi = lo + bit;
             inst.set_input(hi, LaneSource::Reg { addr: scratch_base });
             inst.route(hi, lo);
-            inst.set_write(lo, LaneWrite { addr: scratch_base, mode: WriteMode::Add });
+            inst.set_write(
+                lo,
+                LaneWrite {
+                    addr: scratch_base,
+                    mode: WriteMode::Add,
+                },
+            );
         }
         b.push(inst, vec![]);
     }
@@ -281,7 +381,13 @@ pub fn sum_reduce(b: &mut KernelBuilder, x: Layout, scratch_base: usize, result_
     fin.kind = InstrKind::Elementwise;
     fin.set_input(0, LaneSource::Reg { addr: scratch_base });
     fin.route(0, 0);
-    fin.set_write(0, LaneWrite { addr: result_addr, mode: WriteMode::Store });
+    fin.set_write(
+        0,
+        LaneWrite {
+            addr: result_addr,
+            mode: WriteMode::Store,
+        },
+    );
     b.push(fin, vec![]);
 }
 
@@ -296,7 +402,13 @@ pub fn broadcast_scalar(b: &mut KernelBuilder, bank: usize, addr: usize) {
     rs.try_claim_input(bank, 0);
     for t in 0..width {
         assert!(rs.try_route(&mut inst, 0, bank, t));
-        inst.set_write(t, LaneWrite { addr: 0, mode: WriteMode::Latch });
+        inst.set_write(
+            t,
+            LaneWrite {
+                addr: 0,
+                mode: WriteMode::Latch,
+            },
+        );
     }
     b.push(inst, vec![]);
 }
@@ -317,9 +429,21 @@ pub fn scale_by_latch(
         inst.kind = InstrKind::Elementwise;
         for e in range {
             let lane = src.bank(e);
-            inst.set_input(lane, LaneSource::RegTimesLatch { addr: src.addr(e), negate });
+            inst.set_input(
+                lane,
+                LaneSource::RegTimesLatch {
+                    addr: src.addr(e),
+                    negate,
+                },
+            );
             inst.route(lane, lane);
-            inst.set_write(lane, LaneWrite { addr: dst.addr(e), mode });
+            inst.set_write(
+                lane,
+                LaneWrite {
+                    addr: dst.addr(e),
+                    mode,
+                },
+            );
         }
         b.push(inst, vec![]);
     }
@@ -332,7 +456,13 @@ pub fn scalar_recip(b: &mut KernelBuilder, bank: usize, src: usize, dst: usize) 
     inst.kind = InstrKind::Elementwise;
     inst.set_input(bank, LaneSource::Reg { addr: src });
     inst.route(bank, bank);
-    inst.set_write(bank, LaneWrite { addr: dst, mode: WriteMode::StoreRecip });
+    inst.set_write(
+        bank,
+        LaneWrite {
+            addr: dst,
+            mode: WriteMode::StoreRecip,
+        },
+    );
     b.push(inst, vec![]);
 }
 
@@ -344,13 +474,31 @@ pub fn scalar_mul(b: &mut KernelBuilder, bank: usize, a_addr: usize, b_addr: usi
     latch.kind = InstrKind::Elementwise;
     latch.set_input(bank, LaneSource::Reg { addr: a_addr });
     latch.route(bank, bank);
-    latch.set_write(bank, LaneWrite { addr: 0, mode: WriteMode::Latch });
+    latch.set_write(
+        bank,
+        LaneWrite {
+            addr: 0,
+            mode: WriteMode::Latch,
+        },
+    );
     b.push(latch, vec![]);
     let mut mul = NetInstruction::nop(width);
     mul.kind = InstrKind::Elementwise;
-    mul.set_input(bank, LaneSource::RegTimesLatch { addr: b_addr, negate: false });
+    mul.set_input(
+        bank,
+        LaneSource::RegTimesLatch {
+            addr: b_addr,
+            negate: false,
+        },
+    );
     mul.route(bank, bank);
-    mul.set_write(bank, LaneWrite { addr: dst, mode: WriteMode::Store });
+    mul.set_write(
+        bank,
+        LaneWrite {
+            addr: dst,
+            mode: WriteMode::Store,
+        },
+    );
     b.push(mul, vec![]);
 }
 
@@ -364,7 +512,14 @@ mod tests {
     use mib_core::MibConfig;
 
     fn run(b: KernelBuilder) -> Machine {
-        run_with(b, Machine::new(MibConfig { width: 8, bank_depth: 256, clock_hz: 1e6 }))
+        run_with(
+            b,
+            Machine::new(MibConfig {
+                width: 8,
+                bank_depth: 256,
+                clock_hz: 1e6,
+            }),
+        )
     }
 
     fn run_with(b: KernelBuilder, mut m: Machine) -> Machine {
@@ -383,7 +538,11 @@ mod tests {
     }
 
     fn builder() -> (KernelBuilder, Allocator) {
-        let cfg = MibConfig { width: 8, bank_depth: 256, clock_hz: 1e6 };
+        let cfg = MibConfig {
+            width: 8,
+            bank_depth: 256,
+            clock_hz: 1e6,
+        };
         (KernelBuilder::new("t", 8, cfg.latency()), Allocator::new(8))
     }
 
@@ -396,7 +555,10 @@ mod tests {
         load_vec(&mut b, v, &data);
         scale(&mut b, v, w, 2.5, WriteMode::Store);
         let m = run(b);
-        assert_eq!(read_layout(&m, w), data.iter().map(|x| x * 2.5).collect::<Vec<_>>());
+        assert_eq!(
+            read_layout(&m, w),
+            data.iter().map(|x| x * 2.5).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -481,7 +643,11 @@ mod tests {
         let s = a.alloc_rows(1);
         load_vec(&mut b, x, &[2.0; 10]);
         // Write 3.0 into the scalar slot via a stream load of length 1.
-        let sl = Layout { base: s, len: 1, width: 8 };
+        let sl = Layout {
+            base: s,
+            len: 1,
+            width: 8,
+        };
         load_vec(&mut b, sl, &[3.0]);
         broadcast_scalar(&mut b, 0, s);
         scale_by_latch(&mut b, x, y, false, WriteMode::Store);
@@ -493,12 +659,32 @@ mod tests {
     fn scalar_recip_and_mul() {
         let (mut b, mut a) = builder();
         let s = a.alloc_rows(4);
-        let sl = Layout { base: s, len: 2, width: 8 };
+        let sl = Layout {
+            base: s,
+            len: 2,
+            width: 8,
+        };
         // Two scalars... cyclic layout puts them in banks 0 and 1; use two
         // single-element loads into bank 0 instead.
         let _ = sl;
-        load_vec(&mut b, Layout { base: s, len: 1, width: 8 }, &[4.0]);
-        load_vec(&mut b, Layout { base: s + 1, len: 1, width: 8 }, &[10.0]);
+        load_vec(
+            &mut b,
+            Layout {
+                base: s,
+                len: 1,
+                width: 8,
+            },
+            &[4.0],
+        );
+        load_vec(
+            &mut b,
+            Layout {
+                base: s + 1,
+                len: 1,
+                width: 8,
+            },
+            &[10.0],
+        );
         scalar_recip(&mut b, 0, s, s + 2); // 1/4
         scalar_mul(&mut b, 0, s + 2, s + 1, s + 3); // 10 * 0.25
         let m = run(b);

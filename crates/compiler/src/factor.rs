@@ -92,13 +92,22 @@ pub fn factor_kernel(
                 used[lane] = true;
                 inst.set_input(lane, LaneSource::Stream);
                 inst.route(lane, lane);
-                inst.set_write(lane, LaneWrite { addr, mode: WriteMode::Store });
+                inst.set_write(
+                    lane,
+                    LaneWrite {
+                        addr,
+                        mode: WriteMode::Store,
+                    },
+                );
                 stream.push((lane, v));
                 idx += 1;
             }
             b.push(inst, stream);
         }
-        assert!(saw_diag, "kkt matrix must have an explicit diagonal at column {k}");
+        assert!(
+            saw_diag,
+            "kkt matrix must have an explicit diagonal at column {k}"
+        );
 
         // ---- Elimination phase over the row pattern. ----
         let pattern = sym.etree().row_pattern(a, k);
@@ -110,7 +119,13 @@ pub fn factor_kernel(
             l1.kind = InstrKind::Broadcast;
             l1.set_input(dinv.bank(i), LaneSource::Reg { addr: dinv.addr(i) });
             l1.route(dinv.bank(i), lane_i);
-            l1.set_write(lane_i, LaneWrite { addr: 0, mode: WriteMode::Latch });
+            l1.set_write(
+                lane_i,
+                LaneWrite {
+                    addr: 0,
+                    mode: WriteMode::Latch,
+                },
+            );
             b.push(l1, vec![]);
             // (2) L(k, i) = yᵢ · D⁻¹ᵢ, stored at the next free slot of
             // column i (bank k % C).
@@ -120,9 +135,21 @@ pub fn factor_kernel(
             debug_assert_eq!(bank_ki, lane_k);
             let mut l2 = NetInstruction::nop(width);
             l2.kind = InstrKind::ColElim;
-            l2.set_input(lane_i, LaneSource::RegTimesLatch { addr: y.addr(i), negate: false });
+            l2.set_input(
+                lane_i,
+                LaneSource::RegTimesLatch {
+                    addr: y.addr(i),
+                    negate: false,
+                },
+            );
             l2.route(lane_i, lane_k);
-            l2.set_write(lane_k, LaneWrite { addr: addr_ki, mode: WriteMode::Store });
+            l2.set_write(
+                lane_k,
+                LaneWrite {
+                    addr: addr_ki,
+                    mode: WriteMode::Store,
+                },
+            );
             b.push(l2, vec![]);
             // (3) Broadcast yᵢ into the latches of the update lanes and the
             // pivot lane.
@@ -138,7 +165,13 @@ pub fn factor_kernel(
             rs.try_claim_input(lane_i, 0);
             for &t in &targets {
                 assert!(rs.try_route(&mut l3, 0, lane_i, t));
-                l3.set_write(t, LaneWrite { addr: 0, mode: WriteMode::Latch });
+                l3.set_write(
+                    t,
+                    LaneWrite {
+                        addr: 0,
+                        mode: WriteMode::Latch,
+                    },
+                );
             }
             b.push(l3, vec![]);
             // (4) Updates: y_r -= L(r, i) · yᵢ, chunked by lane.
@@ -157,10 +190,19 @@ pub fn factor_kernel(
                     let p = l_col_ptr[i] + uidx;
                     upd.set_input(
                         lane,
-                        LaneSource::RegTimesLatch { addr: fl.l_loc(p, r).1, negate: true },
+                        LaneSource::RegTimesLatch {
+                            addr: fl.l_loc(p, r).1,
+                            negate: true,
+                        },
                     );
                     upd.route(lane, lane);
-                    upd.set_write(lane, LaneWrite { addr: y.addr(r), mode: WriteMode::Add });
+                    upd.set_write(
+                        lane,
+                        LaneWrite {
+                            addr: y.addr(r),
+                            mode: WriteMode::Add,
+                        },
+                    );
                     uidx += 1;
                 }
                 b.push(upd, vec![]);
@@ -168,9 +210,21 @@ pub fn factor_kernel(
             // (5) D[k] -= yᵢ · L(k, i).
             let mut l5 = NetInstruction::nop(width);
             l5.kind = InstrKind::ColElim;
-            l5.set_input(lane_k, LaneSource::RegTimesLatch { addr: addr_ki, negate: true });
+            l5.set_input(
+                lane_k,
+                LaneSource::RegTimesLatch {
+                    addr: addr_ki,
+                    negate: true,
+                },
+            );
             l5.route(lane_k, lane_k);
-            l5.set_write(lane_k, LaneWrite { addr: d.addr(k), mode: WriteMode::Add });
+            l5.set_write(
+                lane_k,
+                LaneWrite {
+                    addr: d.addr(k),
+                    mode: WriteMode::Add,
+                },
+            );
             b.push(l5, vec![]);
             // (6) Clear yᵢ for the next row (preserves the all-zero scratch
             // invariant).
@@ -178,7 +232,13 @@ pub fn factor_kernel(
             l6.kind = InstrKind::Elementwise;
             l6.set_input(lane_i, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
             l6.route(lane_i, lane_i);
-            l6.set_write(lane_i, LaneWrite { addr: y.addr(i), mode: WriteMode::Store });
+            l6.set_write(
+                lane_i,
+                LaneWrite {
+                    addr: y.addr(i),
+                    mode: WriteMode::Store,
+                },
+            );
             b.push(l6, vec![]);
             fill[i] += 1;
         }
@@ -188,7 +248,13 @@ pub fn factor_kernel(
         rec.kind = InstrKind::Elementwise;
         rec.set_input(lane_k, LaneSource::Reg { addr: d.addr(k) });
         rec.route(lane_k, dinv.bank(k));
-        rec.set_write(dinv.bank(k), LaneWrite { addr: dinv.addr(k), mode: WriteMode::StoreRecip });
+        rec.set_write(
+            dinv.bank(k),
+            LaneWrite {
+                addr: dinv.addr(k),
+                mode: WriteMode::StoreRecip,
+            },
+        );
         b.push(rec, vec![]);
     }
     debug_assert_eq!(
@@ -234,7 +300,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn cfg() -> MibConfig {
-        MibConfig { width: 8, bank_depth: 8192, clock_hz: 1e6 }
+        MibConfig {
+            width: 8,
+            bank_depth: 8192,
+            clock_hz: 1e6,
+        }
     }
 
     fn spd(n: usize, density: f64, seed: u64) -> CscMatrix {
@@ -315,11 +385,19 @@ mod tests {
         let (_fl2, y2) = plan_factor_exact(&a2, &sym, &mut alloc2);
         factor_kernel(&mut b2, &a2, &sym, &fl, y2);
         let s2 = schedule(&b2.finish(), ScheduleOptions::default());
-        assert_eq!(s.program.len(), s2.program.len(), "same pattern, same schedule");
+        assert_eq!(
+            s.program.len(),
+            s2.program.len(),
+            "same pattern, same schedule"
+        );
 
         let mut m = Machine::new(c);
-        m.run(&s2.program, &mut HbmStream::new(s2.hbm.clone()), HazardPolicy::Strict)
-            .unwrap();
+        m.run(
+            &s2.program,
+            &mut HbmStream::new(s2.hbm.clone()),
+            HazardPolicy::Strict,
+        )
+        .unwrap();
         let got_l = fl.read_l(ref2.l_row_ind(), &m);
         for (g, w) in got_l.iter().zip(ref2.l_values()) {
             assert!((g - w).abs() < 1e-10);
@@ -340,7 +418,10 @@ mod tests {
         let multi = schedule(&k, ScheduleOptions::default());
         let single = schedule(
             &k,
-            ScheduleOptions { multi_issue: false, ..ScheduleOptions::default() },
+            ScheduleOptions {
+                multi_issue: false,
+                ..ScheduleOptions::default()
+            },
         );
         assert!(
             multi.slots() < single.slots(),

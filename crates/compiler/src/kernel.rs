@@ -204,7 +204,11 @@ impl KernelBuilder {
 
     /// Finishes the kernel.
     pub fn finish(self) -> Kernel {
-        Kernel { name: self.name, width: self.width, instrs: self.instrs }
+        Kernel {
+            name: self.name,
+            width: self.width,
+            instrs: self.instrs,
+        }
     }
 }
 
@@ -217,7 +221,13 @@ mod tests {
         let mut i = NetInstruction::nop(width);
         i.set_input(lane, LaneSource::Reg { addr: from_addr });
         i.route(lane, lane);
-        i.set_write(lane, LaneWrite { addr: to_addr, mode: WriteMode::Store });
+        i.set_write(
+            lane,
+            LaneWrite {
+                addr: to_addr,
+                mode: WriteMode::Store,
+            },
+        );
         i
     }
 
@@ -250,7 +260,13 @@ mod tests {
         let mut acc = NetInstruction::nop(8);
         acc.set_input(2, LaneSource::Reg { addr: 0 });
         acc.route(2, 2);
-        acc.set_write(2, LaneWrite { addr: 7, mode: WriteMode::Add });
+        acc.set_write(
+            2,
+            LaneWrite {
+                addr: 7,
+                mode: WriteMode::Add,
+            },
+        );
         let a = b.push(acc, vec![]);
         let k = b.finish();
         assert!(k.instrs[a].deps.contains(&(w1, 5)));
@@ -262,12 +278,30 @@ mod tests {
         let mut bcast = NetInstruction::nop(8);
         bcast.set_input(1, LaneSource::Reg { addr: 0 });
         bcast.route(1, 3);
-        bcast.set_write(3, LaneWrite { addr: 0, mode: WriteMode::Latch });
+        bcast.set_write(
+            3,
+            LaneWrite {
+                addr: 0,
+                mode: WriteMode::Latch,
+            },
+        );
         let p = b.push(bcast, vec![]);
         let mut use_latch = NetInstruction::nop(8);
-        use_latch.set_input(3, LaneSource::RegTimesLatch { addr: 2, negate: false });
+        use_latch.set_input(
+            3,
+            LaneSource::RegTimesLatch {
+                addr: 2,
+                negate: false,
+            },
+        );
         use_latch.route(3, 3);
-        use_latch.set_write(3, LaneWrite { addr: 4, mode: WriteMode::Store });
+        use_latch.set_write(
+            3,
+            LaneWrite {
+                addr: 4,
+                mode: WriteMode::Store,
+            },
+        );
         let c = b.push(use_latch, vec![]);
         let k = b.finish();
         assert!(k.instrs[c].deps.contains(&(p, 5)));

@@ -57,7 +57,11 @@ impl Allocator {
 
     /// Allocates a cyclic layout for a vector of length `len`.
     pub fn alloc(&mut self, len: usize) -> Layout {
-        let layout = Layout { base: self.next, len, width: self.width };
+        let layout = Layout {
+            base: self.next,
+            len,
+            width: self.width,
+        };
         self.next += len.div_ceil(self.width).max(1);
         layout
     }
@@ -87,7 +91,11 @@ mod tests {
 
     #[test]
     fn cyclic_mapping() {
-        let l = Layout { base: 4, len: 10, width: 4 };
+        let l = Layout {
+            base: 4,
+            len: 10,
+            width: 4,
+        };
         assert_eq!(l.loc(0), (0, 4));
         assert_eq!(l.loc(5), (1, 5));
         assert_eq!(l.loc(9), (1, 6));

@@ -22,6 +22,10 @@
 //!    together, and prefetch copies fill otherwise-empty slots.
 //! 4. [`lower`] assembles whole OSQP iterations (direct and indirect) into
 //!    scheduled programs and a per-solve cycle model.
+//! 5. [`cache::ProgramCache`] memoizes compiled programs by sparsity
+//!    pattern: parametric re-solves (new `q`, `l`, `u` over a fixed
+//!    structure) clone the cached schedules and regenerate only the cheap
+//!    value-dependent load program.
 //!
 //! Scheduled programs are *verified*: executing them on the
 //! [`mib_core::machine::Machine`] in strict hazard mode must reproduce the
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod elementwise;
 pub mod factor;
 pub mod kernel;
@@ -41,6 +46,7 @@ pub mod schedule;
 pub mod spmv;
 pub mod trisolve;
 
+pub use cache::ProgramCache;
 pub use kernel::{Kernel, KernelBuilder, LogicalInstr};
 pub use layout::{Allocator, Layout};
 pub use schedule::{schedule, Schedule, ScheduleOptions};

@@ -24,13 +24,13 @@
 //! iteration counts from the reference run it yields the cycle-accurate
 //! runtime model behind the paper's Figure 10.
 
+use mib_core::instruction::WriteMode;
 use mib_core::MibConfig;
 use mib_qp::kkt::KktMatrix;
 use mib_qp::{KktBackend, Problem, QpError, Settings, INFTY};
 use mib_sparse::ldl::LdlSymbolic;
 use mib_sparse::order::{self, Ordering};
 use mib_sparse::CsrMatrix;
-use mib_core::instruction::WriteMode;
 
 use crate::elementwise as ew;
 use crate::factor::{factor_kernel, plan_factor_exact};
@@ -124,13 +124,17 @@ impl LoweredQp {
         checks: usize,
         factor_count: usize,
     ) -> f64 {
-        self.config
-            .cycles_to_seconds(self.total_cycles(admm_iters, pcg_iters, checks, factor_count))
+        self.config.cycles_to_seconds(self.total_cycles(
+            admm_iters,
+            pcg_iters,
+            checks,
+            factor_count,
+        ))
     }
 }
 
 /// Per-constraint step sizes, mirroring the reference solver's rule.
-fn rho_vec_for(problem: &Problem, settings: &Settings) -> Vec<f64> {
+pub(crate) fn rho_vec_for(problem: &Problem, settings: &Settings) -> Vec<f64> {
     problem
         .l()
         .iter()
@@ -153,7 +157,11 @@ fn rho_vec_for(problem: &Problem, settings: &Settings) -> Vec<f64> {
 ///
 /// Returns [`QpError`] variants for invalid settings or a failed symbolic
 /// KKT analysis.
-pub fn lower(problem: &Problem, settings: &Settings, config: MibConfig) -> Result<LoweredQp, QpError> {
+pub fn lower(
+    problem: &Problem,
+    settings: &Settings,
+    config: MibConfig,
+) -> Result<LoweredQp, QpError> {
     settings.validate()?;
     match settings.backend {
         KktBackend::Direct => lower_direct(problem, settings, config),
@@ -207,15 +215,100 @@ fn alloc_common(alloc: &mut Allocator, n: usize, m: usize) -> CommonState {
     }
 }
 
+/// Register-file layouts for the indirect variant's PCG state.
+///
+/// Allocated immediately after [`alloc_common`] so the addresses are a
+/// deterministic function of `(n, m, width)` — the property that lets the
+/// program cache regenerate a load schedule without re-running the full
+/// lowering.
+struct PcgLayouts {
+    b_vec: Layout,
+    r: Layout,
+    pdir: Layout,
+    dvec: Layout,
+    sp: Layout,
+    az: Layout,
+    precond: Layout,
+    scalars: usize,
+}
+
+fn alloc_pcg(alloc: &mut Allocator, n: usize, m: usize) -> PcgLayouts {
+    PcgLayouts {
+        b_vec: alloc.alloc(n), // reduced rhs
+        r: alloc.alloc(n),
+        pdir: alloc.alloc(n),
+        dvec: alloc.alloc(n),
+        sp: alloc.alloc(n),
+        az: alloc.alloc(m),
+        precond: alloc.alloc(n),
+        scalars: alloc.alloc_rows(8), // rd, psp, lambda, mu, rd_new, recip...
+    }
+}
+
+/// Jacobi preconditioner values `1 / (diag(P) + σ + Σᵢ ρᵢ Aᵢⱼ²)`.
+fn jacobi_precond_values(problem: &Problem, sigma: f64, rho_vec: &[f64]) -> Vec<f64> {
+    let n = problem.num_vars();
+    let mut diag = vec![sigma; n];
+    for (j, d) in diag.iter_mut().enumerate() {
+        *d += problem.p().get(j, j);
+    }
+    for (i, j, v) in problem.a().iter() {
+        diag[j] += rho_vec[i] * v * v;
+    }
+    diag.iter()
+        .map(|&d| if d > 0.0 { 1.0 / d } else { 1.0 })
+        .collect()
+}
+
+/// Builds the (value-dependent) one-time load program on a fresh allocator.
+///
+/// This is the only schedule whose *instruction stream data* depends on the
+/// vector values `q`, `l`, `u` (and through `ρ` classification, the bounds).
+/// The register addresses it targets are deterministic given the problem
+/// dimensions and machine width, so [`crate::cache::ProgramCache`] calls
+/// this to refresh a cached [`LoweredQp`] for new parameter values without
+/// re-running symbolic analysis or rescheduling the iteration programs.
+pub(crate) fn build_load_schedule(
+    problem: &Problem,
+    settings: &Settings,
+    config: MibConfig,
+) -> Schedule {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    let rho_vec = rho_vec_for(problem, settings);
+    let mut alloc = Allocator::new(config.width);
+    let st = alloc_common(&mut alloc, n, m);
+    let mut lb = KernelBuilder::new("load", config.width, config.latency());
+    build_load(&mut lb, &st, problem, &rho_vec);
+    if settings.backend == KktBackend::Indirect {
+        let pcg = alloc_pcg(&mut alloc, n, m);
+        let minv = jacobi_precond_values(problem, settings.sigma, &rho_vec);
+        ew::load_vec(&mut lb, pcg.precond, &minv);
+    }
+    schedule(&lb.finish(), ScheduleOptions::default())
+}
+
 /// Emits the one-time load of problem vectors (bounds are clamped to a
 /// large-but-finite magnitude so the machine's arithmetic stays clean).
 fn build_load(b: &mut KernelBuilder, st: &CommonState, problem: &Problem, rho_vec: &[f64]) {
     let clamp = |v: f64| v.clamp(-INFTY, INFTY);
     ew::load_vec(b, st.q, problem.q());
-    ew::load_vec(b, st.l, &problem.l().iter().map(|&v| clamp(v)).collect::<Vec<_>>());
-    ew::load_vec(b, st.u, &problem.u().iter().map(|&v| clamp(v)).collect::<Vec<_>>());
+    ew::load_vec(
+        b,
+        st.l,
+        &problem.l().iter().map(|&v| clamp(v)).collect::<Vec<_>>(),
+    );
+    ew::load_vec(
+        b,
+        st.u,
+        &problem.u().iter().map(|&v| clamp(v)).collect::<Vec<_>>(),
+    );
     ew::load_vec(b, st.rho, rho_vec);
-    ew::load_vec(b, st.rho_inv, &rho_vec.iter().map(|&r| 1.0 / r).collect::<Vec<_>>());
+    ew::load_vec(
+        b,
+        st.rho_inv,
+        &rho_vec.iter().map(|&r| 1.0 / r).collect::<Vec<_>>(),
+    );
     ew::zero(b, st.x);
     ew::zero(b, st.y);
     ew::zero(b, st.z);
@@ -265,10 +358,26 @@ fn build_check(
     a_csr: &CsrMatrix,
     p_full: &CsrMatrix,
 ) {
-    mac_spmv(b, alloc, a_csr, st.x, st.t_m2, false, SpmvOptions::default());
+    mac_spmv(
+        b,
+        alloc,
+        a_csr,
+        st.x,
+        st.t_m2,
+        false,
+        SpmvOptions::default(),
+    );
     ew::scale(b, st.z, st.t_m2, -1.0, WriteMode::Add);
     ew::norm_inf(b, st.t_m2, st.norm_scratch, st.prim_res);
-    mac_spmv(b, alloc, p_full, st.x, st.t_n2, false, SpmvOptions::default());
+    mac_spmv(
+        b,
+        alloc,
+        p_full,
+        st.x,
+        st.t_n2,
+        false,
+        SpmvOptions::default(),
+    );
     ew::scale(b, st.q, st.t_n2, 1.0, WriteMode::Add);
     col_spmv(b, alloc, a_csr, st.y, st.t_n2, true);
     ew::norm_inf(b, st.t_n2, st.norm_scratch, st.dual_res);
@@ -296,10 +405,8 @@ fn lower_direct(
     let (fl, y_scratch) = plan_factor_exact(&permuted, &sym, &mut alloc);
     let v = alloc.alloc(n + m);
 
-    // Load program.
-    let mut lb = KernelBuilder::new("load", config.width, config.latency());
-    build_load(&mut lb, &st, problem, &rho_vec);
-    let load = schedule(&lb.finish(), ScheduleOptions::default());
+    // Load program (shared with the cache's value-refresh path).
+    let load = build_load_schedule(problem, settings, config);
 
     // Setup: on-machine numeric factorization.
     let mut fb = KernelBuilder::new("factor", config.width, config.latency());
@@ -317,12 +424,15 @@ fn lower_direct(
             st.t_m.loc(idx - n)
         }
     };
-    let gather: Vec<((usize, usize), (usize, usize))> =
-        (0..n + m).map(|p| (rhs_loc(perm.perm()[p]), v.loc(p))).collect();
+    let gather: Vec<((usize, usize), (usize, usize))> = (0..n + m)
+        .map(|p| (rhs_loc(perm.perm()[p]), v.loc(p)))
+        .collect();
     permute_locs(&mut ib, &gather);
     // Reference factor object for structure-driven solve generation: the
     // triangular-solve generators need L's pattern; values live on-machine.
-    let f_struct = sym.factor(&permuted).map_err(|e| QpError::KktFactorization(e.to_string()))?;
+    let f_struct = sym
+        .factor(&permuted)
+        .map_err(|e| QpError::KktFactorization(e.to_string()))?;
     lsolve_streamed(&mut ib, &f_struct, v);
     dsolve_streamed(&mut ib, &f_struct, v);
     ltsolve_streamed(&mut ib, &f_struct, v);
@@ -334,8 +444,9 @@ fn lower_direct(
             st.nu.loc(idx - n)
         }
     };
-    let scatter: Vec<((usize, usize), (usize, usize))> =
-        (0..n + m).map(|orig| (v.loc(perm.inv()[orig]), out_loc(orig))).collect();
+    let scatter: Vec<((usize, usize), (usize, usize))> = (0..n + m)
+        .map(|orig| (v.loc(perm.inv()[orig]), out_loc(orig)))
+        .collect();
     permute_locs(&mut ib, &scatter);
     build_updates(&mut ib, &st, settings.alpha);
     let iteration = schedule(&ib.finish(), ScheduleOptions::default());
@@ -366,38 +477,26 @@ fn lower_indirect(
 ) -> Result<LoweredQp, QpError> {
     let n = problem.num_vars();
     let m = problem.num_constraints();
-    let rho_vec = rho_vec_for(problem, settings);
     let mut alloc = Allocator::new(config.width);
     let st = alloc_common(&mut alloc, n, m);
     let a_csr = problem.a().to_csr();
     let p_full = symmetrize_upper(problem.p()).to_csr();
 
-    // PCG state vectors.
-    let b_vec = alloc.alloc(n); // reduced rhs
-    let r = alloc.alloc(n);
-    let pdir = alloc.alloc(n);
-    let dvec = alloc.alloc(n);
-    let sp = alloc.alloc(n);
-    let az = alloc.alloc(m);
-    let precond = alloc.alloc(n);
-    let scalars = alloc.alloc_rows(8); // rd, psp, lambda, mu, rd_new, recip...
+    // PCG state vectors (allocation order shared with the load builder).
+    let PcgLayouts {
+        b_vec,
+        r,
+        pdir,
+        dvec,
+        sp,
+        az,
+        precond,
+        scalars,
+    } = alloc_pcg(&mut alloc, n, m);
 
-    // Jacobi preconditioner values (diag(P) + sigma + sum rho_i A_ij^2).
-    let minv: Vec<f64> = {
-        let mut diag = vec![settings.sigma; n];
-        for j in 0..n {
-            diag[j] += problem.p().get(j, j);
-        }
-        for (i, j, v) in problem.a().iter() {
-            diag[j] += rho_vec[i] * v * v;
-        }
-        diag.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 1.0 }).collect()
-    };
-
-    let mut lb = KernelBuilder::new("load", config.width, config.latency());
-    build_load(&mut lb, &st, problem, &rho_vec);
-    ew::load_vec(&mut lb, precond, &minv);
-    let load = schedule(&lb.finish(), ScheduleOptions::default());
+    // Load program, including the Jacobi preconditioner values
+    // (diag(P) + sigma + sum rho_i A_ij^2).
+    let load = build_load_schedule(problem, settings, config);
 
     // Iteration (outer) program: rhs, reduced rhs, nu recovery, updates.
     let mut ib = KernelBuilder::new("iteration", config.width, config.latency());
@@ -408,7 +507,17 @@ fn lower_indirect(
     col_spmv(&mut ib, &mut alloc, &a_csr, st.t_m2, b_vec, true);
     // PCG initialization: r = S·xtilde − b (one S application), d = M⁻¹r,
     // p = −d, rd = rᵀd.
-    apply_s(&mut ib, &mut alloc, &st, &a_csr, &p_full, settings.sigma, st.xtilde, r, az);
+    apply_s(
+        &mut ib,
+        &mut alloc,
+        &st,
+        &a_csr,
+        &p_full,
+        settings.sigma,
+        st.xtilde,
+        r,
+        az,
+    );
     ew::scale(&mut ib, b_vec, r, -1.0, WriteMode::Add);
     ew::ew_prod(&mut ib, r, precond, dvec, WriteMode::Store);
     ew::scale(&mut ib, dvec, pdir, -1.0, WriteMode::Store);
@@ -416,7 +525,15 @@ fn lower_indirect(
     ew::sum_reduce(&mut ib, st.t_n2, st.norm_scratch, scalars);
     // After the PCG loop (modelled separately), xtilde holds the solution:
     // ν = ρ ∘ (A·xtilde − t_m).
-    mac_spmv(&mut ib, &mut alloc, &a_csr, st.xtilde, st.t_m2, false, SpmvOptions::default());
+    mac_spmv(
+        &mut ib,
+        &mut alloc,
+        &a_csr,
+        st.xtilde,
+        st.t_m2,
+        false,
+        SpmvOptions::default(),
+    );
     ew::scale(&mut ib, st.t_m, st.t_m2, -1.0, WriteMode::Add);
     ew::ew_prod(&mut ib, st.t_m2, st.rho, st.nu, WriteMode::Store);
     build_updates(&mut ib, &st, settings.alpha);
@@ -424,7 +541,17 @@ fn lower_indirect(
 
     // PCG iteration program (Algorithm 2, lines 3-9).
     let mut pb = KernelBuilder::new("pcg", config.width, config.latency());
-    apply_s(&mut pb, &mut alloc, &st, &a_csr, &p_full, settings.sigma, pdir, sp, az);
+    apply_s(
+        &mut pb,
+        &mut alloc,
+        &st,
+        &a_csr,
+        &p_full,
+        settings.sigma,
+        pdir,
+        sp,
+        az,
+    );
     // psp = pᵀ(Sp)
     ew::ew_prod(&mut pb, pdir, sp, st.t_n2, WriteMode::Store);
     ew::sum_reduce(&mut pb, st.t_n2, st.norm_scratch, scalars + 1);
@@ -445,8 +572,21 @@ fn lower_indirect(
     ew::broadcast_scalar(&mut pb, 0, scalars + 6);
     ew::scale_by_latch(&mut pb, pdir, pdir, false, WriteMode::Store);
     ew::scale(&mut pb, dvec, pdir, -1.0, WriteMode::Add);
-    ew::scale(&mut pb, Layout { base: scalars + 4, len: 1, width: config.width },
-              Layout { base: scalars, len: 1, width: config.width }, 1.0, WriteMode::Store);
+    ew::scale(
+        &mut pb,
+        Layout {
+            base: scalars + 4,
+            len: 1,
+            width: config.width,
+        },
+        Layout {
+            base: scalars,
+            len: 1,
+            width: config.width,
+        },
+        1.0,
+        WriteMode::Store,
+    );
     let pcg_iteration = schedule(&pb.finish(), ScheduleOptions::default());
 
     let mut cb = KernelBuilder::new("check", config.width, config.latency());
@@ -496,13 +636,26 @@ mod tests {
     use mib_sparse::CscMatrix;
 
     fn small_problem() -> Problem {
-        let p = CscMatrix::from_dense(2, 2, &[4.0, 1.0, 0.0, 2.0]).upper_triangle().unwrap();
+        let p = CscMatrix::from_dense(2, 2, &[4.0, 1.0, 0.0, 2.0])
+            .upper_triangle()
+            .unwrap();
         let a = CscMatrix::from_dense(3, 2, &[1.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
-        Problem::new(p, vec![1.0, 1.0], a, vec![1.0, 0.0, 0.0], vec![1.0, 0.7, 0.7]).unwrap()
+        Problem::new(
+            p,
+            vec![1.0, 1.0],
+            a,
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.7, 0.7],
+        )
+        .unwrap()
     }
 
     fn tiny_config() -> MibConfig {
-        MibConfig { width: 8, bank_depth: 1 << 14, clock_hz: 1e6 }
+        MibConfig {
+            width: 8,
+            bank_depth: 1 << 14,
+            clock_hz: 1e6,
+        }
     }
 
     #[test]
@@ -533,7 +686,12 @@ mod tests {
         let problem = small_problem();
         let lowered = lower(&problem, &Settings::default(), tiny_config()).unwrap();
         let mut m = Machine::new(lowered.config);
-        for s in [&lowered.load, &lowered.setup, &lowered.iteration, &lowered.check] {
+        for s in [
+            &lowered.load,
+            &lowered.setup,
+            &lowered.iteration,
+            &lowered.check,
+        ] {
             let mut hbm = HbmStream::new(s.hbm.clone());
             m.run(&s.program, &mut hbm, HazardPolicy::Strict)
                 .expect("lowered programs must be hazard-free");
@@ -546,7 +704,12 @@ mod tests {
         let settings = Settings::with_backend(KktBackend::Indirect);
         let lowered = lower(&problem, &settings, tiny_config()).unwrap();
         let mut m = Machine::new(lowered.config);
-        for s in [&lowered.load, &lowered.iteration, &lowered.pcg_iteration, &lowered.check] {
+        for s in [
+            &lowered.load,
+            &lowered.iteration,
+            &lowered.pcg_iteration,
+            &lowered.check,
+        ] {
             let mut hbm = HbmStream::new(s.hbm.clone());
             m.run(&s.program, &mut hbm, HazardPolicy::Strict)
                 .expect("lowered programs must be hazard-free");
@@ -558,13 +721,15 @@ mod tests {
     #[test]
     fn direct_iteration_matches_reference_admm() {
         let problem = small_problem();
-        let mut settings = Settings::default();
         // Match the lowered program's modelling assumptions: no scaling,
         // no adaptive rho.
-        settings.scaling_iters = 0;
-        settings.adaptive_rho = false;
-        settings.eps_abs = 1e-9;
-        settings.eps_rel = 1e-9;
+        let settings = Settings {
+            scaling_iters: 0,
+            adaptive_rho: false,
+            eps_abs: 1e-9,
+            eps_rel: 1e-9,
+            ..Settings::default()
+        };
         let lowered = lower(&problem, &settings, tiny_config()).unwrap();
 
         let mut m = Machine::new(lowered.config);
@@ -579,7 +744,9 @@ mod tests {
         }
         // Reference solution of this QP: x = (0.3, 0.7) from the OSQP
         // paper's example... compute via the reference solver instead.
-        let reference = mib_qp::Solver::new(problem.clone(), settings).unwrap().solve();
+        let reference = mib_qp::Solver::new(problem.clone(), settings)
+            .unwrap()
+            .solve();
         assert!(reference.status.is_solved());
         // Read x from the machine.
         let n = problem.num_vars();

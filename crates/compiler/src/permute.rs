@@ -38,12 +38,7 @@ impl OpenInstr {
     }
 
     /// Attempts to pack the transfer `src element e (at src_loc) -> dst_loc`.
-    fn try_add(
-        &mut self,
-        elem: usize,
-        src_loc: (usize, usize),
-        dst_loc: (usize, usize),
-    ) -> bool {
+    fn try_add(&mut self, elem: usize, src_loc: (usize, usize), dst_loc: (usize, usize)) -> bool {
         let (sb, sa) = src_loc;
         let (db, da) = dst_loc;
         if self.write_used[db] {
@@ -64,7 +59,13 @@ impl OpenInstr {
             self.inst.set_input(sb, LaneSource::Reg { addr: sa });
             self.input_owner[sb] = Some(elem);
         }
-        self.inst.set_write(db, LaneWrite { addr: da, mode: WriteMode::Store });
+        self.inst.set_write(
+            db,
+            LaneWrite {
+                addr: da,
+                mode: WriteMode::Store,
+            },
+        );
         self.write_used[db] = true;
         true
     }
@@ -110,6 +111,10 @@ pub fn permute_inverse(b: &mut KernelBuilder, src: Layout, dst: Layout, perm: &P
     permute(b, src, dst, &perm.inverse());
 }
 
+/// A single register-to-register transfer `(src_loc, dst_loc)`, each
+/// location expressed as `(bank, row)`.
+pub type Transfer = ((usize, usize), (usize, usize));
+
 /// Emits an arbitrary set of register-to-register transfers
 /// `(src_loc → dst_loc)`. Transfers sharing a source location multicast
 /// from one read; destinations must be distinct. Used for the KKT
@@ -119,7 +124,7 @@ pub fn permute_inverse(b: &mut KernelBuilder, src: Layout, dst: Layout, perm: &P
 /// # Panics
 ///
 /// Panics if two transfers share a destination.
-pub fn permute_locs(b: &mut KernelBuilder, transfers: &[((usize, usize), (usize, usize))]) {
+pub fn permute_locs(b: &mut KernelBuilder, transfers: &[Transfer]) {
     let width = b.width();
     {
         let mut seen = std::collections::HashSet::new();
@@ -164,7 +169,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn run_permutation(n: usize, perm: &Permutation, seed: u64) {
-        let c = MibConfig { width: 8, bank_depth: 1024, clock_hz: 1e6 };
+        let c = MibConfig {
+            width: 8,
+            bank_depth: 1024,
+            clock_hz: 1e6,
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
         let _ = &mut rng;
@@ -176,8 +185,12 @@ mod tests {
         permute(&mut b, src, dst, perm);
         let s = schedule(&b.finish(), ScheduleOptions::default());
         let mut m = Machine::new(c);
-        m.run(&s.program, &mut HbmStream::new(s.hbm.clone()), HazardPolicy::Strict)
-            .unwrap();
+        m.run(
+            &s.program,
+            &mut HbmStream::new(s.hbm.clone()),
+            HazardPolicy::Strict,
+        )
+        .unwrap();
         let got: Vec<f64> = (0..n)
             .map(|k| m.regs().read(dst.bank(k), dst.addr(k)).unwrap())
             .collect();
@@ -210,7 +223,11 @@ mod tests {
 
     #[test]
     fn scatter_inverts_gather() {
-        let c = MibConfig { width: 8, bank_depth: 1024, clock_hz: 1e6 };
+        let c = MibConfig {
+            width: 8,
+            bank_depth: 1024,
+            clock_hz: 1e6,
+        };
         let n = 21;
         let mut rng = StdRng::seed_from_u64(4);
         let mut v: Vec<usize> = (0..n).collect();
@@ -227,8 +244,12 @@ mod tests {
         permute_inverse(&mut b, a1, a2, &p);
         let s = schedule(&b.finish(), ScheduleOptions::default());
         let mut m = Machine::new(c);
-        m.run(&s.program, &mut HbmStream::new(s.hbm.clone()), HazardPolicy::Strict)
-            .unwrap();
+        m.run(
+            &s.program,
+            &mut HbmStream::new(s.hbm.clone()),
+            HazardPolicy::Strict,
+        )
+        .unwrap();
         let got: Vec<f64> = (0..n)
             .map(|k| m.regs().read(a2.bank(k), a2.addr(k)).unwrap())
             .collect();

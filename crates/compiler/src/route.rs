@@ -23,7 +23,11 @@ impl RouteSpace {
     /// Creates an empty route space for a width-`width` instruction.
     pub fn new(width: usize) -> Self {
         let stages = width.trailing_zeros() as usize;
-        RouteSpace { width, stages, owner: vec![None; width * (stages + 1)] }
+        RouteSpace {
+            width,
+            stages,
+            owner: vec![None; width * (stages + 1)],
+        }
     }
 
     fn idx(&self, row: usize, lane: usize) -> usize {
@@ -59,16 +63,17 @@ impl RouteSpace {
             let bit = 1usize << s;
             let cross = (src ^ dst) & bit != 0;
             let next = if cross { lane ^ bit } else { lane };
-            let mode = if cross { NodeMode::Cross } else { NodeMode::Direct };
+            let mode = if cross {
+                NodeMode::Cross
+            } else {
+                NodeMode::Direct
+            };
             let i = self.idx(s + 1, next);
             match self.owner[i] {
                 None => {}
-                Some(g) if g == group => {
-                    // Shared prefix of a multicast: the mode must agree.
-                    if inst.node(s, next) != mode {
-                        return false;
-                    }
-                }
+                // Shared prefix of a multicast: the mode must agree.
+                Some(g) if g == group && inst.node(s, next) != mode => return false,
+                Some(g) if g == group => {}
                 Some(_) => return false,
             }
             plan.push((s, next, mode));
@@ -158,7 +163,10 @@ mod tests {
         let before = inst.clone();
         // 6 -> 2 needs the same final node (2, 2).
         assert!(!rs.try_route(&mut inst, 1, 6, 2));
-        assert_eq!(inst, before, "failed attempt must not mutate the instruction");
+        assert_eq!(
+            inst, before,
+            "failed attempt must not mutate the instruction"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub struct ScheduleOptions {
 
 impl Default for ScheduleOptions {
     fn default() -> Self {
-        ScheduleOptions { multi_issue: true, probe_limit: 4096 }
+        ScheduleOptions {
+            multi_issue: true,
+            probe_limit: 4096,
+        }
     }
 }
 
@@ -135,13 +138,23 @@ pub fn schedule(kernel: &Kernel, opts: ScheduleOptions) -> Schedule {
         hbm.extend(by_lane.iter().map(|&(_, w)| w));
         program.push(slot.inst.clone());
     }
-    Schedule { program, hbm, slot_of, logical_count: kernel.instrs.len() }
+    Schedule {
+        program,
+        hbm,
+        slot_of,
+        logical_count: kernel.instrs.len(),
+    }
 }
 
 fn empty_slot(width: usize) -> SlotState {
     let inst = NetInstruction::nop(width);
     let footprint = inst.footprint();
-    SlotState { inst, footprint, write_lanes: vec![false; width], stream: Vec::new() }
+    SlotState {
+        inst,
+        footprint,
+        write_lanes: vec![false; width],
+        stream: Vec::new(),
+    }
 }
 
 fn fits(slot: &SlotState, fp: &[bool], wl: &[bool]) -> bool {
@@ -184,7 +197,13 @@ mod tests {
         let mut i = NetInstruction::nop(width);
         i.set_input(lane, LaneSource::Reg { addr: from });
         i.route(lane, lane);
-        i.set_write(lane, LaneWrite { addr: to, mode: WriteMode::Store });
+        i.set_write(
+            lane,
+            LaneWrite {
+                addr: to,
+                mode: WriteMode::Store,
+            },
+        );
         i
     }
 
@@ -195,7 +214,11 @@ mod tests {
             b.push(mov(8, lane, 0, 1), vec![]);
         }
         let s = schedule(&b.finish(), ScheduleOptions::default());
-        assert_eq!(s.slots(), 1, "8 disjoint single-lane moves pack into one slot");
+        assert_eq!(
+            s.slots(),
+            1,
+            "8 disjoint single-lane moves pack into one slot"
+        );
         assert!(s.slot_of.iter().all(|&t| t == 0));
     }
 
@@ -207,7 +230,10 @@ mod tests {
         }
         let s = schedule(
             &b.finish(),
-            ScheduleOptions { multi_issue: false, ..ScheduleOptions::default() },
+            ScheduleOptions {
+                multi_issue: false,
+                ..ScheduleOptions::default()
+            },
         );
         assert_eq!(s.slots(), 8);
     }
@@ -248,12 +274,24 @@ mod tests {
         let mut i1 = NetInstruction::nop(8);
         i1.set_input(5, LaneSource::Stream);
         i1.route(5, 5);
-        i1.set_write(5, LaneWrite { addr: 0, mode: WriteMode::Store });
+        i1.set_write(
+            5,
+            LaneWrite {
+                addr: 0,
+                mode: WriteMode::Store,
+            },
+        );
         b.push(i1, vec![(5, 55.0)]);
         let mut i2 = NetInstruction::nop(8);
         i2.set_input(1, LaneSource::Stream);
         i2.route(1, 1);
-        i2.set_write(1, LaneWrite { addr: 0, mode: WriteMode::Store });
+        i2.set_write(
+            1,
+            LaneWrite {
+                addr: 0,
+                mode: WriteMode::Store,
+            },
+        );
         b.push(i2, vec![(1, 11.0)]);
         let s = schedule(&b.finish(), ScheduleOptions::default());
         assert_eq!(s.slots(), 1);

@@ -74,7 +74,13 @@ pub fn mac_spmv(
                 inst.kind = InstrKind::Elementwise;
                 inst.set_input(lane, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
                 inst.route(lane, lane);
-                inst.set_write(lane, LaneWrite { addr, mode: WriteMode::Store });
+                inst.set_write(
+                    lane,
+                    LaneWrite {
+                        addr,
+                        mode: WriteMode::Store,
+                    },
+                );
                 b.push(inst, vec![]);
             }
             continue;
@@ -103,7 +109,13 @@ pub fn mac_spmv(
                         pf.kind = InstrKind::Prefetch;
                         pf.set_input(home.0, LaneSource::Reg { addr: home.1 });
                         pf.route(home.0, free);
-                        pf.set_write(free, LaneWrite { addr: scratch, mode: WriteMode::Store });
+                        pf.set_write(
+                            free,
+                            LaneWrite {
+                                addr: scratch,
+                                mode: WriteMode::Store,
+                            },
+                        );
                         b.push(pf, vec![]);
                         copies.entry(j).or_default().push((free, scratch));
                         placed = Some((free, scratch));
@@ -126,7 +138,13 @@ pub fn mac_spmv(
             let mut stream = Vec::with_capacity(chunk.len());
             let lanes: Vec<usize> = chunk.iter().map(|&(l, _, _)| l).collect();
             for &(lane, addr, v) in &chunk {
-                inst.set_input(lane, LaneSource::RegTimesStream { addr, negate: false });
+                inst.set_input(
+                    lane,
+                    LaneSource::RegTimesStream {
+                        addr,
+                        negate: false,
+                    },
+                );
                 assert!(rs.try_claim_input(lane, 0));
                 stream.push((lane, v));
             }
@@ -134,8 +152,18 @@ pub fn mac_spmv(
                 rs.try_reduce(&mut inst, 0, &lanes, dst_lane),
                 "single reduction tree is always routable"
             );
-            let mode = if first_chunk && !accumulate { WriteMode::Store } else { WriteMode::Add };
-            inst.set_write(dst_lane, LaneWrite { addr: y.addr(r), mode });
+            let mode = if first_chunk && !accumulate {
+                WriteMode::Store
+            } else {
+                WriteMode::Add
+            };
+            inst.set_write(
+                dst_lane,
+                LaneWrite {
+                    addr: y.addr(r),
+                    mode,
+                },
+            );
             b.push(inst, stream);
             first_chunk = false;
         }
@@ -193,7 +221,13 @@ pub fn col_spmv(
                 z.kind = InstrKind::Elementwise;
                 z.set_input(lane, LaneSource::RegTimesImm { addr: 0, imm: 0.0 });
                 z.route(lane, lane);
-                z.set_write(lane, LaneWrite { addr: base + p, mode: WriteMode::Store });
+                z.set_write(
+                    lane,
+                    LaneWrite {
+                        addr: base + p,
+                        mode: WriteMode::Store,
+                    },
+                );
                 b.push(z, vec![]);
             }
         }
@@ -233,7 +267,13 @@ pub fn col_spmv(
                     None => y.addr(j),
                 };
                 inst.set_out_mul(lane, OutMul::MulStream { negate: false });
-                inst.set_write(lane, LaneWrite { addr, mode: WriteMode::Add });
+                inst.set_write(
+                    lane,
+                    LaneWrite {
+                        addr,
+                        mode: WriteMode::Add,
+                    },
+                );
                 // Output-phase stream key: width + lane (consumed after all
                 // input-phase words of the issue slot).
                 stream.push((width + lane, v));
@@ -244,7 +284,8 @@ pub fn col_spmv(
     }
     // Fold the partial slots into y (binary tree over addresses; folds of
     // different columns pack into shared slots when their lanes differ).
-    let mut fold_cols: Vec<(usize, usize)> = partials.iter().map(|(&j, &(b0, _))| (j, b0)).collect();
+    let mut fold_cols: Vec<(usize, usize)> =
+        partials.iter().map(|(&j, &(b0, _))| (j, b0)).collect();
     fold_cols.sort_unstable();
     for (j, base) in fold_cols {
         let lane = y.bank(j);
@@ -254,9 +295,20 @@ pub fn col_spmv(
             for p in 0..span {
                 let mut inst = NetInstruction::nop(width);
                 inst.kind = InstrKind::ColElim;
-                inst.set_input(lane, LaneSource::Reg { addr: base + p + span });
+                inst.set_input(
+                    lane,
+                    LaneSource::Reg {
+                        addr: base + p + span,
+                    },
+                );
                 inst.route(lane, lane);
-                inst.set_write(lane, LaneWrite { addr: base + p, mode: WriteMode::Add });
+                inst.set_write(
+                    lane,
+                    LaneWrite {
+                        addr: base + p,
+                        mode: WriteMode::Add,
+                    },
+                );
                 b.push(inst, vec![]);
             }
         }
@@ -264,7 +316,13 @@ pub fn col_spmv(
         fin.kind = InstrKind::ColElim;
         fin.set_input(lane, LaneSource::Reg { addr: base });
         fin.route(lane, lane);
-        fin.set_write(lane, LaneWrite { addr: y.addr(j), mode: WriteMode::Add });
+        fin.set_write(
+            lane,
+            LaneWrite {
+                addr: y.addr(j),
+                mode: WriteMode::Add,
+            },
+        );
         b.push(fin, vec![]);
     }
 }
@@ -302,7 +360,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn cfg() -> MibConfig {
-        MibConfig { width: 8, bank_depth: 4096, clock_hz: 1e6 }
+        MibConfig {
+            width: 8,
+            bank_depth: 4096,
+            clock_hz: 1e6,
+        }
     }
 
     fn run_schedule(s: &Schedule) -> Machine {
@@ -345,7 +407,15 @@ mod tests {
         let x = alloc.alloc(a.ncols());
         let y = alloc.alloc(a.nrows());
         load_vec(&mut b, x, &xv);
-        mac_spmv(&mut b, &mut alloc, &a.to_csr(), x, y, false, SpmvOptions { prefetch });
+        mac_spmv(
+            &mut b,
+            &mut alloc,
+            &a.to_csr(),
+            x,
+            y,
+            false,
+            SpmvOptions { prefetch },
+        );
         let s = schedule(&b.finish(), ScheduleOptions::default());
         let m = run_schedule(&s);
         let got = read_layout(&m, y);
@@ -429,12 +499,23 @@ mod tests {
         let x = alloc.alloc(40);
         let y = alloc.alloc(40);
         load_vec(&mut b, x, &vec![1.0; 40]);
-        mac_spmv(&mut b, &mut alloc, &a.to_csr(), x, y, false, SpmvOptions::default());
+        mac_spmv(
+            &mut b,
+            &mut alloc,
+            &a.to_csr(),
+            x,
+            y,
+            false,
+            SpmvOptions::default(),
+        );
         let k = b.finish();
         let multi = schedule(&k, ScheduleOptions::default());
         let single = schedule(
             &k,
-            ScheduleOptions { multi_issue: false, ..ScheduleOptions::default() },
+            ScheduleOptions {
+                multi_issue: false,
+                ..ScheduleOptions::default()
+            },
         );
         assert!(
             multi.slots() * 2 < single.slots(),

@@ -62,7 +62,12 @@ impl FactorLayout {
         }
         let d = alloc.alloc(n);
         let dinv = alloc.alloc(n);
-        FactorLayout { width, l_addr, d, dinv }
+        FactorLayout {
+            width,
+            l_addr,
+            d,
+            dinv,
+        }
     }
 
     /// Machine width this layout was planned for.
@@ -90,7 +95,9 @@ impl FactorLayout {
     pub fn preload(&self, f: &LdlFactor, m: &mut Machine) {
         for (p, (&r, &v)) in f.l_row_ind().iter().zip(f.l_values()).enumerate() {
             let (bank, addr) = self.l_loc(p, r);
-            m.regs_mut().write(bank, addr, v).expect("factor layout fits bank depth");
+            m.regs_mut()
+                .write(bank, addr, v)
+                .expect("factor layout fits bank depth");
         }
         for (k, &dk) in f.d().iter().enumerate() {
             m.regs_mut()
@@ -110,7 +117,9 @@ impl FactorLayout {
             .enumerate()
             .map(|(p, &r)| {
                 let (bank, addr) = self.l_loc(p, r);
-                m.regs().read(bank, addr).expect("factor layout fits bank depth")
+                m.regs()
+                    .read(bank, addr)
+                    .expect("factor layout fits bank depth")
             })
             .collect()
     }
@@ -139,7 +148,13 @@ pub fn lsolve(b: &mut KernelBuilder, fl: &FactorLayout, f: &LdlFactor, x: Layout
         rs.try_claim_input(sj, 0);
         for &t in &targets {
             assert!(rs.try_route(&mut bcast, 0, sj, t));
-            bcast.set_write(t, LaneWrite { addr: 0, mode: WriteMode::Latch });
+            bcast.set_write(
+                t,
+                LaneWrite {
+                    addr: 0,
+                    mode: WriteMode::Latch,
+                },
+            );
         }
         b.push(bcast, vec![]);
         // Elimination chunks: x_r -= L(r,j) * x_j.
@@ -157,10 +172,19 @@ pub fn lsolve(b: &mut KernelBuilder, fl: &FactorLayout, f: &LdlFactor, x: Layout
                 used[lane] = true;
                 inst.set_input(
                     lane,
-                    LaneSource::RegTimesLatch { addr: fl.l_addr[idx], negate: true },
+                    LaneSource::RegTimesLatch {
+                        addr: fl.l_addr[idx],
+                        negate: true,
+                    },
                 );
                 inst.route(lane, lane);
-                inst.set_write(lane, LaneWrite { addr: x.addr(r), mode: WriteMode::Add });
+                inst.set_write(
+                    lane,
+                    LaneWrite {
+                        addr: x.addr(r),
+                        mode: WriteMode::Add,
+                    },
+                );
                 idx += 1;
             }
             b.push(inst, vec![]);
@@ -202,7 +226,13 @@ pub fn ltsolve(b: &mut KernelBuilder, fl: &FactorLayout, f: &LdlFactor, x: Layou
                 used[lane] = true;
                 latch.set_input(lane, LaneSource::Reg { addr: x.addr(r) });
                 latch.route(lane, lane);
-                latch.set_write(lane, LaneWrite { addr: 0, mode: WriteMode::Latch });
+                latch.set_write(
+                    lane,
+                    LaneWrite {
+                        addr: 0,
+                        mode: WriteMode::Latch,
+                    },
+                );
                 macs.push((lane, idx));
                 idx += 1;
             }
@@ -214,12 +244,21 @@ pub fn ltsolve(b: &mut KernelBuilder, fl: &FactorLayout, f: &LdlFactor, x: Layou
             for &(lane, p) in &macs {
                 mac.set_input(
                     lane,
-                    LaneSource::RegTimesLatch { addr: fl.l_addr[p], negate: true },
+                    LaneSource::RegTimesLatch {
+                        addr: fl.l_addr[p],
+                        negate: true,
+                    },
                 );
                 rs.try_claim_input(lane, 0);
             }
             assert!(rs.try_reduce(&mut mac, 0, &lanes, dst));
-            mac.set_write(dst, LaneWrite { addr: x.addr(j), mode: WriteMode::Add });
+            mac.set_write(
+                dst,
+                LaneWrite {
+                    addr: x.addr(j),
+                    mode: WriteMode::Add,
+                },
+            );
             b.push(mac, vec![]);
         }
     }
@@ -262,7 +301,13 @@ pub fn lsolve_streamed(b: &mut KernelBuilder, f: &LdlFactor, x: Layout) {
                 assert!(rs.try_route(&mut inst, 0, sj, lane));
                 used[lane] = true;
                 inst.set_out_mul(lane, OutMul::MulStream { negate: true });
-                inst.set_write(lane, LaneWrite { addr: x.addr(r), mode: WriteMode::Add });
+                inst.set_write(
+                    lane,
+                    LaneWrite {
+                        addr: x.addr(r),
+                        mode: WriteMode::Add,
+                    },
+                );
                 stream.push((width + lane, values[idx]));
                 idx += 1;
             }
@@ -285,10 +330,19 @@ pub fn dsolve_streamed(b: &mut KernelBuilder, f: &LdlFactor, x: Layout) {
             let lane = x.bank(e);
             inst.set_input(
                 lane,
-                LaneSource::RegTimesStream { addr: x.addr(e), negate: false },
+                LaneSource::RegTimesStream {
+                    addr: x.addr(e),
+                    negate: false,
+                },
             );
             inst.route(lane, lane);
-            inst.set_write(lane, LaneWrite { addr: x.addr(e), mode: WriteMode::Store });
+            inst.set_write(
+                lane,
+                LaneWrite {
+                    addr: x.addr(e),
+                    mode: WriteMode::Store,
+                },
+            );
             stream.push((lane, 1.0 / f.d()[e]));
         }
         b.push(inst, stream);
@@ -327,7 +381,10 @@ pub fn ltsolve_streamed(b: &mut KernelBuilder, f: &LdlFactor, x: Layout) {
                 used[lane] = true;
                 inst.set_input(
                     lane,
-                    LaneSource::RegTimesStream { addr: x.addr(r), negate: true },
+                    LaneSource::RegTimesStream {
+                        addr: x.addr(r),
+                        negate: true,
+                    },
                 );
                 rs.try_claim_input(lane, 0);
                 lanes.push(lane);
@@ -335,7 +392,13 @@ pub fn ltsolve_streamed(b: &mut KernelBuilder, f: &LdlFactor, x: Layout) {
                 idx += 1;
             }
             assert!(rs.try_reduce(&mut inst, 0, &lanes, dst));
-            inst.set_write(dst, LaneWrite { addr: x.addr(j), mode: WriteMode::Add });
+            inst.set_write(
+                dst,
+                LaneWrite {
+                    addr: x.addr(j),
+                    mode: WriteMode::Add,
+                },
+            );
             b.push(inst, stream);
         }
     }
@@ -355,7 +418,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn cfg() -> MibConfig {
-        MibConfig { width: 8, bank_depth: 4096, clock_hz: 1e6 }
+        MibConfig {
+            width: 8,
+            bank_depth: 4096,
+            clock_hz: 1e6,
+        }
     }
 
     /// Random sparse SPD matrix (diagonally dominant), upper triangle.
@@ -434,13 +501,17 @@ mod tests {
         let s = schedule(&b.finish(), ScheduleOptions::default());
         let mut m = Machine::new(c);
         fl.preload(&f, &mut m);
-        m.run(&s.program, &mut HbmStream::new(s.hbm.clone()), HazardPolicy::Strict)
-            .unwrap();
+        m.run(
+            &s.program,
+            &mut HbmStream::new(s.hbm.clone()),
+            HazardPolicy::Strict,
+        )
+        .unwrap();
         let mut want = bvec.clone();
         f.l_solve(&mut want);
-        for e in 0..n {
+        for (e, &w) in want.iter().enumerate() {
             let g = m.regs().read(x.bank(e), x.addr(e)).unwrap();
-            assert!((g - want[e]).abs() < 1e-10, "lane {e}: {g} vs {}", want[e]);
+            assert!((g - w).abs() < 1e-10, "lane {e}: {g} vs {w}");
         }
     }
 
@@ -452,7 +523,10 @@ mod tests {
         let fl = FactorLayout::plan(f.l_col_ptr(), f.l_row_ind(), 25, &mut alloc);
         let mut seen = std::collections::HashSet::new();
         for (p, &r) in f.l_row_ind().iter().enumerate() {
-            assert!(seen.insert(fl.l_loc(p, r)), "duplicate location for position {p}");
+            assert!(
+                seen.insert(fl.l_loc(p, r)),
+                "duplicate location for position {p}"
+            );
         }
     }
 }

@@ -17,12 +17,20 @@ pub struct MibConfig {
 impl MibConfig {
     /// The paper's `C = 16` prototype (300 MHz on the Alveo U50).
     pub fn c16() -> Self {
-        MibConfig { width: 16, bank_depth: 1 << 16, clock_hz: 300e6 }
+        MibConfig {
+            width: 16,
+            bank_depth: 1 << 16,
+            clock_hz: 300e6,
+        }
     }
 
     /// The paper's `C = 32` prototype (236 MHz on the Alveo U50).
     pub fn c32() -> Self {
-        MibConfig { width: 32, bank_depth: 1 << 16, clock_hz: 236e6 }
+        MibConfig {
+            width: 32,
+            bank_depth: 1 << 16,
+            clock_hz: 236e6,
+        }
     }
 
     /// A custom width with a default bank depth and an interpolated clock.
@@ -31,7 +39,10 @@ impl MibConfig {
     ///
     /// Panics if `width` is not a power of two or is below 2.
     pub fn with_width(width: usize) -> Self {
-        assert!(width.is_power_of_two() && width >= 2, "width must be a power of two >= 2");
+        assert!(
+            width.is_power_of_two() && width >= 2,
+            "width must be a power of two >= 2"
+        );
         // Wider networks close timing at lower clocks (300 MHz at C=16,
         // 236 MHz at C=32 in the paper); extrapolate mildly.
         let clock_hz = match width {
@@ -40,7 +51,11 @@ impl MibConfig {
             33..=64 => 200e6,
             _ => 160e6,
         };
-        MibConfig { width, bank_depth: 1 << 16, clock_hz }
+        MibConfig {
+            width,
+            bank_depth: 1 << 16,
+            clock_hz,
+        }
     }
 
     /// Number of adder stages, `log₂C`.

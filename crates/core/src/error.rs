@@ -77,7 +77,13 @@ mod tests {
 
     #[test]
     fn messages_name_the_location() {
-        let e = MibError::DataHazard { cycle: 9, instruction: 3, bank: 2, addr: 7, ready: 12 };
+        let e = MibError::DataHazard {
+            cycle: 9,
+            instruction: 3,
+            bank: 2,
+            addr: 7,
+            ready: 12,
+        };
         let s = e.to_string();
         assert!(s.contains("cycle 9") && s.contains("bank 2") && s.contains("12"));
     }

@@ -207,7 +207,10 @@ impl NetInstruction {
     ///
     /// Panics if `width` is not a power of two `≥ 2`.
     pub fn nop(width: usize) -> Self {
-        assert!(width.is_power_of_two() && width >= 2, "width must be a power of two >= 2");
+        assert!(
+            width.is_power_of_two() && width >= 2,
+            "width must be a power of two >= 2"
+        );
         let stages = width.trailing_zeros() as usize;
         NetInstruction {
             width,
@@ -328,8 +331,16 @@ impl NetInstruction {
     /// Number of HBM stream words this instruction consumes (input stage
     /// plus output multipliers).
     pub fn stream_words(&self) -> usize {
-        self.inputs.iter().flatten().filter(|s| s.uses_stream()).count()
-            + self.out_muls.iter().filter(|&&m| m != OutMul::Bypass).count()
+        self.inputs
+            .iter()
+            .flatten()
+            .filter(|s| s.uses_stream())
+            .count()
+            + self
+                .out_muls
+                .iter()
+                .filter(|&&m| m != OutMul::Bypass)
+                .count()
     }
 
     /// The hardware-occupancy vector of Section IV.B: one bit per node
@@ -463,7 +474,11 @@ impl NetInstruction {
             let bit = 1usize << s;
             let cross = (src ^ dst) & bit != 0;
             let next = if cross { lane ^ bit } else { lane };
-            let mode = if cross { NodeMode::Cross } else { NodeMode::Direct };
+            let mode = if cross {
+                NodeMode::Cross
+            } else {
+                NodeMode::Direct
+            };
             let cur = self.nodes[s][next];
             if cur == NodeMode::Idle {
                 self.nodes[s][next] = mode;
@@ -553,11 +568,23 @@ mod tests {
         let mut a = NetInstruction::nop(8);
         a.set_input(0, LaneSource::Reg { addr: 0 });
         a.route(0, 0);
-        a.set_write(0, LaneWrite { addr: 1, mode: WriteMode::Store });
+        a.set_write(
+            0,
+            LaneWrite {
+                addr: 1,
+                mode: WriteMode::Store,
+            },
+        );
         let mut b = NetInstruction::nop(8);
         b.set_input(4, LaneSource::Reg { addr: 0 });
         b.route(4, 4);
-        b.set_write(4, LaneWrite { addr: 1, mode: WriteMode::Store });
+        b.set_write(
+            4,
+            LaneWrite {
+                addr: 1,
+                mode: WriteMode::Store,
+            },
+        );
         let m = a.try_merge(&b).unwrap();
         assert_eq!(m.busy_nodes(), a.busy_nodes() + b.busy_nodes());
     }

@@ -232,7 +232,10 @@ mod tests {
     fn mnemonics_match_table_one() {
         let cases: Vec<(TopInstruction, &str)> = vec![
             (
-                TopInstruction::NormInf { s0: "prim_res".into(), v1: "r".into() },
+                TopInstruction::NormInf {
+                    s0: "prim_res".into(),
+                    v1: "r".into(),
+                },
                 "norm_inf",
             ),
             (TopInstruction::EwReci { v0: "d".into() }, "ew_reci"),
@@ -245,8 +248,18 @@ mod tests {
                 },
                 "axpby",
             ),
-            (TopInstruction::NetCompute { schedule: "L_solve".into() }, "net_compute"),
-            (TopInstruction::LoadVec { v0: "xtilde_view".into() }, "load_vec"),
+            (
+                TopInstruction::NetCompute {
+                    schedule: "L_solve".into(),
+                },
+                "net_compute",
+            ),
+            (
+                TopInstruction::LoadVec {
+                    v0: "xtilde_view".into(),
+                },
+                "load_vec",
+            ),
         ];
         for (inst, mnem) in cases {
             assert_eq!(inst.mnemonic(), mnem);
@@ -257,9 +270,15 @@ mod tests {
     #[test]
     fn program_lists_schedules_in_order() {
         let mut p = TopProgram::new();
-        p.push(TopInstruction::NetCompute { schedule: "permutate".into() })
-            .push(TopInstruction::NetCompute { schedule: "L_solve".into() })
-            .push(TopInstruction::NetCompute { schedule: "permutate".into() });
+        p.push(TopInstruction::NetCompute {
+            schedule: "permutate".into(),
+        })
+        .push(TopInstruction::NetCompute {
+            schedule: "L_solve".into(),
+        })
+        .push(TopInstruction::NetCompute {
+            schedule: "permutate".into(),
+        });
         assert_eq!(p.schedules(), vec!["permutate", "L_solve"]);
         assert_eq!(p.len(), 3);
         assert!(p.instructions()[0].uses_network());

@@ -41,7 +41,11 @@ impl Machine {
     /// Builds a machine for the given configuration.
     pub fn new(config: MibConfig) -> Self {
         let regs = RegisterFiles::new(config.width, config.bank_depth);
-        Machine { config, regs, latches: vec![0.0; config.width] }
+        Machine {
+            config,
+            regs,
+            latches: vec![0.0; config.width],
+        }
     }
 
     /// The machine configuration.
@@ -146,8 +150,7 @@ impl Machine {
                 let Some(src) = input else { continue };
                 let v = match *src {
                     LaneSource::Reg { addr } => self.regs.read(lane, addr)?,
-                    LaneSource::Stream => self
-                        .stream_word(hbm, idx, &mut stats)?,
+                    LaneSource::Stream => self.stream_word(hbm, idx, &mut stats)?,
                     LaneSource::RegTimesStream { addr, negate } => {
                         let r = self.regs.read(lane, addr)?;
                         let s = self.stream_word(hbm, idx, &mut stats)?;
@@ -283,7 +286,11 @@ mod tests {
     use crate::instruction::{InstrKind, LaneWrite};
 
     fn machine8() -> Machine {
-        Machine::new(MibConfig { width: 8, bank_depth: 64, clock_hz: 1e6 })
+        Machine::new(MibConfig {
+            width: 8,
+            bank_depth: 64,
+            clock_hz: 1e6,
+        })
     }
 
     /// Loads vector elements cyclically: element e -> bank e % C, addr e / C.
@@ -305,10 +312,22 @@ mod tests {
         let mut inst = NetInstruction::nop(8);
         inst.kind = InstrKind::Mac;
         for lane in 0..8 {
-            inst.set_input(lane, LaneSource::RegTimesStream { addr: 0, negate: false });
+            inst.set_input(
+                lane,
+                LaneSource::RegTimesStream {
+                    addr: 0,
+                    negate: false,
+                },
+            );
         }
         inst.reduce(&[0, 1, 2, 3, 4, 5, 6, 7], 3);
-        inst.set_write(3, LaneWrite { addr: 10, mode: WriteMode::Store });
+        inst.set_write(
+            3,
+            LaneWrite {
+                addr: 10,
+                mode: WriteMode::Store,
+            },
+        );
         let weights = [1.0, 1.0, 2.0, 1.0, 1.0, 1.0, 1.0, 0.5];
         let mut hbm = HbmStream::new(weights.to_vec());
         let stats = m.run(&[inst], &mut hbm, HazardPolicy::Strict).unwrap();
@@ -333,7 +352,13 @@ mod tests {
             inst.route(lane, (lane + 3) % 8);
         }
         for lane in 0..8 {
-            inst.set_write(lane, LaneWrite { addr: 1, mode: WriteMode::Store });
+            inst.set_write(
+                lane,
+                LaneWrite {
+                    addr: 1,
+                    mode: WriteMode::Store,
+                },
+            );
         }
         let mut hbm = HbmStream::empty();
         m.run(&[inst], &mut hbm, HazardPolicy::Strict).unwrap();
@@ -353,7 +378,7 @@ mod tests {
         // x values: x[0..8] at addr 0; column values l at addr 1.
         preload(&mut m, 0, &[5.0; 8]); // all x_r = 5
         preload(&mut m, 1, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]); // l_r = r at addr 1
-        // Broadcast x_1 = 5.0 from lane 1 to all latches.
+                                                                       // Broadcast x_1 = 5.0 from lane 1 to all latches.
         let mut bcast = NetInstruction::nop(8);
         bcast.kind = InstrKind::Broadcast;
         bcast.set_input(1, LaneSource::Reg { addr: 0 });
@@ -361,24 +386,46 @@ mod tests {
             bcast.route(1, dst);
         }
         for lane in 0..8 {
-            bcast.set_write(lane, LaneWrite { addr: 0, mode: WriteMode::Latch });
+            bcast.set_write(
+                lane,
+                LaneWrite {
+                    addr: 0,
+                    mode: WriteMode::Latch,
+                },
+            );
         }
         // Elimination: x_r -= l_r * x_broadcast for every lane.
         let mut elim = NetInstruction::nop(8);
         elim.kind = InstrKind::ColElim;
         for lane in 0..8 {
-            elim.set_input(lane, LaneSource::RegTimesLatch { addr: 1, negate: true });
+            elim.set_input(
+                lane,
+                LaneSource::RegTimesLatch {
+                    addr: 1,
+                    negate: true,
+                },
+            );
             elim.route(lane, lane);
-            elim.set_write(lane, LaneWrite { addr: 0, mode: WriteMode::Add });
+            elim.set_write(
+                lane,
+                LaneWrite {
+                    addr: 0,
+                    mode: WriteMode::Add,
+                },
+            );
         }
         let mut hbm = HbmStream::empty();
         // Strict mode must reject back-to-back issue (latch RAW hazard).
-        let err = m
-            .clone()
-            .run(&[bcast.clone(), elim.clone()], &mut hbm, HazardPolicy::Strict);
+        let err = m.clone().run(
+            &[bcast.clone(), elim.clone()],
+            &mut hbm,
+            HazardPolicy::Strict,
+        );
         assert!(matches!(err, Err(MibError::DataHazard { .. })));
         // Stall mode resolves it.
-        let stats = m.run(&[bcast, elim], &mut hbm, HazardPolicy::Stall).unwrap();
+        let stats = m
+            .run(&[bcast, elim], &mut hbm, HazardPolicy::Stall)
+            .unwrap();
         assert!(stats.stall_cycles > 0);
         for lane in 0..8 {
             // x_r = 5 - r * 5
@@ -399,9 +446,16 @@ mod tests {
         let mut m = machine8();
         m.regs_mut().write(2, 0, 42.0).unwrap();
         for lane in 0..8 {
-            inst.set_write(lane, LaneWrite { addr: 5, mode: WriteMode::Store });
+            inst.set_write(
+                lane,
+                LaneWrite {
+                    addr: 5,
+                    mode: WriteMode::Store,
+                },
+            );
         }
-        m.run(&[inst], &mut HbmStream::empty(), HazardPolicy::Strict).unwrap();
+        m.run(&[inst], &mut HbmStream::empty(), HazardPolicy::Strict)
+            .unwrap();
         for lane in 0..8 {
             assert_eq!(m.regs().read(lane, 5).unwrap(), 42.0, "lane {lane}");
         }
@@ -414,8 +468,15 @@ mod tests {
         let mut inst = NetInstruction::nop(8);
         inst.set_input(0, LaneSource::Reg { addr: 0 });
         inst.route(0, 0);
-        inst.set_write(0, LaneWrite { addr: 1, mode: WriteMode::StoreRecip });
-        m.run(&[inst], &mut HbmStream::empty(), HazardPolicy::Strict).unwrap();
+        inst.set_write(
+            0,
+            LaneWrite {
+                addr: 1,
+                mode: WriteMode::StoreRecip,
+            },
+        );
+        m.run(&[inst], &mut HbmStream::empty(), HazardPolicy::Strict)
+            .unwrap();
         assert_eq!(m.regs().read(0, 1).unwrap(), 0.25);
     }
 
@@ -425,9 +486,18 @@ mod tests {
         let mut inst = NetInstruction::nop(8);
         inst.set_input(0, LaneSource::Stream);
         inst.route(0, 0);
-        inst.set_write(0, LaneWrite { addr: 0, mode: WriteMode::Store });
+        inst.set_write(
+            0,
+            LaneWrite {
+                addr: 0,
+                mode: WriteMode::Store,
+            },
+        );
         let err = m.run(&[inst], &mut HbmStream::empty(), HazardPolicy::Stall);
-        assert!(matches!(err, Err(MibError::StreamExhausted { instruction: 0 })));
+        assert!(matches!(
+            err,
+            Err(MibError::StreamExhausted { instruction: 0 })
+        ));
     }
 
     #[test]
@@ -437,11 +507,23 @@ mod tests {
         let mut producer = NetInstruction::nop(8);
         producer.set_input(0, LaneSource::Stream);
         producer.route(0, 0);
-        producer.set_write(0, LaneWrite { addr: 0, mode: WriteMode::Store });
+        producer.set_write(
+            0,
+            LaneWrite {
+                addr: 0,
+                mode: WriteMode::Store,
+            },
+        );
         let mut consumer = NetInstruction::nop(8);
         consumer.set_input(0, LaneSource::Reg { addr: 0 });
         consumer.route(0, 0);
-        consumer.set_write(0, LaneWrite { addr: 1, mode: WriteMode::Store });
+        consumer.set_write(
+            0,
+            LaneWrite {
+                addr: 1,
+                mode: WriteMode::Store,
+            },
+        );
         let mut hbm = HbmStream::new(vec![7.0]);
         let stats = m
             .run(&[producer, consumer], &mut hbm, HazardPolicy::Stall)
@@ -454,7 +536,9 @@ mod tests {
     #[test]
     fn nop_program_runs_empty() {
         let mut m = machine8();
-        let stats = m.run(&[], &mut HbmStream::empty(), HazardPolicy::Strict).unwrap();
+        let stats = m
+            .run(&[], &mut HbmStream::empty(), HazardPolicy::Strict)
+            .unwrap();
         assert_eq!(stats.cycles, 0);
         assert_eq!(stats.slots, 0);
     }

@@ -19,7 +19,10 @@ pub struct RegisterFiles {
 impl RegisterFiles {
     /// Allocates `width` banks of `depth` words, zero-initialized.
     pub fn new(width: usize, depth: usize) -> Self {
-        RegisterFiles { banks: vec![vec![0.0; depth]; width], depth }
+        RegisterFiles {
+            banks: vec![vec![0.0; depth]; width],
+            depth,
+        }
     }
 
     /// Number of banks (`C`).
@@ -73,7 +76,11 @@ impl RegisterFiles {
 
     fn check(&self, bank: usize, addr: usize) -> Result<()> {
         if bank >= self.banks.len() || addr >= self.depth {
-            return Err(MibError::AddressOutOfRange { bank, addr, depth: self.depth });
+            return Err(MibError::AddressOutOfRange {
+                bank,
+                addr,
+                depth: self.depth,
+            });
         }
         Ok(())
     }

@@ -79,7 +79,11 @@ mod tests {
 
     #[test]
     fn utilization_math() {
-        let s = ExecStats { cycles: 10, busy_nodes: 60, ..ExecStats::default() };
+        let s = ExecStats {
+            cycles: 10,
+            busy_nodes: 60,
+            ..ExecStats::default()
+        };
         assert!((s.utilization(12) - 0.5).abs() < 1e-12);
         assert_eq!(ExecStats::default().utilization(12), 0.0);
     }
@@ -92,7 +96,11 @@ mod tests {
         a.count_kind(InstrKind::Permute);
         assert_eq!(a.slots_by_kind[0], 2);
         assert_eq!(a.slots_by_kind[3], 1);
-        let mut b = ExecStats { cycles: 5, flops: 7, ..ExecStats::default() };
+        let mut b = ExecStats {
+            cycles: 5,
+            flops: 7,
+            ..ExecStats::default()
+        };
         b.count_kind(InstrKind::Mac);
         b.merge(&a);
         assert_eq!(b.slots_by_kind[0], 3);
@@ -101,7 +109,11 @@ mod tests {
 
     #[test]
     fn flops_per_second() {
-        let s = ExecStats { cycles: 100, flops: 200, ..ExecStats::default() };
+        let s = ExecStats {
+            cycles: 100,
+            flops: 200,
+            ..ExecStats::default()
+        };
         assert!((s.flops_per_second(1e6) - 2e6).abs() < 1.0);
     }
 }

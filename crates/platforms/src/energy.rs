@@ -58,7 +58,10 @@ mod tests {
         let r = report(&gpu, 1.0);
         assert_eq!(r.device_joules, 65.0);
         assert_eq!(r.system_joules, 65.0 + 22.0);
-        let mib = MibPlatform { name: "MIB C=32", seconds: 1.0 };
+        let mib = MibPlatform {
+            name: "MIB C=32",
+            seconds: 1.0,
+        };
         let r = report(&mib, 1.0);
         assert_eq!(r.device_joules, 18.0);
         assert_eq!(r.system_joules, 40.0);
@@ -66,7 +69,10 @@ mod tests {
 
     #[test]
     fn faster_is_more_efficient() {
-        let mib = MibPlatform { name: "MIB C=32", seconds: 1.0 };
+        let mib = MibPlatform {
+            name: "MIB C=32",
+            seconds: 1.0,
+        };
         let fast = report(&mib, 0.001);
         let slow = report(&mib, 0.1);
         assert!(fast.device_efficiency > slow.device_efficiency * 50.0);

@@ -44,7 +44,11 @@ pub fn normalized_jitter(runtimes: &[f64]) -> f64 {
     }
     let n = runtimes.len() as f64;
     let mean = runtimes.iter().sum::<f64>() / n;
-    let var = runtimes.iter().map(|&t| (t - mean) * (t - mean)).sum::<f64>() / (n - 1.0);
+    let var = runtimes
+        .iter()
+        .map(|&t| (t - mean) * (t - mean))
+        .sum::<f64>()
+        / (n - 1.0);
     var.sqrt() / mean
 }
 
@@ -78,7 +82,10 @@ mod tests {
     #[test]
     fn mib_is_much_more_deterministic_than_cpu() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mib = MibPlatform { name: "MIB C=32", seconds: 1e-3 };
+        let mib = MibPlatform {
+            name: "MIB C=32",
+            seconds: 1e-3,
+        };
         let cpu = CpuModel::new(CpuVariant::Mkl);
         let jm = normalized_jitter(&sample_runtimes(&mib, 1e-3, 2000, &mut rng));
         let jc = normalized_jitter(&sample_runtimes(&cpu, 1e-3, 2000, &mut rng));

@@ -39,7 +39,11 @@ impl WorkSummary {
     /// Builds a summary from a finished reference solve.
     pub fn from_result(problem: &Problem, settings: &Settings, result: &SolveResult) -> Self {
         let p = &result.profile;
-        let factor_count = if settings.backend == KktBackend::Direct { p.factor_count } else { 0 };
+        let factor_count = if settings.backend == KktBackend::Direct {
+            p.factor_count
+        } else {
+            0
+        };
         WorkSummary {
             n: problem.num_vars(),
             m: problem.num_constraints(),
@@ -131,7 +135,10 @@ pub struct CpuModel {
 impl CpuModel {
     /// Builds the model with Table II's CPU row.
     pub fn new(variant: CpuVariant) -> Self {
-        CpuModel { variant, spec: crate::specs::cpu() }
+        CpuModel {
+            variant,
+            spec: crate::specs::cpu(),
+        }
     }
 
     fn spmv_rate(&self) -> f64 {
@@ -185,11 +192,10 @@ impl PlatformModel for CpuModel {
     fn solve_time(&self, w: &WorkSummary) -> f64 {
         let spmv = w.spmv_flops / self.spmv_rate();
         let factor = w.factor_flops_each * w.factor_count as f64 / self.factor_rate();
-        let trisolve =
-            w.trisolve_flops_each * w.admm_iters as f64 / (0.7 * self.spmv_rate());
+        let trisolve = w.trisolve_flops_each * w.admm_iters as f64 / (0.7 * self.spmv_rate());
         let vector = w.vector_flops / self.vector_rate();
-        let overhead = self.admm_overhead() * w.admm_iters as f64
-            + self.pcg_overhead() * w.pcg_iters as f64;
+        let overhead =
+            self.admm_overhead() * w.admm_iters as f64 + self.pcg_overhead() * w.pcg_iters as f64;
         spmv + factor + trisolve + vector + overhead + 8e-6
     }
 
@@ -222,7 +228,9 @@ pub struct GpuModel {
 impl GpuModel {
     /// Builds the model with Table II's GPU row.
     pub fn new() -> Self {
-        GpuModel { spec: crate::specs::gpu() }
+        GpuModel {
+            spec: crate::specs::gpu(),
+        }
     }
 
     fn kernel_launch(&self) -> f64 {
@@ -255,8 +263,7 @@ impl PlatformModel for GpuModel {
         // recurrences.
         let admm_overhead =
             w.admm_iters as f64 * (6.0 * self.kernel_launch() + 2.0 * self.host_sync());
-        let pcg_overhead =
-            w.pcg_iters as f64 * (3.0 * self.kernel_launch() + self.host_sync());
+        let pcg_overhead = w.pcg_iters as f64 * (3.0 * self.kernel_launch() + self.host_sync());
         spmv + vector + admm_overhead + pcg_overhead + 40e-6
     }
 
@@ -290,7 +297,9 @@ pub struct RsqpModel {
 impl RsqpModel {
     /// Builds the model with Table II's RSQP row.
     pub fn new() -> Self {
-        RsqpModel { spec: crate::specs::rsqp() }
+        RsqpModel {
+            spec: crate::specs::rsqp(),
+        }
     }
 }
 
@@ -421,12 +430,18 @@ mod tests {
         let t1 = r.solve_time(&w);
         w.admm_iters *= 10;
         let t2 = r.solve_time(&w);
-        assert!(t2 > t1 + 9.0 * 18e-6 * 100.0 * 0.9, "pcie cost must scale with iterations");
+        assert!(
+            t2 > t1 + 9.0 * 18e-6 * 100.0 * 0.9,
+            "pcie cost must scale with iterations"
+        );
     }
 
     #[test]
     fn jitter_ordering_matches_paper() {
-        let mib = MibPlatform { name: "MIB C=32", seconds: 1e-3 };
+        let mib = MibPlatform {
+            name: "MIB C=32",
+            seconds: 1e-3,
+        };
         let cpu = CpuModel::new(CpuVariant::Mkl);
         let gpu = GpuModel::new();
         assert!(mib.jitter_cv() * 10.0 < cpu.jitter_cv());
@@ -451,7 +466,10 @@ mod tests {
         assert_eq!(CpuModel::new(CpuVariant::Mkl).load_power(), 49.0);
         assert_eq!(GpuModel::new().load_power(), 65.0);
         assert_eq!(GpuModel::new().idle_power(), 30.0);
-        let mib = MibPlatform { name: "MIB C=32", seconds: 1.0 };
+        let mib = MibPlatform {
+            name: "MIB C=32",
+            seconds: 1.0,
+        };
         assert_eq!(mib.load_power(), 18.0);
         assert_eq!(mib.idle_power(), 12.0);
     }

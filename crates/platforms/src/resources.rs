@@ -22,7 +22,12 @@ pub struct DeviceCapacity {
 /// The Alveo U50 capacity from the paper: 872K LUTs, 1743K registers,
 /// 5952 DSPs (plus 1344 BRAM36).
 pub fn alveo_u50() -> DeviceCapacity {
-    DeviceCapacity { luts: 872_000, registers: 1_743_000, dsps: 5_952, brams: 1_344 }
+    DeviceCapacity {
+        luts: 872_000,
+        registers: 1_743_000,
+        dsps: 5_952,
+        brams: 1_344,
+    }
 }
 
 /// Estimated resource usage of one MIB instance.
@@ -61,7 +66,10 @@ impl ResourceUsage {
 /// ≈ 2500 LUT / 3000 FF, per-lane register file ≈ 8 BRAM, plus the fixed
 /// HBM + PCIe shell.
 pub fn estimate(c: usize) -> ResourceUsage {
-    assert!(c.is_power_of_two() && c >= 2, "width must be a power of two");
+    assert!(
+        c.is_power_of_two() && c >= 2,
+        "width must be a power of two"
+    );
     let stages = c.trailing_zeros() as u64;
     let adders = c as u64 * stages;
     let multipliers = c as u64;
@@ -90,7 +98,10 @@ mod tests {
         for c in [16, 32] {
             let u = estimate(c);
             let pct = u.percent_of(&dev);
-            assert!(pct[0] < 100.0 && pct[1] < 100.0 && pct[3] < 100.0, "C={c}: {pct:?}");
+            assert!(
+                pct[0] < 100.0 && pct[1] < 100.0 && pct[3] < 100.0,
+                "C={c}: {pct:?}"
+            );
         }
     }
 

@@ -65,7 +65,7 @@ pub fn portfolio(n: usize, k: usize, seed: u64) -> Problem {
     let p = block_diag(&[&p_x, &p_y]).expect("diag blocks");
     let mu: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let mut q: Vec<f64> = mu.iter().map(|&m| -m / gamma).collect();
-    q.extend(std::iter::repeat(0.0).take(k));
+    q.extend(std::iter::repeat_n(0.0, k));
     // Factor loading matrix F (n × k), density 0.5.
     let f = sprandn(&mut rng, n, k, 0.5);
     // A = [ 1ᵀ  0 ]          (budget)
@@ -82,11 +82,11 @@ pub fn portfolio(n: usize, k: usize, seed: u64) -> Problem {
     let row3 = hstack(&[&eye_n, &zeros_nk]).expect("shapes");
     let a = vstack(&[&row1, &row2, &row3]).expect("shapes");
     let mut l = vec![1.0];
-    l.extend(std::iter::repeat(0.0).take(k));
-    l.extend(std::iter::repeat(0.0).take(n));
+    l.extend(std::iter::repeat_n(0.0, k));
+    l.extend(std::iter::repeat_n(0.0, n));
     let mut u = vec![1.0];
-    u.extend(std::iter::repeat(0.0).take(k));
-    u.extend(std::iter::repeat(1.0).take(n));
+    u.extend(std::iter::repeat_n(0.0, k));
+    u.extend(std::iter::repeat_n(1.0, n));
     Problem::new(p.upper_triangle().expect("square"), q, a, l, u)
         .expect("portfolio problem is valid")
 }
@@ -98,7 +98,13 @@ pub fn lasso(n: usize, m: usize, seed: u64) -> Problem {
     let ad = sprandn(&mut rng, m, n, 0.25);
     // Ground-truth sparse model and noisy observations.
     let x_true: Vec<f64> = (0..n)
-        .map(|_| if rng.gen::<f64>() < 0.5 { 0.0 } else { rng.gen_range(-1.0..1.0) })
+        .map(|_| {
+            if rng.gen::<f64>() < 0.5 {
+                0.0
+            } else {
+                rng.gen_range(-1.0..1.0)
+            }
+        })
         .collect();
     let mut b = ad.mul_vec(&x_true);
     for v in &mut b {
@@ -117,7 +123,7 @@ pub fn lasso(n: usize, m: usize, seed: u64) -> Problem {
     ])
     .expect("diag blocks");
     let mut q = vec![0.0; n + m];
-    q.extend(std::iter::repeat(lambda).take(n));
+    q.extend(std::iter::repeat_n(lambda, n));
     // A = [ Ad -I  0 ]   l/u = b (equality)
     //     [ I   0 -I ]   -inf .. 0   (x - t <= 0)
     //     [ I   0  I ]   0 .. +inf   (x + t >= 0)
@@ -129,13 +135,12 @@ pub fn lasso(n: usize, m: usize, seed: u64) -> Problem {
     let row3 = hstack(&[&eye_n, &CscMatrix::zeros(n, m), &eye_n]).expect("shapes");
     let a = vstack(&[&row1, &row2, &row3]).expect("shapes");
     let mut l = b.clone();
-    l.extend(std::iter::repeat(-2.0 * INFTY).take(n));
-    l.extend(std::iter::repeat(0.0).take(n));
+    l.extend(std::iter::repeat_n(-2.0 * INFTY, n));
+    l.extend(std::iter::repeat_n(0.0, n));
     let mut u = b;
-    u.extend(std::iter::repeat(0.0).take(n));
-    u.extend(std::iter::repeat(2.0 * INFTY).take(n));
-    Problem::new(p.upper_triangle().expect("square"), q, a, l, u)
-        .expect("lasso problem is valid")
+    u.extend(std::iter::repeat_n(0.0, n));
+    u.extend(std::iter::repeat_n(2.0 * INFTY, n));
+    Problem::new(p.upper_triangle().expect("square"), q, a, l, u).expect("lasso problem is valid")
 }
 
 /// Huber fitting: `min Σ huber_M(aᵢᵀx − bᵢ)`. Variables `(x, u, r, s)`
@@ -164,15 +169,14 @@ pub fn huber(n: usize, m: usize, seed: u64) -> Problem {
     ])
     .expect("diag blocks");
     let mut q = vec![0.0; n + m];
-    q.extend(std::iter::repeat(2.0 * m_huber).take(2 * m));
+    q.extend(std::iter::repeat_n(2.0 * m_huber, 2 * m));
     debug_assert_eq!(q.len(), nv);
     // A = [ Ad -I -I  I ]  = b (equality)
     //     [ 0   0  I  0 ]  r >= 0
     //     [ 0   0  0  I ]  s >= 0
     let eye_m = CscMatrix::identity(m);
     let neg_eye_m = CscMatrix::from_diag(&vec![-1.0; m]);
-    let row1 =
-        hstack(&[&ad, &neg_eye_m, &neg_eye_m, &eye_m]).expect("shapes");
+    let row1 = hstack(&[&ad, &neg_eye_m, &neg_eye_m, &eye_m]).expect("shapes");
     let row2 = hstack(&[
         &CscMatrix::zeros(m, n),
         &CscMatrix::zeros(m, m),
@@ -189,11 +193,10 @@ pub fn huber(n: usize, m: usize, seed: u64) -> Problem {
     .expect("shapes");
     let a = vstack(&[&row1, &row2, &row3]).expect("shapes");
     let mut l = b.clone();
-    l.extend(std::iter::repeat(0.0).take(2 * m));
+    l.extend(std::iter::repeat_n(0.0, 2 * m));
     let mut u = b;
-    u.extend(std::iter::repeat(2.0 * INFTY).take(2 * m));
-    Problem::new(p.upper_triangle().expect("square"), q, a, l, u)
-        .expect("huber problem is valid")
+    u.extend(std::iter::repeat_n(2.0 * INFTY, 2 * m));
+    Problem::new(p.upper_triangle().expect("square"), q, a, l, u).expect("huber problem is valid")
 }
 
 /// SVM training: `min xᵀx + γ·1ᵀt` s.t. `t ≥ 0`, `t ≥ 1 − diag(b)·Ad·x`
@@ -210,7 +213,8 @@ pub fn svm(n: usize, m: usize, seed: u64) -> Problem {
         for j in 0..n {
             if rng.gen::<f64>() < 0.3 {
                 let center = 0.5 * label;
-                t.push(i, j, center + rng.gen_range(-1.0..1.0)).expect("in bounds");
+                t.push(i, j, center + rng.gen_range(-1.0..1.0))
+                    .expect("in bounds");
             }
         }
     }
@@ -223,7 +227,7 @@ pub fn svm(n: usize, m: usize, seed: u64) -> Problem {
     ])
     .expect("diag blocks");
     let mut q = vec![0.0; n];
-    q.extend(std::iter::repeat(gamma).take(m));
+    q.extend(std::iter::repeat_n(gamma, m));
     // A = [ diag(b)·Ad  I ]   >= 1
     //     [ 0           I ]   >= 0
     let mut bad = ad.clone();
@@ -233,10 +237,9 @@ pub fn svm(n: usize, m: usize, seed: u64) -> Problem {
     let row2 = hstack(&[&CscMatrix::zeros(m, n), &eye_m]).expect("shapes");
     let a = vstack(&[&row1, &row2]).expect("shapes");
     let mut l = vec![1.0; m];
-    l.extend(std::iter::repeat(0.0).take(m));
+    l.extend(std::iter::repeat_n(0.0, m));
     let u = vec![2.0 * INFTY; 2 * m];
-    Problem::new(p.upper_triangle().expect("square"), q, a, l, u)
-        .expect("svm problem is valid")
+    Problem::new(p.upper_triangle().expect("square"), q, a, l, u).expect("svm problem is valid")
 }
 
 #[cfg(test)]
@@ -254,9 +257,11 @@ mod tests {
     #[test]
     fn portfolio_solves_and_budget_holds() {
         let pr = portfolio(30, 4, 7);
-        let mut settings = Settings::default();
-        settings.eps_abs = 1e-5;
-        settings.eps_rel = 1e-5;
+        let settings = Settings {
+            eps_abs: 1e-5,
+            eps_rel: 1e-5,
+            ..Settings::default()
+        };
         let r = Solver::new(pr.clone(), settings).unwrap().solve();
         assert!(r.status.is_solved());
         // Budget: weights of the first n variables sum to 1.
@@ -302,8 +307,10 @@ mod tests {
     #[test]
     fn svm_solves_and_separates() {
         let pr = svm(12, 24, 17);
-        let mut settings = Settings::default();
-        settings.max_iter = 10_000;
+        let settings = Settings {
+            max_iter: 10_000,
+            ..Settings::default()
+        };
         let r = Solver::new(pr.clone(), settings).unwrap().solve();
         assert!(r.status.is_solved());
         // Slack variables are nonnegative at optimum.
@@ -328,10 +335,12 @@ mod tests {
         let n = 6;
         let m = 18;
         let pr = lasso(n, m, 23);
-        let mut settings = Settings::default();
-        settings.eps_abs = 1e-6;
-        settings.eps_rel = 1e-6;
-        settings.max_iter = 20_000;
+        let settings = Settings {
+            eps_abs: 1e-6,
+            eps_rel: 1e-6,
+            max_iter: 20_000,
+            ..Settings::default()
+        };
         let r = Solver::new(pr.clone(), settings).unwrap().solve();
         assert!(r.status.is_solved());
         // Equality rows: first m rows enforce Ad x - y = b.

@@ -45,7 +45,13 @@ pub enum Domain {
 impl Domain {
     /// All five domains in the paper's order.
     pub fn all() -> [Domain; 5] {
-        [Domain::Portfolio, Domain::Lasso, Domain::Huber, Domain::Mpc, Domain::Svm]
+        [
+            Domain::Portfolio,
+            Domain::Lasso,
+            Domain::Huber,
+            Domain::Mpc,
+            Domain::Svm,
+        ]
     }
 
     /// Lowercase domain name used in reports.
@@ -88,7 +94,10 @@ pub const INSTANCES_PER_DOMAIN: usize = 20;
 ///
 /// Panics if `index >= INSTANCES_PER_DOMAIN`.
 pub fn instance(domain: Domain, index: usize) -> BenchmarkInstance {
-    assert!(index < INSTANCES_PER_DOMAIN, "suite has {INSTANCES_PER_DOMAIN} instances");
+    assert!(
+        index < INSTANCES_PER_DOMAIN,
+        "suite has {INSTANCES_PER_DOMAIN} instances"
+    );
     let seed = 1000 * (domain as u64 + 1) + index as u64;
     // Geometric size growth across the suite.
     let scale = |lo: f64, hi: f64| -> usize {
@@ -115,7 +124,10 @@ pub fn instance(domain: Domain, index: usize) -> BenchmarkInstance {
             let nx = scale(3.0, 24.0);
             let nu = (nx / 2).max(1);
             let horizon = 10;
-            (mpc(nx, nu, horizon, seed).problem, format!("nx={nx} nu={nu} T={horizon}"))
+            (
+                mpc(nx, nu, horizon, seed).problem,
+                format!("nx={nx} nu={nu} T={horizon}"),
+            )
         }
         Domain::Svm => {
             let n = scale(10.0, 140.0);
@@ -123,12 +135,19 @@ pub fn instance(domain: Domain, index: usize) -> BenchmarkInstance {
             (svm(n, m, seed), format!("n={n} m={m}"))
         }
     };
-    BenchmarkInstance { domain, index, params, problem }
+    BenchmarkInstance {
+        domain,
+        index,
+        params,
+        problem,
+    }
 }
 
 /// The full 20-instance suite for one domain.
 pub fn suite(domain: Domain) -> Vec<BenchmarkInstance> {
-    (0..INSTANCES_PER_DOMAIN).map(|i| instance(domain, i)).collect()
+    (0..INSTANCES_PER_DOMAIN)
+        .map(|i| instance(domain, i))
+        .collect()
 }
 
 /// The full 100-problem benchmark (5 domains × 20 instances).

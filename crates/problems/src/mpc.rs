@@ -52,10 +52,7 @@ impl MpcInstance {
     /// the only data that changes between closed-loop solves.
     pub fn bounds_for(&self, x_init: &[f64]) -> (Vec<f64>, Vec<f64>) {
         assert_eq!(x_init.len(), self.nx, "x_init has wrong dimension");
-        let (mut l, mut u) = (
-            self.problem.l().to_vec(),
-            self.problem.u().to_vec(),
-        );
+        let (mut l, mut u) = (self.problem.l().to_vec(), self.problem.u().to_vec());
         // The first nx equality rows encode -x0 = -x_init.
         for (i, &v) in x_init.iter().enumerate() {
             l[i] = -v;
@@ -67,12 +64,12 @@ impl MpcInstance {
     /// Simulates one step of the true system: `x⁺ = Ad·x + Bd·u`.
     pub fn step(&self, x: &[f64], u: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.nx];
-        for i in 0..self.nx {
-            for j in 0..self.nx {
-                out[i] += self.a_dyn[i * self.nx + j] * x[j];
+        for (i, oi) in out.iter_mut().enumerate() {
+            for (aij, xj) in self.a_dyn[i * self.nx..(i + 1) * self.nx].iter().zip(x) {
+                *oi += aij * xj;
             }
-            for j in 0..self.nu {
-                out[i] += self.b_dyn[i * self.nu + j] * u[j];
+            for (bij, uj) in self.b_dyn[i * self.nu..(i + 1) * self.nu].iter().zip(u) {
+                *oi += bij * uj;
             }
         }
         out
@@ -147,7 +144,8 @@ pub fn mpc(nx: usize, nu: usize, t: usize, seed: u64) -> MpcInstance {
             for j in 0..nu {
                 let v = b_dyn[i * nu + j];
                 if v != 0.0 {
-                    a.push(row0 + i, n_state + k * nu + j, v).expect("in bounds");
+                    a.push(row0 + i, n_state + k * nu + j, v)
+                        .expect("in bounds");
                 }
             }
             a.push(row0 + i, (k + 1) * nx + i, -1.0).expect("in bounds");
@@ -180,15 +178,17 @@ pub fn mpc(nx: usize, nu: usize, t: usize, seed: u64) -> MpcInstance {
     // Mark unused capacity of INFTY for clarity in tests.
     let _ = INFTY;
 
-    let problem = Problem::new(
-        p.upper_triangle().expect("square"),
-        q,
-        a,
-        l,
-        u,
-    )
-    .expect("mpc problem is valid");
-    MpcInstance { problem, a_dyn, b_dyn, nx, nu, horizon: t, x_init }
+    let problem = Problem::new(p.upper_triangle().expect("square"), q, a, l, u)
+        .expect("mpc problem is valid");
+    MpcInstance {
+        problem,
+        a_dyn,
+        b_dyn,
+        nx,
+        nu,
+        horizon: t,
+        x_init,
+    }
 }
 
 #[cfg(test)]
@@ -199,10 +199,12 @@ mod tests {
     #[test]
     fn mpc_solves_and_respects_dynamics() {
         let inst = mpc(4, 2, 8, 5);
-        let mut settings = Settings::default();
-        settings.eps_abs = 1e-5;
-        settings.eps_rel = 1e-5;
-        settings.max_iter = 20_000;
+        let settings = Settings {
+            eps_abs: 1e-5,
+            eps_rel: 1e-5,
+            max_iter: 20_000,
+            ..Settings::default()
+        };
         let r = Solver::new(inst.problem.clone(), settings).unwrap().solve();
         assert!(r.status.is_solved());
         // The first state block equals x_init.
@@ -222,7 +224,10 @@ mod tests {
             let pred = inst.step(xk, uk);
             let xk1 = &r.x[(k + 1) * inst.nx..(k + 2) * inst.nx];
             for i in 0..inst.nx {
-                assert!((pred[i] - xk1[i]).abs() < 1e-2, "dynamics violated at k={k}");
+                assert!(
+                    (pred[i] - xk1[i]).abs() < 1e-2,
+                    "dynamics violated at k={k}"
+                );
             }
         }
         // Inputs respect the box.

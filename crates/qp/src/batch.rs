@@ -1,0 +1,288 @@
+//! Batched multi-problem frontend: solve many same-pattern QPs from one
+//! symbolic setup.
+//!
+//! The expensive part of [`Solver::new`] is structural — Ruiz
+//! equilibration, the AMD-style fill-reducing ordering, the elimination
+//! tree and the symbolic KKT factorization all depend only on the sparsity
+//! pattern, not the values. The paper's target workload ("millions of QPs
+//! with the same sparsity pattern", e.g. a portfolio problem re-solved per
+//! asset-return scenario) therefore pays that cost once.
+//!
+//! [`BatchSolver`] packages this: it performs setup a single time, then
+//! solves a stream of per-problem parametric updates ([`BatchUpdate`]) by
+//! cloning the prepared solver into `std::thread::scope` workers — no
+//! extra dependencies, no symbolic refactorization per problem.
+//!
+//! # Determinism
+//!
+//! Batch results are **independent of the thread count and chunking**:
+//! every problem is re-parameterized from the shared template (an update of
+//! `None` restores the template's value rather than inheriting whatever the
+//! worker solved last) and solved from a cold start via [`Solver::reset`].
+//! `solve_batch` over N problems on any number of threads is bitwise
+//! identical to N sequential solves — the property the batch parity test in
+//! `tests/` pins down.
+
+use crate::{Problem, Result, Settings, SolveResult, Solver};
+
+/// Per-problem parametric update applied on top of the template problem.
+///
+/// A `None` field keeps the template's value for that component. Only the
+/// vector data (`q`, `l`, `u`) may vary across a batch; the matrices `P`
+/// and `A` — and with them the whole symbolic setup — are shared.
+#[derive(Debug, Clone, Default)]
+pub struct BatchUpdate {
+    /// Replacement linear cost, or `None` to use the template's `q`.
+    pub q: Option<Vec<f64>>,
+    /// Replacement bounds `(l, u)`, or `None` to use the template's.
+    pub bounds: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+impl BatchUpdate {
+    /// An update that only replaces the linear cost.
+    pub fn with_q(q: Vec<f64>) -> Self {
+        BatchUpdate {
+            q: Some(q),
+            bounds: None,
+        }
+    }
+
+    /// An update that only replaces the bounds.
+    pub fn with_bounds(l: Vec<f64>, u: Vec<f64>) -> Self {
+        BatchUpdate {
+            q: None,
+            bounds: Some((l, u)),
+        }
+    }
+}
+
+/// Solves batches of QPs sharing one sparsity pattern (and one symbolic
+/// setup) in parallel.
+#[derive(Debug, Clone)]
+pub struct BatchSolver {
+    template: Solver,
+    num_threads: usize,
+}
+
+impl BatchSolver {
+    /// Runs setup (scaling, ordering, symbolic + numeric factorization)
+    /// once on the template problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`Solver::new`] setup error.
+    pub fn new(problem: Problem, settings: Settings) -> Result<Self> {
+        let template = Solver::new(problem, settings)?;
+        let num_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Ok(BatchSolver {
+            template,
+            num_threads,
+        })
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1). The
+    /// results do not depend on this value, only the wall-clock time does.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// The prepared template solver.
+    pub fn template(&self) -> &Solver {
+        &self.template
+    }
+
+    /// Solves one problem per update, in parallel across the configured
+    /// worker threads. `results[i]` corresponds to `updates[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-problem update error (e.g. a length
+    /// mismatch); problem data errors abort the batch.
+    pub fn solve_batch(&self, updates: &[BatchUpdate]) -> Result<Vec<SolveResult>> {
+        let n = updates.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let threads = self.num_threads.min(n);
+        if threads == 1 {
+            return run_chunk(&self.template, updates);
+        }
+        let chunk_size = n.div_ceil(threads);
+        let template = &self.template;
+        let mut chunk_results: Vec<Result<Vec<SolveResult>>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = updates
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || run_chunk(template, chunk)))
+                .collect();
+            for handle in handles {
+                chunk_results.push(handle.join().expect("batch worker panicked"));
+            }
+        });
+        let mut results = Vec::with_capacity(n);
+        for chunk in chunk_results {
+            results.extend(chunk?);
+        }
+        Ok(results)
+    }
+
+    /// Solves the batch on the current thread with a single cloned solver —
+    /// the reference implementation `solve_batch` must match bitwise, and
+    /// the baseline the batch benchmarks compare against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchSolver::solve_batch`].
+    pub fn solve_sequential(&self, updates: &[BatchUpdate]) -> Result<Vec<SolveResult>> {
+        run_chunk(&self.template, updates)
+    }
+}
+
+/// Solves a chunk of updates on one cloned solver. Every problem is
+/// re-parameterized from the template's base data so the outcome does not
+/// depend on which chunk (or order) it lands in.
+fn run_chunk(template: &Solver, chunk: &[BatchUpdate]) -> Result<Vec<SolveResult>> {
+    let mut solver = template.clone();
+    let base = template.problem();
+    let (base_q, base_l, base_u) = (base.q().to_vec(), base.l().to_vec(), base.u().to_vec());
+    let mut results = Vec::with_capacity(chunk.len());
+    for update in chunk {
+        solver.update_q(update.q.as_deref().unwrap_or(&base_q))?;
+        match &update.bounds {
+            Some((l, u)) => solver.update_bounds(l, u)?,
+            None => solver.update_bounds(&base_l, &base_u)?,
+        }
+        solver.reset();
+        results.push(solver.solve());
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KktBackend, Status};
+    use mib_sparse::CscMatrix;
+
+    fn template_problem() -> Problem {
+        // minimize x'Px + q'x  s.t. sum(x) = 1, 0 <= x <= 0.8
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.5, 0.0, 2.0])
+            .upper_triangle()
+            .unwrap();
+        let a = CscMatrix::from_dense(3, 2, &[1.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+        Problem::new(
+            p,
+            vec![-1.0, -0.5],
+            a,
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.8, 0.8],
+        )
+        .unwrap()
+    }
+
+    fn q_sweep(count: usize) -> Vec<BatchUpdate> {
+        (0..count)
+            .map(|k| {
+                let t = k as f64 / count as f64;
+                BatchUpdate::with_q(vec![-1.0 - t, -0.5 + 0.3 * t])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let batch = BatchSolver::new(template_problem(), Settings::default())
+            .unwrap()
+            .with_threads(4);
+        let updates = q_sweep(13); // deliberately not divisible by 4
+        let par = batch.solve_batch(&updates).unwrap();
+        let seq = batch.solve_sequential(&updates).unwrap();
+        assert_eq!(par.len(), seq.len());
+        for (i, (a, b)) in par.iter().zip(&seq).enumerate() {
+            assert_eq!(a.status, Status::Solved, "problem {i}");
+            assert_eq!(a.x, b.x, "problem {i}: parallel/sequential x differ");
+            assert_eq!(a.iterations, b.iterations, "problem {i}");
+        }
+    }
+
+    #[test]
+    fn none_update_restores_template_values() {
+        let batch = BatchSolver::new(template_problem(), Settings::default())
+            .unwrap()
+            .with_threads(2);
+        // Problem 1 changes q; problem 2 must see the template q again.
+        let updates = vec![
+            BatchUpdate::default(),
+            BatchUpdate::with_q(vec![-5.0, -5.0]),
+            BatchUpdate::default(),
+        ];
+        let results = batch.solve_batch(&updates).unwrap();
+        assert_eq!(
+            results[0].x, results[2].x,
+            "None update must not inherit prior q"
+        );
+        assert_ne!(results[0].x, results[1].x);
+    }
+
+    #[test]
+    fn bounds_stream_solves() {
+        let batch = BatchSolver::new(template_problem(), Settings::default())
+            .unwrap()
+            .with_threads(2);
+        let updates: Vec<BatchUpdate> = (0..6)
+            .map(|k| {
+                let cap = 0.5 + 0.05 * k as f64;
+                BatchUpdate::with_bounds(vec![1.0, 0.0, 0.0], vec![1.0, cap, cap])
+            })
+            .collect();
+        let results = batch.solve_batch(&updates).unwrap();
+        for (k, r) in results.iter().enumerate() {
+            let cap = 0.5 + 0.05 * k as f64;
+            assert_eq!(r.status, Status::Solved);
+            assert!(r.x[0] <= cap + 1e-2, "x0 = {} exceeds cap {cap}", r.x[0]);
+            assert!(r.x[1] <= cap + 1e-2, "x1 = {} exceeds cap {cap}", r.x[1]);
+            assert!(
+                (r.x[0] + r.x[1] - 1.0).abs() < 1e-2,
+                "sum constraint violated"
+            );
+        }
+    }
+
+    #[test]
+    fn indirect_backend_batches_deterministically() {
+        let batch = BatchSolver::new(
+            template_problem(),
+            Settings::with_backend(KktBackend::Indirect),
+        )
+        .unwrap()
+        .with_threads(3);
+        let updates = q_sweep(7);
+        let par = batch.solve_batch(&updates).unwrap();
+        let seq = batch.solve_sequential(&updates).unwrap();
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(
+                a.x, b.x,
+                "PCG warm-start state must not leak across problems"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_update_aborts_batch() {
+        let batch = BatchSolver::new(template_problem(), Settings::default()).unwrap();
+        let updates = vec![BatchUpdate::with_q(vec![1.0])]; // wrong length
+        assert!(batch.solve_batch(&updates).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let batch = BatchSolver::new(template_problem(), Settings::default()).unwrap();
+        assert!(batch.solve_batch(&[]).unwrap().is_empty());
+    }
+}

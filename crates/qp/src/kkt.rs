@@ -44,7 +44,11 @@ impl KktMatrix {
         let m = a.nrows();
         assert_eq!(p.nrows(), n, "P must be square");
         assert_eq!(a.ncols(), n, "A column count must match P");
-        assert_eq!(rho_vec.len(), m, "rho vector must have one entry per constraint");
+        assert_eq!(
+            rho_vec.len(),
+            m,
+            "rho vector must have one entry per constraint"
+        );
 
         let a_csr = CsrMatrix::from_csc(a);
         let dim = n + m;
@@ -76,14 +80,14 @@ impl KktMatrix {
         }
         // Columns n..n+m: Aᵀ block (row i of A) then the -1/ρᵢ diagonal.
         let mut rho_pos = Vec::with_capacity(m);
-        for i in 0..m {
+        for (i, &rho_i) in rho_vec.iter().enumerate() {
             for (j, v) in a_csr.row(i) {
                 row_ind.push(j);
                 values.push(v);
             }
             rho_pos.push(values.len());
             row_ind.push(n + i);
-            values.push(-1.0 / rho_vec[i]);
+            values.push(-1.0 / rho_i);
             col_ptr.push(row_ind.len());
         }
 
@@ -117,7 +121,11 @@ impl KktMatrix {
     ///
     /// Panics if `rho_vec.len() != m`.
     pub fn update_rho(&mut self, rho_vec: &[f64]) {
-        assert_eq!(rho_vec.len(), self.m, "rho vector must have one entry per constraint");
+        assert_eq!(
+            rho_vec.len(),
+            self.m,
+            "rho vector must have one entry per constraint"
+        );
         let values = self.mat.values_mut();
         for (i, &pos) in self.rho_pos.iter().enumerate() {
             values[pos] = -1.0 / rho_vec[i];

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod error;
 pub mod kkt;
 pub mod linsys;
@@ -49,12 +50,15 @@ pub mod scaling;
 mod settings;
 mod solver;
 mod types;
+mod workspace;
 
+pub use batch::{BatchSolver, BatchUpdate};
 pub use error::QpError;
 pub use problem::Problem;
 pub use settings::{KktBackend, Settings};
 pub use solver::Solver;
 pub use types::{SolveResult, Status};
+pub use workspace::SolveWorkspace;
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, QpError>;

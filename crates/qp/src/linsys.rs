@@ -14,6 +14,14 @@
 //! definite system `(P + σI + Aᵀ diag(ρ) A) x̃ = r_x + Aᵀ diag(ρ) r_z` and
 //! runs Preconditioned Conjugate Gradient (Algorithm 2 of the paper) with a
 //! Jacobi preconditioner, never forming `AᵀA` explicitly.
+//!
+//! Backends exchange vectors through the caller's [`SolveWorkspace`]: the
+//! right-hand side arrives in [`SolveWorkspace::rhs_x`] /
+//! [`SolveWorkspace::rhs_z`], the solution leaves in
+//! [`SolveWorkspace::xtilde`] / [`SolveWorkspace::nu`], and all scratch
+//! (the stacked direct-solve buffers, the PCG vectors) lives in the same
+//! workspace. After construction neither backend allocates on the solve or
+//! `ρ`-update paths.
 
 use mib_sparse::ldl::LdlSolver;
 use mib_sparse::order::Ordering;
@@ -21,25 +29,25 @@ use mib_sparse::{vector, CscMatrix};
 
 use crate::kkt::KktMatrix;
 use crate::profile::Profile;
+use crate::workspace::SolveWorkspace;
 use crate::{KktBackend, QpError, Result};
 
 /// Interface shared by the two KKT backends.
-pub trait KktSolver: std::fmt::Debug {
-    /// Solves the KKT system for the given right-hand side, writing `x̃`
-    /// into `out_x` and `ν` into `out_nu`, and charging the work to
-    /// `profile`.
+///
+/// `Send + Sync` is required so boxed backends can move into — and the
+/// template solver can be shared across — the worker threads of
+/// [`BatchSolver`](crate::BatchSolver).
+pub trait KktSolver: std::fmt::Debug + Send + Sync {
+    /// Solves the KKT system. Reads the right-hand side from `ws.rhs_x` /
+    /// `ws.rhs_z`, writes `x̃` into `ws.xtilde` and `ν` into `ws.nu`, and
+    /// charges the work to `profile`. Implementations may use the scratch
+    /// buffers of `ws` freely but must not touch the iterate or residual
+    /// buffers.
     ///
     /// # Errors
     ///
     /// Returns an error if the underlying factorization or iteration fails.
-    fn solve(
-        &mut self,
-        rhs_x: &[f64],
-        rhs_z: &[f64],
-        out_x: &mut [f64],
-        out_nu: &mut [f64],
-        profile: &mut Profile,
-    ) -> Result<()>;
+    fn solve(&mut self, ws: &mut SolveWorkspace, profile: &mut Profile) -> Result<()>;
 
     /// Installs a new `ρ` vector (refactoring or re-preconditioning as
     /// needed).
@@ -52,17 +60,24 @@ pub trait KktSolver: std::fmt::Debug {
     /// Adjusts the iterative tolerance; no-op for the direct backend.
     fn set_tolerance(&mut self, _tol: f64) {}
 
+    /// Clears warm-start state so the next solve behaves like the first;
+    /// no-op for stateless backends.
+    fn reset(&mut self) {}
+
     /// Which variant this backend implements.
     fn backend(&self) -> KktBackend;
+
+    /// Clones the backend behind the trait object (used by
+    /// [`Solver::clone`](crate::Solver)).
+    fn clone_box(&self) -> Box<dyn KktSolver>;
 }
 
 /// Direct backend: sparse LDLᵀ of the KKT matrix with minimum-degree
 /// ordering (OSQP-direct).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DirectKkt {
     kkt: KktMatrix,
     ldl: LdlSolver,
-    work: Vec<f64>,
 }
 
 impl DirectKkt {
@@ -83,8 +98,7 @@ impl DirectKkt {
         let ldl = LdlSolver::new(kkt.matrix(), Ordering::MinDegree)
             .map_err(|e| QpError::KktFactorization(e.to_string()))?;
         profile.add_factor(ldl.factor().flops() as f64);
-        let dim = kkt.dim();
-        Ok(DirectKkt { kkt, ldl, work: vec![0.0; dim] })
+        Ok(DirectKkt { kkt, ldl })
     }
 
     /// Below-diagonal nonzeros of the factor `L` (drives per-solve cost).
@@ -105,23 +119,26 @@ impl DirectKkt {
 }
 
 impl KktSolver for DirectKkt {
-    fn solve(
-        &mut self,
-        rhs_x: &[f64],
-        rhs_z: &[f64],
-        out_x: &mut [f64],
-        out_nu: &mut [f64],
-        profile: &mut Profile,
-    ) -> Result<()> {
+    fn solve(&mut self, ws: &mut SolveWorkspace, profile: &mut Profile) -> Result<()> {
         let n = self.kkt.num_vars();
         let m = self.kkt.num_constraints();
+        let SolveWorkspace {
+            rhs_x,
+            rhs_z,
+            xtilde,
+            nu,
+            kkt_rhs,
+            kkt_work,
+            kkt_sol,
+            ..
+        } = ws;
         debug_assert_eq!(rhs_x.len(), n);
         debug_assert_eq!(rhs_z.len(), m);
-        self.work[..n].copy_from_slice(rhs_x);
-        self.work[n..].copy_from_slice(rhs_z);
-        let sol = self.ldl.solve(&self.work);
-        out_x.copy_from_slice(&sol[..n]);
-        out_nu.copy_from_slice(&sol[n..]);
+        kkt_rhs[..n].copy_from_slice(rhs_x);
+        kkt_rhs[n..].copy_from_slice(rhs_z);
+        self.ldl.solve_into(kkt_rhs, kkt_work, kkt_sol);
+        xtilde.copy_from_slice(&kkt_sol[..n]);
+        nu.copy_from_slice(&kkt_sol[n..]);
         profile.add_triangular_solve(self.ldl.factor().l_nnz(), n + m);
         Ok(())
     }
@@ -138,11 +155,19 @@ impl KktSolver for DirectKkt {
     fn backend(&self) -> KktBackend {
         KktBackend::Direct
     }
+
+    fn clone_box(&self) -> Box<dyn KktSolver> {
+        Box::new(self.clone())
+    }
 }
 
 /// Indirect backend: PCG on the reduced positive-definite system
 /// (OSQP-indirect).
-#[derive(Debug)]
+///
+/// All per-solve scratch (`r`, `pdir`, `sp`, `dvec`, `az`, `b_red`) lives
+/// in the shared [`SolveWorkspace`]; the backend itself carries only
+/// problem data, the preconditioner and the warm-start state.
+#[derive(Debug, Clone)]
 pub struct IndirectKkt {
     p: CscMatrix,
     a: CscMatrix,
@@ -154,15 +179,11 @@ pub struct IndirectKkt {
     x_prev: Vec<f64>,
     /// Relative tolerance for the next solve.
     tol: f64,
+    /// Initial relative tolerance, restored by [`KktSolver::reset`].
+    tol0: f64,
     /// Absolute floor on the residual norm.
     eps_min: f64,
     max_iter: usize,
-    // Workspaces.
-    r: Vec<f64>,
-    pdir: Vec<f64>,
-    sp: Vec<f64>,
-    dvec: Vec<f64>,
-    az: Vec<f64>,
 }
 
 impl IndirectKkt {
@@ -177,8 +198,11 @@ impl IndirectKkt {
         max_iter: usize,
     ) -> Self {
         let n = p.ncols();
-        let m = a.nrows();
-        let max_iter = if max_iter == 0 { (4 * n).max(20) } else { max_iter };
+        let max_iter = if max_iter == 0 {
+            (4 * n).max(20)
+        } else {
+            max_iter
+        };
         let mut solver = IndirectKkt {
             p: p.clone(),
             a: a.clone(),
@@ -187,13 +211,9 @@ impl IndirectKkt {
             precond_inv: vec![1.0; n],
             x_prev: vec![0.0; n],
             tol: tol0,
+            tol0,
             eps_min,
             max_iter,
-            r: vec![0.0; n],
-            pdir: vec![0.0; n],
-            sp: vec![0.0; n],
-            dvec: vec![0.0; n],
-            az: vec![0.0; m],
         };
         solver.rebuild_preconditioner();
         solver
@@ -201,18 +221,20 @@ impl IndirectKkt {
 
     fn rebuild_preconditioner(&mut self) {
         let n = self.p.ncols();
-        let mut diag = vec![self.sigma; n];
         for j in 0..n {
-            diag[j] += self.p.get(j, j);
+            self.precond_inv[j] = self.sigma + self.p.get(j, j);
         }
         for (i, j, v) in self.a.iter() {
-            diag[j] += self.rho_vec[i] * v * v;
+            self.precond_inv[j] += self.rho_vec[i] * v * v;
         }
-        self.precond_inv = diag.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 1.0 }).collect();
+        for d in self.precond_inv.iter_mut() {
+            *d = if *d > 0.0 { 1.0 / *d } else { 1.0 };
+        }
     }
 
-    /// Applies `v -> S v = (P + σI + Aᵀ diag(ρ) A) v` without forming `S`.
-    fn apply_s(&mut self, v: &[f64], out: &mut [f64], profile: &mut Profile) {
+    /// Applies `v -> S v = (P + σI + Aᵀ diag(ρ) A) v` without forming `S`,
+    /// using `az` as the length-`m` intermediate.
+    fn apply_s(&self, v: &[f64], out: &mut [f64], az: &mut [f64], profile: &mut Profile) {
         // out = P v (symmetric product) ...
         out.fill(0.0);
         self.p.sym_upper_mul_vec_acc(v, out);
@@ -223,51 +245,57 @@ impl IndirectKkt {
         }
         // ... + Aᵀ (ρ ∘ (A v)): A·v is the MAC primitive, Aᵀ·w is column
         // elimination (Section IV.B of the paper).
-        self.az.fill(0.0);
-        self.a.mul_vec_acc(v, &mut self.az);
+        az.fill(0.0);
+        self.a.mul_vec_acc(v, az);
         profile.add_spmv_mac(self.a.nnz());
-        for (azi, &rho) in self.az.iter_mut().zip(&self.rho_vec) {
+        for (azi, &rho) in az.iter_mut().zip(&self.rho_vec) {
             *azi *= rho;
         }
-        self.a.tr_mul_vec_acc(&self.az, out);
+        self.a.tr_mul_vec_acc(az, out);
         profile.add_spmv_col_elim(self.a.nnz());
-        profile.add_vector((2 * v.len() + self.az.len()) as f64);
+        profile.add_vector((2 * v.len() + az.len()) as f64);
     }
 
     /// Runs PCG to solve `S x = b`, warm-started from the previous
-    /// solution. Returns the iteration count.
-    fn pcg(&mut self, b: &[f64], x: &mut [f64], profile: &mut Profile) -> usize {
+    /// solution. All scratch slices come from the caller's workspace.
+    /// Returns the iteration count.
+    #[allow(clippy::too_many_arguments)]
+    fn pcg(
+        &mut self,
+        b: &[f64],
+        x: &mut [f64],
+        r: &mut [f64],
+        pdir: &mut [f64],
+        sp: &mut [f64],
+        dvec: &mut [f64],
+        az: &mut [f64],
+        profile: &mut Profile,
+    ) -> usize {
         let n = b.len();
         x.copy_from_slice(&self.x_prev);
         // r = S x - b
-        let mut sx = std::mem::take(&mut self.sp);
-        self.apply_s(x, &mut sx, profile);
-        self.sp = sx;
+        self.apply_s(x, sp, az, profile);
         for i in 0..n {
-            self.r[i] = self.sp[i] - b[i];
+            r[i] = sp[i] - b[i];
         }
         let b_norm = vector::norm2(b);
         let threshold = (self.tol * b_norm).max(self.eps_min);
-        let mut r_norm = vector::norm2(&self.r);
+        let mut r_norm = vector::norm2(r);
         if r_norm <= threshold {
             self.x_prev.copy_from_slice(x);
             return 0;
         }
         // d = M⁻¹ r, p = -d
         for i in 0..n {
-            self.dvec[i] = self.precond_inv[i] * self.r[i];
-            self.pdir[i] = -self.dvec[i];
+            dvec[i] = self.precond_inv[i] * r[i];
+            pdir[i] = -dvec[i];
         }
-        let mut rd = vector::dot(&self.r, &self.dvec);
+        let mut rd = vector::dot(r, dvec);
         let mut iters = 0usize;
         while iters < self.max_iter {
             iters += 1;
-            let mut sp = std::mem::take(&mut self.sp);
-            let pdir = std::mem::take(&mut self.pdir);
-            self.apply_s(&pdir, &mut sp, profile);
-            self.pdir = pdir;
-            self.sp = sp;
-            let p_sp = vector::dot(&self.pdir, &self.sp);
+            self.apply_s(pdir, sp, az, profile);
+            let p_sp = vector::dot(pdir, sp);
             if p_sp <= 0.0 {
                 // Numerical breakdown; S is PD so this indicates roundoff —
                 // accept the current iterate.
@@ -275,22 +303,22 @@ impl IndirectKkt {
             }
             let lambda = rd / p_sp;
             for i in 0..n {
-                x[i] += lambda * self.pdir[i];
-                self.r[i] += lambda * self.sp[i];
+                x[i] += lambda * pdir[i];
+                r[i] += lambda * sp[i];
             }
-            r_norm = vector::norm2(&self.r);
+            r_norm = vector::norm2(r);
             profile.add_vector(6.0 * n as f64);
             if r_norm <= threshold {
                 break;
             }
             for i in 0..n {
-                self.dvec[i] = self.precond_inv[i] * self.r[i];
+                dvec[i] = self.precond_inv[i] * r[i];
             }
-            let rd_new = vector::dot(&self.r, &self.dvec);
+            let rd_new = vector::dot(r, dvec);
             let mu = rd_new / rd;
             rd = rd_new;
             for i in 0..n {
-                self.pdir[i] = -self.dvec[i] + mu * self.pdir[i];
+                pdir[i] = -dvec[i] + mu * pdir[i];
             }
             profile.add_vector(5.0 * n as f64);
         }
@@ -301,30 +329,38 @@ impl IndirectKkt {
 }
 
 impl KktSolver for IndirectKkt {
-    fn solve(
-        &mut self,
-        rhs_x: &[f64],
-        rhs_z: &[f64],
-        out_x: &mut [f64],
-        out_nu: &mut [f64],
-        profile: &mut Profile,
-    ) -> Result<()> {
-        let n = self.p.ncols();
-        debug_assert_eq!(rhs_x.len(), n);
-        // b = rhs_x + Aᵀ (ρ ∘ rhs_z)
-        let mut b = rhs_x.to_vec();
-        let rz: Vec<f64> = rhs_z.iter().zip(&self.rho_vec).map(|(&z, &r)| z * r).collect();
-        self.a.tr_mul_vec_acc(&rz, &mut b);
+    fn solve(&mut self, ws: &mut SolveWorkspace, profile: &mut Profile) -> Result<()> {
+        let SolveWorkspace {
+            rhs_x,
+            rhs_z,
+            xtilde,
+            nu,
+            r,
+            pdir,
+            sp,
+            dvec,
+            az,
+            b_red,
+            ..
+        } = ws;
+        debug_assert_eq!(rhs_x.len(), self.p.ncols());
+        // b = rhs_x + Aᵀ (ρ ∘ rhs_z); `az` doubles as the ρ ∘ rhs_z scratch
+        // before PCG overwrites it.
+        b_red.copy_from_slice(rhs_x);
+        for i in 0..rhs_z.len() {
+            az[i] = rhs_z[i] * self.rho_vec[i];
+        }
+        self.a.tr_mul_vec_acc(az, b_red);
         profile.add_spmv_col_elim(self.a.nnz());
         profile.add_vector(rhs_z.len() as f64);
-        self.pcg(&b, out_x, profile);
+        self.pcg(b_red, xtilde, r, pdir, sp, dvec, az, profile);
         // ν = ρ ∘ (A x̃ - rhs_z)
-        let ax = self.a.mul_vec(out_x);
+        self.a.mul_vec_into(xtilde, az);
         profile.add_spmv_mac(self.a.nnz());
-        for i in 0..out_nu.len() {
-            out_nu[i] = self.rho_vec[i] * (ax[i] - rhs_z[i]);
+        for i in 0..nu.len() {
+            nu[i] = self.rho_vec[i] * (az[i] - rhs_z[i]);
         }
-        profile.add_vector(2.0 * out_nu.len() as f64);
+        profile.add_vector(2.0 * nu.len() as f64);
         Ok(())
     }
 
@@ -339,8 +375,17 @@ impl KktSolver for IndirectKkt {
         self.tol = tol;
     }
 
+    fn reset(&mut self) {
+        self.x_prev.fill(0.0);
+        self.tol = self.tol0;
+    }
+
     fn backend(&self) -> KktBackend {
         KktBackend::Indirect
+    }
+
+    fn clone_box(&self) -> Box<dyn KktSolver> {
+        Box::new(self.clone())
     }
 }
 
@@ -356,29 +401,45 @@ mod tests {
         (p, a, 1e-6, vec![0.4, 0.7])
     }
 
+    /// Solves with the given right-hand side, returning `(x̃, ν)`.
+    fn run(
+        solver: &mut dyn KktSolver,
+        ws: &mut SolveWorkspace,
+        rhs_x: &[f64],
+        rhs_z: &[f64],
+        prof: &mut Profile,
+    ) -> (Vec<f64>, Vec<f64>) {
+        ws.rhs_x.copy_from_slice(rhs_x);
+        ws.rhs_z.copy_from_slice(rhs_z);
+        solver.solve(ws, prof).unwrap();
+        (ws.xtilde.clone(), ws.nu.clone())
+    }
+
     /// Checks that a backend's (x̃, ν) satisfies both KKT block equations.
     fn check_backend(solver: &mut dyn KktSolver, tol: f64) {
         let (p, a, sigma, rho) = problem_data();
-        let rhs_x = [1.0, -2.0, 0.5];
-        let rhs_z = [0.3, -0.1];
-        let mut x = vec![0.0; 3];
-        let mut nu = vec![0.0; 2];
+        let mut ws = SolveWorkspace::new(3, 2);
         let mut prof = Profile::default();
-        solver.solve(&rhs_x, &rhs_z, &mut x, &mut nu, &mut prof).unwrap();
+        let (x, nu) = run(solver, &mut ws, &[1.0, -2.0, 0.5], &[0.3, -0.1], &mut prof);
         // Block 1: (P + σI) x̃ + Aᵀ ν = rhs_x
         let mut r1 = p.sym_upper_mul_vec(&x);
         for (r, &xi) in r1.iter_mut().zip(&x) {
             *r += sigma * xi;
         }
         a.tr_mul_vec_acc(&nu, &mut r1);
-        for (got, want) in r1.iter().zip(&rhs_x) {
+        for (got, want) in r1.iter().zip(&[1.0, -2.0, 0.5]) {
             assert!((got - want).abs() < tol, "block1: {got} vs {want}");
         }
         // Block 2: A x̃ - ν/ρ = rhs_z
         let ax = a.mul_vec(&x);
+        let rhs_z = [0.3, -0.1];
         for i in 0..2 {
             let got = ax[i] - nu[i] / rho[i];
-            assert!((got - rhs_z[i]).abs() < tol, "block2: {got} vs {}", rhs_z[i]);
+            assert!(
+                (got - rhs_z[i]).abs() < tol,
+                "block2: {got} vs {}",
+                rhs_z[i]
+            );
         }
     }
 
@@ -404,12 +465,11 @@ mod tests {
         let mut prof = Profile::default();
         let mut direct = DirectKkt::new(&p, &a, sigma, &rho, &mut prof).unwrap();
         let mut indirect = IndirectKkt::new(&p, &a, sigma, &rho, 1e-12, 1e-14, 1000);
+        let mut ws = SolveWorkspace::new(3, 2);
         let rhs_x = [0.2, 0.4, -0.6];
         let rhs_z = [1.0, 1.0];
-        let (mut x1, mut nu1) = (vec![0.0; 3], vec![0.0; 2]);
-        let (mut x2, mut nu2) = (vec![0.0; 3], vec![0.0; 2]);
-        direct.solve(&rhs_x, &rhs_z, &mut x1, &mut nu1, &mut prof).unwrap();
-        indirect.solve(&rhs_x, &rhs_z, &mut x2, &mut nu2, &mut prof).unwrap();
+        let (x1, nu1) = run(&mut direct, &mut ws, &rhs_x, &rhs_z, &mut prof);
+        let (x2, nu2) = run(&mut indirect, &mut ws, &rhs_x, &rhs_z, &mut prof);
         for (u, v) in x1.iter().zip(&x2) {
             assert!((u - v).abs() < 1e-7, "x mismatch: {u} vs {v}");
         }
@@ -426,11 +486,14 @@ mod tests {
         solver.update_rho(&[1.0, 1.0], &mut prof).unwrap();
         assert_eq!(prof.factor_count, 2);
         // The refactored system must reflect the new rho.
-        let rhs_x = [0.0, 0.0, 0.0];
-        let rhs_z = [1.0, 0.0];
-        let mut x = vec![0.0; 3];
-        let mut nu = vec![0.0; 2];
-        solver.solve(&rhs_x, &rhs_z, &mut x, &mut nu, &mut prof).unwrap();
+        let mut ws = SolveWorkspace::new(3, 2);
+        let (x, nu) = run(
+            &mut solver,
+            &mut ws,
+            &[0.0, 0.0, 0.0],
+            &[1.0, 0.0],
+            &mut prof,
+        );
         let ax = a.mul_vec(&x);
         assert!((ax[0] - nu[0] / 1.0 - 1.0).abs() < 1e-9);
     }
@@ -439,16 +502,60 @@ mod tests {
     fn pcg_warm_start_cuts_iterations() {
         let (p, a, sigma, rho) = problem_data();
         let mut solver = IndirectKkt::new(&p, &a, sigma, &rho, 1e-10, 1e-12, 500);
+        let mut ws = SolveWorkspace::new(3, 2);
         let rhs_x = [1.0, 1.0, 1.0];
         let rhs_z = [0.5, 0.5];
-        let mut x = vec![0.0; 3];
-        let mut nu = vec![0.0; 2];
         let mut prof = Profile::default();
-        solver.solve(&rhs_x, &rhs_z, &mut x, &mut nu, &mut prof).unwrap();
+        run(&mut solver, &mut ws, &rhs_x, &rhs_z, &mut prof);
         let cold = prof.pcg_iters;
         let mut prof2 = Profile::default();
-        solver.solve(&rhs_x, &rhs_z, &mut x, &mut nu, &mut prof2).unwrap();
+        run(&mut solver, &mut ws, &rhs_x, &rhs_z, &mut prof2);
         let warm = prof2.pcg_iters;
-        assert!(warm <= 1, "warm-started identical solve should converge immediately, took {warm} (cold: {cold})");
+        assert!(
+            warm <= 1,
+            "warm-started identical solve should converge immediately, took {warm} (cold: {cold})"
+        );
+    }
+
+    #[test]
+    fn reset_clears_warm_start() {
+        let (p, a, sigma, rho) = problem_data();
+        let mut solver = IndirectKkt::new(&p, &a, sigma, &rho, 1e-10, 1e-12, 500);
+        let mut ws = SolveWorkspace::new(3, 2);
+        let mut prof = Profile::default();
+        let (x1, _) = run(
+            &mut solver,
+            &mut ws,
+            &[1.0, 1.0, 1.0],
+            &[0.5, 0.5],
+            &mut prof,
+        );
+        let cold = prof.pcg_iters;
+        solver.reset();
+        let mut prof2 = Profile::default();
+        let (x2, _) = run(
+            &mut solver,
+            &mut ws,
+            &[1.0, 1.0, 1.0],
+            &[0.5, 0.5],
+            &mut prof2,
+        );
+        assert_eq!(x1, x2, "reset must reproduce the cold solve bitwise");
+        assert_eq!(prof2.pcg_iters, cold, "reset must clear the warm start");
+    }
+
+    #[test]
+    fn clone_box_is_independent() {
+        let (p, a, sigma, rho) = problem_data();
+        let mut prof = Profile::default();
+        let direct = DirectKkt::new(&p, &a, sigma, &rho, &mut prof).unwrap();
+        let mut cloned = direct.clone_box();
+        // Updating rho on the clone must not affect the original.
+        cloned.update_rho(&[1.0, 1.0], &mut prof).unwrap();
+        let mut orig: Box<dyn KktSolver> = Box::new(direct);
+        let mut ws = SolveWorkspace::new(3, 2);
+        let (x_orig, _) = run(orig.as_mut(), &mut ws, &[0.0; 3], &[1.0, 0.0], &mut prof);
+        let (x_clone, _) = run(cloned.as_mut(), &mut ws, &[0.0; 3], &[1.0, 0.0], &mut prof);
+        assert_ne!(x_orig, x_clone, "clone must own its factorization");
     }
 }

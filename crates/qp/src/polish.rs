@@ -85,8 +85,8 @@ pub fn polish(problem: &Problem, result: &mut SolveResult) -> Result<PolishStatu
     // rhs = [-q; b_act]; one step of iterative refinement against the
     // unregularized system.
     let mut rhs = vec![0.0; dim];
-    for j in 0..n {
-        rhs[j] = -problem.q()[j];
+    for (r, &qj) in rhs.iter_mut().zip(problem.q()) {
+        *r = -qj;
     }
     for (k, &(_, bound)) in active.iter().enumerate() {
         rhs[n + k] = bound;
@@ -168,10 +168,12 @@ mod tests {
     #[test]
     fn polish_sharpens_a_loose_solve() {
         let problem = box_problem();
-        let mut settings = Settings::default();
         // Deliberately loose tolerances.
-        settings.eps_abs = 1e-2;
-        settings.eps_rel = 1e-2;
+        let settings = Settings {
+            eps_abs: 1e-2,
+            eps_rel: 1e-2,
+            ..Settings::default()
+        };
         let mut result = Solver::new(problem.clone(), settings).unwrap().solve();
         assert_eq!(result.status, Status::Solved);
         let before = (result.x[0] - 0.3).abs();
@@ -188,15 +190,20 @@ mod tests {
     #[test]
     fn polish_keeps_already_tight_solutions() {
         let problem = box_problem();
-        let mut settings = Settings::default();
-        settings.eps_abs = 1e-9;
-        settings.eps_rel = 1e-9;
+        let settings = Settings {
+            eps_abs: 1e-9,
+            eps_rel: 1e-9,
+            ..Settings::default()
+        };
         let mut result = Solver::new(problem.clone(), settings).unwrap().solve();
         let x_before = result.x.clone();
         let status = polish(&problem, &mut result).unwrap();
         // Either it improves further or it keeps the iterate — both x's
         // must solve the problem.
-        assert!(matches!(status, PolishStatus::Improved | PolishStatus::NoImprovement));
+        assert!(matches!(
+            status,
+            PolishStatus::Improved | PolishStatus::NoImprovement
+        ));
         assert!((result.x[0] - x_before[0]).abs() < 1e-6);
     }
 
@@ -206,9 +213,11 @@ mod tests {
         let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
         let a = CscMatrix::from_dense(1, 2, &[1.0, 1.0]);
         let problem = Problem::new(p, vec![0.0; 2], a, vec![1.0], vec![1.0]).unwrap();
-        let mut settings = Settings::default();
-        settings.eps_abs = 1e-3;
-        settings.eps_rel = 1e-3;
+        let settings = Settings {
+            eps_abs: 1e-3,
+            eps_rel: 1e-3,
+            ..Settings::default()
+        };
         let mut result = Solver::new(problem.clone(), settings).unwrap().solve();
         let status = polish(&problem, &mut result).unwrap();
         assert_eq!(status, PolishStatus::Improved);
@@ -220,17 +229,15 @@ mod tests {
     fn polish_benchmark_instance() {
         // A benchmark-shaped problem: polishing should never make things
         // worse and usually sharpens.
-        let p = CscMatrix::from_dense(
-            3,
-            3,
-            &[3.0, 1.0, 0.0, 1.0, 2.0, 0.5, 0.0, 0.5, 1.0],
-        )
-        .upper_triangle()
-        .unwrap();
+        let p = CscMatrix::from_dense(3, 3, &[3.0, 1.0, 0.0, 1.0, 2.0, 0.5, 0.0, 0.5, 1.0])
+            .upper_triangle()
+            .unwrap();
         let a = CscMatrix::from_dense(2, 3, &[1.0, 1.0, 1.0, 1.0, -1.0, 0.0]);
         let problem =
             Problem::new(p, vec![-1.0, 0.5, 1.0], a, vec![1.0, -0.3], vec![1.0, 0.3]).unwrap();
-        let mut result = Solver::new(problem.clone(), Settings::default()).unwrap().solve();
+        let mut result = Solver::new(problem.clone(), Settings::default())
+            .unwrap()
+            .solve();
         let viol_before = problem.constraint_violation(&result.x);
         let status = polish(&problem, &mut result).unwrap();
         assert_ne!(status, PolishStatus::Failed);

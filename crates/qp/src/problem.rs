@@ -33,13 +33,7 @@ impl Problem {
     /// * any `l[i] > u[i]`,
     /// * any entry of `P`, `q` or `A` is non-finite,
     /// * any bound is NaN.
-    pub fn new(
-        p: CscMatrix,
-        q: Vec<f64>,
-        a: CscMatrix,
-        l: Vec<f64>,
-        u: Vec<f64>,
-    ) -> Result<Self> {
+    pub fn new(p: CscMatrix, q: Vec<f64>, a: CscMatrix, l: Vec<f64>, u: Vec<f64>) -> Result<Self> {
         let n = q.len();
         let m = l.len();
         if n == 0 {
@@ -217,9 +211,7 @@ mod tests {
         let p = CscMatrix::identity(1);
         let a = CscMatrix::identity(1);
         assert!(Problem::new(p.clone(), vec![0.0], a.clone(), vec![2.0], vec![1.0]).is_err());
-        assert!(
-            Problem::new(p, vec![0.0], a, vec![f64::NAN], vec![1.0]).is_err()
-        );
+        assert!(Problem::new(p, vec![0.0], a, vec![f64::NAN], vec![1.0]).is_err());
     }
 
     #[test]
@@ -233,9 +225,7 @@ mod tests {
     fn rejects_dimension_mismatch() {
         let p = CscMatrix::identity(2);
         let a = CscMatrix::identity(3);
-        assert!(
-            Problem::new(p, vec![0.0; 2], a, vec![0.0; 3], vec![1.0; 3]).is_err()
-        );
+        assert!(Problem::new(p, vec![0.0; 2], a, vec![0.0; 3], vec![1.0; 3]).is_err());
     }
 
     #[test]

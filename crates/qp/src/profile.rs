@@ -42,7 +42,12 @@ impl OpCounts {
         if t == 0.0 {
             return [0.0; 4];
         }
-        [self.mac / t, self.permute / t, self.col_elim / t, self.elementwise / t]
+        [
+            self.mac / t,
+            self.permute / t,
+            self.col_elim / t,
+            self.elementwise / t,
+        ]
     }
 }
 
@@ -136,7 +141,12 @@ mod tests {
 
     #[test]
     fn totals_and_fractions() {
-        let c = OpCounts { mac: 3.0, permute: 1.0, col_elim: 4.0, elementwise: 2.0 };
+        let c = OpCounts {
+            mac: 3.0,
+            permute: 1.0,
+            col_elim: 4.0,
+            elementwise: 2.0,
+        };
         assert_eq!(c.total(), 10.0);
         assert_eq!(c.fractions(), [0.3, 0.1, 0.4, 0.2]);
         assert_eq!(OpCounts::default().fractions(), [0.0; 4]);
@@ -144,8 +154,14 @@ mod tests {
 
     #[test]
     fn add_accumulates() {
-        let a = OpCounts { mac: 1.0, ..OpCounts::default() };
-        let b = OpCounts { col_elim: 2.0, ..OpCounts::default() };
+        let a = OpCounts {
+            mac: 1.0,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            col_elim: 2.0,
+            ..OpCounts::default()
+        };
         let mut c = a;
         c += b;
         assert_eq!(c.mac, 1.0);

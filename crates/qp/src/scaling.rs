@@ -55,14 +55,39 @@ impl Scaling {
         vector::ew_prod(&self.d, x_scaled)
     }
 
+    /// Allocation-free form of [`Scaling::unscale_x`].
+    pub fn unscale_x_into(&self, x_scaled: &[f64], out: &mut [f64]) {
+        for (o, (&d, &x)) in out.iter_mut().zip(self.d.iter().zip(x_scaled)) {
+            *o = d * x;
+        }
+    }
+
     /// Maps a scaled constraint iterate back: `z = E⁻¹ z̄`.
     pub fn unscale_z(&self, z_scaled: &[f64]) -> Vec<f64> {
         vector::ew_prod(&self.einv, z_scaled)
     }
 
+    /// Allocation-free form of [`Scaling::unscale_z`].
+    pub fn unscale_z_into(&self, z_scaled: &[f64], out: &mut [f64]) {
+        for (o, (&e, &z)) in out.iter_mut().zip(self.einv.iter().zip(z_scaled)) {
+            *o = e * z;
+        }
+    }
+
     /// Maps a scaled dual iterate back: `y = E ȳ / c`.
     pub fn unscale_y(&self, y_scaled: &[f64]) -> Vec<f64> {
-        self.e.iter().zip(y_scaled).map(|(&e, &y)| e * y * self.cinv).collect()
+        self.e
+            .iter()
+            .zip(y_scaled)
+            .map(|(&e, &y)| e * y * self.cinv)
+            .collect()
+    }
+
+    /// Allocation-free form of [`Scaling::unscale_y`].
+    pub fn unscale_y_into(&self, y_scaled: &[f64], out: &mut [f64]) {
+        for (o, (&e, &y)) in out.iter_mut().zip(self.e.iter().zip(y_scaled)) {
+            *o = e * y * self.cinv;
+        }
     }
 
     /// Maps a scaled objective value back: `f = f̄ / c`.
@@ -137,10 +162,18 @@ pub fn ruiz_equilibrate(
 
         // Cost normalization: γ = 1 / max(mean column norm of P, ‖q‖∞).
         let p_norms = p.sym_upper_col_norms_inf();
-        let mean_p = if n > 0 { p_norms.iter().sum::<f64>() / n as f64 } else { 0.0 };
+        let mean_p = if n > 0 {
+            p_norms.iter().sum::<f64>() / n as f64
+        } else {
+            0.0
+        };
         let q_norm = vector::norm_inf(q);
         let denom = mean_p.max(q_norm);
-        let gamma = if denom > 0.0 { scaling_factor_linear(denom) } else { 1.0 };
+        let gamma = if denom > 0.0 {
+            scaling_factor_linear(denom)
+        } else {
+            1.0
+        };
         if gamma != 1.0 {
             for v in p.values_mut() {
                 *v *= gamma;
@@ -154,7 +187,14 @@ pub fn ruiz_equilibrate(
 
     let dinv = vector::ew_reci(&d);
     let einv = vector::ew_reci(&e);
-    Scaling { cinv: 1.0 / c, c, d, e, dinv, einv }
+    Scaling {
+        cinv: 1.0 / c,
+        c,
+        d,
+        e,
+        dinv,
+        einv,
+    }
 }
 
 /// `1/sqrt(norm)` clamped to the allowed range; zero norms give 1.
@@ -245,8 +285,16 @@ mod tests {
         let mut l = vec![-2e30, 0.0];
         let mut u = vec![1.0, 2e30];
         ruiz_equilibrate(&mut p, &mut q, &mut a, &mut l, &mut u, 10);
-        assert!(l[0] <= -INFTY, "infinite lower bound was corrupted: {}", l[0]);
-        assert!(u[1] >= INFTY, "infinite upper bound was corrupted: {}", u[1]);
+        assert!(
+            l[0] <= -INFTY,
+            "infinite lower bound was corrupted: {}",
+            l[0]
+        );
+        assert!(
+            u[1] >= INFTY,
+            "infinite upper bound was corrupted: {}",
+            u[1]
+        );
         assert!(u[0].is_finite() && u[0].abs() < INFTY);
     }
 

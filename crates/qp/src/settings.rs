@@ -105,7 +105,10 @@ impl Default for Settings {
 impl Settings {
     /// OSQP defaults with the given backend selected.
     pub fn with_backend(backend: KktBackend) -> Self {
-        Settings { backend, ..Settings::default() }
+        Settings {
+            backend,
+            ..Settings::default()
+        }
     }
 
     /// Validates parameter ranges.
@@ -115,7 +118,10 @@ impl Settings {
     /// Returns [`QpError::InvalidSetting`] naming the offending parameter.
     pub fn validate(&self) -> Result<()> {
         if !(self.rho > 0.0 && self.rho.is_finite()) {
-            return Err(QpError::InvalidSetting(format!("rho must be positive, got {}", self.rho)));
+            return Err(QpError::InvalidSetting(format!(
+                "rho must be positive, got {}",
+                self.rho
+            )));
         }
         if !(self.sigma > 0.0 && self.sigma.is_finite()) {
             return Err(QpError::InvalidSetting(format!(
@@ -136,7 +142,9 @@ impl Settings {
             ));
         }
         if self.max_iter == 0 {
-            return Err(QpError::InvalidSetting("max_iter must be at least 1".into()));
+            return Err(QpError::InvalidSetting(
+                "max_iter must be at least 1".into(),
+            ));
         }
         if self.check_termination == 0 {
             return Err(QpError::InvalidSetting(
@@ -144,7 +152,9 @@ impl Settings {
             ));
         }
         if self.rho_min <= 0.0 || self.rho_max < self.rho_min {
-            return Err(QpError::InvalidSetting("rho bounds must satisfy 0 < rho_min <= rho_max".into()));
+            return Err(QpError::InvalidSetting(
+                "rho bounds must satisfy 0 < rho_min <= rho_max".into(),
+            ));
         }
         if self.adaptive_rho_tolerance < 1.0 {
             return Err(QpError::InvalidSetting(
@@ -162,7 +172,9 @@ mod tests {
     #[test]
     fn defaults_validate() {
         Settings::default().validate().unwrap();
-        Settings::with_backend(KktBackend::Indirect).validate().unwrap();
+        Settings::with_backend(KktBackend::Indirect)
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -5,16 +5,27 @@ use mib_sparse::vector;
 use crate::linsys::{DirectKkt, IndirectKkt, KktSolver};
 use crate::profile::Profile;
 use crate::scaling::{ruiz_equilibrate, Scaling};
+use crate::workspace::SolveWorkspace;
 use crate::{KktBackend, Problem, QpError, Result, Settings, SolveResult, Status, INFTY};
 
 /// The ADMM QP solver (Algorithm 1 of the paper).
 ///
-/// A `Solver` owns a scaled copy of the problem, the selected KKT backend
-/// and the current iterates; repeated [`Solver::solve`] calls warm-start
-/// from the previous solution, and the parametric update methods
-/// ([`Solver::update_q`], [`Solver::update_bounds`]) support the
-/// "millions of QPs with the same sparsity pattern" workflow the paper's
-/// portfolio example describes without re-running setup.
+/// A `Solver` owns a scaled copy of the problem, the selected KKT backend,
+/// the current iterates and a [`SolveWorkspace`] holding every scratch
+/// vector the iteration needs; after [`Solver::new`] returns, a call to
+/// [`Solver::solve_into`] performs **no heap allocation**. Repeated
+/// [`Solver::solve`] calls warm-start from the previous solution, and the
+/// parametric update methods ([`Solver::update_q`],
+/// [`Solver::update_bounds`]) support the "millions of QPs with the same
+/// sparsity pattern" workflow the paper's portfolio example describes
+/// without re-running setup.
+///
+/// The iteration is decomposed into named stages — `stage_rhs`,
+/// `stage_ztilde`, `stage_x_update`, `stage_z_projection`,
+/// `stage_y_update`, `stage_residuals`, `stage_adaptive_rho` — each of
+/// which reads and writes well-defined workspace buffers, so they are
+/// testable in isolation and map one-to-one onto the schedule fragments
+/// the MIB compiler emits.
 #[derive(Debug)]
 pub struct Solver {
     settings: Settings,
@@ -33,7 +44,30 @@ pub struct Solver {
     x: Vec<f64>,
     y: Vec<f64>,
     z: Vec<f64>,
+    ws: SolveWorkspace,
     profile: Profile,
+}
+
+impl Clone for Solver {
+    fn clone(&self) -> Self {
+        Solver {
+            settings: self.settings.clone(),
+            orig: self.orig.clone(),
+            q: self.q.clone(),
+            l: self.l.clone(),
+            u: self.u.clone(),
+            scaling: self.scaling.clone(),
+            rho: self.rho,
+            rho_vec: self.rho_vec.clone(),
+            rho_inv_vec: self.rho_inv_vec.clone(),
+            kkt: self.kkt.clone_box(),
+            x: self.x.clone(),
+            y: self.y.clone(),
+            z: self.z.clone(),
+            ws: self.ws.clone(),
+            profile: self.profile,
+        }
+    }
 }
 
 /// Residual snapshot used by termination and adaptive-ρ logic.
@@ -65,7 +99,14 @@ impl Solver {
         let mut l = problem.l().to_vec();
         let mut u = problem.u().to_vec();
         let scaling = if settings.scaling_iters > 0 {
-            ruiz_equilibrate(&mut p, &mut q, &mut a, &mut l, &mut u, settings.scaling_iters)
+            ruiz_equilibrate(
+                &mut p,
+                &mut q,
+                &mut a,
+                &mut l,
+                &mut u,
+                settings.scaling_iters,
+            )
         } else {
             Scaling::identity(n, m)
         };
@@ -112,6 +153,7 @@ impl Solver {
             x: vec![0.0; n],
             y: vec![0.0; m],
             z: vec![0.0; m],
+            ws: SolveWorkspace::new(n, m),
             profile,
         })
         .map(|mut s| {
@@ -135,6 +177,11 @@ impl Solver {
         self.rho
     }
 
+    /// The preallocated workspace (for inspection in tests and benches).
+    pub fn workspace(&self) -> &SolveWorkspace {
+        &self.ws
+    }
+
     /// Warm-starts the iterates from an (unscaled) primal/dual guess.
     ///
     /// # Panics
@@ -151,9 +198,35 @@ impl Solver {
         }
         // z = A x in the scaled space is re-established by the first
         // iteration; initialize with the projection of the current guess.
-        let ax = self.orig.a().mul_vec(x);
+        self.orig.a().mul_vec_into(x, &mut self.ws.ax);
         for (i, zs) in self.z.iter_mut().enumerate() {
-            *zs = ax[i] * self.scaling.e[i];
+            *zs = self.ws.ax[i] * self.scaling.e[i];
+        }
+    }
+
+    /// Resets the solver to its post-setup state: zero iterates, initial
+    /// `ρ`, no warm-start memory in the backend. After `reset`, a solve
+    /// reproduces the very first solve of a freshly constructed solver
+    /// bitwise. [`BatchSolver`](crate::BatchSolver) relies on this to make
+    /// parallel and sequential batch runs identical.
+    pub fn reset(&mut self) {
+        self.x.fill(0.0);
+        self.y.fill(0.0);
+        self.z.fill(0.0);
+        self.kkt.reset();
+        if self.rho != self.settings.rho {
+            self.rho = self.settings.rho;
+            build_rho_vec_into(
+                &self.settings,
+                self.rho,
+                &self.l,
+                &self.u,
+                &mut self.rho_vec,
+                &mut self.rho_inv_vec,
+            );
+            let mut prof = self.profile;
+            let _ = self.kkt.update_rho(&self.rho_vec, &mut prof);
+            self.profile = prof;
         }
     }
 
@@ -195,8 +268,16 @@ impl Solver {
         let (p0, q0, a0, _l0, _u0) = self.orig.clone().into_parts();
         self.orig = Problem::new(p0, q0, a0, l.to_vec(), u.to_vec())?;
         for i in 0..l.len() {
-            self.l[i] = if l[i].abs() < INFTY { l[i] * self.scaling.e[i] } else { l[i] };
-            self.u[i] = if u[i].abs() < INFTY { u[i] * self.scaling.e[i] } else { u[i] };
+            self.l[i] = if l[i].abs() < INFTY {
+                l[i] * self.scaling.e[i]
+            } else {
+                l[i]
+            };
+            self.u[i] = if u[i].abs() < INFTY {
+                u[i] * self.scaling.e[i]
+            } else {
+                u[i]
+            };
         }
         Ok(())
     }
@@ -205,100 +286,90 @@ impl Solver {
     /// or the iteration limit. Repeated calls warm-start from the previous
     /// iterates.
     pub fn solve(&mut self) -> SolveResult {
+        let n = self.x.len();
+        let m = self.y.len();
+        let mut result = SolveResult {
+            status: Status::MaxIterations,
+            x: vec![0.0; n],
+            y: vec![0.0; m],
+            z: vec![0.0; m],
+            obj_val: 0.0,
+            prim_res: f64::INFINITY,
+            dual_res: f64::INFINITY,
+            iterations: 0,
+            profile: Profile::default(),
+            solve_time: std::time::Duration::ZERO,
+            certificate: Vec::new(),
+        };
+        self.solve_into(&mut result);
+        result
+    }
+
+    /// Runs the ADMM iteration, writing the outcome into an existing
+    /// [`SolveResult`]. When `result` comes from a previous solve of the
+    /// same problem dimensions, this performs **zero heap allocations** on
+    /// feasible problems — the property the repository's counting-allocator
+    /// test pins down. (Infeasible exits clone the certificate vector.)
+    pub fn solve_into(&mut self, result: &mut SolveResult) {
         let start = Instant::now();
         // Keep setup factorization work, reset per-solve counters.
-        let setup_profile = self.profile;
-        let mut prof = setup_profile;
+        let mut prof = self.profile;
         prof.admm_iters = 0;
 
         let n = self.x.len();
         let m = self.y.len();
-        let s = self.settings.clone();
-        let check_every = s.check_termination;
+        let max_iter = self.settings.max_iter;
+        let check_every = self.settings.check_termination;
         // Round the adaptive interval up to a multiple of the termination
         // check so fresh residuals are always available.
-        let adapt_every =
-            s.adaptive_rho_interval.div_ceil(check_every).max(1) * check_every;
+        let adapt_every = self
+            .settings
+            .adaptive_rho_interval
+            .div_ceil(check_every)
+            .max(1)
+            * check_every;
 
-        let mut xtilde = vec![0.0; n];
-        let mut nu = vec![0.0; m];
-        let mut ztilde = vec![0.0; m];
-        let mut rhs_x = vec![0.0; n];
-        let mut rhs_z = vec![0.0; m];
-        let mut delta_x = vec![0.0; n];
-        let mut delta_y = vec![0.0; m];
+        result.x.resize(n, 0.0);
+        result.y.resize(m, 0.0);
+        result.z.resize(m, 0.0);
+        result.certificate.clear();
 
         let mut status = Status::MaxIterations;
-        let mut pcg_tol = s.eps_pcg_start;
+        let mut pcg_tol = self.settings.eps_pcg_start;
         let mut final_res: Option<Residuals> = None;
-        let mut certificate = Vec::new();
         let mut iterations = 0usize;
 
-        for k in 1..=s.max_iter {
+        for k in 1..=max_iter {
             iterations = k;
-            // rhs = [σ xᵏ − q ; zᵏ − ρ⁻¹ yᵏ]
-            for j in 0..n {
-                rhs_x[j] = s.sigma * self.x[j] - self.q[j];
-            }
-            for i in 0..m {
-                rhs_z[i] = self.z[i] - self.rho_inv_vec[i] * self.y[i];
-            }
-            prof.add_vector((2 * n + 2 * m) as f64);
-
-            if self
-                .kkt
-                .solve(&rhs_x, &rhs_z, &mut xtilde, &mut nu, &mut prof)
-                .is_err()
-            {
+            self.stage_rhs(&mut prof);
+            if self.kkt.solve(&mut self.ws, &mut prof).is_err() {
                 // Factorization failures cannot occur mid-run (pattern and
                 // quasi-definiteness are fixed); treat defensively as a stall.
                 break;
             }
+            self.stage_ztilde(&mut prof);
+            self.stage_x_update(&mut prof);
+            self.stage_z_projection(&mut prof);
+            self.stage_y_update(&mut prof);
 
-            // z̃ = z + ρ⁻¹(ν − y)
-            for i in 0..m {
-                ztilde[i] = self.z[i] + self.rho_inv_vec[i] * (nu[i] - self.y[i]);
-            }
-            prof.add_vector(3.0 * m as f64);
-
-            // x update (relaxed) and δx.
-            for j in 0..n {
-                let x_new = s.alpha * xtilde[j] + (1.0 - s.alpha) * self.x[j];
-                delta_x[j] = x_new - self.x[j];
-                self.x[j] = x_new;
-            }
-            prof.add_vector(4.0 * n as f64);
-
-            // z, y updates and δy.
-            for i in 0..m {
-                let z_relaxed = s.alpha * ztilde[i] + (1.0 - s.alpha) * self.z[i];
-                let w = z_relaxed + self.rho_inv_vec[i] * self.y[i];
-                let z_new = w.max(self.l[i]).min(self.u[i]);
-                let y_new = self.y[i] + self.rho_vec[i] * (z_relaxed - z_new);
-                delta_y[i] = y_new - self.y[i];
-                self.z[i] = z_new;
-                self.y[i] = y_new;
-            }
-            prof.add_vector(9.0 * m as f64);
-
-            let checking = k % check_every == 0 || k == s.max_iter;
+            let checking = k % check_every == 0 || k == max_iter;
             if checking {
-                let res = self.compute_residuals(&mut prof);
+                let res = self.stage_residuals(&mut prof);
                 final_res = Some(res);
-                let eps_prim = s.eps_abs + s.eps_rel * res.prim_norm;
-                let eps_dual = s.eps_abs + s.eps_rel * res.dual_norm;
+                let eps_prim = self.settings.eps_abs + self.settings.eps_rel * res.prim_norm;
+                let eps_dual = self.settings.eps_abs + self.settings.eps_rel * res.dual_norm;
                 if res.prim < eps_prim && res.dual < eps_dual {
                     status = Status::Solved;
                     break;
                 }
-                if let Some(cert) = self.check_primal_infeasible(&delta_y, &mut prof) {
+                if self.check_primal_infeasible(&mut prof) {
                     status = Status::PrimalInfeasible;
-                    certificate = cert;
+                    result.certificate.extend_from_slice(&self.ws.cert_y);
                     break;
                 }
-                if let Some(cert) = self.check_dual_infeasible(&delta_x, &mut prof) {
+                if self.check_dual_infeasible(&mut prof) {
                     status = Status::DualInfeasible;
-                    certificate = cert;
+                    result.certificate.extend_from_slice(&self.ws.cert_x);
                     break;
                 }
                 // Adaptive PCG tolerance: tighten as the ADMM residuals
@@ -307,140 +378,207 @@ impl Solver {
                 // always escapes.
                 if self.kkt.backend() == KktBackend::Indirect {
                     let target = 0.15
-                        * (res.prim / res.prim_norm.max(1e-12)
-                            * res.dual / res.dual_norm.max(1e-12))
+                        * (res.prim / res.prim_norm.max(1e-12) * res.dual
+                            / res.dual_norm.max(1e-12))
                         .sqrt();
                     pcg_tol = (0.5 * pcg_tol).min(target).max(1e-9);
                     self.kkt.set_tolerance(pcg_tol);
                 }
-                if s.adaptive_rho && k % adapt_every == 0 {
-                    self.maybe_update_rho(res, &mut prof);
+                if self.settings.adaptive_rho && k % adapt_every == 0 {
+                    let res = self.stage_adaptive_rho(res, &mut prof);
+                    final_res = Some(res);
                 }
             }
             prof.admm_iters = k;
         }
 
-        // Unscale the solution.
-        let x_us = self.scaling.unscale_x(&self.x);
-        let y_us = self.scaling.unscale_y(&self.y);
-        let z_us = self.scaling.unscale_z(&self.z);
+        // Unscale the solution directly into the result buffers.
+        self.scaling.unscale_x_into(&self.x, &mut result.x);
+        self.scaling.unscale_y_into(&self.y, &mut result.y);
+        self.scaling.unscale_z_into(&self.z, &mut result.z);
         let res = final_res.unwrap_or(Residuals {
             prim: f64::INFINITY,
             dual: f64::INFINITY,
             prim_norm: 1.0,
             dual_norm: 1.0,
         });
-        let obj_val = self.orig.objective(&x_us);
+        // obj = ½ xᵀPx + qᵀx, with Px staged through the workspace.
+        self.orig
+            .p()
+            .sym_upper_mul_vec_into(&result.x, &mut self.ws.px);
+        let obj_val =
+            0.5 * vector::dot(&result.x, &self.ws.px) + vector::dot(self.orig.q(), &result.x);
 
-        SolveResult {
-            status,
-            x: x_us,
-            y: y_us,
-            z: z_us,
-            obj_val,
-            prim_res: res.prim,
-            dual_res: res.dual,
-            iterations,
-            profile: prof,
-            solve_time: start.elapsed(),
-            certificate,
-        }
+        result.status = status;
+        result.obj_val = obj_val;
+        result.prim_res = res.prim;
+        result.dual_res = res.dual;
+        result.iterations = iterations;
+        result.profile = prof;
+        result.solve_time = start.elapsed();
     }
 
-    /// Computes unscaled residuals and their normalization terms.
-    fn compute_residuals(&self, prof: &mut Profile) -> Residuals {
-        let x_us = self.scaling.unscale_x(&self.x);
-        let y_us = self.scaling.unscale_y(&self.y);
-        let z_us = self.scaling.unscale_z(&self.z);
+    /// Stage 1: build the KKT right-hand side
+    /// `[σ xᵏ − q ; zᵏ − ρ⁻¹ yᵏ]` into `ws.rhs_x` / `ws.rhs_z`.
+    fn stage_rhs(&mut self, prof: &mut Profile) {
+        let ws = &mut self.ws;
+        let sigma = self.settings.sigma;
+        for j in 0..self.x.len() {
+            ws.rhs_x[j] = sigma * self.x[j] - self.q[j];
+        }
+        for i in 0..self.z.len() {
+            ws.rhs_z[i] = self.z[i] - self.rho_inv_vec[i] * self.y[i];
+        }
+        prof.add_vector((2 * self.x.len() + 2 * self.z.len()) as f64);
+    }
+
+    /// Stage 2 (after the KKT solve): `z̃ = z + ρ⁻¹(ν − y)` into
+    /// `ws.ztilde`.
+    fn stage_ztilde(&mut self, prof: &mut Profile) {
+        let ws = &mut self.ws;
+        for i in 0..self.z.len() {
+            ws.ztilde[i] = self.z[i] + self.rho_inv_vec[i] * (ws.nu[i] - self.y[i]);
+        }
+        prof.add_vector(3.0 * self.z.len() as f64);
+    }
+
+    /// Stage 3: relaxed x-update `xᵏ⁺¹ = α x̃ + (1−α) xᵏ`, recording the
+    /// step `δx` in `ws.delta_x`.
+    fn stage_x_update(&mut self, prof: &mut Profile) {
+        let ws = &mut self.ws;
+        let alpha = self.settings.alpha;
+        for j in 0..self.x.len() {
+            let x_new = alpha * ws.xtilde[j] + (1.0 - alpha) * self.x[j];
+            ws.delta_x[j] = x_new - self.x[j];
+            self.x[j] = x_new;
+        }
+        prof.add_vector(4.0 * self.x.len() as f64);
+    }
+
+    /// Stage 4: z-projection. Forms the relaxed iterate
+    /// `α z̃ + (1−α) zᵏ` (kept in `ws.z_relaxed` for the y-update) and
+    /// projects `z_relaxed + ρ⁻¹ yᵏ` onto `[l, u]`.
+    fn stage_z_projection(&mut self, prof: &mut Profile) {
+        let ws = &mut self.ws;
+        let alpha = self.settings.alpha;
+        for i in 0..self.z.len() {
+            let z_relaxed = alpha * ws.ztilde[i] + (1.0 - alpha) * self.z[i];
+            ws.z_relaxed[i] = z_relaxed;
+            let w = z_relaxed + self.rho_inv_vec[i] * self.y[i];
+            self.z[i] = w.max(self.l[i]).min(self.u[i]);
+        }
+        prof.add_vector(6.0 * self.z.len() as f64);
+    }
+
+    /// Stage 5: y-update `yᵏ⁺¹ = yᵏ + ρ (z_relaxed − zᵏ⁺¹)`, recording the
+    /// step `δy` in `ws.delta_y`.
+    fn stage_y_update(&mut self, prof: &mut Profile) {
+        let ws = &mut self.ws;
+        for i in 0..self.y.len() {
+            let y_new = self.y[i] + self.rho_vec[i] * (ws.z_relaxed[i] - self.z[i]);
+            ws.delta_y[i] = y_new - self.y[i];
+            self.y[i] = y_new;
+        }
+        prof.add_vector(3.0 * self.y.len() as f64);
+    }
+
+    /// Stage 6: unscaled residuals and their normalization terms, staged
+    /// through the workspace (`x_us`, `y_us`, `z_us`, `ax`, `px`, `aty`).
+    fn stage_residuals(&mut self, prof: &mut Profile) -> Residuals {
+        let ws = &mut self.ws;
+        self.scaling.unscale_x_into(&self.x, &mut ws.x_us);
+        self.scaling.unscale_y_into(&self.y, &mut ws.y_us);
+        self.scaling.unscale_z_into(&self.z, &mut ws.z_us);
         let a = self.orig.a();
         let p = self.orig.p();
 
-        let ax = a.mul_vec(&x_us);
+        a.mul_vec_into(&ws.x_us, &mut ws.ax);
         prof.add_spmv_mac(a.nnz());
-        let prim = vector::norm_inf_diff(&ax, &z_us);
-        let prim_norm = vector::norm_inf(&ax).max(vector::norm_inf(&z_us));
+        let prim = vector::norm_inf_diff(&ws.ax, &ws.z_us);
+        let prim_norm = vector::norm_inf(&ws.ax).max(vector::norm_inf(&ws.z_us));
 
-        let px = p.sym_upper_mul_vec(&x_us);
+        p.sym_upper_mul_vec_into(&ws.x_us, &mut ws.px);
         prof.add_spmv_mac(2 * p.nnz());
-        let aty = a.tr_mul_vec(&y_us);
+        a.spmv_t_into(&ws.y_us, &mut ws.aty);
         prof.add_spmv_col_elim(a.nnz());
         let mut dual = 0.0f64;
-        for j in 0..x_us.len() {
-            dual = dual.max((px[j] + self.orig.q()[j] + aty[j]).abs());
+        for j in 0..ws.x_us.len() {
+            dual = dual.max((ws.px[j] + self.orig.q()[j] + ws.aty[j]).abs());
         }
-        let dual_norm = vector::norm_inf(&px)
-            .max(vector::norm_inf(&aty))
+        let dual_norm = vector::norm_inf(&ws.px)
+            .max(vector::norm_inf(&ws.aty))
             .max(vector::norm_inf(self.orig.q()));
-        prof.add_vector(4.0 * (x_us.len() + z_us.len()) as f64);
+        prof.add_vector(4.0 * (ws.x_us.len() + ws.z_us.len()) as f64);
 
-        Residuals { prim, dual, prim_norm, dual_norm }
+        Residuals {
+            prim,
+            dual,
+            prim_norm,
+            dual_norm,
+        }
     }
 
     /// Tests the primal infeasibility certificate on the unscaled `δy`.
-    fn check_primal_infeasible(&self, delta_y: &[f64], prof: &mut Profile) -> Option<Vec<f64>> {
+    /// On success the certificate is left in `ws.cert_y`.
+    fn check_primal_infeasible(&mut self, prof: &mut Profile) -> bool {
         let eps = self.settings.eps_prim_inf;
+        let ws = &mut self.ws;
         // Unscale: δy = E δȳ / c.
-        let dy: Vec<f64> = delta_y
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| v * self.scaling.e[i] * self.scaling.cinv)
-            .collect();
-        let norm = vector::norm_inf(&dy);
+        for i in 0..ws.delta_y.len() {
+            ws.cert_y[i] = ws.delta_y[i] * self.scaling.e[i] * self.scaling.cinv;
+        }
+        let norm = vector::norm_inf(&ws.cert_y);
         if norm <= 0.0 {
-            return None;
+            return false;
         }
         let a = self.orig.a();
-        let at_dy = a.tr_mul_vec(&dy);
+        a.spmv_t_into(&ws.cert_y, &mut ws.aty);
         prof.add_spmv_col_elim(a.nnz());
-        if vector::norm_inf(&at_dy) > eps * norm {
-            return None;
+        if vector::norm_inf(&ws.aty) > eps * norm {
+            return false;
         }
         // Support function: uᵀ(δy)₊ + lᵀ(δy)₋ must be certifiably negative.
         // Infinite bounds (±1e30) make the sum astronomically positive when
         // the corresponding component has the wrong sign, failing the test
         // exactly as intended.
         let mut lhs = 0.0;
-        for (i, &d) in dy.iter().enumerate() {
+        for (i, &d) in ws.cert_y.iter().enumerate() {
             if d > 0.0 {
                 lhs += self.orig.u()[i] * d;
             } else if d < 0.0 {
                 lhs += self.orig.l()[i] * d;
             }
         }
-        prof.add_vector(2.0 * dy.len() as f64);
-        if lhs <= -eps * norm {
-            Some(dy)
-        } else {
-            None
-        }
+        prof.add_vector(2.0 * ws.cert_y.len() as f64);
+        lhs <= -eps * norm
     }
 
     /// Tests the dual infeasibility certificate on the unscaled `δx`.
-    fn check_dual_infeasible(&self, delta_x: &[f64], prof: &mut Profile) -> Option<Vec<f64>> {
+    /// On success the certificate is left in `ws.cert_x`.
+    fn check_dual_infeasible(&mut self, prof: &mut Profile) -> bool {
         let eps = self.settings.eps_dual_inf;
-        let dx: Vec<f64> = delta_x
-            .iter()
-            .enumerate()
-            .map(|(j, &v)| v * self.scaling.d[j])
-            .collect();
-        let norm = vector::norm_inf(&dx);
+        let ws = &mut self.ws;
+        for j in 0..ws.delta_x.len() {
+            ws.cert_x[j] = ws.delta_x[j] * self.scaling.d[j];
+        }
+        let norm = vector::norm_inf(&ws.cert_x);
         if norm <= 0.0 {
-            return None;
+            return false;
         }
         let p = self.orig.p();
-        let pdx = p.sym_upper_mul_vec(&dx);
+        p.sym_upper_mul_vec_into(&ws.cert_x, &mut ws.px);
         prof.add_spmv_mac(2 * p.nnz());
-        if vector::norm_inf(&pdx) > eps * norm {
-            return None;
+        if vector::norm_inf(&ws.px) > eps * norm {
+            return false;
         }
-        if vector::dot(self.orig.q(), &dx) > -eps * norm {
-            return None;
+        if vector::dot(self.orig.q(), &ws.cert_x) > -eps * norm {
+            return false;
         }
         let a = self.orig.a();
-        let adx = a.mul_vec(&dx);
+        a.mul_vec_into(&ws.cert_x, &mut ws.ax);
         prof.add_spmv_mac(a.nnz());
-        prof.add_vector(2.0 * dx.len() as f64);
-        for (i, &v) in adx.iter().enumerate() {
+        prof.add_vector(2.0 * ws.cert_x.len() as f64);
+        for (i, &v) in ws.ax.iter().enumerate() {
             let u_inf = self.orig.u()[i] >= INFTY;
             let l_inf = self.orig.l()[i] <= -INFTY;
             let ok = match (l_inf, u_inf) {
@@ -450,52 +588,72 @@ impl Solver {
                 (false, false) => v.abs() <= eps * norm,
             };
             if !ok {
-                return None;
+                return false;
             }
         }
-        Some(dx)
+        true
     }
 
-    /// Applies the OSQP adaptive-ρ rule if the residual balance warrants it.
-    fn maybe_update_rho(&mut self, res: Residuals, prof: &mut Profile) {
+    /// Stage 7: the OSQP adaptive-ρ rule, rebuilding the `ρ` vectors in
+    /// place if the residual balance warrants it. Returns the residuals
+    /// (unchanged) for the caller to keep as the latest snapshot.
+    fn stage_adaptive_rho(&mut self, res: Residuals, prof: &mut Profile) -> Residuals {
         let prim_rel = res.prim / res.prim_norm.max(1e-12);
         let dual_rel = res.dual / res.dual_norm.max(1e-12);
         if prim_rel <= 0.0 || dual_rel <= 0.0 {
-            return;
+            return res;
         }
         let rho_new = (self.rho * (prim_rel / dual_rel).sqrt())
             .clamp(self.settings.rho_min, self.settings.rho_max);
         let tol = self.settings.adaptive_rho_tolerance;
         if rho_new > self.rho * tol || rho_new < self.rho / tol {
             self.rho = rho_new;
-            let (rho_vec, rho_inv_vec) = build_rho_vec(&self.settings, rho_new, &self.l, &self.u);
-            self.rho_vec = rho_vec;
-            self.rho_inv_vec = rho_inv_vec;
+            build_rho_vec_into(
+                &self.settings,
+                rho_new,
+                &self.l,
+                &self.u,
+                &mut self.rho_vec,
+                &mut self.rho_inv_vec,
+            );
             if self.kkt.update_rho(&self.rho_vec, prof).is_ok() {
                 prof.rho_updates += 1;
             }
         }
+        res
     }
 }
 
 /// Builds the per-constraint step sizes: equality rows get
 /// `ρ · rho_eq_scale`, loose rows get `rho_min`, everything else `ρ`.
 fn build_rho_vec(settings: &Settings, rho: f64, l: &[f64], u: &[f64]) -> (Vec<f64>, Vec<f64>) {
-    let rho_vec: Vec<f64> = l
-        .iter()
-        .zip(u)
-        .map(|(&lo, &hi)| {
-            if lo <= -INFTY && hi >= INFTY {
-                settings.rho_min
-            } else if lo == hi {
-                (rho * settings.rho_eq_scale).clamp(settings.rho_min, settings.rho_max)
-            } else {
-                rho
-            }
-        })
-        .collect();
-    let rho_inv_vec = vector::ew_reci(&rho_vec);
+    let mut rho_vec = vec![0.0; l.len()];
+    let mut rho_inv_vec = vec![0.0; l.len()];
+    build_rho_vec_into(settings, rho, l, u, &mut rho_vec, &mut rho_inv_vec);
     (rho_vec, rho_inv_vec)
+}
+
+/// In-place form of [`build_rho_vec`], used on the allocation-free
+/// adaptive-ρ path.
+fn build_rho_vec_into(
+    settings: &Settings,
+    rho: f64,
+    l: &[f64],
+    u: &[f64],
+    rho_vec: &mut [f64],
+    rho_inv_vec: &mut [f64],
+) {
+    for (i, (&lo, &hi)) in l.iter().zip(u).enumerate() {
+        let r = if lo <= -INFTY && hi >= INFTY {
+            settings.rho_min
+        } else if lo == hi {
+            (rho * settings.rho_eq_scale).clamp(settings.rho_min, settings.rho_max)
+        } else {
+            rho
+        };
+        rho_vec[i] = r;
+        rho_inv_vec[i] = 1.0 / r;
+    }
 }
 
 #[cfg(test)]
@@ -508,8 +666,7 @@ mod tests {
         // Unconstrained optimum (0.5, 0.5); clipped to (0.3, 0.3).
         let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
         let a = CscMatrix::identity(2);
-        let problem =
-            Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![0.3; 2]).unwrap();
+        let problem = Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![0.3; 2]).unwrap();
         let mut settings = Settings::with_backend(backend);
         settings.eps_abs = 1e-6;
         settings.eps_rel = 1e-6;
@@ -540,9 +697,11 @@ mod tests {
         let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
         let a = CscMatrix::from_dense(1, 2, &[1.0, 1.0]);
         let problem = Problem::new(p, vec![0.0; 2], a, vec![1.0], vec![1.0]).unwrap();
-        let mut settings = Settings::default();
-        settings.eps_abs = 1e-7;
-        settings.eps_rel = 1e-7;
+        let settings = Settings {
+            eps_abs: 1e-7,
+            eps_rel: 1e-7,
+            ..Settings::default()
+        };
         let r = Solver::new(problem, settings).unwrap().solve();
         assert_eq!(r.status, Status::Solved);
         assert!((r.x[0] - 0.5).abs() < 1e-5);
@@ -555,8 +714,7 @@ mod tests {
         // x >= 1 and x <= 0 simultaneously.
         let p = CscMatrix::identity(1);
         let a = CscMatrix::from_dense(2, 1, &[1.0, 1.0]);
-        let problem =
-            Problem::new(p, vec![0.0], a, vec![1.0, -2e30], vec![2e30, 0.0]).unwrap();
+        let problem = Problem::new(p, vec![0.0], a, vec![1.0, -2e30], vec![2e30, 0.0]).unwrap();
         let r = Solver::new(problem, Settings::default()).unwrap().solve();
         assert_eq!(r.status, Status::PrimalInfeasible);
         assert!(!r.certificate.is_empty());
@@ -575,7 +733,9 @@ mod tests {
 
     #[test]
     fn warm_start_reduces_iterations() {
-        let p = CscMatrix::from_dense(2, 2, &[4.0, 1.0, 0.0, 2.0]).upper_triangle().unwrap();
+        let p = CscMatrix::from_dense(2, 2, &[4.0, 1.0, 0.0, 2.0])
+            .upper_triangle()
+            .unwrap();
         let a = CscMatrix::from_dense(3, 2, &[1.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
         let problem = Problem::new(
             p,
@@ -596,17 +756,22 @@ mod tests {
     fn update_q_resolves_parametrically() {
         let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
         let a = CscMatrix::identity(2);
-        let problem =
-            Problem::new(p, vec![-1.0, -1.0], a, vec![-10.0; 2], vec![10.0; 2]).unwrap();
-        let mut settings = Settings::default();
-        settings.eps_abs = 1e-7;
-        settings.eps_rel = 1e-7;
+        let problem = Problem::new(p, vec![-1.0, -1.0], a, vec![-10.0; 2], vec![10.0; 2]).unwrap();
+        let settings = Settings {
+            eps_abs: 1e-7,
+            eps_rel: 1e-7,
+            ..Settings::default()
+        };
         let mut solver = Solver::new(problem, settings).unwrap();
         let r1 = solver.solve();
         assert!((r1.x[0] - 0.5).abs() < 1e-4);
         solver.update_q(&[-2.0, -2.0]).unwrap();
         let r2 = solver.solve();
-        assert!((r2.x[0] - 1.0).abs() < 1e-4, "x after q update: {}", r2.x[0]);
+        assert!(
+            (r2.x[0] - 1.0).abs() < 1e-4,
+            "x after q update: {}",
+            r2.x[0]
+        );
     }
 
     #[test]
@@ -614,15 +779,21 @@ mod tests {
         let p = CscMatrix::from_dense(1, 1, &[2.0]);
         let a = CscMatrix::identity(1);
         let problem = Problem::new(p, vec![-2.0], a, vec![0.0], vec![0.4]).unwrap();
-        let mut settings = Settings::default();
-        settings.eps_abs = 1e-7;
-        settings.eps_rel = 1e-7;
+        let settings = Settings {
+            eps_abs: 1e-7,
+            eps_rel: 1e-7,
+            ..Settings::default()
+        };
         let mut solver = Solver::new(problem, settings).unwrap();
         let r1 = solver.solve();
         assert!((r1.x[0] - 0.4).abs() < 1e-4);
         solver.update_bounds(&[0.0], &[10.0]).unwrap();
         let r2 = solver.solve();
-        assert!((r2.x[0] - 1.0).abs() < 1e-4, "x after bound update: {}", r2.x[0]);
+        assert!(
+            (r2.x[0] - 1.0).abs() < 1e-4,
+            "x after bound update: {}",
+            r2.x[0]
+        );
     }
 
     #[test]
@@ -631,22 +802,20 @@ mod tests {
             .upper_triangle()
             .unwrap();
         let a = CscMatrix::from_dense(2, 3, &[1.0, 1.0, 1.0, 1.0, -1.0, 0.0]);
-        let problem = Problem::new(
-            p,
-            vec![-1.0, 0.5, 1.0],
-            a,
-            vec![1.0, -0.3],
-            vec![1.0, 0.3],
-        )
-        .unwrap();
+        let problem =
+            Problem::new(p, vec![-1.0, 0.5, 1.0], a, vec![1.0, -0.3], vec![1.0, 0.3]).unwrap();
         let tight = |backend| {
             let mut s = Settings::with_backend(backend);
             s.eps_abs = 1e-7;
             s.eps_rel = 1e-7;
             s
         };
-        let rd = Solver::new(problem.clone(), tight(KktBackend::Direct)).unwrap().solve();
-        let ri = Solver::new(problem, tight(KktBackend::Indirect)).unwrap().solve();
+        let rd = Solver::new(problem.clone(), tight(KktBackend::Direct))
+            .unwrap()
+            .solve();
+        let ri = Solver::new(problem, tight(KktBackend::Indirect))
+            .unwrap()
+            .solve();
         assert_eq!(rd.status, Status::Solved);
         assert_eq!(ri.status, Status::Solved);
         for (u, v) in rd.x.iter().zip(&ri.x) {
@@ -669,11 +838,189 @@ mod tests {
     fn scaling_disabled_still_solves() {
         let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
         let a = CscMatrix::identity(2);
-        let problem =
-            Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![1.0; 2]).unwrap();
-        let mut settings = Settings::default();
-        settings.scaling_iters = 0;
+        let problem = Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![1.0; 2]).unwrap();
+        let settings = Settings {
+            scaling_iters: 0,
+            ..Settings::default()
+        };
         let r = Solver::new(problem, settings).unwrap().solve();
         assert_eq!(r.status, Status::Solved);
+    }
+
+    fn staged_solver() -> Solver {
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::from_dense(3, 2, &[1.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+        let problem = Problem::new(
+            p,
+            vec![-1.0, 0.5],
+            a,
+            vec![-1.0, 0.0, 0.0],
+            vec![1.0, 0.8, 0.8],
+        )
+        .unwrap();
+        // Keep stage arithmetic easy to verify: no scaling.
+        let s = Settings {
+            scaling_iters: 0,
+            ..Settings::default()
+        };
+        Solver::new(problem, s).unwrap()
+    }
+
+    #[test]
+    fn stage_rhs_builds_kkt_rhs() {
+        let mut solver = staged_solver();
+        solver.x.copy_from_slice(&[0.5, -0.25]);
+        solver.z.copy_from_slice(&[0.1, 0.2, 0.3]);
+        solver.y.copy_from_slice(&[1.0, -1.0, 0.5]);
+        let mut prof = Profile::default();
+        solver.stage_rhs(&mut prof);
+        let sigma = solver.settings.sigma;
+        for j in 0..2 {
+            let want = sigma * solver.x[j] - solver.q[j];
+            assert_eq!(solver.ws.rhs_x[j], want);
+        }
+        for i in 0..3 {
+            let want = solver.z[i] - solver.rho_inv_vec[i] * solver.y[i];
+            assert_eq!(solver.ws.rhs_z[i], want);
+        }
+        assert!(prof.ops.elementwise > 0.0);
+    }
+
+    #[test]
+    fn stage_x_update_applies_relaxation() {
+        let mut solver = staged_solver();
+        solver.x.copy_from_slice(&[1.0, 2.0]);
+        solver.ws.xtilde.copy_from_slice(&[3.0, -2.0]);
+        let alpha = solver.settings.alpha;
+        let mut prof = Profile::default();
+        solver.stage_x_update(&mut prof);
+        for j in 0..2 {
+            let x_old = [1.0, 2.0][j];
+            let want = alpha * solver.ws.xtilde[j] + (1.0 - alpha) * x_old;
+            assert_eq!(solver.x[j], want);
+            assert_eq!(solver.ws.delta_x[j], want - x_old);
+        }
+    }
+
+    #[test]
+    fn z_projection_then_y_update_matches_fused_reference() {
+        let mut solver = staged_solver();
+        let z0 = [0.9, -0.4, 0.85];
+        let y0 = [0.3, -0.6, 0.0];
+        let ztilde = [1.5, 0.1, -0.2];
+        solver.z.copy_from_slice(&z0);
+        solver.y.copy_from_slice(&y0);
+        solver.ws.ztilde.copy_from_slice(&ztilde);
+        let mut prof = Profile::default();
+        solver.stage_z_projection(&mut prof);
+        solver.stage_y_update(&mut prof);
+        // Reference: the fused per-element update.
+        let alpha = solver.settings.alpha;
+        for i in 0..3 {
+            let z_relaxed = alpha * ztilde[i] + (1.0 - alpha) * z0[i];
+            let w = z_relaxed + solver.rho_inv_vec[i] * y0[i];
+            let z_new = w.max(solver.l[i]).min(solver.u[i]);
+            let y_new = y0[i] + solver.rho_vec[i] * (z_relaxed - z_new);
+            assert_eq!(solver.z[i], z_new, "z[{i}]");
+            assert_eq!(solver.y[i], y_new, "y[{i}]");
+            assert_eq!(solver.ws.delta_y[i], y_new - y0[i], "delta_y[{i}]");
+        }
+    }
+
+    #[test]
+    fn stage_residuals_matches_direct_computation() {
+        let mut solver = staged_solver();
+        solver.x.copy_from_slice(&[0.4, 0.2]);
+        solver.z.copy_from_slice(&[0.6, 0.4, 0.2]);
+        solver.y.copy_from_slice(&[0.1, 0.0, -0.1]);
+        let mut prof = Profile::default();
+        let res = solver.stage_residuals(&mut prof);
+        // With identity scaling the unscaled iterates are the iterates.
+        let a = solver.orig.a();
+        let ax = a.mul_vec(&[0.4, 0.2]);
+        let prim = vector::norm_inf_diff(&ax, &[0.6, 0.4, 0.2]);
+        assert_eq!(res.prim, prim);
+        let px = solver.orig.p().sym_upper_mul_vec(&[0.4, 0.2]);
+        let aty = a.tr_mul_vec(&[0.1, 0.0, -0.1]);
+        let mut dual = 0.0f64;
+        for j in 0..2 {
+            dual = dual.max((px[j] + solver.orig.q()[j] + aty[j]).abs());
+        }
+        assert_eq!(res.dual, dual);
+    }
+
+    #[test]
+    fn build_rho_vec_into_matches_allocating() {
+        let s = Settings::default();
+        let l = [-2e30, 1.0, 0.0];
+        let u = [2e30, 1.0, 5.0];
+        let (rv, riv) = build_rho_vec(&s, 0.25, &l, &u);
+        assert_eq!(rv[0], s.rho_min, "loose row");
+        assert_eq!(
+            rv[1],
+            (0.25 * s.rho_eq_scale).clamp(s.rho_min, s.rho_max),
+            "equality row"
+        );
+        assert_eq!(rv[2], 0.25, "inequality row");
+        for (a, b) in rv.iter().zip(&riv) {
+            assert_eq!(*b, 1.0 / *a);
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_result_buffers() {
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::identity(2);
+        let problem = Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![0.3; 2]).unwrap();
+        let mut solver = Solver::new(problem, Settings::default()).unwrap();
+        let mut result = solver.solve();
+        assert_eq!(result.status, Status::Solved);
+        let x1 = result.x.clone();
+        solver.reset();
+        solver.solve_into(&mut result);
+        assert_eq!(result.status, Status::Solved);
+        assert_eq!(
+            result.x, x1,
+            "reset + solve_into must reproduce the first solve"
+        );
+    }
+
+    #[test]
+    fn reset_restores_cold_start_bitwise() {
+        let p = CscMatrix::from_dense(2, 2, &[4.0, 1.0, 0.0, 2.0])
+            .upper_triangle()
+            .unwrap();
+        let a = CscMatrix::from_dense(3, 2, &[1.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+        let problem = Problem::new(
+            p,
+            vec![1.0, 1.0],
+            a,
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.7, 0.7],
+        )
+        .unwrap();
+        let mut solver = Solver::new(problem.clone(), Settings::default()).unwrap();
+        let r1 = solver.solve();
+        solver.solve(); // drift the iterates and possibly rho
+        solver.reset();
+        let r3 = solver.solve();
+        assert_eq!(r1.x, r3.x, "reset must restore cold-start behavior exactly");
+        assert_eq!(r1.iterations, r3.iterations);
+    }
+
+    #[test]
+    fn cloned_solver_solves_independently() {
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::identity(2);
+        let problem = Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![0.3; 2]).unwrap();
+        let solver = Solver::new(problem, Settings::default()).unwrap();
+        let mut c1 = solver.clone();
+        let mut c2 = solver.clone();
+        c2.update_q(&[-2.0, -2.0]).unwrap();
+        let r1 = c1.solve();
+        let r2 = c2.solve();
+        assert_eq!(r1.status, Status::Solved);
+        assert_eq!(r2.status, Status::Solved);
+        assert!(r2.x[0] > r1.x[0] - 1e-9, "clones must not share state");
     }
 }

@@ -97,7 +97,12 @@ impl CscMatrix {
         }
         for (&r, &c) in rows.iter().zip(cols) {
             if r >= nrows || c >= ncols {
-                return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows,
+                    ncols,
+                });
             }
         }
         // Count entries per column.
@@ -149,7 +154,13 @@ impl CscMatrix {
             }
             out_ptr[j + 1] = out_rows.len();
         }
-        Ok(CscMatrix { nrows, ncols, col_ptr: out_ptr, row_ind: out_rows, values: out_vals })
+        Ok(CscMatrix {
+            nrows,
+            ncols,
+            col_ptr: out_ptr,
+            row_ind: out_rows,
+            values: out_vals,
+        })
     }
 
     /// Builds a CSC matrix from raw compressed arrays, validating every
@@ -209,7 +220,13 @@ impl CscMatrix {
                 prev = Some(r);
             }
         }
-        Ok(CscMatrix { nrows, ncols, col_ptr, row_ind, values })
+        Ok(CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_ind,
+            values,
+        })
     }
 
     /// Builds a CSC matrix from a dense row-major matrix, storing entries
@@ -233,7 +250,13 @@ impl CscMatrix {
             }
             col_ptr[j + 1] = row_ind.len();
         }
-        CscMatrix { nrows, ncols, col_ptr, row_ind, values }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_ind,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -347,6 +370,85 @@ impl CscMatrix {
         }
     }
 
+    // ----- SpMV kernels ---------------------------------------------------
+    //
+    // The `_into` methods below are the canonical allocation-free kernels;
+    // every allocating spelling (`mul_vec`, `tr_mul_vec`, ...) is a thin
+    // wrapper so hot paths can borrow caller-owned buffers instead.
+
+    /// Computes `y = A * x` into a caller-provided buffer (overwriting it).
+    /// This is the canonical allocation-free SpMV kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x has wrong length");
+        assert_eq!(y.len(), self.nrows, "spmv: y has wrong length");
+        y.fill(0.0);
+        self.gaxpy_into(x, y);
+    }
+
+    /// Accumulates `y += A * x` (the BLAS-style "gaxpy" update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn gaxpy_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x has wrong length");
+        assert_eq!(y.len(), self.nrows, "spmv: y has wrong length");
+        for (j, &xj) in x.iter().enumerate() {
+            if xj != 0.0 {
+                for k in self.col_range(j) {
+                    y[self.row_ind[k]] += self.values[k] * xj;
+                }
+            }
+        }
+    }
+
+    /// Computes `y = Aᵀ * x` into a caller-provided buffer (overwriting it)
+    /// without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows` or `y.len() != ncols`.
+    pub fn spmv_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "spmv^T: x has wrong length");
+        assert_eq!(y.len(), self.ncols, "spmv^T: y has wrong length");
+        y.fill(0.0);
+        self.gaxpy_t_into(x, y);
+    }
+
+    /// Accumulates `y += Aᵀ * x` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows` or `y.len() != ncols`.
+    pub fn gaxpy_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "spmv^T: x has wrong length");
+        assert_eq!(y.len(), self.ncols, "spmv^T: y has wrong length");
+        for (j, yj) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.col_range(j) {
+                acc += self.values[k] * x[self.row_ind[k]];
+            }
+            *yj += acc;
+        }
+    }
+
+    /// Computes `y = P * x` into a caller-provided buffer where `self`
+    /// stores only the **upper triangle** of a symmetric matrix `P` (the
+    /// OSQP storage convention for the objective matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or buffer lengths mismatch.
+    pub fn sym_upper_mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(y.len(), self.nrows, "sym spmv: y has wrong length");
+        y.fill(0.0);
+        self.sym_upper_mul_vec_acc(x, y);
+    }
+
     /// Computes `y = A * x`.
     ///
     /// # Panics
@@ -354,38 +456,28 @@ impl CscMatrix {
     /// Panics if `x.len() != ncols`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.nrows];
-        self.mul_vec_into(x, &mut y);
+        self.spmv_into(x, &mut y);
         y
     }
 
     /// Computes `y = A * x` into a caller-provided buffer (overwriting it).
+    /// Alias of [`CscMatrix::spmv_into`], kept for source compatibility.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != ncols` or `y.len() != nrows`.
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols, "spmv: x has wrong length");
-        assert_eq!(y.len(), self.nrows, "spmv: y has wrong length");
-        y.fill(0.0);
-        self.mul_vec_acc(x, y);
+        self.spmv_into(x, y);
     }
 
-    /// Accumulates `y += A * x`.
+    /// Accumulates `y += A * x`. Alias of [`CscMatrix::gaxpy_into`], kept
+    /// for source compatibility.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != ncols` or `y.len() != nrows`.
     pub fn mul_vec_acc(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols, "spmv: x has wrong length");
-        assert_eq!(y.len(), self.nrows, "spmv: y has wrong length");
-        for j in 0..self.ncols {
-            let xj = x[j];
-            if xj != 0.0 {
-                for k in self.col_range(j) {
-                    y[self.row_ind[k]] += self.values[k] * xj;
-                }
-            }
-        }
+        self.gaxpy_into(x, y);
     }
 
     /// Computes `y = Aᵀ * x` without materializing the transpose.
@@ -395,25 +487,18 @@ impl CscMatrix {
     /// Panics if `x.len() != nrows`.
     pub fn tr_mul_vec(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.ncols];
-        self.tr_mul_vec_acc(x, &mut y);
+        self.spmv_t_into(x, &mut y);
         y
     }
 
-    /// Accumulates `y += Aᵀ * x`.
+    /// Accumulates `y += Aᵀ * x`. Alias of [`CscMatrix::gaxpy_t_into`],
+    /// kept for source compatibility.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != nrows` or `y.len() != ncols`.
     pub fn tr_mul_vec_acc(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.nrows, "spmv^T: x has wrong length");
-        assert_eq!(y.len(), self.ncols, "spmv^T: y has wrong length");
-        for j in 0..self.ncols {
-            let mut acc = 0.0;
-            for k in self.col_range(j) {
-                acc += self.values[k] * x[self.row_ind[k]];
-            }
-            y[j] += acc;
-        }
+        self.gaxpy_t_into(x, y);
     }
 
     /// Computes `y = P * x` where `self` stores only the **upper triangle**
@@ -425,7 +510,7 @@ impl CscMatrix {
     /// Panics if the matrix is not square or `x.len() != n`.
     pub fn sym_upper_mul_vec(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.nrows];
-        self.sym_upper_mul_vec_acc(x, &mut y);
+        self.sym_upper_mul_vec_into(x, &mut y);
         y
     }
 
@@ -435,7 +520,10 @@ impl CscMatrix {
     ///
     /// Panics if the matrix is not square or buffer lengths mismatch.
     pub fn sym_upper_mul_vec_acc(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(self.nrows, self.ncols, "symmetric product requires square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "symmetric product requires square matrix"
+        );
         assert_eq!(x.len(), self.ncols, "sym spmv: x has wrong length");
         assert_eq!(y.len(), self.nrows, "sym spmv: y has wrong length");
         for j in 0..self.ncols {
@@ -459,7 +547,10 @@ impl CscMatrix {
     /// Returns [`SparseError::NotSquare`] for rectangular inputs.
     pub fn upper_triangle(&self) -> Result<CscMatrix> {
         if self.nrows != self.ncols {
-            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
         }
         let mut col_ptr = vec![0usize; self.ncols + 1];
         let mut row_ind = Vec::new();
@@ -473,7 +564,13 @@ impl CscMatrix {
             }
             col_ptr[j + 1] = row_ind.len();
         }
-        Ok(CscMatrix { nrows: self.nrows, ncols: self.ncols, col_ptr, row_ind, values })
+        Ok(CscMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            col_ptr,
+            row_ind,
+            values,
+        })
     }
 
     /// Returns `true` if every stored entry lies on or above the diagonal.
@@ -495,7 +592,13 @@ impl CscMatrix {
             }
             col_ptr[j + 1] = row_ind.len();
         }
-        CscMatrix { nrows: self.nrows, ncols: self.ncols, col_ptr, row_ind, values }
+        CscMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            col_ptr,
+            row_ind,
+            values,
+        }
     }
 
     /// Applies `f` to every stored value, returning a matrix with the same
@@ -526,9 +629,12 @@ impl CscMatrix {
     ///
     /// Panics if `d.len() != ncols`.
     pub fn scale_cols(&mut self, d: &[f64]) {
-        assert_eq!(d.len(), self.ncols, "column scaling vector has wrong length");
-        for j in 0..self.ncols {
-            let dj = d[j];
+        assert_eq!(
+            d.len(),
+            self.ncols,
+            "column scaling vector has wrong length"
+        );
+        for (j, &dj) in d.iter().enumerate() {
             for k in self.col_ptr[j]..self.col_ptr[j + 1] {
                 self.values[k] *= dj;
             }
@@ -538,9 +644,9 @@ impl CscMatrix {
     /// Infinity norm of each column: `out[j] = max_i |A[i, j]|`.
     pub fn col_norms_inf(&self) -> Vec<f64> {
         let mut out = vec![0.0f64; self.ncols];
-        for j in 0..self.ncols {
+        for (j, oj) in out.iter_mut().enumerate() {
             for k in self.col_range(j) {
-                out[j] = out[j].max(self.values[k].abs());
+                *oj = oj.max(self.values[k].abs());
             }
         }
         out
@@ -562,7 +668,10 @@ impl CscMatrix {
     ///
     /// Panics if the matrix is not square.
     pub fn sym_upper_col_norms_inf(&self) -> Vec<f64> {
-        assert_eq!(self.nrows, self.ncols, "symmetric norms require square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "symmetric norms require square matrix"
+        );
         let mut out = vec![0.0f64; self.ncols];
         for (i, j, v) in self.iter() {
             let a = v.abs();
@@ -660,8 +769,7 @@ mod tests {
         // [ 2 1 0 ]
         // [ 1 3 1 ]
         // [ 0 1 4 ]
-        let upper =
-            CscMatrix::from_dense(3, 3, &[2.0, 1.0, 0.0, 0.0, 3.0, 1.0, 0.0, 0.0, 4.0]);
+        let upper = CscMatrix::from_dense(3, 3, &[2.0, 1.0, 0.0, 0.0, 3.0, 1.0, 0.0, 0.0, 4.0]);
         let y = upper.sym_upper_mul_vec(&[1.0, 1.0, 1.0]);
         assert_eq!(y, vec![3.0, 5.0, 5.0]);
     }
@@ -715,8 +823,7 @@ mod tests {
 
     #[test]
     fn sym_norms_mirror_lower_part() {
-        let upper =
-            CscMatrix::from_dense(2, 2, &[1.0, 5.0, 0.0, 2.0]);
+        let upper = CscMatrix::from_dense(2, 2, &[1.0, 5.0, 0.0, 2.0]);
         // Full matrix [[1,5],[5,2]]: both column norms are 5.
         assert_eq!(upper.sym_upper_col_norms_inf(), vec![5.0, 5.0]);
     }

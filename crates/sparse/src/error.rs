@@ -45,7 +45,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
             ),
@@ -78,11 +83,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = SparseError::IndexOutOfBounds { row: 3, col: 4, nrows: 2, ncols: 2 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 3,
+            col: 4,
+            nrows: 2,
+            ncols: 2,
+        };
         assert_eq!(e.to_string(), "index (3, 4) out of bounds for 2x2 matrix");
         let e = SparseError::ZeroPivot(7);
         assert!(e.to_string().contains("step 7"));
-        let e = SparseError::DimensionMismatch { op: "spmv", lhs: (2, 3), rhs: (4, 1) };
+        let e = SparseError::DimensionMismatch {
+            op: "spmv",
+            lhs: (2, 3),
+            rhs: (4, 1),
+        };
         assert!(e.to_string().contains("spmv"));
     }
 

@@ -41,7 +41,10 @@ impl EliminationTree {
     /// present.
     pub fn from_upper(a: &CscMatrix) -> Result<Self> {
         if a.nrows() != a.ncols() {
-            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.ncols();
         let mut parent = vec![NO_PARENT; n];
@@ -282,7 +285,7 @@ mod tests {
         let t = EliminationTree::from_upper(&arrow(6)).unwrap();
         let order = t.postorder();
         assert_eq!(order.len(), 6);
-        let mut position = vec![0usize; 6];
+        let mut position = [0usize; 6];
         for (k, &node) in order.iter().enumerate() {
             position[node] = k;
         }

@@ -41,7 +41,11 @@ impl LdlSymbolic {
         for i in 0..n {
             l_col_ptr[i + 1] = l_col_ptr[i] + etree.col_counts()[i];
         }
-        Ok(LdlSymbolic { n, etree, l_col_ptr })
+        Ok(LdlSymbolic {
+            n,
+            etree,
+            l_col_ptr,
+        })
     }
 
     /// Matrix dimension.
@@ -152,9 +156,11 @@ impl LdlSymbolic {
             f.dinv[k] = 1.0 / d_kk;
         }
         f.flops = flops;
-        debug_assert_eq!(
-            (0..n).map(|i| fill[i]).collect::<Vec<_>>(),
-            self.etree.col_counts().to_vec(),
+        // Allocation-free on purpose: this runs inside the solver's
+        // zero-allocation adaptive-rho refactorization path even in builds
+        // with debug assertions enabled.
+        debug_assert!(
+            (0..n).all(|i| fill[i] == self.etree.col_counts()[i]),
             "numeric fill must match symbolic column counts"
         );
         Ok(())
@@ -309,6 +315,19 @@ impl LdlFactor {
         self.lt_solve(x);
     }
 
+    /// Solves `(L D Lᵀ) x = b` into a caller-provided buffer — the
+    /// allocation-free triangular-solve kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `x.len() != n`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "solve_into: rhs has wrong length");
+        assert_eq!(x.len(), self.n, "solve_into: out has wrong length");
+        x.copy_from_slice(b);
+        self.solve_in_place(x);
+    }
+
     /// Solves `(L D Lᵀ) x = b`, returning a fresh vector.
     ///
     /// # Panics
@@ -334,6 +353,15 @@ pub struct LdlSolver {
     permuted: CscMatrix,
     symbolic: LdlSymbolic,
     factor: LdlFactor,
+    /// Pattern of the original (unpermuted) matrix, for validating value
+    /// updates without rebuilding the permuted matrix.
+    orig_col_ptr: Vec<usize>,
+    orig_row_ind: Vec<usize>,
+    /// `val_map[k]` is the slot in `permuted.values()` holding original
+    /// entry `k` (storage order). `None` when the original matrix carried
+    /// duplicate coordinates, in which case value updates fall back to the
+    /// allocating rebuild.
+    val_map: Option<Vec<usize>>,
 }
 
 impl LdlSolver {
@@ -347,7 +375,16 @@ impl LdlSolver {
         let permuted = perm.sym_perm_upper(a)?;
         let symbolic = LdlSymbolic::new(&permuted)?;
         let factor = symbolic.factor(&permuted)?;
-        Ok(LdlSolver { perm, permuted, symbolic, factor })
+        let val_map = build_value_map(a, &perm, &permuted);
+        Ok(LdlSolver {
+            perm,
+            permuted,
+            symbolic,
+            factor,
+            orig_col_ptr: a.col_ptr().to_vec(),
+            orig_row_ind: a.row_ind().to_vec(),
+            val_map,
+        })
     }
 
     /// The fill-reducing permutation in use.
@@ -373,18 +410,32 @@ impl LdlSolver {
     /// Updates the numeric values of the matrix (same pattern as the one the
     /// solver was built from) and refactors without symbolic analysis.
     ///
+    /// Allocation-free on the common path: values are scattered through the
+    /// precomputed original-slot → permuted-slot map and the numeric
+    /// factorization reuses the factor's workspaces.
+    ///
     /// # Errors
     ///
     /// Returns [`SparseError::InvalidStructure`] if the pattern differs, or
     /// [`SparseError::ZeroPivot`] from the factorization.
     pub fn update_values(&mut self, a: &CscMatrix) -> Result<()> {
-        let permuted = self.perm.sym_perm_upper(a)?;
-        if !permuted.same_pattern(&self.permuted) {
+        if a.col_ptr() != &self.orig_col_ptr[..] || a.row_ind() != &self.orig_row_ind[..] {
             return Err(SparseError::InvalidStructure(
                 "update_values requires the original sparsity pattern".into(),
             ));
         }
-        self.permuted = permuted;
+        match &self.val_map {
+            Some(map) => {
+                let dst = self.permuted.values_mut();
+                for (k, &slot) in map.iter().enumerate() {
+                    dst[slot] = a.values()[k];
+                }
+            }
+            None => {
+                // Duplicate coordinates in the original: rebuild (sums them).
+                self.permuted = self.perm.sym_perm_upper(a)?;
+            }
+        }
         self.symbolic.refactor(&self.permuted, &mut self.factor)
     }
 
@@ -394,10 +445,49 @@ impl LdlSolver {
     ///
     /// Panics if `b.len()` differs from the matrix dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let mut x = self.perm.apply(b);
-        self.factor.solve_in_place(&mut x);
-        self.perm.apply_inv(&x)
+        let mut work = vec![0.0; b.len()];
+        let mut out = vec![0.0; b.len()];
+        self.solve_into(b, &mut work, &mut out);
+        out
     }
+
+    /// Solves `A x = b` into caller-provided buffers: `work` holds the
+    /// permuted intermediate, `out` receives the solution. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer length differs from the matrix dimension.
+    pub fn solve_into(&self, b: &[f64], work: &mut [f64], out: &mut [f64]) {
+        self.perm.apply_into(b, work);
+        self.factor.solve_in_place(work);
+        self.perm.apply_inv_into(work, out);
+    }
+}
+
+/// Maps each stored entry of `a` (storage order) to the slot of
+/// `permuted = P A Pᵀ` holding its value. Returns `None` if two entries of
+/// `a` collide in the permuted matrix (duplicate coordinates): the rebuild
+/// path must then be used so duplicates keep summing.
+fn build_value_map(a: &CscMatrix, perm: &Permutation, permuted: &CscMatrix) -> Option<Vec<usize>> {
+    if a.nnz() != permuted.nnz() {
+        return None;
+    }
+    let inv = perm.inv();
+    let mut map = Vec::with_capacity(a.nnz());
+    let mut seen = vec![false; permuted.nnz()];
+    for (i, j, _) in a.iter() {
+        let (i2, j2) = (inv[i], inv[j]);
+        let (r, c) = if i2 <= j2 { (i2, j2) } else { (j2, i2) };
+        let range = permuted.col_range(c);
+        let rows = &permuted.row_ind()[range.clone()];
+        let slot = range.start + rows.binary_search(&r).ok()?;
+        if seen[slot] {
+            return None;
+        }
+        seen[slot] = true;
+        map.push(slot);
+    }
+    Some(map)
 }
 
 #[cfg(test)]

@@ -33,7 +33,10 @@ pub enum Ordering {
 /// Returns [`SparseError::NotSquare`] for rectangular input.
 pub fn compute(a: &CscMatrix, method: Ordering) -> Result<Permutation> {
     if a.nrows() != a.ncols() {
-        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
     }
     match method {
         Ordering::Natural => Ok(Permutation::identity(a.ncols())),
@@ -80,8 +83,7 @@ fn rcm(a: &CscMatrix) -> Permutation {
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<usize> =
-                adj[v].iter().copied().filter(|&u| !visited[u]).collect();
+            let mut nbrs: Vec<usize> = adj[v].iter().copied().filter(|&u| !visited[u]).collect();
             nbrs.sort_unstable_by_key(|&u| degree[u]);
             for u in nbrs {
                 visited[u] = true;
@@ -199,7 +201,14 @@ fn min_degree(a: &CscMatrix) -> Permutation {
         for &u in &lv {
             stamp += 1;
             degree[u] = external_degree(
-                u, &var_adj, &elem_adj, &elements, &eliminated, &absorbed, &mut mark, stamp,
+                u,
+                &var_adj,
+                &elem_adj,
+                &elements,
+                &eliminated,
+                &absorbed,
+                &mut mark,
+                stamp,
             );
             heap.push(Reverse((degree[u], u)));
         }

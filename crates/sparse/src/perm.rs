@@ -20,7 +20,10 @@ impl Permutation {
     /// The identity permutation on `0..n`.
     pub fn identity(n: usize) -> Self {
         let perm: Vec<usize> = (0..n).collect();
-        Permutation { inv: perm.clone(), perm }
+        Permutation {
+            inv: perm.clone(),
+            perm,
+        }
     }
 
     /// Builds a permutation from `perm` where `perm[new] = old`.
@@ -74,8 +77,24 @@ impl Permutation {
     ///
     /// Panics if `x.len() != self.len()`.
     pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; x.len()];
+        self.apply_into(x, &mut out);
+        out
+    }
+
+    /// Gathers a vector into a caller-provided buffer:
+    /// `out[k] = x[perm[k]]`. The allocation-free form of
+    /// [`Permutation::apply`]; `out` must not alias `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()` or `out.len() != self.len()`.
+    pub fn apply_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.len(), "permutation length mismatch");
-        self.perm.iter().map(|&old| x[old]).collect()
+        assert_eq!(out.len(), self.len(), "permutation length mismatch");
+        for (o, &old) in out.iter_mut().zip(&self.perm) {
+            *o = x[old];
+        }
     }
 
     /// Scatters a vector: `out[perm[k]] = x[k]` (the inverse gather).
@@ -84,17 +103,32 @@ impl Permutation {
     ///
     /// Panics if `x.len() != self.len()`.
     pub fn apply_inv(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.len(), "permutation length mismatch");
         let mut out = vec![0.0; x.len()];
+        self.apply_inv_into(x, &mut out);
+        out
+    }
+
+    /// Scatters a vector into a caller-provided buffer:
+    /// `out[perm[k]] = x[k]`. The allocation-free form of
+    /// [`Permutation::apply_inv`]; `out` must not alias `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()` or `out.len() != self.len()`.
+    pub fn apply_inv_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.len(), "permutation length mismatch");
+        assert_eq!(out.len(), self.len(), "permutation length mismatch");
         for (k, &old) in self.perm.iter().enumerate() {
             out[old] = x[k];
         }
-        out
     }
 
     /// Returns the inverse permutation as a new [`Permutation`].
     pub fn inverse(&self) -> Permutation {
-        Permutation { perm: self.inv.clone(), inv: self.perm.clone() }
+        Permutation {
+            perm: self.inv.clone(),
+            inv: self.perm.clone(),
+        }
     }
 
     /// Composes two permutations: applying the result is equivalent to
@@ -123,7 +157,10 @@ impl Permutation {
     /// [`SparseError::DimensionMismatch`] if sizes disagree.
     pub fn sym_perm_upper(&self, a: &CscMatrix) -> Result<CscMatrix> {
         if a.nrows() != a.ncols() {
-            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         if a.nrows() != self.len() {
             return Err(SparseError::DimensionMismatch {
@@ -193,17 +230,27 @@ mod tests {
         // [ 4 1 0 ]
         // [ 1 5 2 ]
         // [ 0 2 6 ]
-        let upper =
-            CscMatrix::from_dense(3, 3, &[4.0, 1.0, 0.0, 0.0, 5.0, 2.0, 0.0, 0.0, 6.0]);
+        let upper = CscMatrix::from_dense(3, 3, &[4.0, 1.0, 0.0, 0.0, 5.0, 2.0, 0.0, 0.0, 6.0]);
         let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
         let b = p.sym_perm_upper(&upper).unwrap();
         // New index k corresponds to old index perm[k]: B[k,l] = A[perm[k], perm[l]].
         let full = |m: &CscMatrix, i: usize, j: usize| {
-            if i <= j { m.get(i, j) } else { m.get(j, i) }
+            if i <= j {
+                m.get(i, j)
+            } else {
+                m.get(j, i)
+            }
         };
         for k in 0..3 {
             for l in k..3 {
-                assert_eq!(b.get(k, l), full(&upper, p.perm()[k].min(p.perm()[l]), p.perm()[k].max(p.perm()[l])));
+                assert_eq!(
+                    b.get(k, l),
+                    full(
+                        &upper,
+                        p.perm()[k].min(p.perm()[l]),
+                        p.perm()[k].max(p.perm()[l])
+                    )
+                );
             }
         }
     }

@@ -93,7 +93,9 @@ pub fn hstack(blocks: &[&CscMatrix]) -> Result<CscMatrix> {
 /// Returns [`SparseError::InvalidStructure`] for an empty input list.
 pub fn block_diag(blocks: &[&CscMatrix]) -> Result<CscMatrix> {
     if blocks.is_empty() {
-        return Err(SparseError::InvalidStructure("block_diag of zero blocks".into()));
+        return Err(SparseError::InvalidStructure(
+            "block_diag of zero blocks".into(),
+        ));
     }
     let nrows: usize = blocks.iter().map(|b| b.nrows()).sum();
     let ncols: usize = blocks.iter().map(|b| b.ncols()).sum();

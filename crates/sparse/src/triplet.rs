@@ -19,7 +19,13 @@ pub struct TripletMatrix {
 impl TripletMatrix {
     /// Creates an empty triplet matrix with the given dimensions.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        TripletMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty triplet matrix with room for `cap` entries.

@@ -22,7 +22,9 @@ pub fn norm2(x: &[f64]) -> f64 {
 /// Panics if the lengths differ.
 pub fn norm_inf_diff(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "norm_inf_diff length mismatch");
-    x.iter().zip(y).fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+    x.iter()
+        .zip(y)
+        .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
 }
 
 /// Dot product `xᵀy`.

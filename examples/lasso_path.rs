@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     settings.max_iter = 20_000;
     let mut solver = Solver::new(problem, settings)?;
 
-    println!("{:>10} {:>8} {:>10} {:>12}", "lambda/l0", "iters", "support", "pcg iters");
+    println!(
+        "{:>10} {:>8} {:>10} {:>12}",
+        "lambda/l0", "iters", "support", "pcg iters"
+    );
     let mut supports = Vec::new();
     for &scale in &[4.0, 2.0, 1.0, 0.5, 0.25, 0.1, 0.02] {
         let q: Vec<f64> = base_q

@@ -19,16 +19,21 @@ use mib::qp::{Settings, Solver};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inst = mpc(4, 2, 8, 3);
     let problem = inst.problem.clone();
-    let mut settings = Settings::default();
-    settings.scaling_iters = 0; // the lowered program models the unscaled problem
-    settings.adaptive_rho = false;
-    settings.eps_abs = 1e-6;
-    settings.eps_rel = 1e-6;
+    let settings = Settings {
+        scaling_iters: 0, // the lowered program models the unscaled problem
+        adaptive_rho: false,
+        eps_abs: 1e-6,
+        eps_rel: 1e-6,
+        ..Settings::default()
+    };
 
     // Reference solve (exact iterate trajectory + work profile).
     let mut reference = Solver::new(problem.clone(), settings.clone())?;
     let result = reference.solve();
-    println!("reference: {} in {} iterations", result.status, result.iterations);
+    println!(
+        "reference: {} in {} iterations",
+        result.status, result.iterations
+    );
 
     // Compile for the C=32 prototype.
     let config = MibConfig::c32();
@@ -46,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // provably hazard-free).
     let mut machine = Machine::new(config);
     for sched in [&lowered.load, &lowered.setup] {
-        machine.run(&sched.program, &mut HbmStream::new(sched.hbm.clone()), HazardPolicy::Strict)?;
+        machine.run(
+            &sched.program,
+            &mut HbmStream::new(sched.hbm.clone()),
+            HazardPolicy::Strict,
+        )?;
     }
     let mut stats = mib::core::stats::ExecStats::default();
     for _ in 0..result.iterations {
@@ -90,8 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Timing: deterministic MIB cycles vs the modelled CPU baseline.
     let checks = result.iterations.div_ceil(settings.check_termination);
-    let mib_s =
-        lowered.total_seconds(result.iterations, 0, checks, result.profile.factor_count);
+    let mib_s = lowered.total_seconds(result.iterations, 0, checks, result.profile.factor_count);
     let work = WorkSummary::from_result(&problem, &settings, &result);
     let cpu_s = CpuModel::new(CpuVariant::Builtin).solve_time(&work);
     println!(

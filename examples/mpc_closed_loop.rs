@@ -17,9 +17,11 @@ use mib::sparse::vector::norm2;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inst = mpc(6, 3, 12, 77);
-    let mut settings = Settings::default();
-    settings.eps_abs = 1e-4;
-    settings.eps_rel = 1e-4;
+    let settings = Settings {
+        eps_abs: 1e-4,
+        eps_rel: 1e-4,
+        ..Settings::default()
+    };
     let mut solver = Solver::new(inst.problem.clone(), settings)?;
 
     // Start from a perturbed state and regulate toward the origin.

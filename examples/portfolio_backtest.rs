@@ -20,13 +20,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = portfolio(n_assets, n_factors, 99);
     let base_q = problem.q().to_vec();
 
-    let mut settings = Settings::default();
-    settings.eps_abs = 1e-5;
-    settings.eps_rel = 1e-5;
+    let settings = Settings {
+        eps_abs: 1e-5,
+        eps_rel: 1e-5,
+        ..Settings::default()
+    };
     let mut solver = Solver::new(problem, settings)?;
 
     println!("risk-aversion sweep over gamma (warm-started parametric re-solves)");
-    println!("{:>8} {:>8} {:>10} {:>10} {:>12}", "gamma", "iters", "risk", "return", "top weight");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>12}",
+        "gamma", "iters", "risk", "return", "top weight"
+    );
     let mut total_iters = 0usize;
     for step in 0..12 {
         let gamma = 0.25 * 1.6f64.powi(step);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints and the full test suite.
+# Run from anywhere; operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "All checks passed."

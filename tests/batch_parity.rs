@@ -1,0 +1,94 @@
+//! Acceptance test for the batched multi-problem frontend: a batch of 64+
+//! same-pattern portfolio problems solved on 4 worker threads must match a
+//! sequential run **bitwise** — result-for-result, field-for-field.
+
+use mib::problems::portfolio;
+use mib::qp::{BatchSolver, BatchUpdate, KktBackend, Settings, Status};
+
+const BATCH: usize = 64;
+
+/// One scenario per batch entry: perturbed expected returns (the `q`
+/// vector), the per-scenario data of the paper's portfolio backtest.
+fn return_scenarios(base_q: &[f64]) -> Vec<BatchUpdate> {
+    (0..BATCH)
+        .map(|k| {
+            let q = base_q
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| v * (1.0 + 0.02 * (k as f64 % 7.0)) + 1e-3 * (k + j) as f64)
+                .collect();
+            BatchUpdate::with_q(q)
+        })
+        .collect()
+}
+
+fn assert_batch_parity(backend: KktBackend) {
+    let problem = portfolio(30, 5, 11);
+    let settings = Settings {
+        backend,
+        ..Settings::default()
+    };
+    let batch = BatchSolver::new(problem, settings)
+        .expect("setup")
+        .with_threads(4);
+    let updates = return_scenarios(batch.template().problem().q());
+    assert!(updates.len() >= 64);
+
+    let parallel = batch.solve_batch(&updates).expect("parallel batch");
+    let sequential = batch.solve_sequential(&updates).expect("sequential batch");
+
+    assert_eq!(parallel.len(), updates.len());
+    for (k, (par, seq)) in parallel.iter().zip(&sequential).enumerate() {
+        assert_eq!(
+            par.status,
+            Status::Solved,
+            "scenario {k} ({backend:?}) did not solve"
+        );
+        assert_eq!(par.status, seq.status, "scenario {k}");
+        assert_eq!(
+            par.x, seq.x,
+            "scenario {k}: x differs between parallel and sequential"
+        );
+        assert_eq!(par.y, seq.y, "scenario {k}: y differs");
+        assert_eq!(par.z, seq.z, "scenario {k}: z differs");
+        assert_eq!(
+            par.iterations, seq.iterations,
+            "scenario {k}: iteration count differs"
+        );
+        assert!(
+            par.obj_val.to_bits() == seq.obj_val.to_bits(),
+            "scenario {k}: objective differs bitwise"
+        );
+    }
+}
+
+#[test]
+fn direct_batch_of_64_matches_sequential_bitwise() {
+    assert_batch_parity(KktBackend::Direct);
+}
+
+#[test]
+fn indirect_batch_of_64_matches_sequential_bitwise() {
+    assert_batch_parity(KktBackend::Indirect);
+}
+
+/// Thread-count invariance: the same batch on 1, 2, 3 and 8 threads gives
+/// identical results (chunk boundaries move; answers must not).
+#[test]
+fn results_do_not_depend_on_thread_count() {
+    let problem = portfolio(20, 4, 5);
+    let batch = BatchSolver::new(problem, Settings::default()).expect("setup");
+    let updates = return_scenarios(batch.template().problem().q());
+    let reference = batch.solve_sequential(&updates).expect("sequential");
+    for threads in [1, 2, 3, 8] {
+        let b = batch.clone().with_threads(threads);
+        let got = b.solve_batch(&updates).expect("parallel");
+        for (k, (g, r)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(g.x, r.x, "scenario {k} differs on {threads} threads");
+            assert_eq!(
+                g.iterations, r.iterations,
+                "scenario {k} on {threads} threads"
+            );
+        }
+    }
+}

@@ -32,7 +32,11 @@ fn run_direct_on_machine(
     let mut machine = Machine::new(config);
     for sched in [&lowered.load, &lowered.setup] {
         machine
-            .run(&sched.program, &mut HbmStream::new(sched.hbm.clone()), HazardPolicy::Strict)
+            .run(
+                &sched.program,
+                &mut HbmStream::new(sched.hbm.clone()),
+                HazardPolicy::Strict,
+            )
             .expect("hazard-free");
     }
     for _ in 0..iters {
@@ -61,9 +65,16 @@ fn run_direct_on_machine(
 fn on_machine_admm_tracks_reference_mpc() {
     let inst = mpc(3, 2, 5, 11);
     let settings = mib_settings(KktBackend::Direct);
-    let reference = Solver::new(inst.problem.clone(), settings.clone()).unwrap().solve();
+    let reference = Solver::new(inst.problem.clone(), settings.clone())
+        .unwrap()
+        .solve();
     assert!(reference.status.is_solved());
-    let got = run_direct_on_machine(&inst.problem, &settings, MibConfig::c16(), reference.iterations.max(100));
+    let got = run_direct_on_machine(
+        &inst.problem,
+        &settings,
+        MibConfig::c16(),
+        reference.iterations.max(100),
+    );
     for (g, w) in got.iter().zip(&reference.x) {
         assert!((g - w).abs() < 1e-3, "machine {g} vs reference {w}");
     }
@@ -75,7 +86,12 @@ fn on_machine_admm_tracks_reference_portfolio() {
     let settings = mib_settings(KktBackend::Direct);
     let reference = Solver::new(pr.clone(), settings.clone()).unwrap().solve();
     assert!(reference.status.is_solved());
-    let got = run_direct_on_machine(&pr, &settings, MibConfig::c32(), reference.iterations.max(150));
+    let got = run_direct_on_machine(
+        &pr,
+        &settings,
+        MibConfig::c32(),
+        reference.iterations.max(150),
+    );
     for (g, w) in got.iter().zip(&reference.x) {
         assert!((g - w).abs() < 1e-3, "machine {g} vs reference {w}");
     }
@@ -90,14 +106,22 @@ fn all_domain_programs_are_hazard_free_both_variants() {
             let lowered = lower(&inst.problem, &settings, MibConfig::c16())
                 .unwrap_or_else(|e| panic!("{domain}: {e}"));
             let mut machine = Machine::new(MibConfig::c16());
-            for sched in
-                [&lowered.load, &lowered.setup, &lowered.iteration, &lowered.pcg_iteration, &lowered.check]
-            {
+            for sched in [
+                &lowered.load,
+                &lowered.setup,
+                &lowered.iteration,
+                &lowered.pcg_iteration,
+                &lowered.check,
+            ] {
                 if sched.program.is_empty() {
                     continue;
                 }
                 let stats = machine
-                    .run(&sched.program, &mut HbmStream::new(sched.hbm.clone()), HazardPolicy::Stall)
+                    .run(
+                        &sched.program,
+                        &mut HbmStream::new(sched.hbm.clone()),
+                        HazardPolicy::Stall,
+                    )
                     .unwrap_or_else(|e| panic!("{domain} ({}): {e}", backend.name()));
                 assert_eq!(
                     stats.stall_cycles,

@@ -15,7 +15,12 @@ fn verify_kkt(domain: Domain, index: usize, backend: KktBackend) {
     settings.eps_rel = 1e-5;
     settings.max_iter = 30_000;
     let r = Solver::new(pr.clone(), settings).unwrap().solve();
-    assert!(r.status.is_solved(), "{domain} #{index} ({}): {}", backend.name(), r.status);
+    assert!(
+        r.status.is_solved(),
+        "{domain} #{index} ({}): {}",
+        backend.name(),
+        r.status
+    );
 
     // Stationarity: ||Px + q + A'y||_inf small relative to the data.
     let mut grad = pr.p().sym_upper_mul_vec(&r.x);
@@ -39,17 +44,17 @@ fn verify_kkt(domain: Domain, index: usize, backend: KktBackend) {
     // Complementary slackness sign conventions: y_i > 0 only at (near)
     // active upper bounds, y_i < 0 only at lower bounds.
     let ax = pr.a().mul_vec(&r.x);
-    for i in 0..pr.num_constraints() {
-        let slack_tol = 5e-2 * (1.0 + ax[i].abs());
+    for (i, &axi) in ax.iter().enumerate() {
+        let slack_tol = 5e-2 * (1.0 + axi.abs());
         if r.y[i] > 1e-3 {
             assert!(
-                pr.u()[i] - ax[i] < slack_tol,
+                pr.u()[i] - axi < slack_tol,
                 "{domain} #{index}: positive dual with slack upper bound at row {i}"
             );
         }
         if r.y[i] < -1e-3 {
             assert!(
-                ax[i] - pr.l()[i] < slack_tol,
+                axi - pr.l()[i] < slack_tol,
                 "{domain} #{index}: negative dual with slack lower bound at row {i}"
             );
         }
@@ -99,8 +104,12 @@ fn backends_agree_across_domains() {
             s.max_iter = 50_000;
             s
         };
-        let rd = Solver::new(inst.problem.clone(), tight(KktBackend::Direct)).unwrap().solve();
-        let ri = Solver::new(inst.problem.clone(), tight(KktBackend::Indirect)).unwrap().solve();
+        let rd = Solver::new(inst.problem.clone(), tight(KktBackend::Direct))
+            .unwrap()
+            .solve();
+        let ri = Solver::new(inst.problem.clone(), tight(KktBackend::Indirect))
+            .unwrap()
+            .solve();
         assert!(rd.status.is_solved() && ri.status.is_solved(), "{domain}");
         assert!(
             (rd.obj_val - ri.obj_val).abs() < 1e-3 * (1.0 + rd.obj_val.abs()),
@@ -114,7 +123,11 @@ fn backends_agree_across_domains() {
 #[test]
 fn solver_is_deterministic() {
     let inst = instance(Domain::Svm, 2);
-    let run = || Solver::new(inst.problem.clone(), Settings::default()).unwrap().solve();
+    let run = || {
+        Solver::new(inst.problem.clone(), Settings::default())
+            .unwrap()
+            .solve()
+    };
     let a = run();
     let b = run();
     assert_eq!(a.iterations, b.iterations);

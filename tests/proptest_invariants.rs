@@ -16,16 +16,13 @@ use proptest::prelude::*;
 /// Strategy: a random sparse matrix as triplets.
 fn sparse_matrix(max_dim: usize) -> impl Strategy<Value = CscMatrix> {
     (1..max_dim, 1..max_dim).prop_flat_map(|(nr, nc)| {
-        proptest::collection::vec(
-            (0..nr, 0..nc, -10.0f64..10.0),
-            0..(2 * nr * nc).min(64),
-        )
-        .prop_map(move |trips| {
-            let rows: Vec<usize> = trips.iter().map(|t| t.0).collect();
-            let cols: Vec<usize> = trips.iter().map(|t| t.1).collect();
-            let vals: Vec<f64> = trips.iter().map(|t| t.2).collect();
-            CscMatrix::from_triplet_parts(nr, nc, &rows, &cols, &vals).unwrap()
-        })
+        proptest::collection::vec((0..nr, 0..nc, -10.0f64..10.0), 0..(2 * nr * nc).min(64))
+            .prop_map(move |trips| {
+                let rows: Vec<usize> = trips.iter().map(|t| t.0).collect();
+                let cols: Vec<usize> = trips.iter().map(|t| t.1).collect();
+                let vals: Vec<f64> = trips.iter().map(|t| t.2).collect();
+                CscMatrix::from_triplet_parts(nr, nc, &rows, &cols, &vals).unwrap()
+            })
     })
 }
 

@@ -1,0 +1,111 @@
+//! Counting-allocator proof of the workspace-centric solve pipeline: after
+//! [`Solver::new`], a [`Solver::solve_into`] performs **zero** heap
+//! allocations — across the ADMM iteration, the KKT solve (both backends)
+//! and the residual/termination paths.
+//!
+//! The crates themselves `#![forbid(unsafe_code)]`, so the `GlobalAlloc`
+//! shim lives here in the integration-test binary. Counting is per-thread
+//! (a thread-local counter) so the harness running other tests on sibling
+//! threads cannot pollute a measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use mib::problems::portfolio;
+use mib::qp::{KktBackend, Settings, Solver, Status};
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with` so allocations during TLS teardown don't panic.
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Number of heap allocations the current thread performs inside `f`.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_COUNT.with(|c| c.get());
+    f();
+    ALLOC_COUNT.with(|c| c.get()) - before
+}
+
+fn assert_solve_is_allocation_free(backend: KktBackend) {
+    let problem = portfolio(30, 5, 7);
+    let settings = Settings {
+        backend,
+        // Force adaptive-rho refactorizations during the measured solve so
+        // the numeric-refactor path is covered too.
+        adaptive_rho_interval: 10,
+        ..Settings::default()
+    };
+
+    let mut solver = Solver::new(problem, settings).expect("setup");
+    // Warm-up: the first solve sizes the result buffers (and lets lazy
+    // one-time costs, e.g. TLS init, happen outside the measurement).
+    let mut result = solver.solve();
+    assert_eq!(
+        result.status,
+        Status::Solved,
+        "{backend:?} warm-up must solve"
+    );
+    assert!(
+        result.iterations > 10,
+        "problem too easy to exercise adaptive rho"
+    );
+
+    solver.reset();
+    let allocs = allocations_during(|| solver.solve_into(&mut result));
+    assert_eq!(result.status, Status::Solved);
+    assert_eq!(
+        allocs, 0,
+        "{backend:?} solve_into performed {allocs} heap allocations; \
+         the workspace pipeline must perform none"
+    );
+}
+
+#[test]
+fn direct_solve_into_performs_zero_allocations() {
+    assert_solve_is_allocation_free(KktBackend::Direct);
+}
+
+#[test]
+fn indirect_solve_into_performs_zero_allocations() {
+    assert_solve_is_allocation_free(KktBackend::Indirect);
+}
+
+/// Parametric re-solves (the batch workload's inner loop) are also
+/// allocation-free once the update vectors live outside the solver.
+#[test]
+fn warm_started_resolve_performs_zero_allocations() {
+    let problem = portfolio(24, 4, 3);
+    let mut solver = Solver::new(problem, Settings::default()).expect("setup");
+    let mut result = solver.solve();
+    assert_eq!(result.status, Status::Solved);
+    // Second solve warm-starts from the first solution.
+    let allocs = allocations_during(|| solver.solve_into(&mut result));
+    assert_eq!(result.status, Status::Solved);
+    assert_eq!(allocs, 0, "warm-started re-solve allocated {allocs} times");
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this dependency-free implementation of the subset
+//! of the criterion 0.5 API used by `crates/bench`: [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Behavior: under `cargo bench` (cargo passes `--bench`) each benchmark
+//! is measured with a warm-up followed by adaptively sized timing batches
+//! and reported as median ns/iter on stdout. Under `cargo test` (no
+//! `--bench` flag) each benchmark body runs exactly once as a smoke test
+//! so the suite stays fast. An optional positional argument filters
+//! benchmarks by substring, as upstream does.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The stub times each routine
+/// invocation individually, so the variants are equivalent; the type
+/// exists for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state: upstream batches many per allocation.
+    SmallInput,
+    /// Large per-iteration state: upstream batches few.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Re-export of the standard black box, for call sites that use
+/// `criterion::black_box` rather than `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark registry/driver, configured from the command line.
+pub struct Criterion {
+    measure: bool,
+    filter: Option<String>,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: false,
+            filter: None,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads `--bench` (measure mode) and a positional substring filter
+    /// from `std::env::args`, mirroring upstream's entry point.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" => self.measure = true,
+                "--test" => self.measure = false,
+                // Harness flags cargo may forward; all ignored.
+                "--nocapture" | "--quiet" | "-q" | "--exact" | "--ignored" => {}
+                "--measurement-time" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(secs) = v.parse::<f64>() {
+                            self.measurement_time = Duration::from_secs_f64(secs);
+                        }
+                    }
+                }
+                other => {
+                    if !other.starts_with('-') && self.filter.is_none() {
+                        self.filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            measure: self.measure,
+            budget: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Passed to each benchmark closure; times the routine it is given.
+pub struct Bencher {
+    measure: bool,
+    budget: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up and calibration: how many calls fit in ~1/10 budget?
+        let t0 = Instant::now();
+        let mut calib = 0u64;
+        while t0.elapsed() < self.budget.mul_f64(0.1) {
+            std::hint::black_box(routine());
+            calib += 1;
+        }
+        let per_call = t0.elapsed().as_secs_f64() / calib.max(1) as f64;
+        let batch =
+            ((self.budget.as_secs_f64() * 0.09 / per_call.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline || self.samples.len() < 5 {
+            let s = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(s.elapsed().as_secs_f64() / batch as f64);
+            if self.samples.len() >= 200 {
+                break;
+            }
+        }
+    }
+
+    /// Benchmarks `routine` on fresh state from `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if !self.measure {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        // Warm-up.
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline || self.samples.len() < 5 {
+            let input = setup();
+            let s = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(s.elapsed().as_secs_f64());
+            if self.samples.len() >= 5000 {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`]; the stub does not distinguish
+    /// by-ref setup reuse.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iter_batched(setup_wrapper(&mut setup), |mut i| routine(&mut i), _size);
+
+        fn setup_wrapper<'a, I, S: FnMut() -> I>(s: &'a mut S) -> impl FnMut() -> I + 'a {
+            move || s()
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if !self.measure {
+            println!("{id:<48} ok (smoke)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{id:<48} no samples");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pick = |q: f64| self.samples[((self.samples.len() - 1) as f64 * q) as usize];
+        let (lo, med, hi) = (pick(0.05), pick(0.5), pick(0.95));
+        println!(
+            "{id:<48} time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(med),
+            fmt_time(hi)
+        );
+        self.samples.clear();
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Groups benchmark functions into one runnable set.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut calls = 0;
+        let mut c = Criterion::default(); // measure = false
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut calls = 0;
+        let mut c = Criterion {
+            filter: Some("yes".into()),
+            ..Criterion::default()
+        };
+        c.bench_function("no/skip", |b| b.iter(|| calls += 1));
+        c.bench_function("yes/run", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            measure: true,
+            filter: None,
+            measurement_time: Duration::from_millis(20),
+        };
+        c.bench_function("tiny", |b| b.iter(|| std::hint::black_box(3u64.pow(7))));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1.0f64; 64],
+                |v| v.iter().sum::<f64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
