@@ -1,0 +1,76 @@
+//! Static certification sweep over the benchmark suite.
+//!
+//! Lowers every sampled instance of the five application domains for both
+//! KKT variants and runs the `mib-verify` static verifier over each
+//! compiled program (load / setup / iteration / pcg / check). Prints one
+//! certificate line per program and exits non-zero if any program carries
+//! an error-severity finding — this is the gate `scripts/verify_schedules.sh`
+//! enforces.
+//!
+//! By default a three-instance sample per domain keeps the sweep fast;
+//! pass `--full` (or set `MIB_VERIFY_FULL=1`) to certify all 20 instances
+//! per domain.
+
+use mib_bench::eval_settings;
+use mib_compiler::lower::lower;
+use mib_compiler::verify_schedule;
+use mib_core::MibConfig;
+use mib_problems::{instance, Domain, INSTANCES_PER_DOMAIN};
+use mib_qp::KktBackend;
+
+fn main() {
+    let full =
+        std::env::args().any(|a| a == "--full") || std::env::var_os("MIB_VERIFY_FULL").is_some();
+    let indices: Vec<usize> = if full {
+        (0..INSTANCES_PER_DOMAIN).collect()
+    } else {
+        vec![0, 9, INSTANCES_PER_DOMAIN - 1]
+    };
+    let config = MibConfig::c32();
+
+    let mut programs = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+
+    println!("== Static schedule certification (C = {}) ==", config.width);
+    for domain in Domain::all() {
+        for &index in &indices {
+            let inst = instance(domain, index);
+            for backend in [KktBackend::Direct, KktBackend::Indirect] {
+                let settings = eval_settings(backend);
+                let lowered =
+                    lower(&inst.problem, &settings, config).expect("benchmark instance lowers");
+                let schedules = [
+                    ("load", &lowered.load),
+                    ("setup", &lowered.setup),
+                    ("iteration", &lowered.iteration),
+                    ("pcg", &lowered.pcg_iteration),
+                    ("check", &lowered.check),
+                ];
+                for (name, s) in schedules {
+                    if s.program.is_empty() {
+                        continue;
+                    }
+                    let label = format!("{domain}[{index}]/{backend:?}/{name}");
+                    let report = verify_schedule(&label, s, &config);
+                    let cert = report.certificate();
+                    programs += 1;
+                    warnings += cert.warnings;
+                    if cert.errors > 0 {
+                        errors += cert.errors;
+                        println!("{report}");
+                    } else {
+                        println!("{cert}");
+                    }
+                }
+            }
+        }
+    }
+
+    println!("\n{programs} programs verified: {errors} errors, {warnings} warnings");
+    if errors > 0 {
+        println!("FAIL: error-severity findings present");
+        std::process::exit(1);
+    }
+    println!("OK: every schedule certified");
+}

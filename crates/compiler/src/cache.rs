@@ -79,6 +79,7 @@ impl ProgramCache {
             self.hits += 1;
             let mut lowered = cached.clone();
             lowered.load = build_load_schedule(problem, settings, config);
+            crate::verify::maybe_verify_refreshed_load(&lowered.load, &config);
             return Ok(lowered);
         }
         let lowered = lower(problem, settings, config)?;
@@ -206,11 +207,40 @@ mod tests {
         let p2 = problem_with(vec![-1.0, 2.0], 0.8);
         let cached = cache.lower_cached(&p2, &settings, config()).unwrap();
         let fresh = lower(&p2, &settings, config()).unwrap();
+        // Bitwise identity of every program: a cache hit must be
+        // indistinguishable from a fresh lowering.
+        assert_eq!(cached.load.program, fresh.load.program);
         assert_eq!(cached.load.hbm, fresh.load.hbm);
-        assert_eq!(cached.load.program.len(), fresh.load.program.len());
+        assert_eq!(cached.setup.program, fresh.setup.program);
         assert_eq!(cached.setup.hbm, fresh.setup.hbm);
+        assert_eq!(cached.iteration.program, fresh.iteration.program);
         assert_eq!(cached.iteration.hbm, fresh.iteration.hbm);
+        assert_eq!(cached.check.program, fresh.check.program);
         assert_eq!(cached.check.hbm, fresh.check.hbm);
+    }
+
+    #[test]
+    fn cache_hit_programs_verify_clean() {
+        let mut cache = ProgramCache::new();
+        let settings = Settings::default();
+        cache
+            .lower_cached(&problem_with(vec![1.0, 1.0], 0.7), &settings, config())
+            .unwrap();
+        let lowered = cache
+            .lower_cached(&problem_with(vec![0.25, -3.0], 0.65), &settings, config())
+            .unwrap();
+        assert_eq!(cache.hits(), 1);
+        for (name, s) in [
+            ("load", &lowered.load),
+            ("setup", &lowered.setup),
+            ("iteration", &lowered.iteration),
+            ("check", &lowered.check),
+        ] {
+            let report = crate::verify::verify_schedule(name, s, &lowered.config);
+            assert!(report.is_certified(), "{report}");
+        }
+        let cert = crate::verify::certify_lowered(&lowered);
+        assert!(cert.is_certified(), "{cert}");
     }
 
     #[test]

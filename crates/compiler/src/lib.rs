@@ -45,8 +45,10 @@ pub mod route;
 pub mod schedule;
 pub mod spmv;
 pub mod trisolve;
+pub mod verify;
 
 pub use cache::ProgramCache;
 pub use kernel::{Kernel, KernelBuilder, LogicalInstr};
 pub use layout::{Allocator, Layout};
 pub use schedule::{schedule, Schedule, ScheduleOptions};
+pub use verify::{certify_lowered, checked_schedule, verify_kernel_schedule, verify_schedule};

@@ -37,9 +37,10 @@ use crate::factor::{factor_kernel, plan_factor_exact};
 use crate::kernel::KernelBuilder;
 use crate::layout::{Allocator, Layout};
 use crate::permute::permute_locs;
-use crate::schedule::{schedule, Schedule, ScheduleOptions};
+use crate::schedule::{Schedule, ScheduleOptions};
 use crate::spmv::{col_spmv, mac_spmv, symmetrize_upper, SpmvOptions};
 use crate::trisolve::{dsolve_streamed, lsolve_streamed, ltsolve_streamed};
+use crate::verify::checked_schedule;
 
 /// A QP lowered to MIB programs plus the cycle model.
 #[derive(Debug, Clone)]
@@ -285,7 +286,7 @@ pub(crate) fn build_load_schedule(
         let minv = jacobi_precond_values(problem, settings.sigma, &rho_vec);
         ew::load_vec(&mut lb, pcg.precond, &minv);
     }
-    schedule(&lb.finish(), ScheduleOptions::default())
+    checked_schedule(&lb.finish(), ScheduleOptions::default(), &config)
 }
 
 /// Emits the one-time load of problem vectors (bounds are clamped to a
@@ -411,7 +412,7 @@ fn lower_direct(
     // Setup: on-machine numeric factorization.
     let mut fb = KernelBuilder::new("factor", config.width, config.latency());
     factor_kernel(&mut fb, &permuted, &sym, &fl, y_scratch);
-    let setup = schedule(&fb.finish(), ScheduleOptions::default());
+    let setup = checked_schedule(&fb.finish(), ScheduleOptions::default(), &config);
 
     // Iteration program.
     let mut ib = KernelBuilder::new("iteration", config.width, config.latency());
@@ -449,12 +450,12 @@ fn lower_direct(
         .collect();
     permute_locs(&mut ib, &scatter);
     build_updates(&mut ib, &st, settings.alpha);
-    let iteration = schedule(&ib.finish(), ScheduleOptions::default());
+    let iteration = checked_schedule(&ib.finish(), ScheduleOptions::default(), &config);
 
     // Check program.
     let mut cb = KernelBuilder::new("check", config.width, config.latency());
     build_check(&mut cb, &mut alloc, &st, &a_csr, &p_full);
-    let check = schedule(&cb.finish(), ScheduleOptions::default());
+    let check = checked_schedule(&cb.finish(), ScheduleOptions::default(), &config);
 
     Ok(LoweredQp {
         config,
@@ -462,9 +463,10 @@ fn lower_direct(
         load,
         setup,
         iteration,
-        pcg_iteration: schedule(
+        pcg_iteration: checked_schedule(
             &KernelBuilder::new("empty", config.width, config.latency()).finish(),
             ScheduleOptions::default(),
+            &config,
         ),
         check,
     })
@@ -537,7 +539,7 @@ fn lower_indirect(
     ew::scale(&mut ib, st.t_m, st.t_m2, -1.0, WriteMode::Add);
     ew::ew_prod(&mut ib, st.t_m2, st.rho, st.nu, WriteMode::Store);
     build_updates(&mut ib, &st, settings.alpha);
-    let iteration = schedule(&ib.finish(), ScheduleOptions::default());
+    let iteration = checked_schedule(&ib.finish(), ScheduleOptions::default(), &config);
 
     // PCG iteration program (Algorithm 2, lines 3-9).
     let mut pb = KernelBuilder::new("pcg", config.width, config.latency());
@@ -587,19 +589,20 @@ fn lower_indirect(
         1.0,
         WriteMode::Store,
     );
-    let pcg_iteration = schedule(&pb.finish(), ScheduleOptions::default());
+    let pcg_iteration = checked_schedule(&pb.finish(), ScheduleOptions::default(), &config);
 
     let mut cb = KernelBuilder::new("check", config.width, config.latency());
     build_check(&mut cb, &mut alloc, &st, &a_csr, &p_full);
-    let check = schedule(&cb.finish(), ScheduleOptions::default());
+    let check = checked_schedule(&cb.finish(), ScheduleOptions::default(), &config);
 
     Ok(LoweredQp {
         config,
         backend: KktBackend::Indirect,
         load,
-        setup: schedule(
+        setup: checked_schedule(
             &KernelBuilder::new("empty", config.width, config.latency()).finish(),
             ScheduleOptions::default(),
+            &config,
         ),
         iteration,
         pcg_iteration,

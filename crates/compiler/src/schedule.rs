@@ -51,6 +51,11 @@ pub struct Schedule {
     pub slot_of: Vec<usize>,
     /// Number of logical instructions packed.
     pub logical_count: usize,
+    /// How many instructions exhausted the first-fit probe limit and were
+    /// placed in force-appended fresh slots. Nonzero means packing quality
+    /// degraded (the verifier reports it as a warning); correctness is
+    /// unaffected.
+    pub forced_appends: usize,
 }
 
 impl Schedule {
@@ -81,6 +86,7 @@ pub fn schedule(kernel: &Kernel, opts: ScheduleOptions) -> Schedule {
     let width = kernel.width;
     let mut slots: Vec<SlotState> = Vec::new();
     let mut slot_of: Vec<usize> = Vec::with_capacity(kernel.instrs.len());
+    let mut forced_appends = 0usize;
 
     for li in &kernel.instrs {
         // Dependency-ready slot.
@@ -122,6 +128,7 @@ pub fn schedule(kernel: &Kernel, opts: ScheduleOptions) -> Schedule {
             probes += 1;
             if probes > opts.probe_limit {
                 // Append beyond the end.
+                forced_appends += 1;
                 t = slots.len();
             }
         }
@@ -143,6 +150,7 @@ pub fn schedule(kernel: &Kernel, opts: ScheduleOptions) -> Schedule {
         hbm,
         slot_of,
         logical_count: kernel.instrs.len(),
+        forced_appends,
     }
 }
 
@@ -296,6 +304,45 @@ mod tests {
         let s = schedule(&b.finish(), ScheduleOptions::default());
         assert_eq!(s.slots(), 1);
         assert_eq!(s.hbm, vec![11.0, 55.0]);
+    }
+
+    #[test]
+    fn exhausted_probe_limit_forces_appends_and_counts_them() {
+        let mut b = KernelBuilder::new("t", 8, 5);
+        // Three writers of the same destination (0,1): WAW chains them one
+        // cycle apart, and with probe_limit 0 every occupied probe slot
+        // forces an append instead of probing further.
+        b.push(mov(8, 0, 2, 1), vec![]);
+        b.push(mov(8, 0, 3, 1), vec![]);
+        b.push(mov(8, 0, 4, 1), vec![]);
+        // Plus an independent lane-0 reader that collides with slot 0.
+        b.push(mov(8, 0, 5, 6), vec![]);
+        let kernel = b.finish();
+        let tight = schedule(
+            &kernel,
+            ScheduleOptions {
+                probe_limit: 0,
+                ..ScheduleOptions::default()
+            },
+        );
+        let loose = schedule(&kernel, ScheduleOptions::default());
+        assert_eq!(loose.forced_appends, 0);
+        assert!(
+            tight.forced_appends > 0,
+            "probe_limit 0 must force appends on collisions"
+        );
+        // Forced appends degrade packing, never correctness: each logical
+        // instruction still owns a collision-free slot at or after its
+        // dependency-ready slot.
+        assert!(tight.slots() >= loose.slots());
+        for (i, li) in kernel.instrs.iter().enumerate() {
+            for &(p, delay) in &li.deps {
+                assert!(
+                    tight.slot_of[i] as u64 >= tight.slot_of[p] as u64 + delay,
+                    "instruction {i} violates its dependency on {p}"
+                );
+            }
+        }
     }
 
     #[test]

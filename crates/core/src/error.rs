@@ -7,16 +7,23 @@ use std::fmt;
 pub enum MibError {
     /// A data hazard was detected in strict verification mode: the
     /// instruction at `cycle` reads or accumulates into a location whose
-    /// pending write completes only at `ready`.
+    /// pending write completes only at `ready`. The reported location is
+    /// the **binding** hazard — the pending write with the latest
+    /// visibility cycle — so dynamic reports line up with the static
+    /// verifier's diagnostics.
     DataHazard {
         /// Issue cycle of the offending instruction.
         cycle: u64,
         /// Index of the instruction within the program.
         instruction: usize,
-        /// Offending bank.
+        /// Offending bank (the lane whose latch is pending, for latch
+        /// hazards).
         bank: usize,
-        /// Offending address within the bank.
+        /// Offending address within the bank (0 for latch hazards).
         addr: usize,
+        /// Whether the pending location is the lane's broadcast latch
+        /// rather than a register.
+        latch: bool,
         /// Cycle at which the pending write becomes visible.
         ready: u64,
     },
@@ -49,10 +56,26 @@ pub enum MibError {
 impl fmt::Display for MibError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MibError::DataHazard { cycle, instruction, bank, addr, ready } => write!(
-                f,
-                "data hazard at cycle {cycle} (instruction {instruction}): bank {bank} addr {addr} not ready until cycle {ready}"
-            ),
+            MibError::DataHazard {
+                cycle,
+                instruction,
+                bank,
+                addr,
+                latch,
+                ready,
+            } => {
+                if *latch {
+                    write!(
+                        f,
+                        "data hazard at cycle {cycle} (instruction {instruction}): lane {bank} broadcast latch not ready until cycle {ready}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "data hazard at cycle {cycle} (instruction {instruction}): bank {bank} addr {addr} not ready until cycle {ready}"
+                    )
+                }
+            }
             MibError::StreamExhausted { instruction } => {
                 write!(f, "hbm stream exhausted at instruction {instruction}")
             }
@@ -60,7 +83,10 @@ impl fmt::Display for MibError {
                 f,
                 "register address {addr} out of range for bank {bank} (depth {depth})"
             ),
-            MibError::WidthMismatch { instruction, machine } => write!(
+            MibError::WidthMismatch {
+                instruction,
+                machine,
+            } => write!(
                 f,
                 "instruction width {instruction} does not match machine width {machine}"
             ),
@@ -82,9 +108,19 @@ mod tests {
             instruction: 3,
             bank: 2,
             addr: 7,
+            latch: false,
             ready: 12,
         };
         let s = e.to_string();
         assert!(s.contains("cycle 9") && s.contains("bank 2") && s.contains("12"));
+        let l = MibError::DataHazard {
+            cycle: 9,
+            instruction: 3,
+            bank: 2,
+            addr: 0,
+            latch: true,
+            ready: 12,
+        };
+        assert!(l.to_string().contains("lane 2 broadcast latch"));
     }
 }

@@ -343,6 +343,52 @@ impl NetInstruction {
                 .count()
     }
 
+    /// Iterates over the `(lane, addr)` register locations read at the
+    /// multiplier stage (one per lane at most — the single read port).
+    pub fn reg_read_locs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter_map(|(lane, input)| Some((lane, input.as_ref()?.reg_addr()?)))
+    }
+
+    /// Iterates over the lanes whose multiplier stage reads the per-lane
+    /// broadcast latch.
+    pub fn latch_read_lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, input)| input.is_some_and(|src| src.uses_latch()))
+            .map(|(lane, _)| lane)
+    }
+
+    /// Iterates over the `(lane, addr)` register locations read by
+    /// read-modify-write writebacks (`Add`, `Min`, `Max`, `MaxAbs`).
+    pub fn rmw_read_locs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.writes.iter().enumerate().filter_map(|(lane, write)| {
+            let w = write.as_ref()?;
+            w.mode.is_rmw().then_some((lane, w.addr))
+        })
+    }
+
+    /// Iterates over the configured writebacks as `(lane, write)` pairs.
+    pub fn write_locs(&self) -> impl Iterator<Item = (usize, LaneWrite)> + '_ {
+        self.writes
+            .iter()
+            .enumerate()
+            .filter_map(|(lane, write)| Some((lane, (*write)?)))
+    }
+
+    /// Whether the final adder stage drives `lane` with a live value. A
+    /// writeback on an undriven lane commits the architectural zero (the
+    /// idle-node output), which is almost always a scheduling artifact.
+    pub fn lane_driven(&self, lane: usize) -> bool {
+        match self.nodes.last() {
+            Some(stage) => stage[lane] != NodeMode::Idle,
+            None => self.inputs[lane].is_some(),
+        }
+    }
+
     /// The hardware-occupancy vector of Section IV.B: one bit per node
     /// (`C·(log₂C + 1)` bits), multiplier stage first.
     pub fn occupancy(&self) -> Vec<bool> {

@@ -98,25 +98,29 @@ impl Machine {
                 });
             }
 
-            // Earliest hazard-free issue cycle.
+            // Earliest hazard-free issue cycle. Tracks the *binding* hazard
+            // (the pending write with the latest visibility cycle) so the
+            // strict-mode error carries the same provenance the static
+            // verifier reports.
             let mut issue = cycle;
-            let mut first_hazard: Option<(usize, usize, u64)> = None;
-            let mut note_hazard = |loc: (usize, usize), r: u64, issue: &mut u64| {
-                if r > *issue {
-                    *issue = r;
-                    first_hazard.get_or_insert((loc.0, loc.1, r));
-                }
-            };
+            let mut binding_hazard: Option<(usize, usize, bool, u64)> = None;
+            let mut note_hazard =
+                |bank: usize, addr: usize, latch: bool, r: u64, issue: &mut u64| {
+                    if r > *issue {
+                        *issue = r;
+                        binding_hazard = Some((bank, addr, latch, r));
+                    }
+                };
             for (lane, input) in inst.inputs().iter().enumerate() {
                 let Some(src) = input else { continue };
                 if let Some(addr) = src.reg_addr() {
                     if let Some(&r) = ready.get(&(lane, addr)) {
-                        note_hazard((lane, addr), r, &mut issue);
+                        note_hazard(lane, addr, false, r, &mut issue);
                     }
                 }
                 if src.uses_latch() && latch_ready[lane] > issue {
                     let r = latch_ready[lane];
-                    note_hazard((lane, usize::MAX), r, &mut issue);
+                    note_hazard(lane, 0, true, r, &mut issue);
                 }
             }
             // Read-modify-write writebacks read their target.
@@ -124,19 +128,20 @@ impl Machine {
                 let Some(w) = write else { continue };
                 if w.mode.is_rmw() {
                     if let Some(&r) = ready.get(&(lane, w.addr)) {
-                        note_hazard((lane, w.addr), r, &mut issue);
+                        note_hazard(lane, w.addr, false, r, &mut issue);
                     }
                 }
             }
             if issue > cycle {
                 if policy == HazardPolicy::Strict {
-                    let (bank, addr, r) =
-                        first_hazard.expect("issue moved implies a recorded hazard");
+                    let (bank, addr, latch, r) =
+                        binding_hazard.expect("issue moved implies a recorded hazard");
                     return Err(MibError::DataHazard {
                         cycle,
                         instruction: idx,
                         bank,
                         addr,
+                        latch,
                         ready: r,
                     });
                 }
@@ -415,13 +420,21 @@ mod tests {
             );
         }
         let mut hbm = HbmStream::empty();
-        // Strict mode must reject back-to-back issue (latch RAW hazard).
+        // Strict mode must reject back-to-back issue (latch RAW hazard),
+        // naming the offending instruction and the latch as the location.
         let err = m.clone().run(
             &[bcast.clone(), elim.clone()],
             &mut hbm,
             HazardPolicy::Strict,
         );
-        assert!(matches!(err, Err(MibError::DataHazard { .. })));
+        assert!(matches!(
+            err,
+            Err(MibError::DataHazard {
+                instruction: 1,
+                latch: true,
+                ..
+            })
+        ));
         // Stall mode resolves it.
         let stats = m
             .run(&[bcast, elim], &mut hbm, HazardPolicy::Stall)
@@ -531,6 +544,65 @@ mod tests {
         // Consumer wanted cycle 1, producer ready at 0 + latency(5).
         assert_eq!(stats.stall_cycles, m.config().latency() - 1);
         assert_eq!(m.regs().read(0, 1).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn strict_error_carries_binding_hazard_provenance() {
+        let mut m = machine8();
+        // Two producers on different banks; the consumer reads both. The
+        // later producer (bank 1) is the binding hazard and must be the one
+        // reported.
+        let mut p0 = NetInstruction::nop(8);
+        p0.set_input(0, LaneSource::Stream);
+        p0.route(0, 0);
+        p0.set_write(
+            0,
+            LaneWrite {
+                addr: 2,
+                mode: WriteMode::Store,
+            },
+        );
+        let mut p1 = NetInstruction::nop(8);
+        p1.set_input(1, LaneSource::Stream);
+        p1.route(1, 1);
+        p1.set_write(
+            1,
+            LaneWrite {
+                addr: 3,
+                mode: WriteMode::Store,
+            },
+        );
+        let mut consumer = NetInstruction::nop(8);
+        consumer.set_input(0, LaneSource::Reg { addr: 2 });
+        consumer.set_input(1, LaneSource::Reg { addr: 3 });
+        consumer.route(0, 0);
+        consumer.route(1, 1);
+        consumer.set_write(
+            0,
+            LaneWrite {
+                addr: 4,
+                mode: WriteMode::Store,
+            },
+        );
+        let mut hbm = HbmStream::new(vec![1.0, 2.0]);
+        let err = m.run(&[p0, p1, consumer], &mut hbm, HazardPolicy::Strict);
+        let latency = MibConfig {
+            width: 8,
+            bank_depth: 64,
+            clock_hz: 1e6,
+        }
+        .latency();
+        assert_eq!(
+            err,
+            Err(MibError::DataHazard {
+                cycle: 2,
+                instruction: 2,
+                bank: 1,
+                addr: 3,
+                latch: false,
+                ready: 1 + latency,
+            })
+        );
     }
 
     #[test]

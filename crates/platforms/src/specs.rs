@@ -1,5 +1,7 @@
 //! Architecture specifications (Table II of the paper).
 
+use std::fmt::Write as _;
+
 /// Specification row of Table II.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlatformSpec {
@@ -101,13 +103,15 @@ pub fn all() -> Vec<PlatformSpec> {
 pub fn render_table() -> String {
     let rows = all();
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:<10} {:<18} {:>8} {:>10} {:>10} {:>12} {:>6}  {}\n",
-        "Platform", "Model", "Process", "Clock", "GFLOPS", "BW (GB/s)", "TDP", "Library"
-    ));
+    let _ = writeln!(
+        out,
+        "{:<10} {:<18} {:>8} {:>10} {:>10} {:>12} {:>6}  Library",
+        "Platform", "Model", "Process", "Clock", "GFLOPS", "BW (GB/s)", "TDP"
+    );
     for s in rows {
-        out.push_str(&format!(
-            "{:<10} {:<18} {:>6}nm {:>7.0}MHz {:>10.1} {:>12.1} {:>5.0}W  {}\n",
+        let _ = writeln!(
+            out,
+            "{:<10} {:<18} {:>6}nm {:>7.0}MHz {:>10.1} {:>12.1} {:>5.0}W  {}",
             s.name,
             s.model,
             s.process_nm,
@@ -116,7 +120,7 @@ pub fn render_table() -> String {
             s.bandwidth / 1e9,
             s.tdp_w,
             s.library
-        ));
+        );
     }
     out
 }

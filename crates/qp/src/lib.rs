@@ -55,6 +55,7 @@ mod workspace;
 pub use batch::{BatchSolver, BatchUpdate};
 pub use error::QpError;
 pub use problem::Problem;
+pub use profile::Certification;
 pub use settings::{KktBackend, Settings};
 pub use solver::Solver;
 pub use types::{SolveResult, Status};

@@ -232,13 +232,13 @@ mod tests {
         let (mut p, mut q, mut a, mut l, mut u) = badly_scaled();
         let before_spread = {
             let norms = a.row_norms_inf();
-            norms.iter().cloned().fold(0.0f64, f64::max)
-                / norms.iter().cloned().fold(f64::INFINITY, f64::min)
+            norms.iter().copied().fold(0.0f64, f64::max)
+                / norms.iter().copied().fold(f64::INFINITY, f64::min)
         };
         ruiz_equilibrate(&mut p, &mut q, &mut a, &mut l, &mut u, 10);
         let after = a.row_norms_inf();
-        let after_spread = after.iter().cloned().fold(0.0f64, f64::max)
-            / after.iter().cloned().fold(f64::INFINITY, f64::min);
+        let after_spread = after.iter().copied().fold(0.0f64, f64::max)
+            / after.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(
             after_spread < before_spread / 100.0,
             "row norm spread {after_spread} not reduced from {before_spread}"

@@ -184,7 +184,7 @@ fn min_degree(a: &CscMatrix) -> Permutation {
         }
 
         // v becomes an element with members Lv.
-        elements[v] = lv.clone();
+        elements[v].clone_from(&lv);
         let lv_stamp = stamp;
 
         // First pass: prune adjacency lists while the Lv markers are valid

@@ -95,7 +95,7 @@ mod tests {
     fn take_returns_zeroed_exact_length() {
         let mut ws = SparseWorkspace::new();
         let mut b = ws.take(5);
-        b.iter_mut().for_each(|v| *v = 7.0);
+        b.fill(7.0);
         ws.put(b);
         let b = ws.take(3);
         assert_eq!(b.len(), 3);

@@ -1,0 +1,217 @@
+//! Def-use / liveness dataflow over the register banks and broadcast
+//! latches.
+//!
+//! The sweep mirrors [`mib_core::machine::Machine::run`] under the strict
+//! hazard policy exactly: a clean schedule issues one slot per cycle, so
+//! slot indices *are* issue cycles, and a read at slot `t` of a location
+//! last written at slot `w` is a hazard iff `t < w + latency`. Within a
+//! slot, all reads (lane inputs, latch operands, read-modify-write
+//! writebacks) happen before that slot's writes are recorded — the same
+//! order the machine checks them in.
+
+use std::collections::{BTreeMap, HashSet};
+
+use mib_core::instruction::{NetInstruction, WriteMode};
+use mib_core::MibConfig;
+
+use crate::diag::{DiagKind, Diagnostic, Loc};
+use crate::report::{BankPressure, PressureReport};
+
+/// How many live-in locations the `ReadBeforeInit` summary lists verbatim.
+const LIVE_IN_SAMPLE: usize = 4;
+
+/// One write generation of a location: a value born at `write_slot`, dead
+/// at its last read before the next overwrite (or live-out if never
+/// overwritten).
+#[derive(Debug, Clone, Copy)]
+struct Gen {
+    write_slot: usize,
+    last_read: Option<usize>,
+}
+
+/// Per-location def-use history accumulated by the sweep.
+#[derive(Debug, Default)]
+struct LocHistory {
+    /// Last read before any write in this program (live-in use).
+    pre_write_read: Option<usize>,
+    gens: Vec<Gen>,
+}
+
+/// Runs the def-use/liveness analysis, returning diagnostics (hazard
+/// reads, dead writes, double writes, the live-in summary) and the
+/// register-pressure report.
+pub fn analyze(
+    program: &[NetInstruction],
+    config: &MibConfig,
+) -> (Vec<Diagnostic>, PressureReport) {
+    let latency = config.latency() as usize;
+    let mut diags = Vec::new();
+    // BTreeMap keeps reports and live-in samples deterministic.
+    let mut hist: BTreeMap<Loc, LocHistory> = BTreeMap::new();
+
+    for (t, inst) in program.iter().enumerate() {
+        let mut read = |loc: Loc, rmw: bool, diags: &mut Vec<Diagnostic>| {
+            let h = hist.entry(loc).or_default();
+            match h.gens.last_mut() {
+                Some(gen) => {
+                    if t < gen.write_slot + latency {
+                        diags.push(Diagnostic::at_slot(
+                            t,
+                            DiagKind::HazardRead {
+                                loc,
+                                write_slot: gen.write_slot,
+                                visible_slot: gen.write_slot + latency,
+                                rmw,
+                            },
+                        ));
+                    }
+                    gen.last_read = Some(t);
+                }
+                None => h.pre_write_read = Some(t),
+            }
+        };
+        // Read phase — the order the machine checks hazards in.
+        for (lane, addr) in inst.reg_read_locs() {
+            read(Loc::Reg { bank: lane, addr }, false, &mut diags);
+        }
+        for lane in inst.latch_read_lanes() {
+            read(Loc::Latch { lane }, false, &mut diags);
+        }
+        for (lane, addr) in inst.rmw_read_locs() {
+            read(Loc::Reg { bank: lane, addr }, true, &mut diags);
+        }
+
+        // Write phase.
+        let mut written_this_slot: HashSet<Loc> = HashSet::new();
+        for (lane, w) in inst.write_locs() {
+            let loc = if w.mode == WriteMode::Latch {
+                Loc::Latch { lane }
+            } else {
+                Loc::Reg {
+                    bank: lane,
+                    addr: w.addr,
+                }
+            };
+            if !written_this_slot.insert(loc) {
+                // Unreachable through NetInstruction's one-write-port-per-
+                // lane invariant; kept as defense in depth.
+                diags.push(Diagnostic::at_slot(t, DiagKind::DoubleWrite { loc }));
+            }
+            let h = hist.entry(loc).or_default();
+            if let Some(prev) = h.gens.last() {
+                // A generation overwritten without any read (including the
+                // implicit RMW read handled above) was wasted work — and
+                // stays wasted under iterated program replay, since an
+                // intermediate generation can never be the latest write at
+                // a read point.
+                if prev.last_read.is_none() {
+                    diags.push(Diagnostic::at_slot(
+                        prev.write_slot,
+                        DiagKind::DeadWrite {
+                            loc,
+                            write_slot: prev.write_slot,
+                        },
+                    ));
+                }
+            }
+            h.gens.push(Gen {
+                write_slot: t,
+                last_read: None,
+            });
+        }
+    }
+
+    // Live-in summary: one Info diagnostic listing locations read before
+    // any write. Registers persist across programs (and start zeroed), so
+    // this is legitimate — but the caller must guarantee it.
+    let live_in: Vec<Loc> = hist
+        .iter()
+        .filter(|(_, h)| h.pre_write_read.is_some())
+        .map(|(&loc, _)| loc)
+        .collect();
+    if !live_in.is_empty() {
+        diags.push(Diagnostic::global(DiagKind::ReadBeforeInit {
+            count: live_in.len(),
+            sample: live_in.iter().copied().take(LIVE_IN_SAMPLE).collect(),
+        }));
+    }
+
+    let pressure = pressure_report(program.len(), config, &hist);
+    (diags, pressure)
+}
+
+/// Builds the per-bank register-pressure profile from the def-use
+/// histories: each generation is live from its write to its last read
+/// before overwrite; the final generation (and any never-overwritten
+/// live-in value) is conservatively live to the end of the program, since
+/// a later program may still read it.
+fn pressure_report(
+    slots: usize,
+    config: &MibConfig,
+    hist: &BTreeMap<Loc, LocHistory>,
+) -> PressureReport {
+    let mut report = PressureReport {
+        banks: vec![BankPressure::default(); config.width],
+        bank_depth: config.bank_depth,
+    };
+    if slots == 0 {
+        return report;
+    }
+    let last = slots - 1;
+    // Per-bank difference arrays over slots, plus the touched-address sets.
+    let mut diff = vec![vec![0i64; slots + 1]; config.width];
+    let mut touched: Vec<HashSet<usize>> = vec![HashSet::new(); config.width];
+    let mut mark = |bank: usize, start: usize, end: usize| {
+        diff[bank][start] += 1;
+        diff[bank][end + 1] -= 1;
+    };
+    for (loc, h) in hist {
+        let Loc::Reg { bank, addr } = *loc else {
+            continue; // latches are not register-bank capacity
+        };
+        touched[bank].insert(addr);
+        // Live intervals of this address, in slot order.
+        let mut intervals: Vec<(usize, usize)> = Vec::new();
+        if let Some(r) = h.pre_write_read {
+            intervals.push((0, if h.gens.is_empty() { last } else { r }));
+        }
+        for (i, gen) in h.gens.iter().enumerate() {
+            let end = if i + 1 == h.gens.len() {
+                last
+            } else {
+                gen.last_read.unwrap_or(gen.write_slot)
+            };
+            intervals.push((gen.write_slot, end.max(gen.write_slot)));
+        }
+        // An address holds one word: clamp each interval short of the next
+        // generation's birth so a same-slot read+overwrite is not counted
+        // as two live values.
+        for i in 0..intervals.len() {
+            let (start, mut end) = intervals[i];
+            if let Some(&(next_start, _)) = intervals.get(i + 1) {
+                end = end.min(next_start.saturating_sub(1));
+            }
+            if end >= start {
+                mark(bank, start, end);
+            }
+        }
+    }
+    for (bank, bank_diff) in diff.iter().enumerate() {
+        let mut live = 0i64;
+        let mut peak = 0i64;
+        let mut peak_slot = 0;
+        for (slot, d) in bank_diff.iter().take(slots).enumerate() {
+            live += d;
+            if live > peak {
+                peak = live;
+                peak_slot = slot;
+            }
+        }
+        report.banks[bank] = BankPressure {
+            peak_live: peak as usize,
+            peak_slot,
+            touched: touched[bank].len(),
+        };
+    }
+    report
+}

@@ -1,0 +1,362 @@
+//! **mib-verify** — static dataflow verifier and lint pass for compiled
+//! MIB schedules.
+//!
+//! [`verify_program`] analyzes a program *without executing it* and proves
+//! (or refutes) that [`mib_core::machine::Machine::run`] under the strict
+//! hazard policy would accept it:
+//!
+//! * a **def-use / liveness dataflow** over the register banks and
+//!   per-lane broadcast latches shows every read issues outside its
+//!   producer's latency window (`latency = log₂C + 2` slots), and flags
+//!   dead writes, same-slot double writes and reads of uninitialized
+//!   locations (the program's live-in set),
+//! * a **structural linter** checks instruction widths, register address
+//!   ranges, writebacks of undriven (architectural-zero) lanes, and that
+//!   the HBM stream is consumed exactly — the machine reads words
+//!   positionally, so any count mismatch is a bug,
+//! * a **register-pressure report** gives peak live values per bank
+//!   against the configured bank depth.
+//!
+//! Every finding is a [`Diagnostic`] carrying provenance: severity, issue
+//! slot, and the storage [`Loc`] involved. A program with zero
+//! [`Severity::Error`] findings is **certified**: the machine's strict
+//! execution provably cannot reject it. The converse also holds — every
+//! error-severity kind corresponds to a concrete `MibError` the machine
+//! raises — so the static verdict and the dynamic one never disagree
+//! (property-tested in `tests/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod report;
+
+mod dataflow;
+mod structural;
+
+pub use diag::{DiagKind, Diagnostic, Loc, Severity};
+pub use report::{BankPressure, Certificate, PressureReport, Report};
+
+use mib_core::instruction::NetInstruction;
+use mib_core::MibConfig;
+
+/// Statically verifies one program against a machine configuration and an
+/// HBM stream of `hbm_words` words.
+///
+/// `name` labels the report (e.g. the schedule's phase, `"iteration"`).
+/// The returned [`Report`] is certified iff strict execution would accept
+/// the program; warnings and infos never block certification.
+pub fn verify_program(
+    name: &str,
+    program: &[NetInstruction],
+    hbm_words: usize,
+    config: &MibConfig,
+) -> Report {
+    let (mut diagnostics, width_mismatch) = structural::check(program, hbm_words, config);
+    let pressure = if width_mismatch {
+        // Mixed widths make lane indexing meaningless; the width errors
+        // alone already refute the program.
+        PressureReport {
+            banks: Vec::new(),
+            bank_depth: config.bank_depth,
+        }
+    } else {
+        let (flow_diags, pressure) = dataflow::analyze(program, config);
+        diagnostics.extend(flow_diags);
+        pressure
+    };
+    // Deterministic report order: by slot, whole-program findings last.
+    diagnostics.sort_by_key(|d| d.slot.unwrap_or(usize::MAX));
+    Report {
+        name: name.to_string(),
+        slots: program.len(),
+        diagnostics,
+        pressure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mib_core::instruction::{LaneSource, LaneWrite, WriteMode};
+
+    fn config8() -> MibConfig {
+        MibConfig {
+            width: 8,
+            bank_depth: 64,
+            clock_hz: 1e6,
+        }
+    }
+
+    /// `dst[lane] <- stream` for one lane.
+    fn load(lane: usize, addr: usize) -> NetInstruction {
+        let mut i = NetInstruction::nop(8);
+        i.set_input(lane, LaneSource::Stream);
+        i.route(lane, lane);
+        i.set_write(
+            lane,
+            LaneWrite {
+                addr,
+                mode: WriteMode::Store,
+            },
+        );
+        i
+    }
+
+    /// `dst[lane][dst_addr] <- reg[lane][src_addr]`.
+    fn copy(lane: usize, src_addr: usize, dst_addr: usize) -> NetInstruction {
+        let mut i = NetInstruction::nop(8);
+        i.set_input(lane, LaneSource::Reg { addr: src_addr });
+        i.route(lane, lane);
+        i.set_write(
+            lane,
+            LaneWrite {
+                addr: dst_addr,
+                mode: WriteMode::Store,
+            },
+        );
+        i
+    }
+
+    fn nop_slots(n: usize) -> Vec<NetInstruction> {
+        vec![NetInstruction::nop(8); n]
+    }
+
+    #[test]
+    fn clean_program_certifies() {
+        let cfg = config8();
+        let latency = cfg.latency() as usize;
+        let mut prog = vec![load(0, 3)];
+        prog.extend(nop_slots(latency - 1));
+        prog.push(copy(0, 3, 4));
+        let report = verify_program("clean", &prog, 1, &cfg);
+        assert!(report.is_certified(), "{report}");
+        assert_eq!(report.count(Severity::Error), 0);
+        assert_eq!(report.slots, latency + 1);
+    }
+
+    #[test]
+    fn hazard_read_is_flagged_with_provenance() {
+        let cfg = config8();
+        let prog = vec![load(0, 3), copy(0, 3, 4)];
+        let report = verify_program("hazard", &prog, 1, &cfg);
+        assert!(!report.is_certified());
+        let err = report.errors().next().unwrap();
+        assert_eq!(err.slot, Some(1));
+        assert!(matches!(
+            err.kind,
+            DiagKind::HazardRead {
+                loc: Loc::Reg { bank: 0, addr: 3 },
+                write_slot: 0,
+                rmw: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rmw_writeback_hazard_is_flagged() {
+        let cfg = config8();
+        // Slot 0 stores to (0, 3); slot 1 accumulates into (0, 3) — the
+        // writeback's implicit read is inside the latency window.
+        let mut prog = vec![load(0, 3)];
+        let mut i = NetInstruction::nop(8);
+        i.set_input(0, LaneSource::Stream);
+        i.route(0, 0);
+        i.set_write(
+            0,
+            LaneWrite {
+                addr: 3,
+                mode: WriteMode::Add,
+            },
+        );
+        prog.push(i);
+        let report = verify_program("rmw", &prog, 2, &cfg);
+        assert!(report
+            .errors()
+            .any(|d| matches!(d.kind, DiagKind::HazardRead { rmw: true, .. })));
+    }
+
+    #[test]
+    fn latch_hazard_is_flagged() {
+        let cfg = config8();
+        let mut bcast = NetInstruction::nop(8);
+        bcast.set_input(1, LaneSource::Reg { addr: 0 });
+        for dst in 0..8 {
+            bcast.route(1, dst);
+        }
+        for lane in 0..8 {
+            bcast.set_write(
+                lane,
+                LaneWrite {
+                    addr: 0,
+                    mode: WriteMode::Latch,
+                },
+            );
+        }
+        let mut elim = NetInstruction::nop(8);
+        elim.set_input(
+            0,
+            LaneSource::RegTimesLatch {
+                addr: 1,
+                negate: true,
+            },
+        );
+        elim.route(0, 0);
+        elim.set_write(
+            0,
+            LaneWrite {
+                addr: 0,
+                mode: WriteMode::Add,
+            },
+        );
+        let report = verify_program("latch", &[bcast, elim], 0, &cfg);
+        assert!(report.errors().any(|d| matches!(
+            d.kind,
+            DiagKind::HazardRead {
+                loc: Loc::Latch { lane: 0 },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn stream_accounting_catches_both_directions() {
+        let cfg = config8();
+        let prog = vec![load(0, 3)];
+        let under = verify_program("under", &prog, 0, &cfg);
+        assert!(under.errors().any(|d| matches!(
+            d.kind,
+            DiagKind::StreamUnderflow {
+                consumed: 1,
+                provided: 0
+            }
+        )));
+        let over = verify_program("over", &prog, 2, &cfg);
+        assert!(over.is_certified());
+        assert!(over.diagnostics.iter().any(|d| matches!(
+            d.kind,
+            DiagKind::StreamSurplus {
+                consumed: 1,
+                provided: 2
+            }
+        )));
+    }
+
+    #[test]
+    fn dead_write_and_live_in_are_reported() {
+        let cfg = config8();
+        let latency = cfg.latency() as usize;
+        // Slot 0 writes (0, 3); never read; overwritten later. Also a read
+        // of never-written (1, 9) -> live-in info.
+        let mut prog = vec![load(0, 3)];
+        prog.extend(nop_slots(latency));
+        prog.push(copy(1, 9, 10));
+        prog.push(load(0, 3));
+        let report = verify_program("lints", &prog, 2, &cfg);
+        assert!(report.is_certified(), "{report}");
+        assert!(report.diagnostics.iter().any(|d| matches!(
+            d.kind,
+            DiagKind::DeadWrite {
+                loc: Loc::Reg { bank: 0, addr: 3 },
+                write_slot: 0,
+            }
+        )));
+        assert!(report.diagnostics.iter().any(|d| matches!(
+            &d.kind,
+            DiagKind::ReadBeforeInit { count: 1, sample } if sample
+                == &vec![Loc::Reg { bank: 1, addr: 9 }]
+        )));
+    }
+
+    #[test]
+    fn rmw_overwrite_is_not_a_dead_write() {
+        let cfg = config8();
+        let latency = cfg.latency() as usize;
+        let mut prog = vec![load(0, 3)];
+        prog.extend(nop_slots(latency - 1));
+        let mut acc = NetInstruction::nop(8);
+        acc.set_input(0, LaneSource::Stream);
+        acc.route(0, 0);
+        acc.set_write(
+            0,
+            LaneWrite {
+                addr: 3,
+                mode: WriteMode::Add,
+            },
+        );
+        prog.push(acc);
+        let report = verify_program("rmw-overwrite", &prog, 2, &cfg);
+        assert!(report.is_certified(), "{report}");
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::DeadWrite { .. })));
+    }
+
+    #[test]
+    fn width_and_address_errors() {
+        let cfg = config8();
+        let report = verify_program("width", &[NetInstruction::nop(4)], 0, &cfg);
+        assert!(report.errors().any(|d| matches!(
+            d.kind,
+            DiagKind::WidthMismatch {
+                got: 4,
+                expected: 8
+            }
+        )));
+
+        let report = verify_program("addr", &[copy(2, 64, 0)], 0, &cfg);
+        assert!(report.errors().any(|d| matches!(
+            d.kind,
+            DiagKind::AddressOutOfRange {
+                loc: Loc::Reg { bank: 2, addr: 64 },
+                depth: 64,
+            }
+        )));
+    }
+
+    #[test]
+    fn undriven_write_is_warned() {
+        let cfg = config8();
+        // A writeback on a lane whose final stage is idle commits zero.
+        let mut i = NetInstruction::nop(8);
+        i.set_write(
+            5,
+            LaneWrite {
+                addr: 0,
+                mode: WriteMode::Store,
+            },
+        );
+        let report = verify_program("undriven", &[i], 0, &cfg);
+        assert!(report.is_certified());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::UndrivenWrite { lane: 5 })));
+    }
+
+    #[test]
+    fn pressure_tracks_peak_live_values() {
+        let cfg = config8();
+        let latency = cfg.latency() as usize;
+        // Two values live simultaneously in bank 0.
+        let mut prog = vec![load(0, 1), load(0, 2)];
+        prog.extend(nop_slots(latency));
+        prog.push(copy(0, 1, 3));
+        prog.push(copy(0, 2, 4));
+        let report = verify_program("pressure", &prog, 2, &cfg);
+        assert!(report.is_certified(), "{report}");
+        assert!(report.pressure.banks[0].peak_live >= 2);
+        assert_eq!(report.pressure.banks[7].peak_live, 0);
+        assert!(report.pressure.banks[0].touched >= 4);
+        assert_eq!(report.pressure.bank_depth, 64);
+    }
+
+    #[test]
+    fn empty_program_is_trivially_certified() {
+        let report = verify_program("empty", &[], 0, &config8());
+        assert!(report.is_certified());
+        assert_eq!(report.pressure.peak_live(), 0);
+    }
+}

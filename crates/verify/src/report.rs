@@ -1,0 +1,243 @@
+//! Verification reports: the diagnostics of one analyzed program plus its
+//! register-pressure profile, and the compact [`Certificate`] summary that
+//! higher layers (solver profiles, benchmark tables) carry around.
+
+use std::fmt;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Register-pressure profile of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankPressure {
+    /// Peak number of simultaneously live values in the bank.
+    pub peak_live: usize,
+    /// First slot at which the peak is reached.
+    pub peak_slot: usize,
+    /// Distinct addresses the program touches in the bank.
+    pub touched: usize,
+}
+
+/// Register-pressure report: peak live values per bank against the
+/// configured bank depth, in the spirit of `ExecStats`' utilization
+/// counters but computed statically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PressureReport {
+    /// Per-bank profiles, indexed by bank (= lane).
+    pub banks: Vec<BankPressure>,
+    /// Configured words per bank.
+    pub bank_depth: usize,
+}
+
+impl PressureReport {
+    /// The highest per-bank peak (0 for an empty program).
+    pub fn peak_live(&self) -> usize {
+        self.banks.iter().map(|b| b.peak_live).max().unwrap_or(0)
+    }
+
+    /// Peak live values as a fraction of bank depth (0 when depth is 0).
+    pub fn occupancy(&self) -> f64 {
+        if self.bank_depth == 0 {
+            return 0.0;
+        }
+        self.peak_live() as f64 / self.bank_depth as f64
+    }
+}
+
+impl fmt::Display for PressureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "peak live {} / depth {} ({:.2}%)",
+            self.peak_live(),
+            self.bank_depth,
+            100.0 * self.occupancy()
+        )
+    }
+}
+
+/// The result of statically analyzing one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Program name (e.g. `"iteration"`).
+    pub name: String,
+    /// Issue slots analyzed.
+    pub slots: usize,
+    /// All findings, in program order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Static register-pressure profile.
+    pub pressure: PressureReport,
+}
+
+impl Report {
+    /// Number of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether the program is certified: no error-severity finding, i.e.
+    /// the machine's strict execution provably cannot reject it.
+    pub fn is_certified(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Compact summary for profiles and tables.
+    pub fn certificate(&self) -> Certificate {
+        Certificate {
+            program: self.name.clone(),
+            slots: self.slots,
+            errors: self.count(Severity::Error),
+            warnings: self.count(Severity::Warning),
+            infos: self.count(Severity::Info),
+            peak_live: self.pressure.peak_live(),
+            bank_depth: self.pressure.bank_depth,
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} slot(s), {} error(s), {} warning(s), {} info(s); {}",
+            self.name,
+            self.slots,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+            self.pressure
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A compact, cloneable summary of a [`Report`] — what a solve profile or
+/// a benchmark table records per program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Program name.
+    pub program: String,
+    /// Issue slots analyzed.
+    pub slots: usize,
+    /// Error-severity findings (0 for a certified program).
+    pub errors: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// Info-severity findings.
+    pub infos: usize,
+    /// Peak live values over all banks.
+    pub peak_live: usize,
+    /// Configured bank depth.
+    pub bank_depth: usize,
+}
+
+impl Certificate {
+    /// Whether the summarized program was certified.
+    pub fn is_certified(&self) -> bool {
+        self.errors == 0
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} slots, {}E/{}W/{}I, peak live {}/{})",
+            self.program,
+            if self.is_certified() {
+                "certified"
+            } else {
+                "REJECTED"
+            },
+            self.slots,
+            self.errors,
+            self.warnings,
+            self.infos,
+            self.peak_live,
+            self.bank_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{DiagKind, Loc};
+
+    fn report_with(diags: Vec<Diagnostic>) -> Report {
+        Report {
+            name: "t".into(),
+            slots: 3,
+            diagnostics: diags,
+            pressure: PressureReport {
+                banks: vec![
+                    BankPressure {
+                        peak_live: 2,
+                        peak_slot: 1,
+                        touched: 4,
+                    },
+                    BankPressure::default(),
+                ],
+                bank_depth: 16,
+            },
+        }
+    }
+
+    #[test]
+    fn certification_depends_on_errors_only() {
+        let clean = report_with(vec![Diagnostic::global(DiagKind::ReadBeforeInit {
+            count: 1,
+            sample: vec![Loc::Reg { bank: 0, addr: 0 }],
+        })]);
+        assert!(clean.is_certified());
+        let bad = report_with(vec![Diagnostic::global(DiagKind::StreamUnderflow {
+            consumed: 2,
+            provided: 0,
+        })]);
+        assert!(!bad.is_certified());
+        assert_eq!(bad.errors().count(), 1);
+    }
+
+    #[test]
+    fn certificate_summarizes() {
+        let r = report_with(vec![
+            Diagnostic::at_slot(
+                0,
+                DiagKind::DeadWrite {
+                    loc: Loc::Reg { bank: 1, addr: 2 },
+                    write_slot: 0,
+                },
+            ),
+            Diagnostic::global(DiagKind::ReadBeforeInit {
+                count: 2,
+                sample: vec![],
+            }),
+        ]);
+        let c = r.certificate();
+        assert_eq!((c.errors, c.warnings, c.infos), (0, 1, 1));
+        assert_eq!(c.peak_live, 2);
+        assert!(c.is_certified());
+        assert!(c.to_string().contains("certified"));
+    }
+
+    #[test]
+    fn pressure_peak_and_occupancy() {
+        let r = report_with(vec![]);
+        assert_eq!(r.pressure.peak_live(), 2);
+        assert!((r.pressure.occupancy() - 2.0 / 16.0).abs() < 1e-12);
+        assert_eq!(PressureReport::default().peak_live(), 0);
+        assert_eq!(PressureReport::default().occupancy(), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Structural lints: per-slot checks that need no dataflow — width,
+//! address ranges, undriven writebacks — plus whole-program HBM stream
+//! accounting.
+
+use std::collections::HashSet;
+
+use mib_core::instruction::{NetInstruction, WriteMode};
+use mib_core::MibConfig;
+
+use crate::diag::{DiagKind, Diagnostic, Loc};
+
+/// Runs the structural pass. Returns the diagnostics and whether any slot
+/// had a width mismatch (in which case the caller skips the dataflow pass:
+/// lane indexing is not meaningful across mixed widths, and the machine
+/// rejects the program at its first mismatching slot anyway).
+pub fn check(
+    program: &[NetInstruction],
+    hbm_words: usize,
+    config: &MibConfig,
+) -> (Vec<Diagnostic>, bool) {
+    let mut diags = Vec::new();
+    let mut width_mismatch = false;
+    let mut consumed = 0usize;
+
+    for (t, inst) in program.iter().enumerate() {
+        if inst.width() != config.width {
+            width_mismatch = true;
+            diags.push(Diagnostic::at_slot(
+                t,
+                DiagKind::WidthMismatch {
+                    got: inst.width(),
+                    expected: config.width,
+                },
+            ));
+            continue;
+        }
+        consumed += inst.stream_words();
+
+        // Address-range check over every register access (reads, RMW reads
+        // and writes share addresses, so dedupe per slot).
+        let mut flagged: HashSet<Loc> = HashSet::new();
+        let mut range = |loc: Loc, addr: usize, diags: &mut Vec<Diagnostic>| {
+            if addr >= config.bank_depth && flagged.insert(loc) {
+                diags.push(Diagnostic::at_slot(
+                    t,
+                    DiagKind::AddressOutOfRange {
+                        loc,
+                        depth: config.bank_depth,
+                    },
+                ));
+            }
+        };
+        for (lane, addr) in inst.reg_read_locs() {
+            range(Loc::Reg { bank: lane, addr }, addr, &mut diags);
+        }
+        for (lane, w) in inst.write_locs() {
+            if w.mode != WriteMode::Latch {
+                range(
+                    Loc::Reg {
+                        bank: lane,
+                        addr: w.addr,
+                    },
+                    w.addr,
+                    &mut diags,
+                );
+            }
+            if !inst.lane_driven(lane) {
+                diags.push(Diagnostic::at_slot(t, DiagKind::UndrivenWrite { lane }));
+            }
+        }
+    }
+
+    // Stream accounting: the machine consumes words positionally, so the
+    // totals must match exactly. Too few words is a runtime error
+    // (`StreamExhausted`); too many is wasted bandwidth and almost always
+    // an upstream consumption-order bug.
+    if consumed > hbm_words {
+        diags.push(Diagnostic::global(DiagKind::StreamUnderflow {
+            consumed,
+            provided: hbm_words,
+        }));
+    } else if consumed < hbm_words {
+        diags.push(Diagnostic::global(DiagKind::StreamSurplus {
+            consumed,
+            provided: hbm_words,
+        }));
+    }
+
+    (diags, width_mismatch)
+}

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .sum();
         // Risk proxy: the quadratic part of the objective.
         let risk = r.obj_val + ret / gamma;
-        let top = weights.iter().cloned().fold(0.0f64, f64::max);
+        let top = weights.iter().copied().fold(0.0f64, f64::max);
         println!(
             "{:>8.3} {:>8} {:>10.5} {:>10.5} {:>12.4}",
             gamma, r.iterations, risk, ret, top

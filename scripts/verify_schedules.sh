@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Static certification gate: run the mib-verify dataflow/structural
+# verifier over every benchmark-suite schedule (five domains, both KKT
+# variants) and fail on any error-severity finding.
+#
+# Pass --full to certify all 20 instances per domain instead of the
+# default three-instance sample.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo run --release -p mib-bench --bin verify_schedules"
+cargo run --release -p mib-bench --bin verify_schedules -- "$@"

@@ -10,6 +10,8 @@
 //! * [`core`] — the cycle-accurate Multi-Issue Butterfly machine model,
 //! * [`compiler`] — sparsity-pattern-driven network-instruction generation
 //!   and first-fit multi-issue scheduling,
+//! * [`verify`] — static dataflow verifier and lint pass certifying
+//!   compiled schedules hazard-free without executing them,
 //! * [`problems`] — the five-domain benchmark generators,
 //! * [`platforms`] — reference CPU/GPU/RSQP performance models.
 //!
@@ -24,3 +26,4 @@ pub use mib_platforms as platforms;
 pub use mib_problems as problems;
 pub use mib_qp as qp;
 pub use mib_sparse as sparse;
+pub use mib_verify as verify;
