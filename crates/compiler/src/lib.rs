@@ -47,7 +47,7 @@ pub mod spmv;
 pub mod trisolve;
 pub mod verify;
 
-pub use cache::ProgramCache;
+pub use cache::{CacheStats, ProgramCache};
 pub use kernel::{Kernel, KernelBuilder, LogicalInstr};
 pub use layout::{Allocator, Layout};
 pub use schedule::{schedule, Schedule, ScheduleOptions};

@@ -23,7 +23,9 @@
 //! identical to N sequential solves — the property the batch parity test in
 //! `tests/` pins down.
 
-use crate::{Problem, Result, Settings, SolveResult, Solver};
+use std::sync::mpsc;
+
+use crate::{Problem, QpError, Result, Settings, SolveResult, Solver};
 
 /// Per-problem parametric update applied on top of the template problem.
 ///
@@ -36,6 +38,10 @@ pub struct BatchUpdate {
     pub q: Option<Vec<f64>>,
     /// Replacement bounds `(l, u)`, or `None` to use the template's.
     pub bounds: Option<(Vec<f64>, Vec<f64>)>,
+    /// Fault injection for the panic-propagation unit test: the worker
+    /// panics right before solving this update.
+    #[cfg(test)]
+    pub(crate) panic_in_worker: bool,
 }
 
 impl BatchUpdate {
@@ -43,16 +49,35 @@ impl BatchUpdate {
     pub fn with_q(q: Vec<f64>) -> Self {
         BatchUpdate {
             q: Some(q),
-            bounds: None,
+            ..BatchUpdate::default()
         }
     }
 
     /// An update that only replaces the bounds.
     pub fn with_bounds(l: Vec<f64>, u: Vec<f64>) -> Self {
         BatchUpdate {
-            q: None,
             bounds: Some((l, u)),
+            ..BatchUpdate::default()
         }
+    }
+}
+
+/// Outcome of a panic-tolerant batch run (see
+/// [`BatchSolver::solve_batch_partial`]).
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// `results[i]` is the solution of `updates[i]`, or `None` if the
+    /// worker responsible for it panicked before completing it.
+    pub results: Vec<Option<SolveResult>>,
+    /// Captured panic messages, one per panicked worker (empty on a clean
+    /// run).
+    pub panics: Vec<String>,
+}
+
+impl BatchOutcome {
+    /// `true` when every problem completed (no worker panicked mid-chunk).
+    pub fn is_complete(&self) -> bool {
+        self.panics.is_empty() && self.results.iter().all(Option::is_some)
     }
 }
 
@@ -103,33 +128,79 @@ impl BatchSolver {
     /// # Errors
     ///
     /// Returns the first per-problem update error (e.g. a length
-    /// mismatch); problem data errors abort the batch.
+    /// mismatch); problem data errors abort the batch. A worker panic is
+    /// reported as [`QpError::WorkerPanic`] instead of unwinding through
+    /// (and aborting) the scope; use [`BatchSolver::solve_batch_partial`]
+    /// to additionally recover the surviving problems' results.
     pub fn solve_batch(&self, updates: &[BatchUpdate]) -> Result<Vec<SolveResult>> {
+        let outcome = self.solve_batch_partial(updates)?;
+        if !outcome.panics.is_empty() {
+            return Err(QpError::WorkerPanic(outcome.panics.join("; ")));
+        }
+        Ok(outcome
+            .results
+            .into_iter()
+            .map(|r| r.expect("no panic recorded, so every result is present"))
+            .collect())
+    }
+
+    /// Panic-tolerant variant of [`BatchSolver::solve_batch`]: workers
+    /// stream each completed result back as soon as it is solved, so a
+    /// panic (in this crate or in a poisoned data path) loses only the
+    /// problems the panicking worker had not finished — every other
+    /// problem's result survives, and the captured panic messages are
+    /// reported in [`BatchOutcome::panics`] instead of unwinding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-problem update error (e.g. a length
+    /// mismatch); problem data errors abort the batch.
+    pub fn solve_batch_partial(&self, updates: &[BatchUpdate]) -> Result<BatchOutcome> {
         let n = updates.len();
+        let mut outcome = BatchOutcome {
+            results: (0..n).map(|_| None).collect(),
+            panics: Vec::new(),
+        };
         if n == 0 {
-            return Ok(Vec::new());
+            return Ok(outcome);
         }
         let threads = self.num_threads.min(n);
-        if threads == 1 {
-            return run_chunk(&self.template, updates);
-        }
         let chunk_size = n.div_ceil(threads);
         let template = &self.template;
-        let mut chunk_results: Vec<Result<Vec<SolveResult>>> = Vec::with_capacity(threads);
+        let (tx, rx) = mpsc::channel::<(usize, SolveResult)>();
+        let mut first_err: Option<QpError> = None;
         std::thread::scope(|scope| {
             let handles: Vec<_> = updates
                 .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || run_chunk(template, chunk)))
+                .enumerate()
+                .map(|(ci, chunk)| {
+                    let tx = tx.clone();
+                    scope.spawn(move || run_chunk_streaming(template, chunk, ci * chunk_size, &tx))
+                })
                 .collect();
-            for handle in handles {
-                chunk_results.push(handle.join().expect("batch worker panicked"));
+            drop(tx);
+            for (ci, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                    Err(payload) => outcome
+                        .panics
+                        .push(format!("worker {ci}: {}", panic_message(payload.as_ref()))),
+                }
+            }
+            // All senders are gone; drain whatever the workers completed.
+            for (index, result) in rx {
+                outcome.results[index] = Some(result);
             }
         });
-        let mut results = Vec::with_capacity(n);
-        for chunk in chunk_results {
-            results.extend(chunk?);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(outcome),
         }
-        Ok(results)
     }
 
     /// Solves the batch on the current thread with a single cloned solver —
@@ -148,20 +219,57 @@ impl BatchSolver {
 /// re-parameterized from the template's base data so the outcome does not
 /// depend on which chunk (or order) it lands in.
 fn run_chunk(template: &Solver, chunk: &[BatchUpdate]) -> Result<Vec<SolveResult>> {
+    let (tx, rx) = mpsc::channel();
+    run_chunk_streaming(template, chunk, 0, &tx)?;
+    drop(tx);
+    let mut results: Vec<Option<SolveResult>> = (0..chunk.len()).map(|_| None).collect();
+    for (index, result) in rx {
+        results[index] = Some(result);
+    }
+    Ok(results.into_iter().map(Option::unwrap).collect())
+}
+
+/// Chunk runner that streams each result through `tx` as soon as it is
+/// solved (tagged with its global batch index), so completed work survives
+/// a later panic on the same worker.
+fn run_chunk_streaming(
+    template: &Solver,
+    chunk: &[BatchUpdate],
+    base_index: usize,
+    tx: &mpsc::Sender<(usize, SolveResult)>,
+) -> Result<()> {
     let mut solver = template.clone();
     let base = template.problem();
     let (base_q, base_l, base_u) = (base.q().to_vec(), base.l().to_vec(), base.u().to_vec());
-    let mut results = Vec::with_capacity(chunk.len());
-    for update in chunk {
+    for (offset, update) in chunk.iter().enumerate() {
+        #[cfg(test)]
+        assert!(
+            !update.panic_in_worker,
+            "injected batch worker panic (test fault injection)"
+        );
         solver.update_q(update.q.as_deref().unwrap_or(&base_q))?;
         match &update.bounds {
             Some((l, u)) => solver.update_bounds(l, u)?,
             None => solver.update_bounds(&base_l, &base_u)?,
         }
         solver.reset();
-        results.push(solver.solve());
+        // The receiver outlives the scope; a send can only fail if the
+        // parent already gave up on the batch, in which case dropping the
+        // result is the right thing to do.
+        let _ = tx.send((base_index + offset, solver.solve()));
     }
-    Ok(results)
+    Ok(())
+}
+
+/// Renders a captured panic payload (the `Any` from `JoinHandle::join`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +379,60 @@ mod tests {
                 "PCG warm-start state must not leak across problems"
             );
         }
+    }
+
+    #[test]
+    fn worker_panic_is_an_error_not_an_abort() {
+        let batch = BatchSolver::new(template_problem(), Settings::default())
+            .unwrap()
+            .with_threads(4);
+        let mut updates = q_sweep(8);
+        updates[5].panic_in_worker = true;
+        let err = batch.solve_batch(&updates).unwrap_err();
+        match err {
+            QpError::WorkerPanic(msg) => {
+                assert!(msg.contains("injected"), "unexpected message: {msg}")
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_batch_returns_survivor_results() {
+        let batch = BatchSolver::new(template_problem(), Settings::default())
+            .unwrap()
+            .with_threads(4);
+        // 8 problems on 4 threads -> chunks of 2. Poison the second problem
+        // of chunk 1 (global index 3): index 2 completes and must survive,
+        // index 3 is lost, every other chunk is untouched.
+        let mut updates = q_sweep(8);
+        updates[3].panic_in_worker = true;
+        let outcome = batch.solve_batch_partial(&updates).unwrap();
+        assert_eq!(outcome.panics.len(), 1);
+        assert!(!outcome.is_complete());
+        assert!(
+            outcome.results[3].is_none(),
+            "poisoned problem has no result"
+        );
+        let reference = batch.solve_sequential(&q_sweep(8)).unwrap();
+        for (i, r) in outcome.results.iter().enumerate() {
+            if i == 3 {
+                continue;
+            }
+            let r = r.as_ref().unwrap_or_else(|| panic!("problem {i} lost"));
+            assert_eq!(r.x, reference[i].x, "survivor {i} must match reference");
+        }
+    }
+
+    #[test]
+    fn clean_partial_batch_is_complete() {
+        let batch = BatchSolver::new(template_problem(), Settings::default())
+            .unwrap()
+            .with_threads(3);
+        let outcome = batch.solve_batch_partial(&q_sweep(7)).unwrap();
+        assert!(outcome.is_complete());
+        assert!(outcome.panics.is_empty());
+        assert_eq!(outcome.results.len(), 7);
     }
 
     #[test]

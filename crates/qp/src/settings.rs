@@ -1,3 +1,5 @@
+use std::time::Duration;
+
 use crate::{QpError, Result};
 
 /// Which linear-system backend solves the KKT system (2) — the choice
@@ -73,6 +75,19 @@ pub struct Settings {
     /// PCG iteration cap per KKT solve (default `4 * n` chosen at setup
     /// when `0`).
     pub max_pcg_iter: usize,
+    /// Wall-clock budget for one solve, measured from the start of
+    /// [`solve_into`]; `None` (the default) disables the limit. When the
+    /// budget is exhausted the solver returns [`Status::TimedOut`] at the
+    /// next interruption check instead of running to `max_iter`.
+    ///
+    /// [`solve_into`]: crate::Solver::solve_into
+    /// [`Status::TimedOut`]: crate::Status::TimedOut
+    pub time_limit: Option<Duration>,
+    /// How often (in ADMM iterations) the solver polls the cancellation
+    /// flag and the deadline (default `25`). Smaller values react faster
+    /// at the cost of one clock read per check; the checks never touch the
+    /// iterates, so they cannot perturb the solution of runs that finish.
+    pub check_interval: usize,
 }
 
 impl Default for Settings {
@@ -98,6 +113,8 @@ impl Default for Settings {
             eps_pcg_min: 1e-7,
             eps_pcg_start: 1e-4,
             max_pcg_iter: 0,
+            time_limit: None,
+            check_interval: 25,
         }
     }
 }
@@ -161,6 +178,16 @@ impl Settings {
                 "adaptive_rho_tolerance must be >= 1".into(),
             ));
         }
+        if self.check_interval == 0 {
+            return Err(QpError::InvalidSetting(
+                "check_interval must be at least 1".into(),
+            ));
+        }
+        if self.time_limit == Some(Duration::ZERO) {
+            return Err(QpError::InvalidSetting(
+                "time_limit must be positive (use None to disable)".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -197,6 +224,18 @@ mod tests {
         assert!(bad(|s| s.check_termination = 0));
         assert!(bad(|s| s.rho_max = 1e-9));
         assert!(bad(|s| s.adaptive_rho_tolerance = 0.5));
+        assert!(bad(|s| s.check_interval = 0));
+        assert!(bad(|s| s.time_limit = Some(Duration::ZERO)));
+    }
+
+    #[test]
+    fn time_limit_accepts_positive_durations() {
+        let s = Settings {
+            time_limit: Some(Duration::from_millis(5)),
+            check_interval: 1,
+            ..Settings::default()
+        };
+        s.validate().unwrap();
     }
 
     #[test]

@@ -13,6 +13,17 @@ pub enum Status {
     PrimalInfeasible,
     /// A certificate of dual infeasibility (unboundedness) was found.
     DualInfeasible,
+    /// The run hit its deadline ([`Settings::time_limit`] or an external
+    /// deadline set through [`Solver::set_deadline`]) before convergence.
+    ///
+    /// [`Settings::time_limit`]: crate::Settings::time_limit
+    /// [`Solver::set_deadline`]: crate::Solver::set_deadline
+    TimedOut,
+    /// An external cancellation flag (see [`Solver::set_cancel_flag`]) was
+    /// raised while the iteration was running.
+    ///
+    /// [`Solver::set_cancel_flag`]: crate::Solver::set_cancel_flag
+    Cancelled,
 }
 
 impl Status {
@@ -29,6 +40,8 @@ impl std::fmt::Display for Status {
             Status::MaxIterations => "maximum iterations reached",
             Status::PrimalInfeasible => "primal infeasible",
             Status::DualInfeasible => "dual infeasible",
+            Status::TimedOut => "timed out",
+            Status::Cancelled => "cancelled",
         };
         f.write_str(s)
     }
@@ -76,5 +89,9 @@ mod tests {
         assert!(!Status::MaxIterations.is_solved());
         assert_eq!(Status::Solved.to_string(), "solved");
         assert_eq!(Status::PrimalInfeasible.to_string(), "primal infeasible");
+        assert_eq!(Status::TimedOut.to_string(), "timed out");
+        assert_eq!(Status::Cancelled.to_string(), "cancelled");
+        assert!(!Status::TimedOut.is_solved());
+        assert!(!Status::Cancelled.is_solved());
     }
 }

@@ -1,0 +1,296 @@
+//! Lock-free serving metrics: atomic counters plus fixed-bucket
+//! histograms, with a text snapshot export.
+//!
+//! Every hot-path observation is a relaxed atomic increment — no locks,
+//! no allocation — so the metrics layer cannot introduce contention into
+//! the submit → queue → solve → complete pipeline it measures. The
+//! exporter ([`Metrics::render`]) produces a stable, Prometheus-flavored
+//! text snapshot (`mib_serve_*` lines) suitable for scraping or for the
+//! trace reports under `results/`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Relaxed ordering everywhere: counters are statistics, not
+/// synchronization.
+const ORD: Ordering = Ordering::Relaxed;
+
+/// Upper bucket bounds (inclusive) of the latency histograms, in
+/// microseconds; the last bucket is unbounded. Powers of four cover
+/// sub-microsecond solves up to multi-second stragglers in 11 buckets.
+pub const LATENCY_BUCKETS_US: [u64; 10] =
+    [1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144];
+
+/// Upper bucket bounds (inclusive) of the queue-depth histogram; the last
+/// bucket is unbounded.
+pub const DEPTH_BUCKETS: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
+
+/// A fixed-bucket histogram over `u64` samples (microseconds or queue
+/// depths). `B` bounded buckets plus one overflow bucket, a running sum
+/// and a count — everything atomic.
+#[derive(Debug)]
+pub struct Histogram<const B: usize> {
+    bounds: [u64; B],
+    buckets: [AtomicU64; B],
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl<const B: usize> Histogram<B> {
+    /// An empty histogram with the given inclusive upper bounds.
+    pub fn new(bounds: [u64; B]) -> Self {
+        Histogram {
+            bounds,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, value: u64) {
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, ORD),
+            None => self.overflow.fetch_add(1, ORD),
+        };
+        self.sum.fetch_add(value, ORD);
+        self.count.fetch_add(1, ORD);
+    }
+
+    /// Records a duration in microseconds (saturating).
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(ORD)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(ORD)
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Smallest bucket bound at or below which at least `q` (0..=1) of
+    /// the samples fall — an upper estimate of the q-quantile. Overflow
+    /// samples report `u64::MAX`.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(ORD);
+            if seen >= target {
+                return self.bounds[i];
+            }
+        }
+        u64::MAX
+    }
+
+    /// Appends `name_bucket{le=...}` / `_sum` / `_count` lines.
+    fn render_into(&self, name: &str, out: &mut String) {
+        let mut cumulative = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(ORD);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                self.bounds[i]
+            );
+        }
+        cumulative += self.overflow.load(ORD);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// One named atomic counter of the registry.
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Monotonic event counters of the serving pipeline.
+        #[derive(Debug, Default)]
+        pub struct Counters {
+            $($(#[$doc])* pub $name: AtomicU64,)+
+        }
+
+        impl Counters {
+            fn render_into(&self, out: &mut String) {
+                $(
+                    let _ = writeln!(
+                        out,
+                        concat!("mib_serve_", stringify!($name), "_total {}"),
+                        self.$name.load(ORD)
+                    );
+                )+
+            }
+        }
+    };
+}
+
+counters! {
+    /// Requests accepted into a shard queue.
+    submitted,
+    /// Requests that reached a terminal response.
+    completed,
+    /// Requests whose solve converged (`Status::Solved`).
+    solved,
+    /// Requests that hit the iteration limit.
+    max_iterations,
+    /// Requests whose solve detected primal/dual infeasibility.
+    infeasible,
+    /// Requests that hit their deadline inside the ADMM loop.
+    timed_out,
+    /// Requests cancelled inside the ADMM loop.
+    cancelled,
+    /// Requests whose deadline expired before the solve started.
+    expired,
+    /// Requests cancelled before the solve started.
+    cancelled_before_start,
+    /// Requests with invalid parametric data (update rejected).
+    failed,
+    /// Submissions rejected because the shard queue was full.
+    rejected_queue_full,
+    /// Submissions rejected because the server was shutting down.
+    rejected_shutdown,
+    /// Submissions routed to an already-warm pattern shard.
+    shard_hits,
+    /// Submissions (or registrations) that had to build a shard.
+    shard_misses,
+    /// Warm shards evicted by the LRU bound.
+    shard_evictions,
+    /// Solves served by an already-warm per-tenant solver.
+    warm_hits,
+    /// Solves that had to clone a tenant template first.
+    warm_builds,
+    /// Micro-batches drained by shard workers.
+    batches,
+    /// Requests served through micro-batches (sum of batch sizes).
+    batched_requests,
+}
+
+/// The serving metrics registry: counters plus latency/depth histograms.
+///
+/// Shared by reference (`Arc`) between the server, its shards and the
+/// caller; every field is individually atomic.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Event counters.
+    pub counters: Counters,
+    /// Time from submission to the start of the solve, µs.
+    pub queue_wait: Histogram<10>,
+    /// Solve (service) time, µs.
+    pub service: Histogram<10>,
+    /// End-to-end latency (submission to terminal response), µs.
+    pub e2e: Histogram<10>,
+    /// Shard queue depth observed at each enqueue.
+    pub queue_depth: Histogram<8>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            counters: Counters::default(),
+            queue_wait: Histogram::new(LATENCY_BUCKETS_US),
+            service: Histogram::new(LATENCY_BUCKETS_US),
+            e2e: Histogram::new(LATENCY_BUCKETS_US),
+            queue_depth: Histogram::new(DEPTH_BUCKETS),
+        }
+    }
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Bumps a counter by one. (Convenience for call sites holding only
+    /// the registry.)
+    pub fn inc(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, ORD);
+    }
+
+    /// Renders the whole registry as Prometheus-flavored text lines
+    /// (`mib_serve_*`). Stable ordering; suitable for golden files.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.counters.render_into(&mut out);
+        self.queue_wait
+            .render_into("mib_serve_queue_wait_micros", &mut out);
+        self.service
+            .render_into("mib_serve_service_micros", &mut out);
+        self.e2e.render_into("mib_serve_e2e_micros", &mut out);
+        self.queue_depth
+            .render_into("mib_serve_queue_depth", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h: Histogram<10> = Histogram::new(LATENCY_BUCKETS_US);
+        for v in [1u64, 3, 10, 100, 1000, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 3 + 10 + 100 + 1000 + 1_000_000);
+        // Half the samples are <= 16µs.
+        assert!(h.quantile_bound(0.5) <= 16);
+        // The overflow sample (1s) pushes the max quantile to +Inf.
+        assert_eq!(h.quantile_bound(1.0), u64::MAX);
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn duration_observation_saturates_micros() {
+        let h: Histogram<10> = Histogram::new(LATENCY_BUCKETS_US);
+        h.observe_duration(Duration::from_micros(5));
+        h.observe_duration(Duration::from_secs(10));
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn render_contains_every_counter_and_histogram() {
+        let m = Metrics::new();
+        m.inc(&m.counters.submitted);
+        m.inc(&m.counters.solved);
+        m.queue_wait.observe(3);
+        m.queue_depth.observe(1);
+        let text = m.render();
+        assert!(text.contains("mib_serve_submitted_total 1"));
+        assert!(text.contains("mib_serve_solved_total 1"));
+        assert!(text.contains("mib_serve_completed_total 0"));
+        assert!(text.contains("mib_serve_queue_wait_micros_count 1"));
+        assert!(text.contains("mib_serve_queue_depth_bucket{le=\"1\"} 1"));
+        assert!(text.contains("mib_serve_e2e_micros_bucket{le=\"+Inf\"} 0"));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h: Histogram<8> = Histogram::new(DEPTH_BUCKETS);
+        assert_eq!(h.quantile_bound(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Pattern shards: per-structure worker pools with bounded queues and a
+//! micro-batching drain loop.
+//!
+//! A shard owns every resource keyed by one [`PatternKey`]: a bounded
+//! submission queue (the backpressure boundary), a small pool of worker
+//! threads, and — inside each worker — warm per-tenant [`Solver`] clones
+//! that are re-parameterized and [`reset`](Solver::reset) per request, so
+//! steady-state serving performs no setup work and no solver allocation.
+//!
+//! # Micro-batching
+//!
+//! A worker that finds the queue non-empty takes one request, then keeps
+//! the drain open for up to the configured window (or until `max_batch`
+//! requests are in hand) before solving the whole batch back-to-back —
+//! the `BatchSolver`-style multi-solve, amortizing wakeups and keeping
+//! one warm solver hot across consecutive same-tenant requests.
+//!
+//! # Determinism
+//!
+//! Each request is fully re-parameterized from its tenant's template and
+//! solved from a reset state, so the answer is a pure function of the
+//! request — independent of which worker serves it, what that worker
+//! served before, and how requests were batched. The soak test and
+//! `serve_bench` pin this down bitwise against direct solves.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mib_qp::{QpError, SolveResult, Solver, Status};
+
+use crate::metrics::Metrics;
+use crate::pattern::PatternKey;
+use crate::request::{Outcome, Request, Response, SubmitError, TicketShared};
+
+/// A registered tenant: one template problem prepared for serving.
+///
+/// The template [`Solver`] carries the paid-for setup (equilibration,
+/// ordering, symbolic + numeric factorization); workers clone it once
+/// per tenant and keep the clone warm.
+#[derive(Debug)]
+pub(crate) struct Tenant {
+    /// Server-unique id.
+    pub id: u64,
+    /// Structural routing key.
+    pub pattern: PatternKey,
+    /// The registered base problem (source of `None`-field defaults).
+    pub problem: mib_qp::Problem,
+    /// Prepared solver prototype, cloned by workers.
+    pub template: Solver,
+}
+
+/// One accepted request waiting in (or drained from) a shard queue.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    pub tenant: Arc<Tenant>,
+    pub request: Request,
+    pub ticket: Arc<TicketShared>,
+    pub submitted_at: Instant,
+    /// Absolute deadline derived from the request's relative one.
+    pub deadline: Option<Instant>,
+}
+
+/// Per-shard knobs, copied from the server configuration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardConfig {
+    pub queue_capacity: usize,
+    pub batch_window: Duration,
+    pub max_batch: usize,
+    pub workers: usize,
+}
+
+/// Queue state guarded by the shard mutex.
+#[derive(Debug)]
+struct QueueState {
+    queue: VecDeque<Pending>,
+    /// Set by [`Shard::stop`]: drain what is queued, then exit.
+    stopping: bool,
+}
+
+/// A pattern shard: bounded queue + condvar + worker pool.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    key: PatternKey,
+    cfg: ShardConfig,
+    state: Mutex<QueueState>,
+    available: Condvar,
+    metrics: Arc<Metrics>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shard {
+    /// Creates the shard and starts its worker threads.
+    pub(crate) fn spawn(key: PatternKey, cfg: ShardConfig, metrics: Arc<Metrics>) -> Arc<Shard> {
+        let shard = Arc::new(Shard {
+            key,
+            cfg,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(cfg.queue_capacity),
+                stopping: false,
+            }),
+            available: Condvar::new(),
+            metrics,
+            workers: Mutex::new(Vec::with_capacity(cfg.workers)),
+        });
+        let mut workers = shard.workers.lock().expect("shard worker lock");
+        for w in 0..cfg.workers {
+            let me = Arc::clone(&shard);
+            let handle = std::thread::Builder::new()
+                .name(format!("mib-serve-{}-{w}", me.key))
+                .spawn(move || worker_loop(&me))
+                .expect("spawning a shard worker thread");
+            workers.push(handle);
+        }
+        drop(workers);
+        shard
+    }
+
+    /// Admission control: accepts the request into the bounded queue or
+    /// rejects it synchronously, handing the [`Pending`] back so the
+    /// caller can retry (or drop it) without cloning the request.
+    // The Err variant intentionally carries the Pending back by value:
+    // boxing it would put an allocation on the submission path.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn enqueue(&self, pending: Pending) -> Result<(), (SubmitError, Pending)> {
+        let mut st = self.state.lock().expect("shard queue lock");
+        if st.stopping {
+            return Err((SubmitError::ShuttingDown, pending));
+        }
+        if st.queue.len() >= self.cfg.queue_capacity {
+            self.metrics.inc(&self.metrics.counters.rejected_queue_full);
+            return Err((
+                SubmitError::QueueFull {
+                    depth: st.queue.len(),
+                },
+                pending,
+            ));
+        }
+        st.queue.push_back(pending);
+        let depth = st.queue.len() as u64;
+        drop(st);
+        self.metrics.inc(&self.metrics.counters.submitted);
+        self.metrics.queue_depth.observe(depth);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Tells the workers to drain the queue and exit; wakes all of them.
+    pub(crate) fn stop(&self) {
+        self.state.lock().expect("shard queue lock").stopping = true;
+        self.available.notify_all();
+    }
+
+    /// Joins every worker thread (the queue is fully drained first).
+    pub(crate) fn join(&self) {
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("shard worker lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            // A worker panic would already have poisoned nothing (workers
+            // share no locks with us beyond the queue); surface it.
+            handle.join().expect("shard worker panicked");
+        }
+    }
+
+    /// Blocks until work is available, then drains a micro-batch: one
+    /// request immediately, then up to `max_batch` within the batching
+    /// window. Returns `None` when the shard is stopping and drained.
+    fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut st = self.state.lock().expect("shard queue lock");
+        loop {
+            if !st.queue.is_empty() {
+                break;
+            }
+            if st.stopping {
+                return None;
+            }
+            st = self.available.wait(st).expect("shard queue lock");
+        }
+        let mut batch = Vec::with_capacity(self.cfg.max_batch.min(st.queue.len()));
+        while batch.len() < self.cfg.max_batch {
+            match st.queue.pop_front() {
+                Some(p) => batch.push(p),
+                None => break,
+            }
+        }
+        // Keep the drain open for the rest of the window: later arrivals
+        // coalesce into this batch instead of waking another worker.
+        if batch.len() < self.cfg.max_batch && !self.cfg.batch_window.is_zero() {
+            let window_end = Instant::now() + self.cfg.batch_window;
+            'window: while batch.len() < self.cfg.max_batch {
+                while st.queue.is_empty() {
+                    if st.stopping {
+                        break 'window;
+                    }
+                    let now = Instant::now();
+                    if now >= window_end {
+                        break 'window;
+                    }
+                    let (guard, _) = self
+                        .available
+                        .wait_timeout(st, window_end - now)
+                        .expect("shard queue lock");
+                    st = guard;
+                }
+                while batch.len() < self.cfg.max_batch {
+                    match st.queue.pop_front() {
+                        Some(p) => batch.push(p),
+                        None => break,
+                    }
+                }
+            }
+        }
+        drop(st);
+        Some(batch)
+    }
+}
+
+/// Worker thread body: drain micro-batches until the shard stops, keeping
+/// a warm solver per tenant.
+fn worker_loop(shard: &Arc<Shard>) {
+    let mut warm: HashMap<u64, Solver> = HashMap::new();
+    while let Some(batch) = shard.next_batch() {
+        let size = batch.len();
+        shard.metrics.inc(&shard.metrics.counters.batches);
+        shard
+            .metrics
+            .counters
+            .batched_requests
+            .fetch_add(size as u64, std::sync::atomic::Ordering::Relaxed);
+        for pending in batch {
+            serve_one(&shard.metrics, &mut warm, pending, size);
+        }
+    }
+}
+
+/// Serves one drained request end-to-end and fulfills its ticket.
+fn serve_one(
+    metrics: &Metrics,
+    warm: &mut HashMap<u64, Solver>,
+    pending: Pending,
+    batch_size: usize,
+) {
+    let Pending {
+        tenant,
+        request,
+        ticket,
+        submitted_at,
+        deadline,
+    } = pending;
+    let picked_up = Instant::now();
+    let queue_wait = picked_up.saturating_duration_since(submitted_at);
+    let c = &metrics.counters;
+
+    // Short-circuits: never start a solve that is already moot.
+    if ticket.is_cancelled() {
+        metrics.inc(&c.cancelled_before_start);
+        finish(
+            metrics,
+            &ticket,
+            Outcome::Cancelled,
+            queue_wait,
+            Duration::ZERO,
+            batch_size,
+            submitted_at,
+        );
+        return;
+    }
+    if deadline.is_some_and(|d| picked_up >= d) {
+        metrics.inc(&c.expired);
+        finish(
+            metrics,
+            &ticket,
+            Outcome::Expired,
+            queue_wait,
+            Duration::ZERO,
+            batch_size,
+            submitted_at,
+        );
+        return;
+    }
+
+    let solver = match warm.entry(tenant.id) {
+        Entry::Occupied(e) => {
+            metrics.inc(&c.warm_hits);
+            e.into_mut()
+        }
+        Entry::Vacant(v) => {
+            metrics.inc(&c.warm_builds);
+            v.insert(tenant.template.clone())
+        }
+    };
+
+    let outcome = match solve_request(solver, &tenant, &request, deadline, &ticket) {
+        Ok(result) => {
+            match result.status {
+                Status::Solved => metrics.inc(&c.solved),
+                Status::MaxIterations => metrics.inc(&c.max_iterations),
+                Status::PrimalInfeasible | Status::DualInfeasible => metrics.inc(&c.infeasible),
+                Status::TimedOut => metrics.inc(&c.timed_out),
+                Status::Cancelled => metrics.inc(&c.cancelled),
+            }
+            Outcome::Finished(result)
+        }
+        Err(e) => {
+            metrics.inc(&c.failed);
+            Outcome::Failed(e)
+        }
+    };
+    let service_time = picked_up.elapsed();
+    finish(
+        metrics,
+        &ticket,
+        outcome,
+        queue_wait,
+        service_time,
+        batch_size,
+        submitted_at,
+    );
+}
+
+/// Re-parameterizes the warm solver from the tenant template plus the
+/// request and solves. The sequence (update, reset, optional warm start)
+/// makes the answer a pure function of `(template, request)` — bitwise
+/// equal to a fresh clone of the template given the same updates.
+fn solve_request(
+    solver: &mut Solver,
+    tenant: &Tenant,
+    request: &Request,
+    deadline: Option<Instant>,
+    ticket: &TicketShared,
+) -> Result<SolveResult, QpError> {
+    solver.update_q(request.q.as_deref().unwrap_or(tenant.problem.q()))?;
+    match &request.bounds {
+        Some((l, u)) => solver.update_bounds(l, u)?,
+        None => solver.update_bounds(tenant.problem.l(), tenant.problem.u())?,
+    }
+    solver.reset();
+    if let Some((x, y)) = &request.warm_start {
+        if x.len() != tenant.problem.num_vars() || y.len() != tenant.problem.num_constraints() {
+            return Err(QpError::InvalidProblem(format!(
+                "warm start dimensions ({}, {}) do not match problem ({}, {})",
+                x.len(),
+                y.len(),
+                tenant.problem.num_vars(),
+                tenant.problem.num_constraints()
+            )));
+        }
+        solver.warm_start(x, y);
+    }
+    solver.set_deadline(deadline);
+    solver.set_cancel_flag(Some(ticket.cancel_flag()));
+    let result = solver.solve();
+    solver.set_cancel_flag(None);
+    solver.set_deadline(None);
+    Ok(result)
+}
+
+/// Records the terminal latency observations and fulfills the ticket.
+fn finish(
+    metrics: &Metrics,
+    ticket: &TicketShared,
+    outcome: Outcome,
+    queue_wait: Duration,
+    service_time: Duration,
+    batch_size: usize,
+    submitted_at: Instant,
+) {
+    metrics.queue_wait.observe_duration(queue_wait);
+    metrics.service.observe_duration(service_time);
+    metrics.e2e.observe_duration(submitted_at.elapsed());
+    metrics.inc(&metrics.counters.completed);
+    ticket.fulfill(Response {
+        outcome,
+        queue_wait,
+        service_time,
+        batch_size,
+    });
+}

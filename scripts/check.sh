@@ -61,4 +61,9 @@ cargo clippy --workspace --all-targets \
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> serving runtime (mib-serve tests + soak + smoke trace)"
+cargo test -p mib-serve -q
+cargo test --test serve_soak -q
+cargo run --release -q -p mib-bench --bin serve_bench -- --smoke >/dev/null
+
 echo "All checks passed."

@@ -13,7 +13,9 @@
 //! * [`verify`] — static dataflow verifier and lint pass certifying
 //!   compiled schedules hazard-free without executing them,
 //! * [`problems`] — the five-domain benchmark generators,
-//! * [`platforms`] — reference CPU/GPU/RSQP performance models.
+//! * [`platforms`] — reference CPU/GPU/RSQP performance models,
+//! * [`serve`] — the multi-tenant serving runtime (pattern-sharded warm
+//!   solver pools, micro-batching, deadlines, backpressure, metrics).
 //!
 //! Runnable entry points live in `examples/` (quickstart, portfolio
 //! backtest, closed-loop MPC, Lasso path, on-machine acceleration) and in
@@ -25,5 +27,6 @@ pub use mib_core as core;
 pub use mib_platforms as platforms;
 pub use mib_problems as problems;
 pub use mib_qp as qp;
+pub use mib_serve as serve;
 pub use mib_sparse as sparse;
 pub use mib_verify as verify;
