@@ -152,10 +152,18 @@ impl ProgramCache {
         config: MibConfig,
     ) -> Result<LoweredQp, QpError> {
         settings.validate()?;
+        let tracing = mib_trace::enabled();
         let key = cache_key(problem, settings, config);
         self.tick += 1;
         if let Some(entry) = self.entries.get_mut(&key) {
             self.hits += 1;
+            mib_trace::record_if(
+                tracing,
+                mib_trace::Event::CacheAccess {
+                    name: "program_cache",
+                    hit: true,
+                },
+            );
             entry.last_used = self.tick;
             let mut lowered = entry.lowered.clone();
             lowered.load = build_load_schedule(problem, settings, config);
@@ -164,6 +172,13 @@ impl ProgramCache {
         }
         let lowered = lower(problem, settings, config)?;
         self.misses += 1;
+        mib_trace::record_if(
+            tracing,
+            mib_trace::Event::CacheAccess {
+                name: "program_cache",
+                hit: false,
+            },
+        );
         let bytes = entry_bytes(&key, &lowered);
         self.entries.insert(
             key,

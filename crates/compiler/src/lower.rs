@@ -34,7 +34,7 @@ use mib_sparse::CsrMatrix;
 
 use crate::elementwise as ew;
 use crate::factor::{factor_kernel, plan_factor_exact};
-use crate::kernel::KernelBuilder;
+use crate::kernel::{Kernel, KernelBuilder};
 use crate::layout::{Allocator, Layout};
 use crate::permute::permute_locs;
 use crate::schedule::{Schedule, ScheduleOptions};
@@ -163,11 +163,31 @@ pub fn lower(
     settings: &Settings,
     config: MibConfig,
 ) -> Result<LoweredQp, QpError> {
+    let _lower_span = mib_trace::span("lower", mib_trace::Category::Compiler);
     settings.validate()?;
     match settings.backend {
         KktBackend::Direct => lower_direct(problem, settings, config),
         KktBackend::Indirect => lower_indirect(problem, settings, config),
     }
+}
+
+/// Schedules one named kernel under a compiler-category `schedule` span and
+/// emits the packing-quality event (issue slots vs logical instructions,
+/// forced appends) that trace reports aggregate per program.
+fn traced_schedule(name: &'static str, kernel: &Kernel, config: &MibConfig) -> Schedule {
+    let tracing = mib_trace::enabled();
+    let _span = mib_trace::span_if(tracing, "schedule", mib_trace::Category::Compiler);
+    let s = checked_schedule(kernel, ScheduleOptions::default(), config);
+    mib_trace::record_if(
+        tracing,
+        mib_trace::Event::ScheduleQuality {
+            name,
+            slots: u32::try_from(s.slots()).unwrap_or(u32::MAX),
+            logical: u32::try_from(s.logical_count).unwrap_or(u32::MAX),
+            forced_appends: u32::try_from(s.forced_appends).unwrap_or(u32::MAX),
+        },
+    );
+    s
 }
 
 struct CommonState {
@@ -286,7 +306,7 @@ pub(crate) fn build_load_schedule(
         let minv = jacobi_precond_values(problem, settings.sigma, &rho_vec);
         ew::load_vec(&mut lb, pcg.precond, &minv);
     }
-    checked_schedule(&lb.finish(), ScheduleOptions::default(), &config)
+    traced_schedule("load", &lb.finish(), &config)
 }
 
 /// Emits the one-time load of problem vectors (bounds are clamped to a
@@ -398,10 +418,14 @@ fn lower_direct(
     let p_full = symmetrize_upper(problem.p()).to_csr();
 
     // KKT analysis (same path as the reference direct backend).
-    let kkt = KktMatrix::assemble(problem.p(), problem.a(), settings.sigma, &rho_vec)?;
-    let perm = order::compute(kkt.matrix(), Ordering::MinDegree)?;
-    let permuted = perm.sym_perm_upper(kkt.matrix())?;
-    let sym = LdlSymbolic::new(&permuted)?;
+    let (perm, permuted, sym) = {
+        let _analyze = mib_trace::span("analyze", mib_trace::Category::Compiler);
+        let kkt = KktMatrix::assemble(problem.p(), problem.a(), settings.sigma, &rho_vec)?;
+        let perm = order::compute(kkt.matrix(), Ordering::MinDegree)?;
+        let permuted = perm.sym_perm_upper(kkt.matrix())?;
+        let sym = LdlSymbolic::new(&permuted)?;
+        (perm, permuted, sym)
+    };
 
     let (fl, y_scratch) = plan_factor_exact(&permuted, &sym, &mut alloc);
     let v = alloc.alloc(n + m);
@@ -412,7 +436,7 @@ fn lower_direct(
     // Setup: on-machine numeric factorization.
     let mut fb = KernelBuilder::new("factor", config.width, config.latency());
     factor_kernel(&mut fb, &permuted, &sym, &fl, y_scratch);
-    let setup = checked_schedule(&fb.finish(), ScheduleOptions::default(), &config);
+    let setup = traced_schedule("setup", &fb.finish(), &config);
 
     // Iteration program.
     let mut ib = KernelBuilder::new("iteration", config.width, config.latency());
@@ -450,12 +474,12 @@ fn lower_direct(
         .collect();
     permute_locs(&mut ib, &scatter);
     build_updates(&mut ib, &st, settings.alpha);
-    let iteration = checked_schedule(&ib.finish(), ScheduleOptions::default(), &config);
+    let iteration = traced_schedule("iteration", &ib.finish(), &config);
 
     // Check program.
     let mut cb = KernelBuilder::new("check", config.width, config.latency());
     build_check(&mut cb, &mut alloc, &st, &a_csr, &p_full);
-    let check = checked_schedule(&cb.finish(), ScheduleOptions::default(), &config);
+    let check = traced_schedule("check", &cb.finish(), &config);
 
     Ok(LoweredQp {
         config,
@@ -539,7 +563,7 @@ fn lower_indirect(
     ew::scale(&mut ib, st.t_m, st.t_m2, -1.0, WriteMode::Add);
     ew::ew_prod(&mut ib, st.t_m2, st.rho, st.nu, WriteMode::Store);
     build_updates(&mut ib, &st, settings.alpha);
-    let iteration = checked_schedule(&ib.finish(), ScheduleOptions::default(), &config);
+    let iteration = traced_schedule("iteration", &ib.finish(), &config);
 
     // PCG iteration program (Algorithm 2, lines 3-9).
     let mut pb = KernelBuilder::new("pcg", config.width, config.latency());
@@ -589,11 +613,11 @@ fn lower_indirect(
         1.0,
         WriteMode::Store,
     );
-    let pcg_iteration = checked_schedule(&pb.finish(), ScheduleOptions::default(), &config);
+    let pcg_iteration = traced_schedule("pcg", &pb.finish(), &config);
 
     let mut cb = KernelBuilder::new("check", config.width, config.latency());
     build_check(&mut cb, &mut alloc, &st, &a_csr, &p_full);
-    let check = checked_schedule(&cb.finish(), ScheduleOptions::default(), &config);
+    let check = traced_schedule("check", &cb.finish(), &config);
 
     Ok(LoweredQp {
         config,

@@ -125,6 +125,7 @@ pub type Transfer = ((usize, usize), (usize, usize));
 ///
 /// Panics if two transfers share a destination.
 pub fn permute_locs(b: &mut KernelBuilder, transfers: &[Transfer]) {
+    let _route_span = mib_trace::span("route", mib_trace::Category::Compiler);
     let width = b.width();
     {
         let mut seen = std::collections::HashSet::new();

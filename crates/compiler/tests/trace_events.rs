@@ -1,0 +1,117 @@
+//! Enabled-mode tracing tests for the compiler: lowering emits compiler
+//! spans and per-program `ScheduleQuality` events, and the program cache
+//! emits `CacheAccess` hit/miss events.
+//!
+//! Lives in its own integration-test binary: the mib-trace enable flag is
+//! process-global, and cargo runs test binaries sequentially, so enabling
+//! tracing here cannot perturb the unit tests. The single `#[test]` keeps
+//! the binary's own tests from racing each other.
+
+use mib_compiler::cache::ProgramCache;
+use mib_compiler::lower::lower;
+use mib_core::MibConfig;
+use mib_qp::{Problem, Settings};
+use mib_sparse::CscMatrix;
+use mib_trace::{Category, Event};
+
+fn small_problem(q0: f64) -> Problem {
+    let p = CscMatrix::from_dense(2, 2, &[4.0, 1.0, 0.0, 2.0])
+        .upper_triangle()
+        .unwrap();
+    let a = CscMatrix::from_dense(3, 2, &[1.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+    Problem::new(
+        p,
+        vec![q0, 1.0],
+        a,
+        vec![1.0, 0.0, 0.0],
+        vec![1.0, 0.7, 0.7],
+    )
+    .unwrap()
+}
+
+fn config() -> MibConfig {
+    MibConfig {
+        width: 8,
+        bank_depth: 1 << 14,
+        clock_hz: 1e6,
+    }
+}
+
+#[test]
+fn lowering_and_cache_emit_compiler_telemetry() {
+    mib_trace::clear();
+    mib_trace::enable();
+    let lowered = lower(&small_problem(1.0), &Settings::default(), config()).unwrap();
+    let mut cache = ProgramCache::new();
+    cache
+        .lower_cached(&small_problem(1.0), &Settings::default(), config())
+        .unwrap();
+    cache
+        .lower_cached(&small_problem(-2.0), &Settings::default(), config())
+        .unwrap();
+    mib_trace::disable();
+    let trace = mib_trace::take();
+
+    // One ScheduleQuality event per scheduled program, with the slot count
+    // matching the schedule the caller got back. The direct pipeline
+    // compiles load/setup/iteration/check (twice: plain lower + cache
+    // miss), and the cache hit regenerates one more load.
+    let quality: Vec<(&str, u32, u32, u32)> = trace
+        .records()
+        .filter_map(|r| match r.event {
+            Event::ScheduleQuality {
+                name,
+                slots,
+                logical,
+                forced_appends,
+            } => Some((name, slots, logical, forced_appends)),
+            _ => None,
+        })
+        .collect();
+    for program in ["load", "setup", "iteration", "check"] {
+        assert!(
+            quality.iter().filter(|(n, ..)| *n == program).count() >= 2,
+            "missing ScheduleQuality events for {program}: {quality:?}"
+        );
+    }
+    assert_eq!(
+        quality.iter().filter(|(n, ..)| *n == "load").count(),
+        3,
+        "two full lowerings plus one cache-hit load refresh"
+    );
+    let (_, slots, logical, forced) = *quality
+        .iter()
+        .find(|(n, ..)| *n == "iteration")
+        .expect("iteration program scheduled");
+    assert_eq!(slots as usize, lowered.iteration.slots());
+    assert_eq!(logical as usize, lowered.iteration.logical_count);
+    assert_eq!(forced as usize, lowered.iteration.forced_appends);
+
+    // Cache accesses: miss for the first pattern, hit for the re-solve.
+    let accesses: Vec<bool> = trace
+        .records()
+        .filter_map(|r| match r.event {
+            Event::CacheAccess {
+                name: "program_cache",
+                hit,
+            } => Some(hit),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(accesses, vec![false, true]);
+
+    // Compiler spans: every lowering opens `lower`, the direct pipeline
+    // opens `analyze`, and each scheduled program opens `schedule`.
+    let begins = |name: &str| {
+        trace
+            .records()
+            .filter(
+                |r| matches!(r.event, Event::Begin { name: n, cat } if n == name && cat == Category::Compiler),
+            )
+            .count()
+    };
+    assert_eq!(begins("lower"), 2, "plain lower + cache miss");
+    assert_eq!(begins("analyze"), 2);
+    assert_eq!(begins("schedule"), quality.len());
+    assert_eq!(trace.dropped(), 0);
+}

@@ -183,6 +183,55 @@ pub enum InstrKind {
     Nop,
 }
 
+impl InstrKind {
+    /// Number of variants (the length of per-kind counter arrays).
+    pub const COUNT: usize = 7;
+
+    /// Every variant, in [`InstrKind::index`] order.
+    pub const ALL: [InstrKind; InstrKind::COUNT] = [
+        InstrKind::Mac,
+        InstrKind::ColElim,
+        InstrKind::Broadcast,
+        InstrKind::Permute,
+        InstrKind::Elementwise,
+        InstrKind::Prefetch,
+        InstrKind::Nop,
+    ];
+
+    /// Dense index of the variant — the bucket used by every per-kind
+    /// counter array ([`ExecStats::slots_by_kind`], the profiling
+    /// timeline). `InstrKind::ALL[k.index()] == k` for every variant
+    /// (pinned by an exhaustive round-trip test), so adding a variant
+    /// without growing [`InstrKind::ALL`] and [`InstrKind::COUNT`] fails
+    /// to compile rather than silently mis-bucketing statistics.
+    ///
+    /// [`ExecStats::slots_by_kind`]: crate::stats::ExecStats::slots_by_kind
+    pub fn index(self) -> usize {
+        match self {
+            InstrKind::Mac => 0,
+            InstrKind::ColElim => 1,
+            InstrKind::Broadcast => 2,
+            InstrKind::Permute => 3,
+            InstrKind::Elementwise => 4,
+            InstrKind::Prefetch => 5,
+            InstrKind::Nop => 6,
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstrKind::Mac => "mac",
+            InstrKind::ColElim => "col_elim",
+            InstrKind::Broadcast => "broadcast",
+            InstrKind::Permute => "permute",
+            InstrKind::Elementwise => "elementwise",
+            InstrKind::Prefetch => "prefetch",
+            InstrKind::Nop => "nop",
+        }
+    }
+}
+
 /// One network instruction: the complete configuration of the multiplier
 /// stage, all adder stages and the writeback stage for a single issue slot.
 #[derive(Debug, Clone, PartialEq)]
@@ -587,6 +636,41 @@ impl NetInstruction {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn instr_kind_index_round_trips_exhaustively() {
+        // `ALL` enumerates every variant exactly once, in index order:
+        // a match on each element keeps this test exhaustive — adding an
+        // `InstrKind` variant fails compilation here until `ALL`, `COUNT`
+        // and `index()` are all updated together.
+        assert_eq!(InstrKind::ALL.len(), InstrKind::COUNT);
+        for (pos, kind) in InstrKind::ALL.into_iter().enumerate() {
+            match kind {
+                InstrKind::Mac
+                | InstrKind::ColElim
+                | InstrKind::Broadcast
+                | InstrKind::Permute
+                | InstrKind::Elementwise
+                | InstrKind::Prefetch
+                | InstrKind::Nop => {}
+            }
+            assert_eq!(kind.index(), pos, "{kind:?} is mis-bucketed");
+            assert_eq!(InstrKind::ALL[kind.index()], kind);
+        }
+        // Indices are dense and distinct.
+        let mut seen = [false; InstrKind::COUNT];
+        for kind in InstrKind::ALL {
+            assert!(!seen[kind.index()], "duplicate index for {kind:?}");
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Names are distinct too (they key report rows).
+        for (i, a) in InstrKind::ALL.iter().enumerate() {
+            for b in &InstrKind::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
 
     #[test]
     fn nop_is_empty() {

@@ -45,6 +45,7 @@ pub mod isa;
 pub mod machine;
 pub mod regfile;
 pub mod stats;
+pub mod timeline;
 
 pub use config::MibConfig;
 pub use error::MibError;

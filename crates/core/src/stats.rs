@@ -21,24 +21,16 @@ pub struct ExecStats {
     pub reg_reads: u64,
     /// Register writes performed (including accumulates and latches).
     pub reg_writes: u64,
-    /// Slots broken down by primitive kind, indexed by [`InstrKind`] order:
-    /// Mac, ColElim, Broadcast, Permute, Elementwise, Prefetch, Nop.
-    pub slots_by_kind: [u64; 7],
+    /// Slots broken down by primitive kind, indexed by
+    /// [`InstrKind::index`]: Mac, ColElim, Broadcast, Permute,
+    /// Elementwise, Prefetch, Nop.
+    pub slots_by_kind: [u64; InstrKind::COUNT],
 }
 
 impl ExecStats {
     /// Records a slot of the given kind.
     pub fn count_kind(&mut self, kind: InstrKind) {
-        let idx = match kind {
-            InstrKind::Mac => 0,
-            InstrKind::ColElim => 1,
-            InstrKind::Broadcast => 2,
-            InstrKind::Permute => 3,
-            InstrKind::Elementwise => 4,
-            InstrKind::Prefetch => 5,
-            InstrKind::Nop => 6,
-        };
-        self.slots_by_kind[idx] += 1;
+        self.slots_by_kind[kind.index()] += 1;
     }
 
     /// Spatial utilization: busy nodes / (cycles × total nodes).
@@ -67,7 +59,7 @@ impl ExecStats {
         self.hbm_words += other.hbm_words;
         self.reg_reads += other.reg_reads;
         self.reg_writes += other.reg_writes;
-        for i in 0..7 {
+        for i in 0..InstrKind::COUNT {
             self.slots_by_kind[i] += other.slots_by_kind[i];
         }
     }

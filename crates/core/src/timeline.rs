@@ -1,0 +1,232 @@
+//! Cycle-attributed execution timeline: where every cycle of a
+//! [`Machine::run`](crate::machine::Machine::run) went.
+//!
+//! [`ExecStats`](crate::stats::ExecStats) answers *how many* cycles a
+//! program took; the [`Timeline`] answers *why* — every cycle is
+//! attributed to exactly one bucket (the issue cycle of an instruction
+//! kind, a hazard stall charged to the stalled instruction's kind, or the
+//! final pipeline drain), so the buckets sum **exactly** to
+//! `ExecStats::cycles` (the invariant [`Timeline::total_cycles`] encodes,
+//! pinned across the whole benchmark program suite by a workspace test).
+//! Alongside the cycle attribution the timeline collects per-pipeline-
+//! stage occupancy totals and the merged HBM streaming windows.
+
+use crate::instruction::InstrKind;
+
+/// Busy-element totals per pipeline stage, summed over all issued slots.
+/// Each counter's denominator for an occupancy ratio is
+/// `slots × width` (`slots × width × log₂ width` for the adder stages).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageOccupancy {
+    /// Multiplier-stage lanes with an active input source.
+    pub multiplier_lanes: u64,
+    /// Non-idle adder-network nodes (all stages).
+    pub adder_nodes: u64,
+    /// Output-multiplier lanes actually multiplying (not bypassed).
+    pub output_mul_lanes: u64,
+    /// Lanes performing a writeback (stores, accumulates, latches).
+    pub writeback_lanes: u64,
+}
+
+impl StageOccupancy {
+    fn merge(&mut self, other: &StageOccupancy) {
+        self.multiplier_lanes += other.multiplier_lanes;
+        self.adder_nodes += other.adder_nodes;
+        self.output_mul_lanes += other.output_mul_lanes;
+        self.writeback_lanes += other.writeback_lanes;
+    }
+}
+
+/// A maximal run of consecutive issue cycles during which the HBM stream
+/// delivered words (a "streaming burst").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HbmWindow {
+    /// First issue cycle of the window.
+    pub start_cycle: u64,
+    /// One past the last issue cycle of the window.
+    pub end_cycle: u64,
+    /// Words streamed inside the window.
+    pub words: u64,
+}
+
+/// Cycle-bucketed profile of one program execution (see the module docs
+/// for the attribution rules).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Issue cycles attributed to each instruction kind
+    /// (indexed by [`InstrKind::index`]; one cycle per issued slot).
+    pub issue_cycles_by_kind: [u64; InstrKind::COUNT],
+    /// Hazard-stall cycles attributed to the kind of the instruction
+    /// that had to wait.
+    pub stall_cycles_by_kind: [u64; InstrKind::COUNT],
+    /// Final pipeline drain after the last issue (`latency` cycles, 0
+    /// for an empty program).
+    pub drain_cycles: u64,
+    /// Per-stage busy-element totals.
+    pub occupancy: StageOccupancy,
+    /// Merged HBM streaming windows, in issue order.
+    pub hbm_windows: Vec<HbmWindow>,
+}
+
+impl Timeline {
+    /// Total attributed cycles. Equals
+    /// [`ExecStats::cycles`](crate::stats::ExecStats::cycles) of the
+    /// same run, exactly: every cycle lands in exactly one bucket.
+    pub fn total_cycles(&self) -> u64 {
+        self.issue_cycles_by_kind.iter().sum::<u64>()
+            + self.stall_cycles_by_kind.iter().sum::<u64>()
+            + self.drain_cycles
+    }
+
+    /// Total hazard-stall cycles (equals `ExecStats::stall_cycles`).
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles_by_kind.iter().sum()
+    }
+
+    /// Total words streamed inside the recorded HBM windows (equals
+    /// `ExecStats::hbm_words`).
+    pub fn hbm_words(&self) -> u64 {
+        self.hbm_windows.iter().map(|w| w.words).sum()
+    }
+
+    /// Records one issued slot: an issue cycle in the kind's bucket,
+    /// `stalled` wait cycles charged to the same kind, stage occupancy,
+    /// and — when the slot streamed words — an HBM window extension.
+    pub(crate) fn record_slot(
+        &mut self,
+        kind: InstrKind,
+        issue_cycle: u64,
+        stalled: u64,
+        occupancy: &StageOccupancy,
+        hbm_words: u64,
+    ) {
+        self.issue_cycles_by_kind[kind.index()] += 1;
+        self.stall_cycles_by_kind[kind.index()] += stalled;
+        self.occupancy.merge(occupancy);
+        if hbm_words > 0 {
+            match self.hbm_windows.last_mut() {
+                // Contiguous with the previous streaming slot: extend.
+                Some(last) if last.end_cycle == issue_cycle => {
+                    last.end_cycle = issue_cycle + 1;
+                    last.words += hbm_words;
+                }
+                _ => self.hbm_windows.push(HbmWindow {
+                    start_cycle: issue_cycle,
+                    end_cycle: issue_cycle + 1,
+                    words: hbm_words,
+                }),
+            }
+        }
+    }
+
+    /// Renders a compact text table (kind, issue cycles, stall cycles),
+    /// plus occupancy and streaming-window totals.
+    pub fn report(&self, width: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let total = self.total_cycles();
+        let _ = writeln!(out, "cycle attribution ({total} total):");
+        for kind in InstrKind::ALL {
+            let issue = self.issue_cycles_by_kind[kind.index()];
+            let stall = self.stall_cycles_by_kind[kind.index()];
+            if issue == 0 && stall == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<12} {issue:>10} issue  {stall:>8} stall",
+                kind.name()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10} drain",
+            "(pipeline)", self.drain_cycles
+        );
+        let slots: u64 = self.issue_cycles_by_kind.iter().sum();
+        if slots > 0 && width > 0 {
+            let lanes = slots * width as u64;
+            let stages = lanes * width.trailing_zeros() as u64;
+            let pct = |n: u64, d: u64| {
+                #[allow(clippy::cast_precision_loss)]
+                if d == 0 {
+                    0.0
+                } else {
+                    100.0 * n as f64 / d as f64
+                }
+            };
+            let _ = writeln!(
+                out,
+                "stage occupancy: mul {:.1}%  adders {:.1}%  out-mul {:.1}%  writeback {:.1}%",
+                pct(self.occupancy.multiplier_lanes, lanes),
+                pct(self.occupancy.adder_nodes, stages),
+                pct(self.occupancy.output_mul_lanes, lanes),
+                pct(self.occupancy.writeback_lanes, lanes),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "hbm: {} window(s), {} words",
+            self.hbm_windows.len(),
+            self.hbm_words()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_sums_and_window_merging() {
+        let mut tl = Timeline::default();
+        let occ = StageOccupancy {
+            multiplier_lanes: 4,
+            adder_nodes: 6,
+            output_mul_lanes: 0,
+            writeback_lanes: 1,
+        };
+        tl.record_slot(InstrKind::Mac, 0, 0, &occ, 8);
+        tl.record_slot(InstrKind::Mac, 1, 0, &occ, 8);
+        // A stalled Permute: issued at cycle 5 after 3 wait cycles.
+        tl.record_slot(InstrKind::Permute, 5, 3, &occ, 0);
+        tl.record_slot(InstrKind::Prefetch, 6, 0, &occ, 2);
+        tl.drain_cycles = 5;
+
+        assert_eq!(tl.issue_cycles_by_kind[InstrKind::Mac.index()], 2);
+        assert_eq!(tl.stall_cycles(), 3);
+        assert_eq!(tl.total_cycles(), 4 + 3 + 5);
+        // Slots 0 and 1 merged into one window; slot 6 starts a new one.
+        assert_eq!(
+            tl.hbm_windows,
+            vec![
+                HbmWindow {
+                    start_cycle: 0,
+                    end_cycle: 2,
+                    words: 16
+                },
+                HbmWindow {
+                    start_cycle: 6,
+                    end_cycle: 7,
+                    words: 2
+                },
+            ]
+        );
+        assert_eq!(tl.hbm_words(), 18);
+        assert_eq!(tl.occupancy.multiplier_lanes, 16);
+
+        let report = tl.report(8);
+        assert!(report.contains("12 total"), "{report}");
+        assert!(report.contains("mac"), "{report}");
+        assert!(report.contains("2 window(s), 18 words"), "{report}");
+    }
+
+    #[test]
+    fn empty_timeline_is_zero() {
+        let tl = Timeline::default();
+        assert_eq!(tl.total_cycles(), 0);
+        assert_eq!(tl.hbm_words(), 0);
+        assert!(tl.report(8).contains("0 total"));
+    }
+}

@@ -49,6 +49,7 @@ pub mod profile;
 pub mod scaling;
 mod settings;
 mod solver;
+pub mod telemetry;
 mod types;
 mod workspace;
 
@@ -58,6 +59,7 @@ pub use problem::Problem;
 pub use profile::Certification;
 pub use settings::{KktBackend, Settings};
 pub use solver::Solver;
+pub use telemetry::SolveTrace;
 pub use types::{SolveResult, Status};
 pub use workspace::SolveWorkspace;
 

@@ -94,9 +94,18 @@ impl DirectKkt {
         rho_vec: &[f64],
         profile: &mut Profile,
     ) -> Result<Self> {
-        let kkt = KktMatrix::assemble(p, a, sigma, rho_vec)?;
-        let ldl = LdlSolver::new(kkt.matrix(), Ordering::MinDegree)
-            .map_err(|e| QpError::KktFactorization(e.to_string()))?;
+        let tracing = mib_trace::enabled();
+        let kkt = {
+            // KKT pattern assembly: the symbolic (structure-only) phase.
+            let _symbolic = mib_trace::span_if(tracing, "symbolic", mib_trace::Category::Kkt);
+            KktMatrix::assemble(p, a, sigma, rho_vec)?
+        };
+        let ldl = {
+            // Ordering + elimination-tree analysis + numeric LDLᵀ.
+            let _factor = mib_trace::span_if(tracing, "factor", mib_trace::Category::Kkt);
+            LdlSolver::new(kkt.matrix(), Ordering::MinDegree)
+                .map_err(|e| QpError::KktFactorization(e.to_string()))?
+        };
         profile.add_factor(ldl.factor().flops() as f64);
         Ok(DirectKkt { kkt, ldl })
     }
@@ -144,6 +153,7 @@ impl KktSolver for DirectKkt {
     }
 
     fn update_rho(&mut self, rho_vec: &[f64], profile: &mut Profile) -> Result<()> {
+        let _refactor = mib_trace::span("refactor", mib_trace::Category::Kkt);
         self.kkt.update_rho(rho_vec);
         self.ldl
             .update_values(self.kkt.matrix())

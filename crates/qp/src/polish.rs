@@ -44,6 +44,7 @@ pub enum PolishStatus {
 /// Propagates sparse-algebra structural errors only; numerical failure is
 /// reported through [`PolishStatus`].
 pub fn polish(problem: &Problem, result: &mut SolveResult) -> Result<PolishStatus> {
+    let _polish_span = mib_trace::span("polish", mib_trace::Category::Solver);
     let n = problem.num_vars();
     let m = problem.num_constraints();
     let delta = 1e-7;

@@ -212,6 +212,30 @@ mod tests {
     }
 
     #[test]
+    fn zero_total_fractions_produce_no_nans() {
+        // A freshly constructed profile (or a solve that did no work) must
+        // report all-zero fractions, never NaN — reports divide by total().
+        let zero = OpCounts::default();
+        assert_eq!(zero.total(), 0.0);
+        let fr = zero.fractions();
+        assert_eq!(fr, [0.0; 4]);
+        assert!(fr.iter().all(|f| f.is_finite()), "fractions must be finite");
+        // Negative-zero components must behave identically.
+        let negz = OpCounts {
+            mac: -0.0,
+            permute: -0.0,
+            col_elim: -0.0,
+            elementwise: -0.0,
+        };
+        let fr = negz.fractions();
+        assert!(fr.iter().all(|f| !f.is_nan()), "got NaN from -0.0 totals");
+        assert_eq!(fr, [0.0; 4]);
+        // And the full-profile path that reports consume.
+        let p = Profile::default();
+        assert!(p.ops.fractions().iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
     fn add_accumulates() {
         let a = OpCounts {
             mac: 1.0,

@@ -3,6 +3,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mib_sparse::vector;
+use mib_trace::{Category as TraceCat, Event as TraceEvent};
 
 use crate::linsys::{DirectKkt, IndirectKkt, KktSolver};
 use crate::profile::Profile;
@@ -106,7 +107,9 @@ impl Solver {
         let mut a = problem.a().clone();
         let mut l = problem.l().to_vec();
         let mut u = problem.u().to_vec();
+        let tracing = mib_trace::enabled();
         let scaling = if settings.scaling_iters > 0 {
+            let _scaling_span = mib_trace::span_if(tracing, "scaling", TraceCat::Solver);
             ruiz_equilibrate(
                 &mut p,
                 &mut q,
@@ -122,6 +125,7 @@ impl Solver {
         let (rho_vec, rho_inv_vec) = build_rho_vec(&settings, settings.rho, &l, &u);
 
         let mut profile = Profile::default();
+        let kkt_setup_span = mib_trace::span_if(tracing, "kkt_setup", TraceCat::Kkt);
         let kkt: Box<dyn KktSolver> = match settings.backend {
             KktBackend::Direct => Box::new(DirectKkt::new(
                 &p,
@@ -140,6 +144,7 @@ impl Solver {
                 settings.max_pcg_iter,
             )),
         };
+        drop(kkt_setup_span);
 
         // `p`/`a` move into nothing — the backends clone what they need; we
         // keep the scaled P/A inside the backend only, and original copies
@@ -368,6 +373,11 @@ impl Solver {
     /// test pins down. (Infeasible exits clone the certificate vector.)
     pub fn solve_into(&mut self, result: &mut SolveResult) {
         let start = Instant::now();
+        // The solve's only read of the tracing flag: spans and events below
+        // are gated on this hoisted bool, so the disabled-mode cost of the
+        // whole instrumented solve is this one relaxed atomic load.
+        let tracing = mib_trace::enabled();
+        let _solve_span = mib_trace::span_if(tracing, "solve", TraceCat::Solver);
         // Keep setup factorization work, reset per-solve counters.
         let mut prof = self.profile;
         prof.admm_iters = 0;
@@ -402,18 +412,29 @@ impl Solver {
         let mut pcg_tol = self.settings.eps_pcg_start;
         let mut final_res: Option<Residuals> = None;
         let mut iterations = 0usize;
+        // Telemetry deltas: KKT time and PCG iterations since the last
+        // per-iteration record (both stay untouched when tracing is off).
+        let mut kkt_ns_total: u64 = 0;
+        let mut kkt_ns_reported: u64 = 0;
+        let mut pcg_reported = prof.pcg_iters;
 
         // A request may arrive already cancelled or past its deadline.
         if let Some(s) = self.interruption(deadline) {
             status = s;
         }
+        let admm_span = mib_trace::span_if(tracing, "admm_loop", TraceCat::Solver);
         for k in 1..=max_iter {
             if status != Status::MaxIterations {
                 break;
             }
             iterations = k;
             self.stage_rhs(&mut prof);
-            if self.kkt.solve(&mut self.ws, &mut prof).is_err() {
+            let kkt_start = if tracing { Some(Instant::now()) } else { None };
+            let kkt_failed = self.kkt.solve(&mut self.ws, &mut prof).is_err();
+            if let Some(t0) = kkt_start {
+                kkt_ns_total += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
+            if kkt_failed {
                 // Factorization failures cannot occur mid-run (pattern and
                 // quasi-definiteness are fixed); treat defensively as a stall.
                 break;
@@ -427,6 +448,26 @@ impl Solver {
             if checking {
                 let res = self.stage_residuals(&mut prof);
                 final_res = Some(res);
+                if tracing {
+                    // `res.prim`/`res.dual` are the exact values a
+                    // terminating check writes into the result, so the
+                    // last Iteration event matches the returned
+                    // `SolveResult` residuals bitwise.
+                    mib_trace::record_if(
+                        true,
+                        TraceEvent::Iteration {
+                            iter: u32::try_from(k).unwrap_or(u32::MAX),
+                            prim_res: res.prim,
+                            dual_res: res.dual,
+                            rho: self.rho,
+                            pcg_iters: u32::try_from(prof.pcg_iters - pcg_reported)
+                                .unwrap_or(u32::MAX),
+                            kkt_ns: kkt_ns_total - kkt_ns_reported,
+                        },
+                    );
+                    pcg_reported = prof.pcg_iters;
+                    kkt_ns_reported = kkt_ns_total;
+                }
                 let eps_prim = self.settings.eps_abs + self.settings.eps_rel * res.prim_norm;
                 let eps_dual = self.settings.eps_abs + self.settings.eps_rel * res.dual_norm;
                 if res.prim < eps_prim && res.dual < eps_dual {
@@ -456,8 +497,19 @@ impl Solver {
                     self.kkt.set_tolerance(pcg_tol);
                 }
                 if self.settings.adaptive_rho && k % adapt_every == 0 {
+                    let rho_before = self.rho;
                     let res = self.stage_adaptive_rho(res, &mut prof);
                     final_res = Some(res);
+                    if tracing && self.rho.to_bits() != rho_before.to_bits() {
+                        mib_trace::record_if(
+                            true,
+                            TraceEvent::RhoUpdate {
+                                iter: u32::try_from(k).unwrap_or(u32::MAX),
+                                rho_old: rho_before,
+                                rho_new: self.rho,
+                            },
+                        );
+                    }
                 }
             }
             // Interruption boundary: cancellation and deadline polls live
@@ -472,6 +524,7 @@ impl Solver {
             }
             prof.admm_iters = k;
         }
+        drop(admm_span);
 
         // Unscale the solution directly into the result buffers.
         self.scaling.unscale_x_into(&self.x, &mut result.x);

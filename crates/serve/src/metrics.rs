@@ -56,7 +56,17 @@ impl<const B: usize> Histogram<B> {
             Some(i) => self.buckets[i].fetch_add(1, ORD),
             None => self.overflow.fetch_add(1, ORD),
         };
-        self.sum.fetch_add(value, ORD);
+        // The running sum saturates instead of wrapping: long-lived servers
+        // feeding u64::MAX-saturated duration samples must never wrap the
+        // sum back to a small value and report a bogus mean.
+        let mut cur = self.sum.load(ORD);
+        loop {
+            let next = cur.saturating_add(value);
+            match self.sum.compare_exchange_weak(cur, next, ORD, ORD) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
         self.count.fetch_add(1, ORD);
     }
 
@@ -93,7 +103,9 @@ impl<const B: usize> Histogram<B> {
         if total == 0 {
             return 0;
         }
-        let target = (q * total as f64).ceil() as u64;
+        // At least one sample must be covered: q = 0.0 reports the bucket
+        // of the minimum sample, not the first (possibly empty) bound.
+        let target = ((q * total as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(ORD);
@@ -240,6 +252,24 @@ impl Metrics {
         self.e2e.render_into("mib_serve_e2e_micros", &mut out);
         self.queue_depth
             .render_into("mib_serve_queue_depth", &mut out);
+        // Derived latency breakdown: where the end-to-end time goes
+        // (queueing vs solving), as mean/p50/p99 summaries of the same
+        // histograms — the text-report companion to the per-request
+        // `request`/`solve_request` trace spans.
+        for (name, h) in [
+            ("queue_wait", &self.queue_wait),
+            ("service", &self.service),
+            ("e2e", &self.e2e),
+        ] {
+            let _ = writeln!(out, "mib_serve_{name}_micros_mean {:.3}", h.mean());
+            for (label, q) in [("p50", 0.5), ("p99", 0.99)] {
+                let _ = writeln!(
+                    out,
+                    "mib_serve_{name}_micros_{label} {}",
+                    h.quantile_bound(q)
+                );
+            }
+        }
         out
     }
 }
@@ -292,5 +322,67 @@ mod tests {
         let h: Histogram<8> = Histogram::new(DEPTH_BUCKETS);
         assert_eq!(h.quantile_bound(0.99), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h: Histogram<8> = Histogram::new(DEPTH_BUCKETS);
+        // Empty: every quantile is 0, including the extremes.
+        assert_eq!(h.quantile_bound(0.0), 0);
+        assert_eq!(h.quantile_bound(1.0), 0);
+        // One sample in the third bucket (value 2): q = 0.0 must cover at
+        // least that sample, not report the empty first bound.
+        h.observe(2);
+        assert_eq!(h.quantile_bound(0.0), 2);
+        assert_eq!(h.quantile_bound(0.5), 2);
+        assert_eq!(h.quantile_bound(1.0), 2);
+    }
+
+    #[test]
+    fn quantile_of_values_exactly_on_bucket_bounds() {
+        // Bounds are inclusive: a sample equal to a bound lands in that
+        // bucket, and the quantile reports the bound itself.
+        let h: Histogram<8> = Histogram::new(DEPTH_BUCKETS);
+        for &b in &DEPTH_BUCKETS {
+            h.observe(b);
+        }
+        assert_eq!(h.count(), DEPTH_BUCKETS.len() as u64);
+        assert_eq!(h.quantile_bound(0.0), 0);
+        // 4 of 8 samples are <= 2 (bounds 0, 1, 2 plus... 0,1,2 are three);
+        // the 0.5 quantile needs ceil(4) samples: bounds 0,1,2,4 → 4.
+        assert_eq!(h.quantile_bound(0.5), 4);
+        assert_eq!(h.quantile_bound(1.0), *DEPTH_BUCKETS.last().unwrap());
+        // One more sample beyond every bound overflows: max quantile
+        // becomes u64::MAX.
+        h.observe(DEPTH_BUCKETS.last().unwrap() + 1);
+        assert_eq!(h.quantile_bound(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h: Histogram<10> = Histogram::new(LATENCY_BUCKETS_US);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        h.observe(17);
+        assert_eq!(h.sum(), u64::MAX, "sum must saturate, not wrap");
+        assert_eq!(h.count(), 3);
+        // The mean of a saturated sum is still a sane (huge) number.
+        assert!(h.mean() > 0.0);
+        assert!(h.mean().is_finite());
+    }
+
+    #[test]
+    fn render_includes_latency_breakdown() {
+        let m = Metrics::new();
+        for v in [10u64, 20, 30] {
+            m.queue_wait.observe(v);
+            m.service.observe(v * 10);
+            m.e2e.observe(v * 11);
+        }
+        let text = m.render();
+        assert!(text.contains("mib_serve_queue_wait_micros_mean 20.000"));
+        assert!(text.contains("mib_serve_queue_wait_micros_p50 "));
+        assert!(text.contains("mib_serve_service_micros_p99 "));
+        assert!(text.contains("mib_serve_e2e_micros_mean "));
     }
 }

@@ -143,6 +143,9 @@ impl Shard {
         drop(st);
         self.metrics.inc(&self.metrics.counters.submitted);
         self.metrics.queue_depth.observe(depth);
+        // The submit instant, with the observed depth: a trace viewer pairs
+        // this with the worker-side `request` span to see the queue wait.
+        mib_trace::mark("submit", mib_trace::Category::Serve, depth as f64);
         self.available.notify_one();
         Ok(())
     }
@@ -233,6 +236,16 @@ fn worker_loop(shard: &Arc<Shard>) {
             .counters
             .batched_requests
             .fetch_add(size as u64, std::sync::atomic::Ordering::Relaxed);
+        let tracing = mib_trace::enabled();
+        let _batch_span = mib_trace::span_if(tracing, "batch", mib_trace::Category::Serve);
+        mib_trace::record_if(
+            tracing,
+            mib_trace::Event::Mark {
+                name: "batch_size",
+                cat: mib_trace::Category::Serve,
+                value: size as f64,
+            },
+        );
         for pending in batch {
             serve_one(&shard.metrics, &mut warm, pending, size);
         }
@@ -256,6 +269,19 @@ fn serve_one(
     let picked_up = Instant::now();
     let queue_wait = picked_up.saturating_duration_since(submitted_at);
     let c = &metrics.counters;
+    // Request lifecycle span: nests under the worker's `batch` span and
+    // encloses the solver's own `solve` span. The queue wait already
+    // elapsed before this span opened, so it is attached as a mark.
+    let tracing = mib_trace::enabled();
+    let _request_span = mib_trace::span_if(tracing, "request", mib_trace::Category::Serve);
+    mib_trace::record_if(
+        tracing,
+        mib_trace::Event::Mark {
+            name: "queue_wait_us",
+            cat: mib_trace::Category::Serve,
+            value: queue_wait.as_secs_f64() * 1e6,
+        },
+    );
 
     // Short-circuits: never start a solve that is already moot.
     if ticket.is_cancelled() {
@@ -296,6 +322,7 @@ fn serve_one(
         }
     };
 
+    let solve_span = mib_trace::span_if(tracing, "solve_request", mib_trace::Category::Serve);
     let outcome = match solve_request(solver, &tenant, &request, deadline, &ticket) {
         Ok(result) => {
             match result.status {
@@ -312,6 +339,7 @@ fn serve_one(
             Outcome::Failed(e)
         }
     };
+    drop(solve_span);
     let service_time = picked_up.elapsed();
     finish(
         metrics,

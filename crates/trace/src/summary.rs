@@ -1,0 +1,260 @@
+//! Text summary exporter: aggregates spans and point events into a
+//! terminal-friendly report.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::event::Event;
+use crate::Trace;
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Default)]
+struct ScheduleAgg {
+    count: u64,
+    slots: u64,
+    logical: u64,
+    forced_appends: u64,
+}
+
+/// Renders a human-readable summary: per-span wall-time aggregates
+/// (matched `Begin`/`End` pairs, grouped by category and name), solver
+/// iteration/ρ tallies, compiler cache and schedule-quality tallies.
+/// Rows are sorted by name, so the layout is deterministic even though
+/// the durations are not.
+pub fn summarize(trace: &Trace) -> String {
+    let mut spans: BTreeMap<(&str, &str), SpanAgg> = BTreeMap::new();
+    let mut schedules: BTreeMap<&str, ScheduleAgg> = BTreeMap::new();
+    let mut iterations: u64 = 0;
+    let mut pcg_iters: u64 = 0;
+    let mut kkt_ns: u64 = 0;
+    let mut rho_updates: u64 = 0;
+    let mut cache_hits: u64 = 0;
+    let mut cache_misses: u64 = 0;
+    let mut marks: u64 = 0;
+    let mut unmatched: u64 = 0;
+
+    for thread in &trace.threads {
+        // Open spans on this thread: (span id, begin timestamp).
+        let mut open: Vec<(u64, u64)> = Vec::new();
+        for record in &thread.records {
+            match record.event {
+                Event::Begin { .. } => open.push((record.span, record.ts_ns)),
+                Event::End { name, cat } => {
+                    // Spans nest per thread, so a well-formed trace ends
+                    // the innermost open span; a drained-mid-span trace
+                    // may not — count those instead of guessing.
+                    if open.last().is_some_and(|&(id, _)| id == record.span) {
+                        let (_, begin_ts) = open.pop().expect("guarded by last()");
+                        let agg = spans.entry((cat.as_str(), name)).or_default();
+                        agg.count += 1;
+                        let dur = record.ts_ns.saturating_sub(begin_ts);
+                        agg.total_ns += dur;
+                        agg.max_ns = agg.max_ns.max(dur);
+                    } else {
+                        unmatched += 1;
+                    }
+                }
+                Event::Iteration {
+                    pcg_iters: pcg,
+                    kkt_ns: kkt,
+                    ..
+                } => {
+                    iterations += 1;
+                    pcg_iters += u64::from(pcg);
+                    kkt_ns += kkt;
+                }
+                Event::RhoUpdate { .. } => rho_updates += 1,
+                Event::CacheAccess { hit, .. } => {
+                    if hit {
+                        cache_hits += 1;
+                    } else {
+                        cache_misses += 1;
+                    }
+                }
+                Event::ScheduleQuality {
+                    name,
+                    slots,
+                    logical,
+                    forced_appends,
+                } => {
+                    let agg = schedules.entry(name).or_default();
+                    agg.count += 1;
+                    agg.slots += u64::from(slots);
+                    agg.logical += u64::from(logical);
+                    agg.forced_appends += u64::from(forced_appends);
+                }
+                Event::Mark { .. } => marks += 1,
+            }
+        }
+        unmatched += open.len() as u64;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace summary: {} records on {} thread(s), {} dropped",
+        trace.len(),
+        trace.threads.len(),
+        trace.dropped()
+    );
+    if !spans.is_empty() {
+        out.push_str("\nspans (category/name, count, total, max):\n");
+        for ((cat, name), agg) in &spans {
+            let _ = writeln!(
+                out,
+                "  {cat:>8}/{name:<20} {:>6}  {:>12}  {:>12}",
+                agg.count,
+                fmt_ns(agg.total_ns),
+                fmt_ns(agg.max_ns)
+            );
+        }
+    }
+    if iterations > 0 || rho_updates > 0 {
+        out.push_str("\nsolver:\n");
+        let _ = writeln!(
+            out,
+            "  iteration records {iterations}, pcg iterations {pcg_iters}, kkt time {}, rho updates {rho_updates}",
+            fmt_ns(kkt_ns)
+        );
+    }
+    if cache_hits + cache_misses > 0 {
+        let _ = writeln!(
+            out,
+            "\ncompiler cache: {cache_hits} hit(s), {cache_misses} miss(es)"
+        );
+    }
+    if !schedules.is_empty() {
+        out.push_str("\nschedules (program, count, slots, logical, forced appends):\n");
+        for (name, agg) in &schedules {
+            let _ = writeln!(
+                out,
+                "  {name:<12} {:>4}  {:>8}  {:>8}  {:>4}",
+                agg.count, agg.slots, agg.logical, agg.forced_appends
+            );
+        }
+    }
+    if marks > 0 {
+        let _ = writeln!(out, "\nmarks: {marks}");
+    }
+    if unmatched > 0 {
+        let _ = writeln!(out, "\nunmatched span boundaries: {unmatched}");
+    }
+    out
+}
+
+/// Formats nanoseconds with a readable unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        #[allow(clippy::cast_precision_loss)]
+        let s = ns as f64 / 1e9;
+        format!("{s:.3}s")
+    } else if ns >= 1_000_000 {
+        #[allow(clippy::cast_precision_loss)]
+        let ms = ns as f64 / 1e6;
+        format!("{ms:.3}ms")
+    } else if ns >= 1_000 {
+        #[allow(clippy::cast_precision_loss)]
+        let us = ns as f64 / 1e3;
+        format!("{us:.3}us")
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, Record};
+    use crate::ThreadTrace;
+
+    #[test]
+    fn summarizes_spans_and_events() {
+        let records = vec![
+            Record {
+                ts_ns: 100,
+                span: 1,
+                event: Event::Begin {
+                    name: "solve",
+                    cat: Category::Solver,
+                },
+            },
+            Record {
+                ts_ns: 200,
+                span: 1,
+                event: Event::Iteration {
+                    iter: 25,
+                    prim_res: 1.0,
+                    dual_res: 2.0,
+                    rho: 0.1,
+                    pcg_iters: 5,
+                    kkt_ns: 1000,
+                },
+            },
+            Record {
+                ts_ns: 300,
+                span: 1,
+                event: Event::CacheAccess {
+                    name: "program_cache",
+                    hit: true,
+                },
+            },
+            Record {
+                ts_ns: 2600,
+                span: 1,
+                event: Event::End {
+                    name: "solve",
+                    cat: Category::Solver,
+                },
+            },
+        ];
+        let trace = Trace {
+            threads: vec![ThreadTrace {
+                tid: 1,
+                name: "main".into(),
+                records,
+                dropped: 0,
+            }],
+        };
+        let s = summarize(&trace);
+        assert!(s.contains("4 records"), "{s}");
+        assert!(s.contains("solver/solve"), "{s}");
+        assert!(s.contains("2.500us"), "{s}");
+        assert!(s.contains("iteration records 1"), "{s}");
+        assert!(s.contains("1 hit(s), 0 miss(es)"), "{s}");
+    }
+
+    #[test]
+    fn counts_unmatched_boundaries() {
+        let records = vec![Record {
+            ts_ns: 100,
+            span: 7,
+            event: Event::Begin {
+                name: "dangling",
+                cat: Category::Other,
+            },
+        }];
+        let trace = Trace {
+            threads: vec![ThreadTrace {
+                tid: 1,
+                name: "main".into(),
+                records,
+                dropped: 0,
+            }],
+        };
+        assert!(summarize(&trace).contains("unmatched span boundaries: 1"));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.500us");
+        assert_eq!(fmt_ns(2_000_000), "2.000ms");
+        assert_eq!(fmt_ns(3_500_000_000), "3.500s");
+    }
+}

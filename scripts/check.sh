@@ -66,4 +66,10 @@ cargo test -p mib-serve -q
 cargo test --test serve_soak -q
 cargo run --release -q -p mib-bench --bin serve_bench -- --smoke >/dev/null
 
+echo "==> tracing (enabled-mode pipeline + cycle attribution + zero-alloc guard)"
+cargo test --test trace_pipeline -q
+cargo test --test timeline_attribution -q
+cargo test --test zero_alloc -q
+cargo run --release -q -p mib-bench --bin trace_report -- --smoke >/dev/null
+
 echo "All checks passed."

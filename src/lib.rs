@@ -29,4 +29,5 @@ pub use mib_problems as problems;
 pub use mib_qp as qp;
 pub use mib_serve as serve;
 pub use mib_sparse as sparse;
+pub use mib_trace as trace;
 pub use mib_verify as verify;

@@ -1,0 +1,89 @@
+//! Cycle-attribution identity over the verify_schedules program set.
+//!
+//! [`Machine::run_with_timeline`] attributes every cycle of a run to an
+//! instruction kind (issue or stall) or the final pipeline drain. This
+//! test replays the same program set `scripts/verify_schedules.sh`
+//! certifies — sampled benchmark instances of the five domains, both
+//! KKT backends, all five programs — and checks the identity
+//! `Timeline::total_cycles() == ExecStats::cycles` exactly, program by
+//! program, plus the per-field consistency (slots, stalls, HBM words).
+//!
+//! Debug-mode lowering re-verifies every schedule, so the default run
+//! samples one instance per domain (40 programs); set
+//! `MIB_TIMELINE_FULL=1` to replay verify_schedules' full default sample
+//! (120 programs) — `scripts/trace_demo.sh` does, in release mode.
+
+use mib::compiler::lower::lower;
+use mib::core::hbm::HbmStream;
+use mib::core::machine::{HazardPolicy, Machine};
+use mib::core::MibConfig;
+use mib::problems::{instance, Domain, INSTANCES_PER_DOMAIN};
+use mib::qp::{KktBackend, Settings};
+
+#[test]
+fn timeline_buckets_sum_to_exec_cycles_across_verify_schedules_set() {
+    let config = MibConfig::c32();
+    // The verify_schedules default sample: first, middle, last instance of
+    // each domain (first only unless MIB_TIMELINE_FULL is set).
+    let full = std::env::var_os("MIB_TIMELINE_FULL").is_some();
+    let indices: &[usize] = if full {
+        &[0, 9, INSTANCES_PER_DOMAIN - 1]
+    } else {
+        &[0]
+    };
+    let mut programs_checked = 0usize;
+    for domain in Domain::all() {
+        for &index in indices {
+            let inst = instance(domain, index);
+            for backend in [KktBackend::Direct, KktBackend::Indirect] {
+                let settings = Settings::with_backend(backend);
+                let lowered =
+                    lower(&inst.problem, &settings, config).expect("benchmark instance lowers");
+                let mut m = Machine::new(config);
+                for (name, s) in [
+                    ("load", &lowered.load),
+                    ("setup", &lowered.setup),
+                    ("iteration", &lowered.iteration),
+                    ("pcg", &lowered.pcg_iteration),
+                    ("check", &lowered.check),
+                ] {
+                    if s.program.is_empty() {
+                        continue;
+                    }
+                    let label = format!("{domain}[{index}]/{backend:?}/{name}");
+                    let mut hbm = HbmStream::new(s.hbm.clone());
+                    let (stats, tl) = m
+                        .run_with_timeline(&s.program, &mut hbm, HazardPolicy::Strict)
+                        .unwrap_or_else(|e| panic!("{label}: {e}"));
+                    assert_eq!(
+                        tl.total_cycles(),
+                        stats.cycles,
+                        "{label}: timeline buckets must sum exactly to the cycle count"
+                    );
+                    assert_eq!(
+                        tl.issue_cycles_by_kind.iter().sum::<u64>(),
+                        stats.slots,
+                        "{label}: one issue cycle per slot"
+                    );
+                    assert_eq!(
+                        tl.stall_cycles(),
+                        stats.stall_cycles,
+                        "{label}: stall attribution must match the machine's total"
+                    );
+                    assert_eq!(
+                        tl.hbm_words(),
+                        stats.hbm_words,
+                        "{label}: HBM windows must cover every streamed word"
+                    );
+                    programs_checked += 1;
+                }
+            }
+        }
+    }
+    // 5 domains x indices x (direct: 4 programs + indirect: 4 programs).
+    let expected = 5 * indices.len() * 8;
+    assert_eq!(
+        programs_checked, expected,
+        "program set unexpectedly changed"
+    );
+}

@@ -1,0 +1,172 @@
+//! Enabled-mode end-to-end tracing tests: solver telemetry matches the
+//! returned result bitwise, serve request spans nest the solver's spans,
+//! and the Chrome trace-event export is valid JSON.
+//!
+//! The mib-trace enable flag is process-global; cargo runs test binaries
+//! sequentially, so this binary owns the flag for its lifetime, and the
+//! tests inside serialize on a local lock (mirroring mib-trace's own
+//! enabled-mode unit tests).
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use mib::problems::portfolio;
+use mib::qp::{KktBackend, Settings, SolveTrace, Solver, Status};
+use mib::serve::{QpServer, Request, ServeConfig};
+use mib::trace::{Category, Event};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn hold() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn solver_iteration_telemetry_matches_result_bitwise() {
+    let _guard = hold();
+    for backend in [KktBackend::Direct, KktBackend::Indirect] {
+        mib::trace::clear();
+        mib::trace::enable();
+        let problem = portfolio(30, 5, 7);
+        let settings = Settings {
+            backend,
+            adaptive_rho_interval: 10,
+            ..Settings::default()
+        };
+        let mut solver = Solver::new(problem, settings).expect("setup");
+        let result = solver.solve();
+        mib::trace::disable();
+        let trace = mib::trace::take();
+        assert_eq!(result.status, Status::Solved, "{backend:?}");
+        assert_eq!(trace.dropped(), 0);
+
+        let telemetry = SolveTrace::collect(&trace);
+        let last = telemetry
+            .last_iteration()
+            .unwrap_or_else(|| panic!("{backend:?}: no iteration events recorded"));
+        // The per-iteration residual events are emitted from the very
+        // values the terminating check stores into the result — bitwise.
+        assert_eq!(last.prim_res.to_bits(), result.prim_res.to_bits());
+        assert_eq!(last.dual_res.to_bits(), result.dual_res.to_bits());
+        assert_eq!(last.iter as usize, result.iterations);
+        assert!(
+            telemetry.iterations.len() > 1,
+            "{backend:?}: expected multiple termination checks"
+        );
+        // Solver phases all closed: setup spans from Solver::new plus the
+        // solve-time spans.
+        for phase in ["solve", "admm_loop", "kkt_setup"] {
+            assert_eq!(
+                telemetry.phases_named(phase).count(),
+                1,
+                "{backend:?}: phase {phase}"
+            );
+        }
+        if backend == KktBackend::Direct {
+            assert!(telemetry.phases_named("factor").count() >= 1);
+            // Adaptive rho forced refactorizations.
+            assert!(
+                telemetry.phases_named("refactor").count() >= 1,
+                "adaptive_rho_interval 10 must refactor at least once"
+            );
+        } else {
+            assert!(
+                telemetry.total_pcg_iters() > 0,
+                "indirect backend must report PCG iterations"
+            );
+        }
+
+        // The Chrome export of the same trace is valid JSON with one
+        // counter track per iteration event.
+        let json = trace.to_chrome_json();
+        mib::trace::validate_json(&json)
+            .unwrap_or_else(|e| panic!("{backend:?}: invalid trace JSON: {e}"));
+        assert!(json.contains("\"residuals\""));
+    }
+}
+
+#[test]
+fn serve_request_spans_nest_solver_spans() {
+    let _guard = hold();
+    mib::trace::clear();
+    mib::trace::enable();
+    let server = QpServer::new(ServeConfig {
+        workers_per_shard: 1,
+        ..ServeConfig::default()
+    });
+    let problem = portfolio(24, 4, 3);
+    let num_vars = problem.num_vars();
+    let tenant = server
+        .register(problem, Settings::default())
+        .expect("register");
+    let response = server
+        .submit(tenant, Request::with_q(vec![0.01; num_vars]))
+        .expect("submit")
+        .wait();
+    assert!(response.outcome.is_solved(), "{:?}", response.outcome);
+    server.shutdown();
+    mib::trace::disable();
+    let trace = mib::trace::take();
+    assert_eq!(trace.dropped(), 0);
+
+    // The submitting thread recorded the submit mark.
+    assert!(
+        trace.records().any(|r| matches!(
+            r.event,
+            Event::Mark {
+                name: "submit",
+                cat: Category::Serve,
+                ..
+            }
+        )),
+        "submit mark missing"
+    );
+
+    // On the worker thread, the request span must enclose the serve-side
+    // solve_request span, which must enclose the solver's own solve span:
+    // Begin(request) < Begin(solve_request) < Begin(solve) < End(solve)
+    // <= End(solve_request) <= End(request), all on one thread.
+    let worker = trace
+        .threads
+        .iter()
+        .find(|t| t.name.starts_with("mib-serve-"))
+        .expect("worker thread trace present");
+    let pos = |pred: &dyn Fn(&Event) -> bool| -> usize {
+        worker
+            .records
+            .iter()
+            .position(|r| pred(&r.event))
+            .unwrap_or_else(|| panic!("missing record on worker thread"))
+    };
+    let begin = |name: &'static str, cat: Category| {
+        pos(
+            &move |e: &Event| matches!(*e, Event::Begin { name: n, cat: c } if n == name && c == cat),
+        )
+    };
+    let end = |name: &'static str, cat: Category| {
+        pos(&move |e: &Event| matches!(*e, Event::End { name: n, cat: c } if n == name && c == cat))
+    };
+    let b_request = begin("request", Category::Serve);
+    let b_solve_req = begin("solve_request", Category::Serve);
+    let b_solve = begin("solve", Category::Solver);
+    let e_solve = end("solve", Category::Solver);
+    let e_solve_req = end("solve_request", Category::Serve);
+    let e_request = end("request", Category::Serve);
+    assert!(
+        b_request < b_solve_req
+            && b_solve_req < b_solve
+            && b_solve < e_solve
+            && e_solve < e_solve_req
+            && e_solve_req < e_request,
+        "serve spans must nest solver spans: \
+         {b_request} < {b_solve_req} < {b_solve} < {e_solve} < {e_solve_req} < {e_request}"
+    );
+
+    // Iteration events recorded on the worker thread sit under the batch
+    // hierarchy, and the whole trace still exports as valid JSON.
+    assert!(worker
+        .records
+        .iter()
+        .any(|r| matches!(r.event, Event::Iteration { .. })));
+    let json = trace.to_chrome_json();
+    mib::trace::validate_json(&json).expect("serve trace JSON");
+}

@@ -1,12 +1,17 @@
 //! Counting-allocator proof of the workspace-centric solve pipeline: after
 //! [`Solver::new`], a [`Solver::solve_into`] performs **zero** heap
 //! allocations — across the ADMM iteration, the KKT solve (both backends)
-//! and the residual/termination paths.
+//! and the residual/termination paths — *with the mib-trace
+//! instrumentation compiled in and disabled*: every potential span or
+//! event in the measured region costs one relaxed atomic load and nothing
+//! else.
 //!
 //! The crates themselves `#![forbid(unsafe_code)]`, so the `GlobalAlloc`
 //! shim lives here in the integration-test binary. Counting is per-thread
 //! (a thread-local counter) so the harness running other tests on sibling
-//! threads cannot pollute a measurement.
+//! threads cannot pollute a measurement. No test in this binary may call
+//! `mib::trace::enable()` — enabled-mode behavior is covered by
+//! `tests/trace_pipeline.rs`, which cargo runs as a separate process.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -50,6 +55,33 @@ fn allocations_during(f: impl FnOnce()) -> u64 {
     let before = ALLOC_COUNT.with(|c| c.get());
     f();
     ALLOC_COUNT.with(|c| c.get()) - before
+}
+
+/// Disabled-mode tracing is allocation-free in isolation: a dense loop of
+/// potential spans and gated events touches neither the heap nor
+/// thread-local storage. (The solve tests below prove the same property
+/// end-to-end through the instrumented `solve_into`.)
+#[test]
+fn disabled_tracing_instrumentation_allocates_nothing() {
+    assert!(
+        !mib::trace::enabled(),
+        "zero_alloc tests measure disabled-mode tracing only"
+    );
+    let allocs = allocations_during(|| {
+        for _ in 0..10_000 {
+            let tracing = mib::trace::enabled();
+            let _span = mib::trace::span_if(tracing, "probe", mib::trace::Category::Solver);
+            mib::trace::record_if(
+                tracing,
+                mib::trace::Event::Mark {
+                    name: "m",
+                    cat: mib::trace::Category::Solver,
+                    value: 0.0,
+                },
+            );
+        }
+    });
+    assert_eq!(allocs, 0, "disabled-mode tracing allocated {allocs} times");
 }
 
 fn assert_solve_is_allocation_free(backend: KktBackend) {
