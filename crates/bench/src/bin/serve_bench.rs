@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use mib_bench::emit_report;
 use mib_problems::{instance, Domain};
-use mib_qp::{Settings, Solver, Status};
+use mib_qp::{Algorithm, Settings, Solver, Status};
 use mib_serve::{Outcome, QpServer, Request, Response, ServeConfig, SubmitError, TenantId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,6 +77,44 @@ fn make_request(rng: &mut StdRng, problem: &mib_qp::Problem) -> Request {
     request
 }
 
+/// Perturbation for router-dispatched portfolio traffic: parametric only
+/// (no deadlines, no cancels) so every shadow audit reaches a verdict.
+fn make_routed_request(rng: &mut StdRng, problem: &mib_qp::Problem) -> Request {
+    let mut request = Request::default();
+    let mut q = problem.q().to_vec();
+    for qi in q.iter_mut() {
+        *qi += 0.05 * (rng.gen::<f64>() - 0.5);
+    }
+    request.q = Some(q);
+    if rng.gen::<f64>() < 0.3 {
+        let l = problem.l().to_vec();
+        let mut u = problem.u().to_vec();
+        for ui in u.iter_mut() {
+            if ui.is_finite() {
+                *ui += 0.1 * rng.gen::<f64>();
+            }
+        }
+        request.bounds = Some((l, u));
+    }
+    request
+}
+
+/// Portfolio variant settings: tolerances tightened to `1e-5` so the two
+/// backends' objectives land well inside the shadow-audit tolerance (at
+/// the default `1e-3` the objective error of a just-terminated solve can
+/// exceed `1e-2` relative on ill-conditioned domains). PDQP's iteration
+/// cap is raised far past ADMM's — first-order iterations are cheap.
+fn portfolio_settings(algorithm: Algorithm) -> Settings {
+    let mut s = Settings::with_algorithm(algorithm);
+    s.eps_abs = 1e-5;
+    s.eps_rel = 1e-5;
+    s.max_iter = match algorithm {
+        Algorithm::Admm => 50_000,
+        Algorithm::Pdqp => 2_000_000,
+    };
+    s
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let total_requests = if smoke { 100 } else { 600 };
@@ -86,7 +124,11 @@ fn main() {
     // template solver per tenant for the reference solves.
     let config = ServeConfig {
         queue_capacity: 32,
-        max_shards: 16,
+        // 10 plain tenant patterns + 10 portfolio-variant patterns.
+        max_shards: 24,
+        // Cross-check every 4th routed request on the sibling backend.
+        shadow_every: 4,
+        shadow_rel_tol: 1e-2,
         ..ServeConfig::default()
     };
     let server = QpServer::new(config);
@@ -105,6 +147,35 @@ fn main() {
             tenants.push((format!("{domain:?}[{index}]"), id));
             problems.push(spec.problem);
         }
+    }
+
+    // Mixed-backend portfolios: a further instance of each domain is
+    // registered under both ADMM and PDQP, dispatched through the
+    // telemetry-driven backend router with shadow auditing enabled.
+    let mut portfolios: Vec<(String, mib_serve::PortfolioId)> = Vec::new();
+    let mut portfolio_templates: Vec<[Solver; 2]> = Vec::new();
+    let mut portfolio_problems: Vec<mib_qp::Problem> = Vec::new();
+    for domain in DOMAINS {
+        let spec = instance(domain, TENANTS_PER_DOMAIN);
+        let id = server
+            .register_portfolio(
+                &spec.problem,
+                vec![
+                    portfolio_settings(Algorithm::Admm),
+                    portfolio_settings(Algorithm::Pdqp),
+                ],
+            )
+            .expect("portfolio registration");
+        // Indexed by Algorithm::index(): one reference template per
+        // backend for the bitwise parity check.
+        portfolio_templates.push([
+            Solver::new(spec.problem.clone(), portfolio_settings(Algorithm::Admm))
+                .expect("admm template"),
+            Solver::new(spec.problem.clone(), portfolio_settings(Algorithm::Pdqp))
+                .expect("pdqp template"),
+        ]);
+        portfolios.push((format!("{domain:?}[{TENANTS_PER_DOMAIN}]"), id));
+        portfolio_problems.push(spec.problem);
     }
 
     // Cold solutions per tenant, used as warm-start points for a slice
@@ -133,18 +204,30 @@ fn main() {
             item
         })
         .collect();
+    let routed_total = total_requests / 4;
+    let routed_trace: Vec<(usize, Request)> = (0..routed_total)
+        .map(|_| {
+            let p = rng.gen_range(0..portfolios.len());
+            (p, make_routed_request(&mut rng, &portfolio_problems[p]))
+        })
+        .collect();
 
     // Replay: four clients submit disjoint round-robin slices, retrying
     // on QueueFull backpressure, then wait out their tickets.
     let responses: Mutex<Vec<(usize, Response)>> = Mutex::new(Vec::with_capacity(total_requests));
+    let routed_responses: Mutex<Vec<(usize, Response)>> =
+        Mutex::new(Vec::with_capacity(routed_total));
     let retries = std::sync::atomic::AtomicU64::new(0);
     let started = Instant::now();
     std::thread::scope(|s| {
         for client in 0..CLIENTS {
             let server = &server;
             let trace = &trace;
+            let routed_trace = &routed_trace;
             let tenants = &tenants;
+            let portfolios = &portfolios;
             let responses = &responses;
+            let routed_responses = &routed_responses;
             let retries = &retries;
             s.spawn(move || {
                 let mut mine: Vec<(usize, mib_serve::Ticket)> = Vec::new();
@@ -167,11 +250,36 @@ fn main() {
                     }
                     mine.push((i, ticket));
                 }
+                let mut routed_mine: Vec<(usize, mib_serve::Ticket)> = Vec::new();
+                for (i, (p, request)) in routed_trace.iter().enumerate() {
+                    if i % CLIENTS != client {
+                        continue;
+                    }
+                    let ticket = loop {
+                        match server.submit_routed(portfolios[*p].1, request.clone()) {
+                            Ok(t) => break t,
+                            Err(SubmitError::QueueFull { .. }) => {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("routed submission failed: {e}"),
+                        }
+                    };
+                    routed_mine.push((i, ticket));
+                }
                 let mut done = Vec::with_capacity(mine.len());
                 for (i, ticket) in mine {
                     done.push((i, ticket.wait()));
                 }
                 responses.lock().expect("responses lock").extend(done);
+                let mut routed_done = Vec::with_capacity(routed_mine.len());
+                for (i, ticket) in routed_mine {
+                    routed_done.push((i, ticket.wait()));
+                }
+                routed_responses
+                    .lock()
+                    .expect("routed responses lock")
+                    .extend(routed_done);
             });
         }
     });
@@ -253,6 +361,49 @@ fn main() {
     }
     assert_eq!(failed, 0, "the trace contains no invalid requests");
 
+    // Routed portfolio answers: all solved, each bitwise-identical to a
+    // direct solve on the template of whichever backend served it.
+    let mut routed_responses = routed_responses
+        .into_inner()
+        .expect("routed responses lock");
+    routed_responses.sort_by_key(|(i, _)| *i);
+    assert_eq!(routed_responses.len(), routed_total);
+    let mut routed_by_backend = [0usize; 2];
+    for (i, response) in &routed_responses {
+        let (p, request) = &routed_trace[*i];
+        let Outcome::Finished(result) = &response.outcome else {
+            panic!("routed request #{i} did not finish: {response:?}");
+        };
+        assert_eq!(result.status, Status::Solved, "routed request #{i}");
+        let backend_idx = result.algorithm.index();
+        routed_by_backend[backend_idx] += 1;
+        let mut reference = portfolio_templates[*p][backend_idx].clone();
+        let problem = &portfolio_problems[*p];
+        let q = request.q.clone().expect("routed requests always perturb q");
+        let (l, u) = request
+            .bounds
+            .clone()
+            .unwrap_or_else(|| (problem.l().to_vec(), problem.u().to_vec()));
+        reference.update_q(&q).expect("routed reference update_q");
+        reference
+            .update_bounds(&l, &u)
+            .expect("routed reference update_bounds");
+        reference.reset();
+        let expect = reference.solve();
+        assert_eq!(expect.status, Status::Solved, "routed reference #{i}");
+        assert_eq!(expect.iterations, result.iterations, "routed #{i}");
+        assert!(
+            result
+                .x
+                .iter()
+                .zip(&expect.x)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+                && result.obj_val.to_bits() == expect.obj_val.to_bits(),
+            "routed {} answer #{i} is not bitwise equal to the direct solve",
+            result.algorithm
+        );
+    }
+
     let metrics = server.metrics();
     let c = &metrics.counters;
     let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
@@ -288,6 +439,33 @@ fn main() {
     let _ = writeln!(
         body,
         "bitwise parity: {checked}/{checked} Solved answers identical to direct solves\n"
+    );
+    // Shadow-audit gate: the sampled cross-checks between backends must
+    // never disagree, in smoke and full runs alike.
+    let audits = load(&c.shadow_audits);
+    let mismatches = load(&c.shadow_mismatches);
+    let inconclusive = load(&c.shadow_inconclusive);
+    assert!(audits >= 1, "shadow sampling must fire on routed traffic");
+    assert_eq!(mismatches, 0, "shadow audits found backend discrepancies");
+    assert_eq!(inconclusive, 0, "every shadow audit must reach a verdict");
+    assert!(
+        routed_by_backend.iter().all(|&n| n > 0),
+        "the router must exercise both backends (admm/pdqp: {routed_by_backend:?})"
+    );
+    let _ = writeln!(
+        body,
+        "portfolio routing: {routed_total} routed requests across {} mixed-backend portfolios",
+        portfolios.len()
+    );
+    let _ = writeln!(
+        body,
+        "  primaries: {} admm, {} pdqp  (bitwise-checked against their own backend)",
+        routed_by_backend[0], routed_by_backend[1]
+    );
+    let _ = writeln!(
+        body,
+        "  shadow audits: {audits} sampled, {} agreements, {mismatches} mismatches, {inconclusive} inconclusive\n",
+        load(&c.shadow_agreements)
     );
     let _ = writeln!(
         body,

@@ -39,10 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admm;
+mod backend;
 mod batch;
 mod error;
 pub mod kkt;
 pub mod linsys;
+mod pdqp;
 pub mod polish;
 mod problem;
 pub mod profile;
@@ -53,8 +56,11 @@ pub mod telemetry;
 mod types;
 mod workspace;
 
+pub use admm::AdmmSolver;
+pub use backend::{Algorithm, QpBackend, ALGORITHM_COUNT};
 pub use batch::{BatchSolver, BatchUpdate};
 pub use error::QpError;
+pub use pdqp::PdqpSolver;
 pub use problem::Problem;
 pub use profile::Certification;
 pub use settings::{KktBackend, Settings};

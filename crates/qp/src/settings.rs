@@ -1,5 +1,6 @@
 use std::time::Duration;
 
+use crate::backend::Algorithm;
 use crate::{QpError, Result};
 
 /// Which linear-system backend solves the KKT system (2) — the choice
@@ -64,7 +65,11 @@ pub struct Settings {
     /// Multiplier applied to `ρ` on equality constraint rows
     /// (default `1e3`).
     pub rho_eq_scale: f64,
-    /// The KKT backend — direct LDLᵀ or indirect PCG.
+    /// The solver algorithm — ADMM (the default) or the restarted
+    /// primal-dual first-order method ("PDQP").
+    pub algorithm: Algorithm,
+    /// The KKT backend — direct LDLᵀ or indirect PCG. Only consulted by
+    /// the ADMM algorithm; PDQP never solves a KKT system.
     pub backend: KktBackend,
     /// PCG convergence floor: iteration stops when
     /// `‖r‖₂ ≤ max(eps_pcg_min, tol·‖b‖₂)` (default `1e-7`).
@@ -88,6 +93,11 @@ pub struct Settings {
     /// at the cost of one clock read per check; the checks never touch the
     /// iterates, so they cannot perturb the solution of runs that finish.
     pub check_interval: usize,
+    /// PDQP restart threshold `β ∈ (0, 1)` (default `0.5`): the restarted
+    /// PDHG backend restarts from its best candidate once that candidate's
+    /// normalized KKT score has decayed below `β` times the score at the
+    /// previous restart. Ignored by the ADMM algorithm.
+    pub pdqp_restart_beta: f64,
 }
 
 impl Default for Settings {
@@ -109,12 +119,14 @@ impl Default for Settings {
             rho_min: 1e-6,
             rho_max: 1e6,
             rho_eq_scale: 1e3,
+            algorithm: Algorithm::Admm,
             backend: KktBackend::Direct,
             eps_pcg_min: 1e-7,
             eps_pcg_start: 1e-4,
             max_pcg_iter: 0,
             time_limit: None,
             check_interval: 25,
+            pdqp_restart_beta: 0.5,
         }
     }
 }
@@ -124,6 +136,14 @@ impl Settings {
     pub fn with_backend(backend: KktBackend) -> Self {
         Settings {
             backend,
+            ..Settings::default()
+        }
+    }
+
+    /// Defaults with the given solver algorithm selected.
+    pub fn with_algorithm(algorithm: Algorithm) -> Self {
+        Settings {
+            algorithm,
             ..Settings::default()
         }
     }
@@ -188,6 +208,12 @@ impl Settings {
                 "time_limit must be positive (use None to disable)".into(),
             ));
         }
+        if !(self.pdqp_restart_beta > 0.0 && self.pdqp_restart_beta < 1.0) {
+            return Err(QpError::InvalidSetting(format!(
+                "pdqp_restart_beta must lie in (0, 1), got {}",
+                self.pdqp_restart_beta
+            )));
+        }
         Ok(())
     }
 }
@@ -226,6 +252,16 @@ mod tests {
         assert!(bad(|s| s.adaptive_rho_tolerance = 0.5));
         assert!(bad(|s| s.check_interval = 0));
         assert!(bad(|s| s.time_limit = Some(Duration::ZERO)));
+        assert!(bad(|s| s.pdqp_restart_beta = 0.0));
+        assert!(bad(|s| s.pdqp_restart_beta = 1.0));
+    }
+
+    #[test]
+    fn with_algorithm_selects_the_backend_family() {
+        let s = Settings::with_algorithm(Algorithm::Pdqp);
+        assert_eq!(s.algorithm, Algorithm::Pdqp);
+        s.validate().unwrap();
+        assert_eq!(Settings::default().algorithm, Algorithm::Admm);
     }
 
     #[test]

@@ -1,222 +1,100 @@
-use std::sync::atomic::{AtomicBool, Ordering};
+//! The public [`Solver`] facade over the pluggable [`QpBackend`] family.
+//!
+//! [`Solver::new`] selects the backend named by
+//! [`Settings::algorithm`](crate::Settings) — the OSQP-style
+//! [`AdmmSolver`](crate::AdmmSolver) or the restarted primal-dual
+//! [`PdqpSolver`](crate::PdqpSolver) — and forwards every call through the
+//! trait, so callers (batch, serve, benches) are algorithm-agnostic. The
+//! facade adds the validated [`Solver::warm_start_from`] entry point on
+//! top of the trait's panicking `warm_start`.
+
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Instant;
 
-use mib_sparse::vector;
-use mib_trace::{Category as TraceCat, Event as TraceEvent};
-
-use crate::linsys::{DirectKkt, IndirectKkt, KktSolver};
-use crate::profile::Profile;
-use crate::scaling::{ruiz_equilibrate, Scaling};
+use crate::admm::AdmmSolver;
+use crate::backend::{Algorithm, QpBackend};
+use crate::pdqp::PdqpSolver;
 use crate::workspace::SolveWorkspace;
-use crate::{KktBackend, Problem, QpError, Result, Settings, SolveResult, Status, INFTY};
+use crate::{Problem, QpError, Result, Settings, SolveResult};
 
-/// The ADMM QP solver (Algorithm 1 of the paper).
+/// The QP solver: a thin facade over the algorithm backend selected by
+/// [`Settings::algorithm`](crate::Settings).
 ///
-/// A `Solver` owns a scaled copy of the problem, the selected KKT backend,
-/// the current iterates and a [`SolveWorkspace`] holding every scratch
-/// vector the iteration needs; after [`Solver::new`] returns, a call to
-/// [`Solver::solve_into`] performs **no heap allocation**. Repeated
-/// [`Solver::solve`] calls warm-start from the previous solution, and the
-/// parametric update methods ([`Solver::update_q`],
-/// [`Solver::update_bounds`]) support the "millions of QPs with the same
-/// sparsity pattern" workflow the paper's portfolio example describes
-/// without re-running setup.
-///
-/// The iteration is decomposed into named stages — `stage_rhs`,
-/// `stage_ztilde`, `stage_x_update`, `stage_z_projection`,
-/// `stage_y_update`, `stage_residuals`, `stage_adaptive_rho` — each of
-/// which reads and writes well-defined workspace buffers, so they are
-/// testable in isolation and map one-to-one onto the schedule fragments
-/// the MIB compiler emits.
+/// A `Solver` owns a scaled copy of the problem, the backend's iterates
+/// and a [`SolveWorkspace`] holding every scratch vector the iteration
+/// needs; after [`Solver::new`] returns, a call to [`Solver::solve_into`]
+/// performs **no heap allocation**. Repeated [`Solver::solve`] calls
+/// warm-start from the previous solution, and the parametric update
+/// methods ([`Solver::update_q`], [`Solver::update_bounds`]) support the
+/// "millions of QPs with the same sparsity pattern" workflow the paper's
+/// portfolio example describes without re-running setup.
 #[derive(Debug)]
 pub struct Solver {
-    settings: Settings,
-    /// Original (unscaled) problem, used for residuals and certificates.
-    orig: Problem,
-    // Scaled data.
-    q: Vec<f64>,
-    l: Vec<f64>,
-    u: Vec<f64>,
-    scaling: Scaling,
-    rho: f64,
-    rho_vec: Vec<f64>,
-    rho_inv_vec: Vec<f64>,
-    kkt: Box<dyn KktSolver>,
-    // Scaled iterates.
-    x: Vec<f64>,
-    y: Vec<f64>,
-    z: Vec<f64>,
-    ws: SolveWorkspace,
-    profile: Profile,
-    /// External cancellation flag, polled every `check_interval` iterations.
-    cancel: Option<Arc<AtomicBool>>,
-    /// External absolute deadline (combined with `settings.time_limit`).
-    deadline: Option<Instant>,
+    inner: Box<dyn QpBackend>,
 }
 
 impl Clone for Solver {
     fn clone(&self) -> Self {
         Solver {
-            settings: self.settings.clone(),
-            orig: self.orig.clone(),
-            q: self.q.clone(),
-            l: self.l.clone(),
-            u: self.u.clone(),
-            scaling: self.scaling.clone(),
-            rho: self.rho,
-            rho_vec: self.rho_vec.clone(),
-            rho_inv_vec: self.rho_inv_vec.clone(),
-            kkt: self.kkt.clone_box(),
-            x: self.x.clone(),
-            y: self.y.clone(),
-            z: self.z.clone(),
-            ws: self.ws.clone(),
-            profile: self.profile,
-            cancel: self.cancel.clone(),
-            deadline: self.deadline,
+            inner: self.inner.clone_box(),
         }
     }
 }
 
-/// Residual snapshot used by termination and adaptive-ρ logic.
-#[derive(Debug, Clone, Copy)]
-struct Residuals {
-    prim: f64,
-    dual: f64,
-    prim_norm: f64,
-    dual_norm: f64,
-}
-
 impl Solver {
-    /// Sets up the solver: validates settings, equilibrates the problem,
-    /// builds the `ρ` vector and the KKT backend.
+    /// Sets up the backend named by `settings.algorithm`: validates
+    /// settings, equilibrates the problem and runs the backend's one-time
+    /// setup (KKT factorization for ADMM, operator-norm estimation for
+    /// PDQP).
     ///
     /// # Errors
     ///
     /// Returns setting/problem validation errors or
-    /// [`QpError::KktFactorization`] if the initial factorization fails.
+    /// [`QpError::KktFactorization`] if an initial factorization fails.
     pub fn new(problem: Problem, settings: Settings) -> Result<Self> {
-        settings.validate()?;
-        let n = problem.num_vars();
-        let m = problem.num_constraints();
-
-        // Scale a copy of the data.
-        let mut p = problem.p().clone();
-        let mut q = problem.q().to_vec();
-        let mut a = problem.a().clone();
-        let mut l = problem.l().to_vec();
-        let mut u = problem.u().to_vec();
-        let tracing = mib_trace::enabled();
-        let scaling = if settings.scaling_iters > 0 {
-            let _scaling_span = mib_trace::span_if(tracing, "scaling", TraceCat::Solver);
-            ruiz_equilibrate(
-                &mut p,
-                &mut q,
-                &mut a,
-                &mut l,
-                &mut u,
-                settings.scaling_iters,
-            )
-        } else {
-            Scaling::identity(n, m)
+        let inner: Box<dyn QpBackend> = match settings.algorithm {
+            Algorithm::Admm => Box::new(AdmmSolver::new(problem, settings)?),
+            Algorithm::Pdqp => Box::new(PdqpSolver::new(problem, settings)?),
         };
+        Ok(Solver { inner })
+    }
 
-        let (rho_vec, rho_inv_vec) = build_rho_vec(&settings, settings.rho, &l, &u);
-
-        let mut profile = Profile::default();
-        let kkt_setup_span = mib_trace::span_if(tracing, "kkt_setup", TraceCat::Kkt);
-        let kkt: Box<dyn KktSolver> = match settings.backend {
-            KktBackend::Direct => Box::new(DirectKkt::new(
-                &p,
-                &a,
-                settings.sigma,
-                &rho_vec,
-                &mut profile,
-            )?),
-            KktBackend::Indirect => Box::new(IndirectKkt::new(
-                &p,
-                &a,
-                settings.sigma,
-                &rho_vec,
-                settings.eps_pcg_start,
-                settings.eps_pcg_min,
-                settings.max_pcg_iter,
-            )),
-        };
-        drop(kkt_setup_span);
-
-        // `p`/`a` move into nothing — the backends clone what they need; we
-        // keep the scaled P/A inside the backend only, and original copies
-        // in `orig`. q/l/u stay here because updates and projections use them.
-        drop(p);
-        drop(a);
-
-        Ok(Solver {
-            settings,
-            orig: problem,
-            q,
-            l,
-            u,
-            scaling,
-            rho: 0.1,
-            rho_vec,
-            rho_inv_vec,
-            kkt,
-            x: vec![0.0; n],
-            y: vec![0.0; m],
-            z: vec![0.0; m],
-            ws: SolveWorkspace::new(n, m),
-            profile,
-            cancel: None,
-            deadline: None,
-        })
-        .map(|mut s| {
-            s.rho = s.settings.rho;
-            s
-        })
+    /// Which algorithm this solver runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.inner.algorithm()
     }
 
     /// The solver settings.
     pub fn settings(&self) -> &Settings {
-        &self.settings
+        self.inner.settings()
     }
 
     /// The original (unscaled) problem.
     pub fn problem(&self) -> &Problem {
-        &self.orig
+        self.inner.problem()
     }
 
-    /// The current base step size `ρ`.
+    /// The current base step size: `ρ` for the ADMM backend, the primal
+    /// step `τ` for PDQP.
     pub fn rho(&self) -> f64 {
-        self.rho
+        self.inner.step_size()
     }
 
     /// The preallocated workspace (for inspection in tests and benches).
     pub fn workspace(&self) -> &SolveWorkspace {
-        &self.ws
+        self.inner.workspace()
     }
 
     /// Warm-starts the iterates from an (unscaled) primal/dual guess.
     ///
     /// # Panics
     ///
-    /// Panics if the lengths do not match the problem dimensions.
+    /// Panics if the lengths do not match the problem dimensions. For a
+    /// non-panicking variant that validates a previous result, see
+    /// [`Solver::warm_start_from`].
     pub fn warm_start(&mut self, x: &[f64], y: &[f64]) {
-        assert_eq!(x.len(), self.x.len(), "warm start x has wrong length");
-        assert_eq!(y.len(), self.y.len(), "warm start y has wrong length");
-        for (i, xs) in self.x.iter_mut().enumerate() {
-            *xs = x[i] * self.scaling.dinv[i];
-        }
-        for (i, ys) in self.y.iter_mut().enumerate() {
-            *ys = y[i] * self.scaling.c * self.scaling.einv[i];
-        }
-        // z = A x in the scaled space is re-established by the first
-        // iteration; initialize with the projection of the current guess.
-        self.orig.a().mul_vec_into(x, &mut self.ws.ax);
-        for (i, zs) in self.z.iter_mut().enumerate() {
-            *zs = self.ws.ax[i] * self.scaling.e[i];
-        }
+        self.inner.warm_start(x, y);
     }
 
     /// Warm-starts the iterates from a previous [`SolveResult`] of a
@@ -224,71 +102,55 @@ impl Solver {
     /// last one converged" workflow of [`BatchSolver`](crate::BatchSolver)
     /// streams and the `mib-serve` runtime.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the result's dimensions do not match the problem's.
-    pub fn warm_start_from(&mut self, previous: &SolveResult) {
-        self.warm_start(&previous.x, &previous.y);
+    /// Returns [`QpError::InvalidProblem`] when the result's dimensions do
+    /// not match this solver's problem (e.g. a pooled result from a
+    /// different-shaped tenant); the iterates are left untouched.
+    pub fn warm_start_from(&mut self, previous: &SolveResult) -> Result<()> {
+        let n = self.inner.problem().num_vars();
+        let m = self.inner.problem().num_constraints();
+        if previous.x.len() != n || previous.y.len() != m {
+            return Err(QpError::InvalidProblem(format!(
+                "warm start result has dimensions ({}, {}) but problem has ({n}, {m})",
+                previous.x.len(),
+                previous.y.len()
+            )));
+        }
+        self.inner.warm_start(&previous.x, &previous.y);
+        Ok(())
     }
 
-    /// Installs (or clears) an external cancellation flag. The ADMM loop
+    /// Installs (or clears) an external cancellation flag. The iteration
     /// polls the flag every [`Settings::check_interval`](crate::Settings)
-    /// iterations and exits with [`Status::Cancelled`] once it reads
+    /// iterations and exits with
+    /// [`Status::Cancelled`](crate::Status::Cancelled) once it reads
     /// `true`. The poll never touches the iterates, so installing a flag
     /// cannot change the answer of a run that completes.
     pub fn set_cancel_flag(&mut self, cancel: Option<Arc<AtomicBool>>) {
-        self.cancel = cancel;
+        self.inner.set_cancel_flag(cancel);
     }
 
     /// Installs (or clears) an absolute wall-clock deadline. Combined with
     /// [`Settings::time_limit`](crate::Settings) (whichever expires first
     /// wins); checked every `check_interval` iterations, yielding
-    /// [`Status::TimedOut`].
+    /// [`Status::TimedOut`](crate::Status::TimedOut).
     pub fn set_deadline(&mut self, deadline: Option<Instant>) {
-        self.deadline = deadline;
+        self.inner.set_deadline(deadline);
     }
 
     /// Resets the solver to its post-setup state: zero iterates, initial
-    /// `ρ`, no warm-start memory in the backend. After `reset`, a solve
-    /// reproduces the very first solve of a freshly constructed solver
-    /// bitwise. [`BatchSolver`](crate::BatchSolver) relies on this to make
-    /// parallel and sequential batch runs identical.
+    /// step sizes, no warm-start memory. After `reset`, a solve reproduces
+    /// the very first solve of a freshly constructed solver bitwise.
+    /// [`BatchSolver`](crate::BatchSolver) relies on this to make parallel
+    /// and sequential batch runs identical.
     ///
-    /// The `ρ` vector is rebuilt from the *current* bounds, so the reset
-    /// state is a pure function of the current problem data — a pooled
-    /// solver that served other parameters first reaches bitwise the same
-    /// state as a fresh clone of its template with the same updates
-    /// applied, even when a bounds update changed a constraint's
-    /// loose/equality/inequality classification.
+    /// The reset state is a pure function of the current problem data — a
+    /// pooled solver that served other parameters first reaches bitwise
+    /// the same state as a fresh clone of its template with the same
+    /// updates applied. This invariant holds for every backend.
     pub fn reset(&mut self) {
-        self.x.fill(0.0);
-        self.y.fill(0.0);
-        self.z.fill(0.0);
-        self.kkt.reset();
-        self.rho = self.settings.rho;
-        // Rebuild only when some entry actually changes (classification
-        // drift or a previous adaptive-ρ run); `rho_vec` always mirrors the
-        // value the KKT backend was last updated with, so an unchanged
-        // vector needs no refactorization.
-        let changed = self
-            .l
-            .iter()
-            .zip(&self.u)
-            .zip(&self.rho_vec)
-            .any(|((&lo, &hi), &r)| rho_for(&self.settings, self.rho, lo, hi) != r);
-        if changed {
-            build_rho_vec_into(
-                &self.settings,
-                self.rho,
-                &self.l,
-                &self.u,
-                &mut self.rho_vec,
-                &mut self.rho_inv_vec,
-            );
-            let mut prof = self.profile;
-            let _ = self.kkt.update_rho(&self.rho_vec, &mut prof);
-            self.profile = prof;
-        }
+        self.inner.reset();
     }
 
     /// Replaces the linear cost `q` (same dimensions), preserving scaling.
@@ -298,22 +160,7 @@ impl Solver {
     /// Returns [`QpError::InvalidProblem`] on length mismatch or non-finite
     /// entries.
     pub fn update_q(&mut self, q: &[f64]) -> Result<()> {
-        if q.len() != self.q.len() {
-            return Err(QpError::InvalidProblem(format!(
-                "q has length {} but problem has {} variables",
-                q.len(),
-                self.q.len()
-            )));
-        }
-        if q.iter().any(|v| !v.is_finite()) {
-            return Err(QpError::InvalidProblem("q entries must be finite".into()));
-        }
-        let (p0, _q0, a0, l0, u0) = self.orig.clone().into_parts();
-        self.orig = Problem::new(p0, q.to_vec(), a0, l0, u0)?;
-        for (j, qs) in self.q.iter_mut().enumerate() {
-            *qs = q[j] * self.scaling.c * self.scaling.d[j];
-        }
-        Ok(())
+        self.inner.update_q(q)
     }
 
     /// Replaces the bounds `l`, `u` (same dimensions), preserving scaling.
@@ -323,498 +170,34 @@ impl Solver {
     /// Returns [`QpError::InvalidProblem`] if any `l[i] > u[i]` or lengths
     /// mismatch.
     pub fn update_bounds(&mut self, l: &[f64], u: &[f64]) -> Result<()> {
-        if l.len() != self.l.len() || u.len() != self.u.len() {
-            return Err(QpError::InvalidProblem("bound length mismatch".into()));
-        }
-        let (p0, q0, a0, _l0, _u0) = self.orig.clone().into_parts();
-        self.orig = Problem::new(p0, q0, a0, l.to_vec(), u.to_vec())?;
-        for i in 0..l.len() {
-            self.l[i] = if l[i].abs() < INFTY {
-                l[i] * self.scaling.e[i]
-            } else {
-                l[i]
-            };
-            self.u[i] = if u[i].abs() < INFTY {
-                u[i] * self.scaling.e[i]
-            } else {
-                u[i]
-            };
-        }
-        Ok(())
+        self.inner.update_bounds(l, u)
     }
 
-    /// Runs the ADMM iteration until convergence, infeasibility detection
-    /// or the iteration limit. Repeated calls warm-start from the previous
+    /// Runs the iteration until convergence, infeasibility detection or
+    /// the iteration limit. Repeated calls warm-start from the previous
     /// iterates.
     pub fn solve(&mut self) -> SolveResult {
-        let n = self.x.len();
-        let m = self.y.len();
-        let mut result = SolveResult {
-            status: Status::MaxIterations,
-            x: vec![0.0; n],
-            y: vec![0.0; m],
-            z: vec![0.0; m],
-            obj_val: 0.0,
-            prim_res: f64::INFINITY,
-            dual_res: f64::INFINITY,
-            iterations: 0,
-            profile: Profile::default(),
-            solve_time: std::time::Duration::ZERO,
-            certificate: Vec::new(),
-        };
+        let mut result = SolveResult::default();
         self.solve_into(&mut result);
         result
     }
 
-    /// Runs the ADMM iteration, writing the outcome into an existing
+    /// Runs the iteration, writing the outcome into an existing
     /// [`SolveResult`]. When `result` comes from a previous solve of the
     /// same problem dimensions, this performs **zero heap allocations** on
     /// feasible problems — the property the repository's counting-allocator
     /// test pins down. (Infeasible exits clone the certificate vector.)
     pub fn solve_into(&mut self, result: &mut SolveResult) {
-        let start = Instant::now();
-        // The solve's only read of the tracing flag: spans and events below
-        // are gated on this hoisted bool, so the disabled-mode cost of the
-        // whole instrumented solve is this one relaxed atomic load.
-        let tracing = mib_trace::enabled();
-        let _solve_span = mib_trace::span_if(tracing, "solve", TraceCat::Solver);
-        // Keep setup factorization work, reset per-solve counters.
-        let mut prof = self.profile;
-        prof.admm_iters = 0;
-
-        let n = self.x.len();
-        let m = self.y.len();
-        let max_iter = self.settings.max_iter;
-        let check_every = self.settings.check_termination;
-        // Round the adaptive interval up to a multiple of the termination
-        // check so fresh residuals are always available.
-        let adapt_every = self
-            .settings
-            .adaptive_rho_interval
-            .div_ceil(check_every)
-            .max(1)
-            * check_every;
-
-        result.x.resize(n, 0.0);
-        result.y.resize(m, 0.0);
-        result.z.resize(m, 0.0);
-        result.certificate.clear();
-
-        // Effective deadline: the earlier of the per-solve time limit and
-        // the externally installed absolute deadline.
-        let deadline = match (self.settings.time_limit.map(|d| start + d), self.deadline) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        let check_interval = self.settings.check_interval;
-
-        let mut status = Status::MaxIterations;
-        let mut pcg_tol = self.settings.eps_pcg_start;
-        let mut final_res: Option<Residuals> = None;
-        let mut iterations = 0usize;
-        // Telemetry deltas: KKT time and PCG iterations since the last
-        // per-iteration record (both stay untouched when tracing is off).
-        let mut kkt_ns_total: u64 = 0;
-        let mut kkt_ns_reported: u64 = 0;
-        let mut pcg_reported = prof.pcg_iters;
-
-        // A request may arrive already cancelled or past its deadline.
-        if let Some(s) = self.interruption(deadline) {
-            status = s;
-        }
-        let admm_span = mib_trace::span_if(tracing, "admm_loop", TraceCat::Solver);
-        for k in 1..=max_iter {
-            if status != Status::MaxIterations {
-                break;
-            }
-            iterations = k;
-            self.stage_rhs(&mut prof);
-            let kkt_start = if tracing { Some(Instant::now()) } else { None };
-            let kkt_failed = self.kkt.solve(&mut self.ws, &mut prof).is_err();
-            if let Some(t0) = kkt_start {
-                kkt_ns_total += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            }
-            if kkt_failed {
-                // Factorization failures cannot occur mid-run (pattern and
-                // quasi-definiteness are fixed); treat defensively as a stall.
-                break;
-            }
-            self.stage_ztilde(&mut prof);
-            self.stage_x_update(&mut prof);
-            self.stage_z_projection(&mut prof);
-            self.stage_y_update(&mut prof);
-
-            let checking = k % check_every == 0 || k == max_iter;
-            if checking {
-                let res = self.stage_residuals(&mut prof);
-                final_res = Some(res);
-                if tracing {
-                    // `res.prim`/`res.dual` are the exact values a
-                    // terminating check writes into the result, so the
-                    // last Iteration event matches the returned
-                    // `SolveResult` residuals bitwise.
-                    mib_trace::record_if(
-                        true,
-                        TraceEvent::Iteration {
-                            iter: u32::try_from(k).unwrap_or(u32::MAX),
-                            prim_res: res.prim,
-                            dual_res: res.dual,
-                            rho: self.rho,
-                            pcg_iters: u32::try_from(prof.pcg_iters - pcg_reported)
-                                .unwrap_or(u32::MAX),
-                            kkt_ns: kkt_ns_total - kkt_ns_reported,
-                        },
-                    );
-                    pcg_reported = prof.pcg_iters;
-                    kkt_ns_reported = kkt_ns_total;
-                }
-                let eps_prim = self.settings.eps_abs + self.settings.eps_rel * res.prim_norm;
-                let eps_dual = self.settings.eps_abs + self.settings.eps_rel * res.dual_norm;
-                if res.prim < eps_prim && res.dual < eps_dual {
-                    status = Status::Solved;
-                    break;
-                }
-                if self.check_primal_infeasible(&mut prof) {
-                    status = Status::PrimalInfeasible;
-                    result.certificate.extend_from_slice(&self.ws.cert_y);
-                    break;
-                }
-                if self.check_dual_infeasible(&mut prof) {
-                    status = Status::DualInfeasible;
-                    result.certificate.extend_from_slice(&self.ws.cert_x);
-                    break;
-                }
-                // Adaptive PCG tolerance: tighten as the ADMM residuals
-                // fall, and halve unconditionally at every check so a
-                // stalled outer loop (caused by inexact inner solves)
-                // always escapes.
-                if self.kkt.backend() == KktBackend::Indirect {
-                    let target = 0.15
-                        * (res.prim / res.prim_norm.max(1e-12) * res.dual
-                            / res.dual_norm.max(1e-12))
-                        .sqrt();
-                    pcg_tol = (0.5 * pcg_tol).min(target).max(1e-9);
-                    self.kkt.set_tolerance(pcg_tol);
-                }
-                if self.settings.adaptive_rho && k % adapt_every == 0 {
-                    let rho_before = self.rho;
-                    let res = self.stage_adaptive_rho(res, &mut prof);
-                    final_res = Some(res);
-                    if tracing && self.rho.to_bits() != rho_before.to_bits() {
-                        mib_trace::record_if(
-                            true,
-                            TraceEvent::RhoUpdate {
-                                iter: u32::try_from(k).unwrap_or(u32::MAX),
-                                rho_old: rho_before,
-                                rho_new: self.rho,
-                            },
-                        );
-                    }
-                }
-            }
-            // Interruption boundary: cancellation and deadline polls live
-            // on their own interval so latency-sensitive callers can react
-            // faster than the (costlier) termination check. The poll reads
-            // no iterate state, so it cannot perturb a run that finishes.
-            if k % check_interval == 0 {
-                if let Some(s) = self.interruption(deadline) {
-                    status = s;
-                    break;
-                }
-            }
-            prof.admm_iters = k;
-        }
-        drop(admm_span);
-
-        // Unscale the solution directly into the result buffers.
-        self.scaling.unscale_x_into(&self.x, &mut result.x);
-        self.scaling.unscale_y_into(&self.y, &mut result.y);
-        self.scaling.unscale_z_into(&self.z, &mut result.z);
-        let res = final_res.unwrap_or(Residuals {
-            prim: f64::INFINITY,
-            dual: f64::INFINITY,
-            prim_norm: 1.0,
-            dual_norm: 1.0,
-        });
-        // obj = ½ xᵀPx + qᵀx, with Px staged through the workspace.
-        self.orig
-            .p()
-            .sym_upper_mul_vec_into(&result.x, &mut self.ws.px);
-        let obj_val =
-            0.5 * vector::dot(&result.x, &self.ws.px) + vector::dot(self.orig.q(), &result.x);
-
-        result.status = status;
-        result.obj_val = obj_val;
-        result.prim_res = res.prim;
-        result.dual_res = res.dual;
-        result.iterations = iterations;
-        result.profile = prof;
-        result.solve_time = start.elapsed();
-    }
-
-    /// Polls the external cancellation flag and the effective deadline.
-    /// Cancellation wins over timeout when both fire in the same window.
-    fn interruption(&self, deadline: Option<Instant>) -> Option<Status> {
-        if self
-            .cancel
-            .as_ref()
-            .is_some_and(|c| c.load(Ordering::Relaxed))
-        {
-            return Some(Status::Cancelled);
-        }
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            return Some(Status::TimedOut);
-        }
-        None
-    }
-
-    /// Stage 1: build the KKT right-hand side
-    /// `[σ xᵏ − q ; zᵏ − ρ⁻¹ yᵏ]` into `ws.rhs_x` / `ws.rhs_z`.
-    fn stage_rhs(&mut self, prof: &mut Profile) {
-        let ws = &mut self.ws;
-        let sigma = self.settings.sigma;
-        for j in 0..self.x.len() {
-            ws.rhs_x[j] = sigma * self.x[j] - self.q[j];
-        }
-        for i in 0..self.z.len() {
-            ws.rhs_z[i] = self.z[i] - self.rho_inv_vec[i] * self.y[i];
-        }
-        prof.add_vector((2 * self.x.len() + 2 * self.z.len()) as f64);
-    }
-
-    /// Stage 2 (after the KKT solve): `z̃ = z + ρ⁻¹(ν − y)` into
-    /// `ws.ztilde`.
-    fn stage_ztilde(&mut self, prof: &mut Profile) {
-        let ws = &mut self.ws;
-        for i in 0..self.z.len() {
-            ws.ztilde[i] = self.z[i] + self.rho_inv_vec[i] * (ws.nu[i] - self.y[i]);
-        }
-        prof.add_vector(3.0 * self.z.len() as f64);
-    }
-
-    /// Stage 3: relaxed x-update `xᵏ⁺¹ = α x̃ + (1−α) xᵏ`, recording the
-    /// step `δx` in `ws.delta_x`.
-    fn stage_x_update(&mut self, prof: &mut Profile) {
-        let ws = &mut self.ws;
-        let alpha = self.settings.alpha;
-        for j in 0..self.x.len() {
-            let x_new = alpha * ws.xtilde[j] + (1.0 - alpha) * self.x[j];
-            ws.delta_x[j] = x_new - self.x[j];
-            self.x[j] = x_new;
-        }
-        prof.add_vector(4.0 * self.x.len() as f64);
-    }
-
-    /// Stage 4: z-projection. Forms the relaxed iterate
-    /// `α z̃ + (1−α) zᵏ` (kept in `ws.z_relaxed` for the y-update) and
-    /// projects `z_relaxed + ρ⁻¹ yᵏ` onto `[l, u]`.
-    fn stage_z_projection(&mut self, prof: &mut Profile) {
-        let ws = &mut self.ws;
-        let alpha = self.settings.alpha;
-        for i in 0..self.z.len() {
-            let z_relaxed = alpha * ws.ztilde[i] + (1.0 - alpha) * self.z[i];
-            ws.z_relaxed[i] = z_relaxed;
-            let w = z_relaxed + self.rho_inv_vec[i] * self.y[i];
-            self.z[i] = w.max(self.l[i]).min(self.u[i]);
-        }
-        prof.add_vector(6.0 * self.z.len() as f64);
-    }
-
-    /// Stage 5: y-update `yᵏ⁺¹ = yᵏ + ρ (z_relaxed − zᵏ⁺¹)`, recording the
-    /// step `δy` in `ws.delta_y`.
-    fn stage_y_update(&mut self, prof: &mut Profile) {
-        let ws = &mut self.ws;
-        for i in 0..self.y.len() {
-            let y_new = self.y[i] + self.rho_vec[i] * (ws.z_relaxed[i] - self.z[i]);
-            ws.delta_y[i] = y_new - self.y[i];
-            self.y[i] = y_new;
-        }
-        prof.add_vector(3.0 * self.y.len() as f64);
-    }
-
-    /// Stage 6: unscaled residuals and their normalization terms, staged
-    /// through the workspace (`x_us`, `y_us`, `z_us`, `ax`, `px`, `aty`).
-    fn stage_residuals(&mut self, prof: &mut Profile) -> Residuals {
-        let ws = &mut self.ws;
-        self.scaling.unscale_x_into(&self.x, &mut ws.x_us);
-        self.scaling.unscale_y_into(&self.y, &mut ws.y_us);
-        self.scaling.unscale_z_into(&self.z, &mut ws.z_us);
-        let a = self.orig.a();
-        let p = self.orig.p();
-
-        a.mul_vec_into(&ws.x_us, &mut ws.ax);
-        prof.add_spmv_mac(a.nnz());
-        let prim = vector::norm_inf_diff(&ws.ax, &ws.z_us);
-        let prim_norm = vector::norm_inf(&ws.ax).max(vector::norm_inf(&ws.z_us));
-
-        p.sym_upper_mul_vec_into(&ws.x_us, &mut ws.px);
-        prof.add_spmv_mac(2 * p.nnz());
-        a.spmv_t_into(&ws.y_us, &mut ws.aty);
-        prof.add_spmv_col_elim(a.nnz());
-        let mut dual = 0.0f64;
-        for j in 0..ws.x_us.len() {
-            dual = dual.max((ws.px[j] + self.orig.q()[j] + ws.aty[j]).abs());
-        }
-        let dual_norm = vector::norm_inf(&ws.px)
-            .max(vector::norm_inf(&ws.aty))
-            .max(vector::norm_inf(self.orig.q()));
-        prof.add_vector(4.0 * (ws.x_us.len() + ws.z_us.len()) as f64);
-
-        Residuals {
-            prim,
-            dual,
-            prim_norm,
-            dual_norm,
-        }
-    }
-
-    /// Tests the primal infeasibility certificate on the unscaled `δy`.
-    /// On success the certificate is left in `ws.cert_y`.
-    fn check_primal_infeasible(&mut self, prof: &mut Profile) -> bool {
-        let eps = self.settings.eps_prim_inf;
-        let ws = &mut self.ws;
-        // Unscale: δy = E δȳ / c.
-        for i in 0..ws.delta_y.len() {
-            ws.cert_y[i] = ws.delta_y[i] * self.scaling.e[i] * self.scaling.cinv;
-        }
-        let norm = vector::norm_inf(&ws.cert_y);
-        if norm <= 0.0 {
-            return false;
-        }
-        let a = self.orig.a();
-        a.spmv_t_into(&ws.cert_y, &mut ws.aty);
-        prof.add_spmv_col_elim(a.nnz());
-        if vector::norm_inf(&ws.aty) > eps * norm {
-            return false;
-        }
-        // Support function: uᵀ(δy)₊ + lᵀ(δy)₋ must be certifiably negative.
-        // Infinite bounds (±1e30) make the sum astronomically positive when
-        // the corresponding component has the wrong sign, failing the test
-        // exactly as intended.
-        let mut lhs = 0.0;
-        for (i, &d) in ws.cert_y.iter().enumerate() {
-            if d > 0.0 {
-                lhs += self.orig.u()[i] * d;
-            } else if d < 0.0 {
-                lhs += self.orig.l()[i] * d;
-            }
-        }
-        prof.add_vector(2.0 * ws.cert_y.len() as f64);
-        lhs <= -eps * norm
-    }
-
-    /// Tests the dual infeasibility certificate on the unscaled `δx`.
-    /// On success the certificate is left in `ws.cert_x`.
-    fn check_dual_infeasible(&mut self, prof: &mut Profile) -> bool {
-        let eps = self.settings.eps_dual_inf;
-        let ws = &mut self.ws;
-        for j in 0..ws.delta_x.len() {
-            ws.cert_x[j] = ws.delta_x[j] * self.scaling.d[j];
-        }
-        let norm = vector::norm_inf(&ws.cert_x);
-        if norm <= 0.0 {
-            return false;
-        }
-        let p = self.orig.p();
-        p.sym_upper_mul_vec_into(&ws.cert_x, &mut ws.px);
-        prof.add_spmv_mac(2 * p.nnz());
-        if vector::norm_inf(&ws.px) > eps * norm {
-            return false;
-        }
-        if vector::dot(self.orig.q(), &ws.cert_x) > -eps * norm {
-            return false;
-        }
-        let a = self.orig.a();
-        a.mul_vec_into(&ws.cert_x, &mut ws.ax);
-        prof.add_spmv_mac(a.nnz());
-        prof.add_vector(2.0 * ws.cert_x.len() as f64);
-        for (i, &v) in ws.ax.iter().enumerate() {
-            let u_inf = self.orig.u()[i] >= INFTY;
-            let l_inf = self.orig.l()[i] <= -INFTY;
-            let ok = match (l_inf, u_inf) {
-                (true, true) => true,
-                (false, true) => v >= -eps * norm,
-                (true, false) => v <= eps * norm,
-                (false, false) => v.abs() <= eps * norm,
-            };
-            if !ok {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Stage 7: the OSQP adaptive-ρ rule, rebuilding the `ρ` vectors in
-    /// place if the residual balance warrants it. Returns the residuals
-    /// (unchanged) for the caller to keep as the latest snapshot.
-    fn stage_adaptive_rho(&mut self, res: Residuals, prof: &mut Profile) -> Residuals {
-        let prim_rel = res.prim / res.prim_norm.max(1e-12);
-        let dual_rel = res.dual / res.dual_norm.max(1e-12);
-        if prim_rel <= 0.0 || dual_rel <= 0.0 {
-            return res;
-        }
-        let rho_new = (self.rho * (prim_rel / dual_rel).sqrt())
-            .clamp(self.settings.rho_min, self.settings.rho_max);
-        let tol = self.settings.adaptive_rho_tolerance;
-        if rho_new > self.rho * tol || rho_new < self.rho / tol {
-            self.rho = rho_new;
-            build_rho_vec_into(
-                &self.settings,
-                rho_new,
-                &self.l,
-                &self.u,
-                &mut self.rho_vec,
-                &mut self.rho_inv_vec,
-            );
-            if self.kkt.update_rho(&self.rho_vec, prof).is_ok() {
-                prof.rho_updates += 1;
-            }
-        }
-        res
-    }
-}
-
-/// Builds the per-constraint step sizes: equality rows get
-/// `ρ · rho_eq_scale`, loose rows get `rho_min`, everything else `ρ`.
-fn build_rho_vec(settings: &Settings, rho: f64, l: &[f64], u: &[f64]) -> (Vec<f64>, Vec<f64>) {
-    let mut rho_vec = vec![0.0; l.len()];
-    let mut rho_inv_vec = vec![0.0; l.len()];
-    build_rho_vec_into(settings, rho, l, u, &mut rho_vec, &mut rho_inv_vec);
-    (rho_vec, rho_inv_vec)
-}
-
-/// In-place form of [`build_rho_vec`], used on the allocation-free
-/// adaptive-ρ path.
-fn build_rho_vec_into(
-    settings: &Settings,
-    rho: f64,
-    l: &[f64],
-    u: &[f64],
-    rho_vec: &mut [f64],
-    rho_inv_vec: &mut [f64],
-) {
-    for (i, (&lo, &hi)) in l.iter().zip(u).enumerate() {
-        let r = rho_for(settings, rho, lo, hi);
-        rho_vec[i] = r;
-        rho_inv_vec[i] = 1.0 / r;
-    }
-}
-
-/// Per-row step size from the bound classification of `(lo, hi)`.
-fn rho_for(settings: &Settings, rho: f64, lo: f64, hi: f64) -> f64 {
-    if lo <= -INFTY && hi >= INFTY {
-        settings.rho_min
-    } else if lo == hi {
-        (rho * settings.rho_eq_scale).clamp(settings.rho_min, settings.rho_max)
-    } else {
-        rho
+        self.inner.solve_into(result);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{KktBackend, Status};
     use mib_sparse::CscMatrix;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn box_qp(backend: KktBackend) -> SolveResult {
         // minimize x0^2 + x1^2 - x0 - x1 s.t. 0 <= x <= 0.3
@@ -832,6 +215,7 @@ mod tests {
     fn solves_box_qp_direct() {
         let r = box_qp(KktBackend::Direct);
         assert_eq!(r.status, Status::Solved);
+        assert_eq!(r.algorithm, Algorithm::Admm);
         assert!((r.x[0] - 0.3).abs() < 1e-4, "x0 = {}", r.x[0]);
         assert!((r.x[1] - 0.3).abs() < 1e-4);
         // Active upper bounds => positive duals y = -(Px+q) = 1 - 2*0.3 = 0.4.
@@ -844,6 +228,55 @@ mod tests {
         assert_eq!(r.status, Status::Solved);
         assert!((r.x[0] - 0.3).abs() < 1e-4);
         assert!(r.profile.pcg_iters > 0, "indirect run must use PCG");
+    }
+
+    #[test]
+    fn solves_box_qp_pdqp() {
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::identity(2);
+        let problem = Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![0.3; 2]).unwrap();
+        let settings = Settings {
+            algorithm: Algorithm::Pdqp,
+            max_iter: 200_000,
+            ..Settings::default()
+        };
+        let mut solver = Solver::new(problem, settings).unwrap();
+        assert_eq!(solver.algorithm(), Algorithm::Pdqp);
+        let r = solver.solve();
+        assert_eq!(r.status, Status::Solved);
+        assert_eq!(r.algorithm, Algorithm::Pdqp);
+        assert!((r.x[0] - 0.3).abs() < 1e-2, "x0 = {}", r.x[0]);
+        assert!((r.x[1] - 0.3).abs() < 1e-2);
+        assert!(r.profile.pcg_iters == 0, "PDQP never solves a KKT system");
+    }
+
+    #[test]
+    fn pdqp_and_admm_agree_on_the_solution() {
+        let p = CscMatrix::from_dense(3, 3, &[3.0, 1.0, 0.0, 0.0, 2.0, 0.5, 0.0, 0.0, 1.0])
+            .upper_triangle()
+            .unwrap();
+        let a = CscMatrix::from_dense(2, 3, &[1.0, 1.0, 1.0, 1.0, -1.0, 0.0]);
+        let problem =
+            Problem::new(p, vec![-1.0, 0.5, 1.0], a, vec![1.0, -0.3], vec![1.0, 0.3]).unwrap();
+        let tight = |algorithm| Settings {
+            algorithm,
+            eps_abs: 1e-6,
+            eps_rel: 1e-6,
+            max_iter: 500_000,
+            ..Settings::default()
+        };
+        let ra = Solver::new(problem.clone(), tight(Algorithm::Admm))
+            .unwrap()
+            .solve();
+        let rp = Solver::new(problem, tight(Algorithm::Pdqp))
+            .unwrap()
+            .solve();
+        assert_eq!(ra.status, Status::Solved);
+        assert_eq!(rp.status, Status::Solved, "pdqp prim {}", rp.prim_res);
+        for (u, v) in ra.x.iter().zip(&rp.x) {
+            assert!((u - v).abs() < 1e-3, "{u} vs {v}");
+        }
+        assert!((ra.obj_val - rp.obj_val).abs() < 1e-4);
     }
 
     #[test]
@@ -862,6 +295,22 @@ mod tests {
         assert!((r.x[0] - 0.5).abs() < 1e-5);
         assert!((r.x[1] - 0.5).abs() < 1e-5);
         assert!((r.obj_val - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pdqp_solves_equality_constrained_qp() {
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::from_dense(1, 2, &[1.0, 1.0]);
+        let problem = Problem::new(p, vec![0.0; 2], a, vec![1.0], vec![1.0]).unwrap();
+        let settings = Settings {
+            algorithm: Algorithm::Pdqp,
+            max_iter: 500_000,
+            ..Settings::default()
+        };
+        let r = Solver::new(problem, settings).unwrap().solve();
+        assert_eq!(r.status, Status::Solved, "prim {}", r.prim_res);
+        assert!((r.x[0] - 0.5).abs() < 1e-2);
+        assert!((r.x[1] - 0.5).abs() < 1e-2);
     }
 
     #[test]
@@ -1002,126 +451,6 @@ mod tests {
         assert_eq!(r.status, Status::Solved);
     }
 
-    fn staged_solver() -> Solver {
-        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
-        let a = CscMatrix::from_dense(3, 2, &[1.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
-        let problem = Problem::new(
-            p,
-            vec![-1.0, 0.5],
-            a,
-            vec![-1.0, 0.0, 0.0],
-            vec![1.0, 0.8, 0.8],
-        )
-        .unwrap();
-        // Keep stage arithmetic easy to verify: no scaling.
-        let s = Settings {
-            scaling_iters: 0,
-            ..Settings::default()
-        };
-        Solver::new(problem, s).unwrap()
-    }
-
-    #[test]
-    fn stage_rhs_builds_kkt_rhs() {
-        let mut solver = staged_solver();
-        solver.x.copy_from_slice(&[0.5, -0.25]);
-        solver.z.copy_from_slice(&[0.1, 0.2, 0.3]);
-        solver.y.copy_from_slice(&[1.0, -1.0, 0.5]);
-        let mut prof = Profile::default();
-        solver.stage_rhs(&mut prof);
-        let sigma = solver.settings.sigma;
-        for j in 0..2 {
-            let want = sigma * solver.x[j] - solver.q[j];
-            assert_eq!(solver.ws.rhs_x[j], want);
-        }
-        for i in 0..3 {
-            let want = solver.z[i] - solver.rho_inv_vec[i] * solver.y[i];
-            assert_eq!(solver.ws.rhs_z[i], want);
-        }
-        assert!(prof.ops.elementwise > 0.0);
-    }
-
-    #[test]
-    fn stage_x_update_applies_relaxation() {
-        let mut solver = staged_solver();
-        solver.x.copy_from_slice(&[1.0, 2.0]);
-        solver.ws.xtilde.copy_from_slice(&[3.0, -2.0]);
-        let alpha = solver.settings.alpha;
-        let mut prof = Profile::default();
-        solver.stage_x_update(&mut prof);
-        for j in 0..2 {
-            let x_old = [1.0, 2.0][j];
-            let want = alpha * solver.ws.xtilde[j] + (1.0 - alpha) * x_old;
-            assert_eq!(solver.x[j], want);
-            assert_eq!(solver.ws.delta_x[j], want - x_old);
-        }
-    }
-
-    #[test]
-    fn z_projection_then_y_update_matches_fused_reference() {
-        let mut solver = staged_solver();
-        let z0 = [0.9, -0.4, 0.85];
-        let y0 = [0.3, -0.6, 0.0];
-        let ztilde = [1.5, 0.1, -0.2];
-        solver.z.copy_from_slice(&z0);
-        solver.y.copy_from_slice(&y0);
-        solver.ws.ztilde.copy_from_slice(&ztilde);
-        let mut prof = Profile::default();
-        solver.stage_z_projection(&mut prof);
-        solver.stage_y_update(&mut prof);
-        // Reference: the fused per-element update.
-        let alpha = solver.settings.alpha;
-        for i in 0..3 {
-            let z_relaxed = alpha * ztilde[i] + (1.0 - alpha) * z0[i];
-            let w = z_relaxed + solver.rho_inv_vec[i] * y0[i];
-            let z_new = w.max(solver.l[i]).min(solver.u[i]);
-            let y_new = y0[i] + solver.rho_vec[i] * (z_relaxed - z_new);
-            assert_eq!(solver.z[i], z_new, "z[{i}]");
-            assert_eq!(solver.y[i], y_new, "y[{i}]");
-            assert_eq!(solver.ws.delta_y[i], y_new - y0[i], "delta_y[{i}]");
-        }
-    }
-
-    #[test]
-    fn stage_residuals_matches_direct_computation() {
-        let mut solver = staged_solver();
-        solver.x.copy_from_slice(&[0.4, 0.2]);
-        solver.z.copy_from_slice(&[0.6, 0.4, 0.2]);
-        solver.y.copy_from_slice(&[0.1, 0.0, -0.1]);
-        let mut prof = Profile::default();
-        let res = solver.stage_residuals(&mut prof);
-        // With identity scaling the unscaled iterates are the iterates.
-        let a = solver.orig.a();
-        let ax = a.mul_vec(&[0.4, 0.2]);
-        let prim = vector::norm_inf_diff(&ax, &[0.6, 0.4, 0.2]);
-        assert_eq!(res.prim, prim);
-        let px = solver.orig.p().sym_upper_mul_vec(&[0.4, 0.2]);
-        let aty = a.tr_mul_vec(&[0.1, 0.0, -0.1]);
-        let mut dual = 0.0f64;
-        for j in 0..2 {
-            dual = dual.max((px[j] + solver.orig.q()[j] + aty[j]).abs());
-        }
-        assert_eq!(res.dual, dual);
-    }
-
-    #[test]
-    fn build_rho_vec_into_matches_allocating() {
-        let s = Settings::default();
-        let l = [-2e30, 1.0, 0.0];
-        let u = [2e30, 1.0, 5.0];
-        let (rv, riv) = build_rho_vec(&s, 0.25, &l, &u);
-        assert_eq!(rv[0], s.rho_min, "loose row");
-        assert_eq!(
-            rv[1],
-            (0.25 * s.rho_eq_scale).clamp(s.rho_min, s.rho_max),
-            "equality row"
-        );
-        assert_eq!(rv[2], 0.25, "inequality row");
-        for (a, b) in rv.iter().zip(&riv) {
-            assert_eq!(*b, 1.0 / *a);
-        }
-    }
-
     #[test]
     fn solve_into_reuses_result_buffers() {
         let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
@@ -1183,6 +512,33 @@ mod tests {
         solver.reset();
         let r = solver.solve();
         assert_eq!(r.status, Status::Solved);
+    }
+
+    #[test]
+    fn pdqp_honors_cancellation_and_deadlines() {
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::identity(2);
+        let problem = Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![0.3; 2]).unwrap();
+        let settings = Settings {
+            algorithm: Algorithm::Pdqp,
+            check_interval: 1,
+            max_iter: 200_000,
+            ..Settings::default()
+        };
+        let mut solver = Solver::new(problem, settings).unwrap();
+        let flag = Arc::new(AtomicBool::new(true));
+        solver.set_cancel_flag(Some(flag.clone()));
+        let r = solver.solve();
+        assert_eq!(r.status, Status::Cancelled);
+        assert_eq!(r.iterations, 0, "pre-cancelled run must not iterate");
+        flag.store(false, Ordering::Relaxed);
+        solver.set_cancel_flag(None);
+        solver.set_deadline(Some(Instant::now()));
+        solver.reset();
+        assert_eq!(solver.solve().status, Status::TimedOut);
+        solver.set_deadline(None);
+        solver.reset();
+        assert_eq!(solver.solve().status, Status::Solved);
     }
 
     #[test]
@@ -1261,7 +617,7 @@ mod tests {
         assert_eq!(first.status, Status::Solved);
 
         let mut a1 = Solver::new(problem.clone(), Settings::default()).unwrap();
-        a1.warm_start_from(&first);
+        a1.warm_start_from(&first).unwrap();
         let via_result = a1.solve();
         let mut a2 = Solver::new(problem, Settings::default()).unwrap();
         a2.warm_start(&first.x, &first.y);
@@ -1269,6 +625,39 @@ mod tests {
         assert_eq!(via_result.x, via_slices.x);
         assert_eq!(via_result.iterations, via_slices.iterations);
         assert!(via_result.iterations <= first.iterations);
+    }
+
+    #[test]
+    fn warm_start_from_rejects_wrong_dimensions() {
+        let p = CscMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 2.0]);
+        let a = CscMatrix::identity(2);
+        let problem = Problem::new(p, vec![-1.0, -1.0], a, vec![0.0; 2], vec![0.3; 2]).unwrap();
+        let other = Problem::new(
+            CscMatrix::identity(3),
+            vec![0.0; 3],
+            CscMatrix::identity(3),
+            vec![-1.0; 3],
+            vec![1.0; 3],
+        )
+        .unwrap();
+        let foreign = Solver::new(other, Settings::default()).unwrap().solve();
+
+        for algorithm in Algorithm::all() {
+            let mut solver =
+                Solver::new(problem.clone(), Settings::with_algorithm(algorithm)).unwrap();
+            let err = solver.warm_start_from(&foreign).unwrap_err();
+            assert!(
+                matches!(err, QpError::InvalidProblem(_)),
+                "{algorithm}: {err}"
+            );
+            // The rejected warm start must leave the solver untouched.
+            let cold = Solver::new(problem.clone(), Settings::with_algorithm(algorithm))
+                .unwrap()
+                .solve();
+            let after = solver.solve();
+            assert_eq!(after.x, cold.x, "{algorithm}: iterates were perturbed");
+            assert_eq!(after.iterations, cold.iterations);
+        }
     }
 
     #[test]

@@ -30,19 +30,22 @@
 
 use mib_trace::{Category, Event, Trace};
 
-/// One termination-check snapshot of the ADMM iteration.
+/// One termination-check snapshot of the solver iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationRecord {
-    /// 1-based ADMM iteration index of the check.
+    /// Algorithm that produced the record (`"admm"`, `"pdqp"`).
+    pub algo: &'static str,
+    /// 1-based solver iteration index of the check.
     pub iter: u32,
     /// Unscaled primal residual (bitwise the value a terminating check
     /// reports in [`SolveResult::prim_res`](crate::SolveResult)).
     pub prim_res: f64,
     /// Unscaled dual residual.
     pub dual_res: f64,
-    /// Scalar `ρ` in effect at the check.
+    /// Base step size in effect at the check (`ρ` for ADMM, `τ` for PDQP).
     pub rho: f64,
-    /// PCG iterations since the previous check (0 on the direct backend).
+    /// PCG iterations since the previous check (0 on the direct backend
+    /// and for PDQP).
     pub pcg_iters: u32,
     /// Nanoseconds spent in the KKT backend since the previous check.
     pub kkt_ns: u64,
@@ -95,6 +98,7 @@ impl SolveTrace {
             for record in &thread.records {
                 match record.event {
                     Event::Iteration {
+                        algo,
                         iter,
                         prim_res,
                         dual_res,
@@ -102,6 +106,7 @@ impl SolveTrace {
                         pcg_iters,
                         kkt_ns,
                     } => out.iterations.push(IterationRecord {
+                        algo,
                         iter,
                         prim_res,
                         dual_res,
@@ -190,6 +195,7 @@ mod tests {
                 ts_ns: 20,
                 span: 2,
                 event: Event::Iteration {
+                    algo: "admm",
                     iter: 25,
                     prim_res: 0.5,
                     dual_res: 0.25,
@@ -211,6 +217,7 @@ mod tests {
                 ts_ns: 30,
                 span: 2,
                 event: Event::Iteration {
+                    algo: "admm",
                     iter: 50,
                     prim_res: 5e-4,
                     dual_res: 2e-4,
@@ -239,6 +246,7 @@ mod tests {
         };
         let t = SolveTrace::collect(&trace);
         assert_eq!(t.iterations.len(), 2);
+        assert_eq!(t.iterations[0].algo, "admm");
         assert_eq!(t.last_iteration().unwrap().iter, 50);
         assert_eq!(t.total_pcg_iters(), 13);
         assert_eq!(t.total_kkt_ns(), 1000);

@@ -1,5 +1,6 @@
 use std::time::Duration;
 
+use crate::backend::Algorithm;
 use crate::profile::Profile;
 
 /// Outcome of a solver run.
@@ -53,6 +54,8 @@ impl std::fmt::Display for Status {
 pub struct SolveResult {
     /// Termination status.
     pub status: Status,
+    /// Which solver algorithm produced this result.
+    pub algorithm: Algorithm,
     /// Primal solution `x` (original, unscaled space). For infeasible
     /// statuses this holds the last iterate.
     pub x: Vec<f64>,
@@ -77,6 +80,28 @@ pub struct SolveResult {
     /// The certificate vector for infeasible statuses (`δy` for primal,
     /// `δx` for dual), empty otherwise.
     pub certificate: Vec<f64>,
+}
+
+impl Default for SolveResult {
+    /// An empty placeholder result (status [`Status::MaxIterations`],
+    /// infinite residuals, no iterates) suitable as the target of a first
+    /// [`solve_into`](crate::Solver::solve_into) call.
+    fn default() -> Self {
+        SolveResult {
+            status: Status::MaxIterations,
+            algorithm: Algorithm::default(),
+            x: Vec::new(),
+            y: Vec::new(),
+            z: Vec::new(),
+            obj_val: 0.0,
+            prim_res: f64::INFINITY,
+            dual_res: f64::INFINITY,
+            iterations: 0,
+            profile: Profile::default(),
+            solve_time: Duration::ZERO,
+            certificate: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! The solver stack below this crate answers one question: *how fast can
 //! one problem be solved?* This crate answers the production question:
 //! *how are thousands of parametric solves served concurrently without
-//! losing the determinism story?* It is built from four pieces:
+//! losing the determinism story?* It is built from five pieces:
 //!
 //! - **Pattern sharding** ([`PatternKey`]): requests route by the
 //!   structural identity of their QP (sparsity patterns + dimensions +
@@ -20,6 +20,11 @@
 //! - **Metrics** ([`Metrics`]): lock-free counters and fixed-bucket
 //!   histograms wired through submit → queue → solve → complete, with a
 //!   text snapshot export.
+//! - **Portfolio routing** ([`BackendRouter`]): a problem registered
+//!   under several solver algorithms (`register_portfolio`) is served by
+//!   the backend whose recorded solve telemetry converges fastest for
+//!   that structure, with an optional shadow-audit mode cross-checking a
+//!   sampled fraction of answers between backends.
 //!
 //! # Determinism contract
 //!
@@ -65,10 +70,14 @@
 mod metrics;
 mod pattern;
 mod request;
+mod router;
 mod server;
 mod shard;
 
-pub use metrics::{Counters, Histogram, Metrics, DEPTH_BUCKETS, LATENCY_BUCKETS_US};
+pub use metrics::{
+    BackendCounters, Counters, Histogram, Metrics, DEPTH_BUCKETS, LATENCY_BUCKETS_US,
+};
 pub use pattern::PatternKey;
 pub use request::{Outcome, RegisterError, Request, Response, SubmitError, Ticket};
-pub use server::{QpServer, ServeConfig, TenantId};
+pub use router::BackendRouter;
+pub use server::{PortfolioId, QpServer, ServeConfig, TenantId};

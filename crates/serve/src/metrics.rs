@@ -12,6 +12,8 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use mib_qp::{Algorithm, ALGORITHM_COUNT};
+
 /// Relaxed ordering everywhere: counters are statistics, not
 /// synchronization.
 const ORD: Ordering = Ordering::Relaxed;
@@ -196,6 +198,80 @@ counters! {
     batches,
     /// Requests served through micro-batches (sum of batch sizes).
     batched_requests,
+    /// Portfolio submissions routed by the backend router and admitted.
+    routed_portfolio,
+    /// Shadow audits started (a sampled request re-solved on a second
+    /// backend).
+    shadow_audits,
+    /// Shadow audits where both backends reached consistent answers.
+    shadow_agreements,
+    /// Shadow audits where the backends disagreed beyond tolerance.
+    shadow_mismatches,
+    /// Shadow audits with no verdict (either solve non-terminal).
+    shadow_inconclusive,
+}
+
+/// Per-backend solve counters: every cell is keyed by
+/// [`Algorithm::index`], and the rendered snapshot labels each line with
+/// a `backend="..."` dimension
+/// (`mib_serve_backend_solves_total{backend="admm"}`).
+#[derive(Debug, Default)]
+pub struct BackendCounters {
+    solves: [AtomicU64; ALGORITHM_COUNT],
+    solved: [AtomicU64; ALGORITHM_COUNT],
+    iterations: [AtomicU64; ALGORITHM_COUNT],
+    solve_micros: [AtomicU64; ALGORITHM_COUNT],
+}
+
+impl BackendCounters {
+    /// Records one terminal solve served by `algorithm`.
+    pub fn record(&self, algorithm: Algorithm, converged: bool, iterations: u64, micros: u64) {
+        let i = algorithm.index();
+        self.solves[i].fetch_add(1, ORD);
+        if converged {
+            self.solved[i].fetch_add(1, ORD);
+        }
+        self.iterations[i].fetch_add(iterations, ORD);
+        self.solve_micros[i].fetch_add(micros, ORD);
+    }
+
+    /// Terminal solves served by `algorithm`.
+    pub fn solves(&self, algorithm: Algorithm) -> u64 {
+        self.solves[algorithm.index()].load(ORD)
+    }
+
+    /// Converged solves served by `algorithm`.
+    pub fn solved(&self, algorithm: Algorithm) -> u64 {
+        self.solved[algorithm.index()].load(ORD)
+    }
+
+    /// Total solver iterations spent by `algorithm`.
+    pub fn iterations(&self, algorithm: Algorithm) -> u64 {
+        self.iterations[algorithm.index()].load(ORD)
+    }
+
+    /// Total solve wall time spent by `algorithm`, µs.
+    pub fn solve_micros(&self, algorithm: Algorithm) -> u64 {
+        self.solve_micros[algorithm.index()].load(ORD)
+    }
+
+    fn render_into(&self, out: &mut String) {
+        for (name, cells) in [
+            ("solves", &self.solves),
+            ("solved", &self.solved),
+            ("iterations", &self.iterations),
+            ("solve_micros", &self.solve_micros),
+        ] {
+            for algo in Algorithm::all() {
+                let _ = writeln!(
+                    out,
+                    "mib_serve_backend_{name}_total{{backend=\"{}\"}} {}",
+                    algo.name(),
+                    cells[algo.index()].load(ORD)
+                );
+            }
+        }
+    }
 }
 
 /// The serving metrics registry: counters plus latency/depth histograms.
@@ -206,6 +282,8 @@ counters! {
 pub struct Metrics {
     /// Event counters.
     pub counters: Counters,
+    /// Per-backend (algorithm-labelled) solve counters.
+    pub backend: BackendCounters,
     /// Time from submission to the start of the solve, µs.
     pub queue_wait: Histogram<10>,
     /// Solve (service) time, µs.
@@ -220,6 +298,7 @@ impl Default for Metrics {
     fn default() -> Self {
         Metrics {
             counters: Counters::default(),
+            backend: BackendCounters::default(),
             queue_wait: Histogram::new(LATENCY_BUCKETS_US),
             service: Histogram::new(LATENCY_BUCKETS_US),
             e2e: Histogram::new(LATENCY_BUCKETS_US),
@@ -245,6 +324,7 @@ impl Metrics {
     pub fn render(&self) -> String {
         let mut out = String::new();
         self.counters.render_into(&mut out);
+        self.backend.render_into(&mut out);
         self.queue_wait
             .render_into("mib_serve_queue_wait_micros", &mut out);
         self.service
@@ -315,6 +395,25 @@ mod tests {
         assert!(text.contains("mib_serve_queue_wait_micros_count 1"));
         assert!(text.contains("mib_serve_queue_depth_bucket{le=\"1\"} 1"));
         assert!(text.contains("mib_serve_e2e_micros_bucket{le=\"+Inf\"} 0"));
+    }
+
+    #[test]
+    fn backend_counters_render_with_a_backend_label() {
+        let m = Metrics::new();
+        m.backend.record(Algorithm::Admm, true, 75, 1200);
+        m.backend.record(Algorithm::Admm, false, 4000, 9000);
+        m.backend.record(Algorithm::Pdqp, true, 310, 800);
+        assert_eq!(m.backend.solves(Algorithm::Admm), 2);
+        assert_eq!(m.backend.solved(Algorithm::Admm), 1);
+        assert_eq!(m.backend.iterations(Algorithm::Admm), 4075);
+        assert_eq!(m.backend.solve_micros(Algorithm::Pdqp), 800);
+        let text = m.render();
+        assert!(text.contains("mib_serve_backend_solves_total{backend=\"admm\"} 2"));
+        assert!(text.contains("mib_serve_backend_solves_total{backend=\"pdqp\"} 1"));
+        assert!(text.contains("mib_serve_backend_solved_total{backend=\"pdqp\"} 1"));
+        assert!(text.contains("mib_serve_backend_iterations_total{backend=\"admm\"} 4075"));
+        assert!(text.contains("mib_serve_shadow_mismatches_total 0"));
+        assert!(text.contains("mib_serve_routed_portfolio_total 0"));
     }
 
     #[test]

@@ -1,49 +1,77 @@
 //! Structural identity of a QP: the shard routing key.
 //!
 //! Two problems land on the same shard exactly when their `P`/`A`
-//! sparsity patterns, dimensions and KKT backend agree. Values (`P`/`A`
-//! entries, `q`, `l`, `u`) deliberately do **not** participate: they are
-//! per-tenant/per-request data, and the shard exists to share the
-//! structure-keyed machinery (worker threads, micro-batch queues, warm
-//! solver pools) across everything with the same shape.
+//! sparsity patterns, dimensions, KKT backend and solver algorithm
+//! agree. Values (`P`/`A` entries, `q`, `l`, `u`) deliberately do
+//! **not** participate: they are per-tenant/per-request data, and the
+//! shard exists to share the structure-keyed machinery (worker threads,
+//! micro-batch queues, warm solver pools) across everything with the
+//! same shape.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use mib_qp::{KktBackend, Problem};
+use mib_qp::{Algorithm, KktBackend, Problem};
 use mib_sparse::CscMatrix;
 
 /// Structural hash key of a QP family: dimensions, `P`/`A` sparsity
-/// patterns and the KKT backend.
+/// patterns, the KKT backend and the solver algorithm.
 ///
 /// The key stores the full structural stream (not just a digest), so two
 /// distinct patterns can never collide; the 64-bit [`digest`] is a cheap
-/// fingerprint for display and map hashing only.
+/// fingerprint for display and map hashing only. The solver identity
+/// (backend, algorithm) sits at the end of the stream, so the
+/// pure-structure prefix yields a second fingerprint,
+/// [`structure_digest`], shared by every solver variant of the same
+/// shape — the portfolio router compares backends under that key.
 ///
 /// [`digest`]: PatternKey::digest
+/// [`structure_digest`]: PatternKey::structure_digest
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternKey {
     stream: Vec<u64>,
     digest: u64,
+    structure_digest: u64,
 }
 
+/// Trailing stream words that identify the solver rather than the
+/// problem structure: the KKT backend and the algorithm.
+const SOLVER_IDENTITY_WORDS: usize = 2;
+
 impl PatternKey {
-    /// The structural key of `problem` solved with `backend`.
-    pub fn of(problem: &Problem, backend: KktBackend) -> Self {
+    /// The structural key of `problem` solved with `backend` by
+    /// `algorithm`.
+    pub fn of(problem: &Problem, backend: KktBackend, algorithm: Algorithm) -> Self {
         let mut stream = Vec::new();
         stream.push(problem.num_vars() as u64);
         stream.push(problem.num_constraints() as u64);
-        stream.push(backend as u64);
         push_structure(&mut stream, problem.p());
         push_structure(&mut stream, problem.a());
+        // Solver identity goes last so the structure-only prefix is a
+        // stream prefix.
+        stream.push(backend as u64);
+        stream.push(algorithm.index() as u64);
         let digest = fnv1a(&stream);
-        PatternKey { stream, digest }
+        let structure_digest = fnv1a(&stream[..stream.len() - SOLVER_IDENTITY_WORDS]);
+        PatternKey {
+            stream,
+            digest,
+            structure_digest,
+        }
     }
 
     /// A 64-bit fingerprint of the pattern (FNV-1a over the structural
     /// stream). Collision-tolerant uses only: display, hashing.
     pub fn digest(&self) -> u64 {
         self.digest
+    }
+
+    /// Fingerprint of the problem structure alone (dimensions and
+    /// `P`/`A` sparsity, no backend/algorithm): equal across every
+    /// solver variant of the same shape. The backend router keys its
+    /// telemetry on this.
+    pub fn structure_digest(&self) -> u64 {
+        self.structure_digest
     }
 }
 
@@ -105,15 +133,28 @@ mod tests {
 
     #[test]
     fn same_structure_same_key_despite_values() {
-        let a = PatternKey::of(&problem(&[4.0, 1.0, 2.0, 1.0], 0.7), KktBackend::Direct);
-        let b = PatternKey::of(&problem(&[9.0, 3.0, 5.0, 2.0], 0.2), KktBackend::Direct);
+        let a = PatternKey::of(
+            &problem(&[4.0, 1.0, 2.0, 1.0], 0.7),
+            KktBackend::Direct,
+            Algorithm::Admm,
+        );
+        let b = PatternKey::of(
+            &problem(&[9.0, 3.0, 5.0, 2.0], 0.2),
+            KktBackend::Direct,
+            Algorithm::Admm,
+        );
         assert_eq!(a, b);
         assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.structure_digest(), b.structure_digest());
     }
 
     #[test]
-    fn structure_or_backend_change_changes_key() {
-        let base = PatternKey::of(&problem(&[4.0, 1.0, 2.0, 1.0], 0.7), KktBackend::Direct);
+    fn structure_backend_or_algorithm_change_changes_key() {
+        let base = PatternKey::of(
+            &problem(&[4.0, 1.0, 2.0, 1.0], 0.7),
+            KktBackend::Direct,
+            Algorithm::Admm,
+        );
         // Extra structural nonzero in A.
         let p = CscMatrix::from_dense(2, 2, &[4.0, 1.0, 0.0, 2.0])
             .upper_triangle()
@@ -127,16 +168,49 @@ mod tests {
             vec![1.0, 0.7, 0.7],
         )
         .unwrap();
-        assert_ne!(base, PatternKey::of(&other, KktBackend::Direct));
         assert_ne!(
             base,
-            PatternKey::of(&problem(&[4.0, 1.0, 2.0, 1.0], 0.7), KktBackend::Indirect)
+            PatternKey::of(&other, KktBackend::Direct, Algorithm::Admm)
+        );
+        assert_ne!(
+            base,
+            PatternKey::of(
+                &problem(&[4.0, 1.0, 2.0, 1.0], 0.7),
+                KktBackend::Indirect,
+                Algorithm::Admm
+            )
+        );
+        assert_ne!(
+            base,
+            PatternKey::of(
+                &problem(&[4.0, 1.0, 2.0, 1.0], 0.7),
+                KktBackend::Direct,
+                Algorithm::Pdqp
+            )
         );
     }
 
     #[test]
+    fn solver_variants_share_the_structure_digest() {
+        let spec = problem(&[4.0, 1.0, 2.0, 1.0], 0.7);
+        let keys = [
+            PatternKey::of(&spec, KktBackend::Direct, Algorithm::Admm),
+            PatternKey::of(&spec, KktBackend::Indirect, Algorithm::Admm),
+            PatternKey::of(&spec, KktBackend::Direct, Algorithm::Pdqp),
+        ];
+        for k in &keys[1..] {
+            assert_ne!(keys[0].digest(), k.digest());
+            assert_eq!(keys[0].structure_digest(), k.structure_digest());
+        }
+    }
+
+    #[test]
     fn display_is_stable_hex() {
-        let k = PatternKey::of(&problem(&[4.0, 1.0, 2.0, 1.0], 0.7), KktBackend::Direct);
+        let k = PatternKey::of(
+            &problem(&[4.0, 1.0, 2.0, 1.0], 0.7),
+            KktBackend::Direct,
+            Algorithm::Admm,
+        );
         let s = k.to_string();
         assert_eq!(s.len(), 16);
         assert_eq!(s, format!("{:016x}", k.digest()));

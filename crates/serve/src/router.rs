@@ -1,0 +1,177 @@
+//! Telemetry-driven backend routing for portfolio tenants.
+//!
+//! A portfolio registers the same problem under several solver variants
+//! (ADMM, PDQP, ...). The router keeps, per problem *structure* (the
+//! algorithm-agnostic [`structure_digest`]) and per [`Algorithm`], an
+//! exponentially weighted moving average of observed solve times fed
+//! back from the workers' per-solve telemetry. Routed submissions go to
+//! the algorithm that has historically converged fastest on that
+//! structure; until every candidate has a minimal sample count the
+//! router explores (round-robins onto the least-sampled candidate), so
+//! a cold portfolio measures each backend before committing.
+//!
+//! [`structure_digest`]: crate::PatternKey::structure_digest
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use mib_qp::{Algorithm, ALGORITHM_COUNT};
+
+/// EWMA smoothing factor: one observation moves the average 30% of the
+/// way to the new sample — responsive to drift, robust to one outlier.
+const ALPHA: f64 = 0.3;
+
+/// Observations a candidate needs before the router trusts its EWMA;
+/// below this the candidate is explored unconditionally.
+const MIN_SAMPLES: u64 = 2;
+
+/// Per-(structure, algorithm) routing state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Arm {
+    samples: u64,
+    ewma_us: f64,
+}
+
+/// Routes portfolio submissions to the historically fastest backend for
+/// each problem structure. Shared (`Arc`) between the server front door
+/// (choice) and the shard workers (feedback); internally a mutex over a
+/// small per-structure table — touched once per routed request, never
+/// inside a solve.
+#[derive(Debug, Default)]
+pub struct BackendRouter {
+    arms: Mutex<HashMap<u64, [Arm; ALGORITHM_COUNT]>>,
+}
+
+impl BackendRouter {
+    /// An empty router.
+    pub fn new() -> Self {
+        BackendRouter::default()
+    }
+
+    /// Feeds back one observed solve: `micros` of wall time for
+    /// `algorithm` on the structure identified by `structure`.
+    pub fn record(&self, structure: u64, algorithm: Algorithm, micros: f64) {
+        let mut arms = self.arms.lock().expect("router lock");
+        let arm = &mut arms.entry(structure).or_default()[algorithm.index()];
+        arm.samples += 1;
+        arm.ewma_us = if arm.samples == 1 {
+            micros
+        } else {
+            ALPHA * micros + (1.0 - ALPHA) * arm.ewma_us
+        };
+    }
+
+    /// Picks the candidate to serve the next request on `structure`.
+    ///
+    /// Candidates with fewer than [`MIN_SAMPLES`] observations are
+    /// explored first (fewest samples wins, ties broken by candidate
+    /// order); once all are warmed the lowest EWMA wins (ties again by
+    /// candidate order), so the choice is deterministic given the
+    /// telemetry history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn choose(&self, structure: u64, candidates: &[Algorithm]) -> Algorithm {
+        assert!(
+            !candidates.is_empty(),
+            "choose needs at least one candidate"
+        );
+        let arms = self.arms.lock().expect("router lock");
+        let row = arms.get(&structure).copied().unwrap_or_default();
+        let cold = candidates
+            .iter()
+            .filter(|a| row[a.index()].samples < MIN_SAMPLES)
+            .min_by_key(|a| row[a.index()].samples);
+        if let Some(&a) = cold {
+            return a;
+        }
+        *candidates
+            .iter()
+            .min_by(|a, b| row[a.index()].ewma_us.total_cmp(&row[b.index()].ewma_us))
+            .expect("candidates is non-empty")
+    }
+
+    /// Observations recorded for (`structure`, `algorithm`).
+    pub fn samples(&self, structure: u64, algorithm: Algorithm) -> u64 {
+        self.arms
+            .lock()
+            .expect("router lock")
+            .get(&structure)
+            .map_or(0, |row| row[algorithm.index()].samples)
+    }
+
+    /// Current EWMA solve time in µs, or `None` before any observation.
+    pub fn ewma_micros(&self, structure: u64, algorithm: Algorithm) -> Option<f64> {
+        self.arms
+            .lock()
+            .expect("router lock")
+            .get(&structure)
+            .and_then(|row| {
+                let arm = row[algorithm.index()];
+                (arm.samples > 0).then_some(arm.ewma_us)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOTH: [Algorithm; 2] = [Algorithm::Admm, Algorithm::Pdqp];
+
+    #[test]
+    fn cold_router_explores_every_candidate_first() {
+        let r = BackendRouter::new();
+        // No samples at all: candidate order breaks the tie.
+        assert_eq!(r.choose(7, &BOTH), Algorithm::Admm);
+        r.record(7, Algorithm::Admm, 100.0);
+        // ADMM has 1 sample, PDQP 0: PDQP is now the least sampled.
+        assert_eq!(r.choose(7, &BOTH), Algorithm::Pdqp);
+        r.record(7, Algorithm::Pdqp, 1.0);
+        // Both at 1 < MIN_SAMPLES: back to candidate order.
+        assert_eq!(r.choose(7, &BOTH), Algorithm::Admm);
+    }
+
+    #[test]
+    fn warm_router_picks_the_lower_ewma() {
+        let r = BackendRouter::new();
+        for _ in 0..3 {
+            r.record(7, Algorithm::Admm, 50.0);
+            r.record(7, Algorithm::Pdqp, 500.0);
+        }
+        assert_eq!(r.choose(7, &BOTH), Algorithm::Admm);
+        // A sustained slowdown flips the choice (EWMA follows drift).
+        for _ in 0..20 {
+            r.record(7, Algorithm::Admm, 5000.0);
+        }
+        assert_eq!(r.choose(7, &BOTH), Algorithm::Pdqp);
+    }
+
+    #[test]
+    fn structures_are_independent() {
+        let r = BackendRouter::new();
+        for _ in 0..3 {
+            r.record(1, Algorithm::Admm, 10.0);
+            r.record(1, Algorithm::Pdqp, 90.0);
+            r.record(2, Algorithm::Admm, 90.0);
+            r.record(2, Algorithm::Pdqp, 10.0);
+        }
+        assert_eq!(r.choose(1, &BOTH), Algorithm::Admm);
+        assert_eq!(r.choose(2, &BOTH), Algorithm::Pdqp);
+        assert_eq!(r.samples(1, Algorithm::Admm), 3);
+        assert_eq!(r.samples(3, Algorithm::Admm), 0);
+        assert!(r.ewma_micros(1, Algorithm::Admm).is_some());
+        assert!(r.ewma_micros(3, Algorithm::Admm).is_none());
+    }
+
+    #[test]
+    fn single_candidate_portfolios_always_route_to_it() {
+        let r = BackendRouter::new();
+        assert_eq!(r.choose(9, &[Algorithm::Pdqp]), Algorithm::Pdqp);
+        for _ in 0..5 {
+            r.record(9, Algorithm::Pdqp, 10.0);
+        }
+        assert_eq!(r.choose(9, &[Algorithm::Pdqp]), Algorithm::Pdqp);
+    }
+}

@@ -57,6 +57,7 @@ fn write_record(out: &mut String, first: &mut bool, tid: u64, record: &Record) {
             out.push_str("}}");
         }
         Event::Iteration {
+            algo,
             iter,
             prim_res,
             dual_res,
@@ -77,8 +78,8 @@ fn write_record(out: &mut String, first: &mut bool, tid: u64, record: &Record) {
             event_head(out, first, "iteration", "solver", 'i', tid, record.ts_ns);
             let _ = write!(
                 out,
-                ",\"s\":\"t\",\"args\":{{\"iter\":{iter},\"pcg_iters\":{pcg_iters},\
-                 \"kkt_ns\":{kkt_ns}}}}}"
+                ",\"s\":\"t\",\"args\":{{\"algo\":\"{algo}\",\"iter\":{iter},\
+                 \"pcg_iters\":{pcg_iters},\"kkt_ns\":{kkt_ns}}}}}"
             );
         }
         Event::RhoUpdate {
@@ -205,6 +206,7 @@ mod tests {
                 ts_ns: 1500,
                 span: 1,
                 event: Event::Iteration {
+                    algo: "admm",
                     iter: 25,
                     prim_res: 1.25e-3,
                     dual_res: 3.0,
@@ -278,6 +280,7 @@ mod tests {
         assert!(json.contains("\"ph\":\"M\""));
         assert!(json.contains("\"ts\":1.500"));
         assert!(json.contains("\"rho_new\":0.7"));
+        assert!(json.contains("\"algo\":\"admm\""));
         // Non-finite values become null, not invalid tokens.
         assert!(json.contains("\"value\":null"));
     }

@@ -66,20 +66,23 @@ pub enum Event {
         /// Observed value.
         value: f64,
     },
-    /// Per-iteration ADMM telemetry, recorded at termination-check
+    /// Per-iteration solver telemetry, recorded at termination-check
     /// boundaries. Residuals are the exact values the solver later
     /// reports in its `SolveResult` (bitwise).
     Iteration {
-        /// 1-based ADMM iteration index.
+        /// Solver algorithm that produced the record (`"admm"`, `"pdqp"`;
+        /// static so recording never allocates).
+        algo: &'static str,
+        /// 1-based solver iteration index.
         iter: u32,
         /// Unscaled primal residual at this check.
         prim_res: f64,
         /// Unscaled dual residual at this check.
         dual_res: f64,
-        /// Scalar penalty parameter in effect.
+        /// Base step size in effect (`ρ` for ADMM, `τ` for PDQP).
         rho: f64,
         /// PCG iterations spent since the previous record (0 for the
-        /// direct backend).
+        /// direct backend and for PDQP).
         pcg_iters: u32,
         /// Nanoseconds spent inside the KKT backend since the previous
         /// record.
@@ -185,6 +188,7 @@ mod tests {
         assert_eq!(e.name(), "solve");
         assert_eq!(e.category(), Category::Solver);
         let e = Event::Iteration {
+            algo: "admm",
             iter: 3,
             prim_res: 1.0,
             dual_res: 2.0,

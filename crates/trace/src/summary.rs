@@ -188,6 +188,7 @@ mod tests {
                 ts_ns: 200,
                 span: 1,
                 event: Event::Iteration {
+                    algo: "admm",
                     iter: 25,
                     prim_res: 1.0,
                     dual_res: 2.0,

@@ -66,6 +66,9 @@ cargo test -p mib-serve -q
 cargo test --test serve_soak -q
 cargo run --release -q -p mib-bench --bin serve_bench -- --smoke >/dev/null
 
+echo "==> solver backends (ADMM/PDQP convergence gate)"
+cargo run --release -q -p mib-bench --bin backend_bench -- --smoke >/dev/null
+
 echo "==> tracing (enabled-mode pipeline + cycle attribution + zero-alloc guard)"
 cargo test --test trace_pipeline -q
 cargo test --test timeline_attribution -q

@@ -17,13 +17,15 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use mib::problems::{instance, Domain};
-use mib::qp::{KktBackend, Problem, Settings, Solver, Status};
+use mib::qp::{Algorithm, KktBackend, Problem, Settings, Solver, Status};
 use mib::serve::{Outcome, QpServer, Request, Response, ServeConfig, SubmitError, TenantId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 40;
+/// Portfolio (mixed-backend, router-dispatched) requests per client.
+const ROUTED_PER_CLIENT: usize = 10;
 
 struct TenantSpec {
     id: TenantId,
@@ -64,6 +66,10 @@ fn soak_mixed_tenants_under_backpressure() {
         max_batch: 8,
         batch_window: Duration::from_micros(100),
         max_shards: 8,
+        // Audit every third routed request on the sibling backend; the
+        // acceptance bar below requires zero discrepancies.
+        shadow_every: 3,
+        shadow_rel_tol: 1e-2,
     });
 
     // Mixed patterns: one tenant per domain on the direct backend, plus
@@ -102,14 +108,50 @@ fn soak_mixed_tenants_under_backpressure() {
         });
     }
 
+    // A mixed-backend portfolio on a structure none of the plain tenants
+    // use: ADMM and restarted-PDHG (PDQP) variants of the same problem,
+    // dispatched through the telemetry router with shadow auditing on.
+    let portfolio_spec = instance(Domain::Lasso, 1);
+    // Tolerances tightened to 1e-5: at the default 1e-3 the two backends'
+    // objectives can legitimately differ by more than the audit tolerance
+    // on a just-terminated solve.
+    let variant = |algorithm| {
+        let mut s = Settings::with_algorithm(algorithm);
+        s.eps_abs = 1e-5;
+        s.eps_rel = 1e-5;
+        s.max_iter = match algorithm {
+            Algorithm::Admm => 50_000,
+            Algorithm::Pdqp => 2_000_000,
+        };
+        s
+    };
+    let portfolio = server
+        .register_portfolio(
+            &portfolio_spec.problem,
+            vec![variant(Algorithm::Admm), variant(Algorithm::Pdqp)],
+        )
+        .expect("register portfolio");
+    // One reference template per backend (indexed by Algorithm::index()):
+    // a routed answer is checked bitwise against the template of
+    // whichever backend served it.
+    let portfolio_templates = [
+        Solver::new(portfolio_spec.problem.clone(), variant(Algorithm::Admm))
+            .expect("admm portfolio template"),
+        Solver::new(portfolio_spec.problem.clone(), variant(Algorithm::Pdqp))
+            .expect("pdqp portfolio template"),
+    ];
+
     let rejected = AtomicU64::new(0);
     let served: Mutex<Vec<(usize, usize, Request, Response)>> = Mutex::new(Vec::new());
+    let routed_served: Mutex<Vec<(usize, Request, Response)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for client in 0..CLIENTS {
             let server = &server;
             let tenants = &tenants;
             let served = &served;
+            let routed_served = &routed_served;
             let rejected = &rejected;
+            let portfolio_problem = &portfolio_spec.problem;
             s.spawn(move || {
                 let mut rng = client_rng(client);
                 let mut tickets = Vec::new();
@@ -133,6 +175,30 @@ fn soak_mixed_tenants_under_backpressure() {
                     }
                     tickets.push((t, k, request, ticket));
                 }
+                // Router-dispatched portfolio traffic: parametric-only
+                // perturbations (no deadlines, no cancels) so every
+                // accepted routed request actually solves and the shadow
+                // audits always reach a verdict.
+                let mut routed_tickets = Vec::new();
+                for _ in 0..ROUTED_PER_CLIENT {
+                    let mut request = Request::default();
+                    let mut q = portfolio_problem.q().to_vec();
+                    for qi in q.iter_mut() {
+                        *qi += 0.02 * (rng.gen::<f64>() - 0.5);
+                    }
+                    request.q = Some(q);
+                    let ticket = loop {
+                        match server.submit_routed(portfolio, request.clone()) {
+                            Ok(ticket) => break ticket,
+                            Err(SubmitError::QueueFull { .. }) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("client {client} routed submit failed: {e}"),
+                        }
+                    };
+                    routed_tickets.push((client, request, ticket));
+                }
                 let mut finished = Vec::with_capacity(tickets.len());
                 for (t, k, request, ticket) in tickets {
                     // Generous bound: a hang here is the bug this test exists
@@ -143,6 +209,20 @@ fn soak_mixed_tenants_under_backpressure() {
                     finished.push((t, k, request, response));
                 }
                 served.lock().expect("served lock").extend(finished);
+                let mut routed_finished = Vec::with_capacity(routed_tickets.len());
+                for (c, request, ticket) in routed_tickets {
+                    let response =
+                        ticket
+                            .wait_timeout(Duration::from_secs(90))
+                            .unwrap_or_else(|_| {
+                                panic!("client {client} routed request never completed")
+                            });
+                    routed_finished.push((c, request, response));
+                }
+                routed_served
+                    .lock()
+                    .expect("routed served lock")
+                    .extend(routed_finished);
             });
         }
     });
@@ -204,13 +284,57 @@ fn soak_mixed_tenants_under_backpressure() {
         served.len()
     );
 
+    // Routed portfolio answers: every request solved, and each answer is
+    // bitwise identical to a direct solve on the template of whichever
+    // backend the router dispatched it to.
+    let routed_served = routed_served.into_inner().expect("routed served lock");
+    assert_eq!(routed_served.len(), CLIENTS * ROUTED_PER_CLIENT);
+    let mut routed_by_backend = [0usize; 2];
+    for (c, request, response) in &routed_served {
+        let Outcome::Finished(result) = &response.outcome else {
+            panic!("routed request from client {c} did not finish: {response:?}");
+        };
+        assert_eq!(result.status, Status::Solved, "routed request (client {c})");
+        let backend_idx = result.algorithm.index();
+        routed_by_backend[backend_idx] += 1;
+        let mut reference = portfolio_templates[backend_idx].clone();
+        let q = request.q.clone().expect("routed requests always perturb q");
+        reference.update_q(&q).expect("routed reference update_q");
+        reference
+            .update_bounds(portfolio_spec.problem.l(), portfolio_spec.problem.u())
+            .expect("routed reference update_bounds");
+        reference.reset();
+        let expect = reference.solve();
+        assert_eq!(expect.status, Status::Solved);
+        assert_eq!(expect.iterations, result.iterations);
+        let bitwise = result
+            .x
+            .iter()
+            .zip(&expect.x)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+            && result.obj_val.to_bits() == expect.obj_val.to_bits();
+        assert!(
+            bitwise,
+            "routed {} answer (client {c}) is not bitwise equal to a direct solve",
+            result.algorithm
+        );
+    }
+    let routed_solved = routed_served.len();
+    assert!(
+        routed_by_backend.iter().all(|&n| n > 0),
+        "the router must exercise both backends (admm/pdqp split: {routed_by_backend:?})"
+    );
+
     // The metrics pipeline agrees with the client-side picture.
     let metrics = server.metrics();
     let c = &metrics.counters;
     let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
-    assert_eq!(load(&c.submitted), (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    assert_eq!(
+        load(&c.submitted),
+        (CLIENTS * (REQUESTS_PER_CLIENT + ROUTED_PER_CLIENT)) as u64
+    );
     assert_eq!(load(&c.completed), load(&c.submitted));
-    assert_eq!(load(&c.solved), solved as u64);
+    assert_eq!(load(&c.solved), (solved + routed_solved) as u64);
     assert_eq!(
         load(&c.rejected_queue_full),
         rejected.load(Ordering::Relaxed)
@@ -223,5 +347,35 @@ fn soak_mixed_tenants_under_backpressure() {
     assert!(
         load(&c.shard_misses) >= 6,
         "one shard per registered pattern"
+    );
+
+    // Shadow auditing: a deterministic 1-in-3 sample of routed requests
+    // was re-solved on the sibling backend, every audit reached a
+    // verdict, and the backends never disagreed.
+    assert_eq!(
+        load(&c.routed_portfolio),
+        (CLIENTS * ROUTED_PER_CLIENT) as u64
+    );
+    // Sampling ticks are consumed by QueueFull-rejected attempts too, so
+    // the exact count varies with backpressure timing; it must fire, and
+    // every audit must reach a verdict.
+    let audits = load(&c.shadow_audits);
+    assert!(audits >= 1, "shadow sampling must fire");
+    assert_eq!(load(&c.shadow_mismatches), 0, "backends must agree");
+    assert_eq!(load(&c.shadow_inconclusive), 0);
+    assert_eq!(load(&c.shadow_agreements), audits);
+    // Per-backend solve counters saw traffic from both algorithms
+    // (primaries plus shadow re-solves).
+    let m = &metrics.backend;
+    for algo in Algorithm::all() {
+        assert!(
+            m.solves(algo) >= 1 && m.solved(algo) >= 1,
+            "backend {algo} saw no traffic"
+        );
+    }
+    assert!(
+        m.solves(Algorithm::Admm) + m.solves(Algorithm::Pdqp)
+            >= (CLIENTS * ROUTED_PER_CLIENT) as u64 + audits,
+        "routed primaries and shadow solves all feed the backend counters"
     );
 }

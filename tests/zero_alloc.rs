@@ -128,6 +128,29 @@ fn indirect_solve_into_performs_zero_allocations() {
     assert_solve_is_allocation_free(KktBackend::Indirect);
 }
 
+/// The PDQP backend shares the zero-allocation contract: restarted
+/// primal-dual iterations, epoch averaging, restarts and the candidate
+/// KKT scoring all run out of the preallocated workspace.
+#[test]
+fn pdqp_solve_into_performs_zero_allocations() {
+    let problem = portfolio(30, 5, 7);
+    let settings = Settings {
+        max_iter: 500_000,
+        ..Settings::with_algorithm(mib::qp::Algorithm::Pdqp)
+    };
+    let mut solver = Solver::new(problem, settings).expect("setup");
+    let mut result = solver.solve();
+    assert_eq!(result.status, Status::Solved, "pdqp warm-up must solve");
+    solver.reset();
+    let allocs = allocations_during(|| solver.solve_into(&mut result));
+    assert_eq!(result.status, Status::Solved);
+    assert_eq!(
+        allocs, 0,
+        "pdqp solve_into performed {allocs} heap allocations; \
+         the first-order pipeline must perform none"
+    );
+}
+
 /// Parametric re-solves (the batch workload's inner loop) are also
 /// allocation-free once the update vectors live outside the solver.
 #[test]
