@@ -1,0 +1,145 @@
+//! The compiler's certified cost oracle: exact cycle costs for compiled
+//! schedules, without simulation.
+//!
+//! [`static_cost`] wraps `mib-verify`'s exact timing predictor
+//! ([`mib_verify::timing::predict`]) and critical-path extractor for the
+//! compiler's own [`Schedule`] type. The prediction is **not** a model:
+//! it is provably equal to what `Machine::run_with_timeline` measures
+//! (the differential test suite pins cycle counts and bucket-by-bucket
+//! attribution across every benchmark program), at a fraction of the
+//! simulation cost because no functional state is computed. This is the
+//! trusted signal a schedule autotuner can search against: comparing two
+//! candidate schedules costs two predictions, not two simulations.
+//!
+//! The oracle is load-bearing in the pipeline today: [`checked_schedule`]
+//! cross-checks every certified schedule against it (a certified schedule
+//! must predict strict acceptance with zero stalls), `certify_lowered`'s
+//! certificates carry the predicted cycles, and the lowering's
+//! `ScheduleQuality` trace events record them for offline analysis.
+//!
+//! [`checked_schedule`]: crate::verify::checked_schedule
+
+use mib_core::machine::HazardPolicy;
+use mib_core::MibConfig;
+use mib_verify::{critical_path, timing};
+
+use crate::schedule::Schedule;
+
+/// Exact static cost of a schedule, as the machine would measure it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticCost {
+    /// Total execution cycles (issue + stalls + pipeline drain) —
+    /// bitwise equal to `ExecStats::cycles` of a real run.
+    pub cycles: u64,
+    /// Issue slots (one per instruction).
+    pub slots: u64,
+    /// Hazard-stall cycles (always 0 for a schedule the compiler
+    /// certifies — the packer spaces dependences by the full latency).
+    pub stall_cycles: u64,
+    /// Cycles of the critical dependence chain's program (the same
+    /// total, decomposed along the chain of tight dependences).
+    pub critical_path_cycles: u64,
+    /// Number of tight dependence hops bounding the schedule — what a
+    /// rescheduler would need to restructure to go faster.
+    pub critical_path_hops: usize,
+}
+
+/// Predicts the exact cost of a schedule under the strict hazard policy
+/// (the policy certified schedules run under).
+///
+/// Returns `None` when the machine would reject the program — a width,
+/// address, stream or hazard fault. Compiled schedules never hit this
+/// path ([`crate::verify::checked_schedule`] asserts so); callers probing
+/// *candidate* schedules use the `None` as a rejection verdict.
+pub fn static_cost(s: &Schedule, config: &MibConfig) -> Option<StaticCost> {
+    let t = timing::predict(&s.program, s.hbm.len(), config, HazardPolicy::Strict).ok()?;
+    let cp = critical_path::critical_path(&s.program, config);
+    Some(StaticCost {
+        cycles: t.stats.cycles,
+        slots: t.stats.slots,
+        stall_cycles: t.stats.stall_cycles,
+        critical_path_cycles: cp.cycles,
+        critical_path_hops: cp.hops.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::schedule::{schedule, ScheduleOptions};
+    use mib_core::hbm::HbmStream;
+    use mib_core::instruction::{LaneSource, LaneWrite, NetInstruction, WriteMode};
+    use mib_core::machine::Machine;
+
+    fn config() -> MibConfig {
+        MibConfig {
+            width: 8,
+            bank_depth: 64,
+            clock_hz: 1e6,
+        }
+    }
+
+    fn mov(lane: usize, from: usize, to: usize) -> NetInstruction {
+        let mut i = NetInstruction::nop(8);
+        i.set_input(lane, LaneSource::Reg { addr: from });
+        i.route(lane, lane);
+        i.set_write(
+            lane,
+            LaneWrite {
+                addr: to,
+                mode: WriteMode::Store,
+            },
+        );
+        i
+    }
+
+    #[test]
+    fn cost_matches_machine_on_a_compiled_schedule() {
+        let cfg = config();
+        let mut b = KernelBuilder::new("chain", 8, cfg.latency());
+        b.push(mov(0, 0, 1), vec![]);
+        b.push(mov(0, 1, 2), vec![]);
+        b.push(mov(3, 0, 1), vec![]);
+        let s = schedule(&b.finish(), ScheduleOptions::default());
+        let cost = static_cost(&s, &cfg).expect("compiled schedule is runnable");
+        let stats = Machine::new(cfg)
+            .run(
+                &s.program,
+                &mut HbmStream::new(s.hbm.clone()),
+                HazardPolicy::Strict,
+            )
+            .unwrap();
+        assert_eq!(cost.cycles, stats.cycles);
+        assert_eq!(cost.slots, stats.slots);
+        assert_eq!(cost.stall_cycles, 0);
+        assert_eq!(cost.critical_path_cycles, cost.cycles);
+    }
+
+    #[test]
+    fn rejected_program_has_no_cost() {
+        let cfg = config();
+        // Back-to-back RAW: strict execution rejects, so there is no cost.
+        let s = Schedule {
+            program: vec![mov(0, 0, 1), mov(0, 1, 2)],
+            hbm: Vec::new(),
+            slot_of: vec![0, 1],
+            logical_count: 2,
+            forced_appends: 0,
+        };
+        assert!(static_cost(&s, &cfg).is_none());
+    }
+
+    #[test]
+    fn empty_schedule_costs_zero() {
+        let cfg = config();
+        let s = schedule(
+            &KernelBuilder::new("empty", 8, cfg.latency()).finish(),
+            ScheduleOptions::default(),
+        );
+        let cost = static_cost(&s, &cfg).unwrap();
+        assert_eq!(cost.cycles, 0);
+        assert_eq!(cost.slots, 0);
+        assert_eq!(cost.critical_path_hops, 0);
+    }
+}

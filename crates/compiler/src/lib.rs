@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cost;
 pub mod elementwise;
 pub mod factor;
 pub mod kernel;
@@ -48,6 +49,7 @@ pub mod trisolve;
 pub mod verify;
 
 pub use cache::{CacheStats, ProgramCache};
+pub use cost::{static_cost, StaticCost};
 pub use kernel::{Kernel, KernelBuilder, LogicalInstr};
 pub use layout::{Allocator, Layout};
 pub use schedule::{schedule, Schedule, ScheduleOptions};

@@ -173,20 +173,22 @@ pub fn lower(
 
 /// Schedules one named kernel under a compiler-category `schedule` span and
 /// emits the packing-quality event (issue slots vs logical instructions,
-/// forced appends) that trace reports aggregate per program.
+/// forced appends, statically predicted cycles) that trace reports
+/// aggregate per program.
 fn traced_schedule(name: &'static str, kernel: &Kernel, config: &MibConfig) -> Schedule {
     let tracing = mib_trace::enabled();
     let _span = mib_trace::span_if(tracing, "schedule", mib_trace::Category::Compiler);
     let s = checked_schedule(kernel, ScheduleOptions::default(), config);
-    mib_trace::record_if(
-        tracing,
-        mib_trace::Event::ScheduleQuality {
+    if tracing {
+        let predicted = crate::cost::static_cost(&s, config).map_or(0, |c| c.cycles);
+        mib_trace::record(mib_trace::Event::ScheduleQuality {
             name,
             slots: u32::try_from(s.slots()).unwrap_or(u32::MAX),
             logical: u32::try_from(s.logical_count).unwrap_or(u32::MAX),
             forced_appends: u32::try_from(s.forced_appends).unwrap_or(u32::MAX),
-        },
-    );
+            predicted_cycles: u32::try_from(predicted).unwrap_or(u32::MAX),
+        });
+    }
     s
 }
 

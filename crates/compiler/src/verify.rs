@@ -172,6 +172,21 @@ pub fn checked_schedule(kernel: &Kernel, opts: ScheduleOptions, config: &MibConf
             report.is_certified(),
             "compiler produced an uncertifiable schedule:\n{report}"
         );
+        // Cross-check against the cost oracle: a certified schedule must
+        // predict strict acceptance, stall-free, and the report's timing
+        // must agree with the oracle's (they run the same predictor
+        // through two call paths).
+        let cost = crate::cost::static_cost(&s, config)
+            .expect("certified schedule must have a static cost");
+        assert_eq!(
+            cost.stall_cycles, 0,
+            "certified schedule predicts stalls: {cost:?}"
+        );
+        let timing = report.timing.expect("certified schedule has timing");
+        assert_eq!(
+            cost.cycles, timing.predicted_cycles,
+            "cost oracle and verifier timing disagree"
+        );
     }
     s
 }

@@ -56,7 +56,7 @@ fn lowering_and_cache_emit_compiler_telemetry() {
     // matching the schedule the caller got back. The direct pipeline
     // compiles load/setup/iteration/check (twice: plain lower + cache
     // miss), and the cache hit regenerates one more load.
-    let quality: Vec<(&str, u32, u32, u32)> = trace
+    let quality: Vec<(&str, u32, u32, u32, u32)> = trace
         .records()
         .filter_map(|r| match r.event {
             Event::ScheduleQuality {
@@ -64,7 +64,8 @@ fn lowering_and_cache_emit_compiler_telemetry() {
                 slots,
                 logical,
                 forced_appends,
-            } => Some((name, slots, logical, forced_appends)),
+                predicted_cycles,
+            } => Some((name, slots, logical, forced_appends, predicted_cycles)),
             _ => None,
         })
         .collect();
@@ -79,13 +80,20 @@ fn lowering_and_cache_emit_compiler_telemetry() {
         3,
         "two full lowerings plus one cache-hit load refresh"
     );
-    let (_, slots, logical, forced) = *quality
+    let (_, slots, logical, forced, predicted) = *quality
         .iter()
         .find(|(n, ..)| *n == "iteration")
         .expect("iteration program scheduled");
     assert_eq!(slots as usize, lowered.iteration.slots());
     assert_eq!(logical as usize, lowered.iteration.logical_count);
     assert_eq!(forced as usize, lowered.iteration.forced_appends);
+    let cost = mib_compiler::static_cost(&lowered.iteration, &config())
+        .expect("certified schedule has a static cost");
+    assert_eq!(
+        u64::from(predicted),
+        cost.cycles,
+        "trace event carries the oracle's cycles"
+    );
 
     // Cache accesses: miss for the first pattern, hit for the re-solve.
     let accesses: Vec<bool> = trace

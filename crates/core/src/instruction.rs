@@ -438,6 +438,74 @@ impl NetInstruction {
         }
     }
 
+    /// Number of floating-point operations this instruction performs:
+    /// active input multipliers, `Sum` adder nodes, output multipliers,
+    /// and the writeback ALU ops (`Add`, `StoreRecip`, `Min`, `Max`,
+    /// `MaxAbs`). Statically derivable, and exactly the increment the
+    /// machine applies to `ExecStats::flops` when executing the slot —
+    /// one of the issue-rule introspection accessors the static timing
+    /// analyzer (`mib-verify`) replays the machine from.
+    pub fn flop_count(&self) -> u64 {
+        let muls = self
+            .inputs
+            .iter()
+            .flatten()
+            .filter(|s| s.is_multiply())
+            .count();
+        let sums: usize = self
+            .nodes
+            .iter()
+            .map(|stage| stage.iter().filter(|&&m| m == NodeMode::Sum).count())
+            .sum();
+        let out_muls = self
+            .out_muls
+            .iter()
+            .filter(|&&m| m != OutMul::Bypass)
+            .count();
+        let wb_alu = self
+            .writes
+            .iter()
+            .flatten()
+            .filter(|w| w.mode != WriteMode::Store && w.mode != WriteMode::Latch)
+            .count();
+        (muls + sums + out_muls + wb_alu) as u64
+    }
+
+    /// Number of register reads the multiplier stage performs (lanes whose
+    /// source carries a register address) — the `ExecStats::reg_reads`
+    /// increment of this slot.
+    pub fn reg_read_count(&self) -> u64 {
+        self.reg_read_locs().count() as u64
+    }
+
+    /// Number of writebacks (stores, accumulates and latches) — the
+    /// `ExecStats::reg_writes` increment of this slot.
+    pub fn write_count(&self) -> u64 {
+        self.writes.iter().flatten().count() as u64
+    }
+
+    /// Per-stage busy-element counts of this slot, in the shape the
+    /// profiling [`Timeline`](crate::timeline::Timeline) accumulates. The
+    /// machine records exactly this value when executing the slot, so a
+    /// static replay using this accessor reproduces the timeline's
+    /// occupancy totals bitwise.
+    pub fn stage_occupancy(&self) -> crate::timeline::StageOccupancy {
+        crate::timeline::StageOccupancy {
+            multiplier_lanes: self.inputs.iter().filter(|i| i.is_some()).count() as u64,
+            adder_nodes: self
+                .nodes
+                .iter()
+                .map(|stage| stage.iter().filter(|&&m| m != NodeMode::Idle).count() as u64)
+                .sum(),
+            output_mul_lanes: self
+                .out_muls
+                .iter()
+                .filter(|&&m| !matches!(m, OutMul::Bypass))
+                .count() as u64,
+            writeback_lanes: self.writes.iter().filter(|w| w.is_some()).count() as u64,
+        }
+    }
+
     /// The hardware-occupancy vector of Section IV.B: one bit per node
     /// (`C·(log₂C + 1)` bits), multiplier stage first.
     pub fn occupancy(&self) -> Vec<bool> {

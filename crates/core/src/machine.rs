@@ -16,7 +16,7 @@ use crate::hbm::HbmStream;
 use crate::instruction::{LaneSource, NetInstruction, NodeMode, WriteMode};
 use crate::regfile::RegisterFiles;
 use crate::stats::ExecStats;
-use crate::timeline::{StageOccupancy, Timeline};
+use crate::timeline::Timeline;
 use crate::{MibConfig, MibError, Result};
 
 /// How the machine reacts to data hazards in the program.
@@ -298,27 +298,11 @@ impl Machine {
             stats.busy_nodes += inst.busy_nodes() as u64;
             stats.count_kind(inst.kind);
             if let Some(tl) = timeline.as_deref_mut() {
-                let occupancy = StageOccupancy {
-                    multiplier_lanes: inst.inputs().iter().filter(|i| i.is_some()).count() as u64,
-                    adder_nodes: (0..inst.stages())
-                        .map(|s| {
-                            (0..width)
-                                .filter(|&lane| inst.node(s, lane) != NodeMode::Idle)
-                                .count() as u64
-                        })
-                        .sum(),
-                    output_mul_lanes: inst
-                        .out_muls()
-                        .iter()
-                        .filter(|m| !matches!(m, crate::instruction::OutMul::Bypass))
-                        .count() as u64,
-                    writeback_lanes: inst.writes().iter().filter(|w| w.is_some()).count() as u64,
-                };
                 tl.record_slot(
                     inst.kind,
                     issue,
                     issue - cycle,
-                    &occupancy,
+                    &inst.stage_occupancy(),
                     stats.hbm_words - hbm_words_before,
                 );
             }

@@ -92,7 +92,12 @@ impl Timeline {
     /// Records one issued slot: an issue cycle in the kind's bucket,
     /// `stalled` wait cycles charged to the same kind, stage occupancy,
     /// and — when the slot streamed words — an HBM window extension.
-    pub(crate) fn record_slot(
+    ///
+    /// Public so that static analyses (the `mib-verify` timing predictor)
+    /// can build a timeline through the *same* accumulation rules the
+    /// machine uses, making bucket-by-bucket equality assertions
+    /// meaningful.
+    pub fn record_slot(
         &mut self,
         kind: InstrKind,
         issue_cycle: u64,

@@ -263,6 +263,7 @@ mod tests {
             infos: 0,
             peak_live: 5,
             bank_depth: 64,
+            predicted_cycles: Some(15),
         });
         cert.certificates.push(Certificate {
             program: "iteration".into(),
@@ -272,6 +273,7 @@ mod tests {
             infos: 1,
             peak_live: 9,
             bank_depth: 64,
+            predicted_cycles: None,
         });
         assert!(cert.is_certified());
         assert_eq!(cert.errors(), 0);

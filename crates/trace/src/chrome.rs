@@ -103,6 +103,7 @@ fn write_record(out: &mut String, first: &mut bool, tid: u64, record: &Record) {
             slots,
             logical,
             forced_appends,
+            predicted_cycles,
         } => {
             event_head(
                 out,
@@ -116,7 +117,8 @@ fn write_record(out: &mut String, first: &mut bool, tid: u64, record: &Record) {
             let _ = write!(
                 out,
                 ",\"s\":\"t\",\"args\":{{\"program\":\"{name}\",\"slots\":{slots},\
-                 \"logical\":{logical},\"forced_appends\":{forced_appends}}}}}"
+                 \"logical\":{logical},\"forced_appends\":{forced_appends},\
+                 \"predicted_cycles\":{predicted_cycles}}}}}"
             );
         }
     }
@@ -240,6 +242,7 @@ mod tests {
                     slots: 10,
                     logical: 30,
                     forced_appends: 0,
+                    predicted_cycles: 15,
                 },
             },
             Record {

@@ -116,6 +116,10 @@ pub enum Event {
         /// Instructions appended because the placement probe limit was
         /// exhausted (scheduler give-ups).
         forced_appends: u32,
+        /// Exact cycles the machine will take to run the schedule, from
+        /// the compiler's static cost oracle (0 when the oracle was
+        /// skipped, e.g. verification disabled).
+        predicted_cycles: u32,
     },
 }
 

@@ -20,6 +20,7 @@ struct ScheduleAgg {
     slots: u64,
     logical: u64,
     forced_appends: u64,
+    predicted_cycles: u64,
 }
 
 /// Renders a human-readable summary: per-span wall-time aggregates
@@ -82,12 +83,14 @@ pub fn summarize(trace: &Trace) -> String {
                     slots,
                     logical,
                     forced_appends,
+                    predicted_cycles,
                 } => {
                     let agg = schedules.entry(name).or_default();
                     agg.count += 1;
                     agg.slots += u64::from(slots);
                     agg.logical += u64::from(logical);
                     agg.forced_appends += u64::from(forced_appends);
+                    agg.predicted_cycles += u64::from(predicted_cycles);
                 }
                 Event::Mark { .. } => marks += 1,
             }
@@ -130,12 +133,14 @@ pub fn summarize(trace: &Trace) -> String {
         );
     }
     if !schedules.is_empty() {
-        out.push_str("\nschedules (program, count, slots, logical, forced appends):\n");
+        out.push_str(
+            "\nschedules (program, count, slots, logical, forced appends, predicted cycles):\n",
+        );
         for (name, agg) in &schedules {
             let _ = writeln!(
                 out,
-                "  {name:<12} {:>4}  {:>8}  {:>8}  {:>4}",
-                agg.count, agg.slots, agg.logical, agg.forced_appends
+                "  {name:<12} {:>4}  {:>8}  {:>8}  {:>4}  {:>10}",
+                agg.count, agg.slots, agg.logical, agg.forced_appends, agg.predicted_cycles
             );
         }
     }

@@ -1,0 +1,298 @@
+//! Critical-path extraction: the chain of dependences that bounds a
+//! program's execution time.
+//!
+//! The MIB machine issues in order, one slot per cycle, so a program's
+//! total cycle count decomposes exactly into a chain of constraints
+//! ending at the last slot: each slot is bound either *sequentially* (it
+//! issues one cycle after its predecessor) or by a *dependence* (its
+//! issue waits for a producer's write to become architecturally visible,
+//! `latency` cycles after the producer issued). Walking that chain
+//! backwards from the last slot yields the **critical path**: the hops
+//! where a dependence — not mere program order — determined the issue
+//! cycle. A hop with positive stall cycles is a schedule defect (the
+//! machine idled); a hop with zero stall is a *tight* dependence — the
+//! consumer issues at the exact cycle its operand becomes visible, so no
+//! reordering of the surrounding slots could shorten the program without
+//! breaking the dependence. Certified (hazard-free) schedules only have
+//! tight hops; the chain tells the scheduler which dependences it must
+//! restructure to go faster.
+//!
+//! Each hop carries slot/location provenance and renders as an
+//! [`Info`](crate::diag::Severity::Info) [`Diagnostic`] through
+//! [`CriticalPath::to_diagnostics`], the same machinery every other
+//! verifier finding uses.
+
+use std::collections::HashMap;
+
+use mib_core::instruction::{InstrKind, NetInstruction};
+use mib_core::MibConfig;
+
+use crate::diag::{DiagKind, Diagnostic, Loc};
+
+/// One hop of the critical dependence chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalHop {
+    /// Slot whose issue cycle the dependence determined.
+    pub slot: usize,
+    /// Kind of the bound instruction.
+    pub kind: InstrKind,
+    /// Location the dependence flows through.
+    pub loc: Loc,
+    /// Slot of the producing write.
+    pub producer_slot: usize,
+    /// Stall cycles the hop cost (0 for a tight, hazard-free dependence).
+    pub stall_cycles: u64,
+}
+
+/// The chain of dependences bounding the program, in program order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CriticalPath {
+    /// Predicted total cycles of the program (slots + stalls + drain),
+    /// i.e. the length of the path the chain decomposes.
+    pub cycles: u64,
+    /// Total stall cycles along the chain (equals the program's
+    /// `ExecStats::stall_cycles`: every stall lies on the critical path,
+    /// because the machine issues in order).
+    pub stall_cycles: u64,
+    /// Dependence hops, earliest slot first. Empty when program order
+    /// alone bounds the program (no dependence is tight).
+    pub hops: Vec<CriticalHop>,
+}
+
+impl CriticalPath {
+    /// Renders every hop as an info-severity diagnostic anchored to the
+    /// bound slot, carrying the location and producer provenance.
+    pub fn to_diagnostics(&self) -> Vec<Diagnostic> {
+        self.hops
+            .iter()
+            .map(|h| {
+                Diagnostic::at_slot(
+                    h.slot,
+                    DiagKind::CriticalPathHop {
+                        loc: h.loc,
+                        producer_slot: h.producer_slot,
+                        stall_cycles: h.stall_cycles,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Per-slot binding constraint found during the replay.
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    loc: Loc,
+    producer_slot: usize,
+    stall_cycles: u64,
+}
+
+/// Extracts the critical path of `program` under the stall policy.
+///
+/// Programs with a width mismatch have no meaningful lane indexing; they
+/// yield an empty default path (the width errors from the structural
+/// checker already refute them). Address or stream faults do not affect
+/// issue timing and are ignored here — the timing predictor
+/// ([`crate::timing::predict`]) is the authority on fault identity.
+pub fn critical_path(program: &[NetInstruction], config: &MibConfig) -> CriticalPath {
+    let width = config.width;
+    if program.iter().any(|i| i.width() != width) {
+        return CriticalPath::default();
+    }
+    let latency = config.latency();
+    // (bank, addr) -> (visible cycle, producer slot); same for latches.
+    let mut ready: HashMap<(usize, usize), (u64, usize)> = HashMap::new();
+    let mut latch_ready: Vec<Option<(u64, usize)>> = vec![None; width];
+    let mut cycle: u64 = 0;
+    let mut issue_cycles: Vec<u64> = Vec::with_capacity(program.len());
+    let mut bindings: Vec<Option<Binding>> = Vec::with_capacity(program.len());
+    let mut total_stall: u64 = 0;
+
+    for (t, inst) in program.iter().enumerate() {
+        // Same scan order as the machine's hazard check; the binding
+        // dependence is the first one reaching the maximal visible cycle.
+        // A dependence binds when the operand becomes visible exactly at
+        // (or after) the slot's unconstrained issue cycle — i.e. it is
+        // what determines the issue cycle, stalled or tight.
+        let mut issue = cycle;
+        let mut binding: Option<Binding> = None;
+        let mut note = |loc: Loc, r: u64, producer: usize, issue: &mut u64| {
+            // Strictly-greater rebinds (matching the machine's first-max-
+            // wins tie rule); an exact tie binds only when nothing is
+            // bound yet, which covers the tight zero-stall case r == cycle.
+            if r > *issue || (r == *issue && binding.is_none()) {
+                *issue = r;
+                binding = Some(Binding {
+                    loc,
+                    producer_slot: producer,
+                    stall_cycles: 0,
+                });
+            }
+        };
+        for (lane, addr) in inst.reg_read_locs() {
+            if let Some(&(r, p)) = ready.get(&(lane, addr)) {
+                note(Loc::Reg { bank: lane, addr }, r, p, &mut issue);
+            }
+        }
+        for lane in inst.latch_read_lanes() {
+            if let Some((r, p)) = latch_ready[lane] {
+                note(Loc::Latch { lane }, r, p, &mut issue);
+            }
+        }
+        for (lane, addr) in inst.rmw_read_locs() {
+            if let Some(&(r, p)) = ready.get(&(lane, addr)) {
+                note(Loc::Reg { bank: lane, addr }, r, p, &mut issue);
+            }
+        }
+        let stall = issue - cycle;
+        total_stall += stall;
+        if let Some(b) = &mut binding {
+            b.stall_cycles = stall;
+        }
+        bindings.push(binding);
+
+        for (lane, w) in inst.write_locs() {
+            if w.mode == mib_core::instruction::WriteMode::Latch {
+                latch_ready[lane] = Some((issue + latency, t));
+            } else {
+                ready.insert((lane, w.addr), (issue + latency, t));
+            }
+        }
+        issue_cycles.push(issue);
+        cycle = issue + 1;
+    }
+
+    let cycles = if program.is_empty() {
+        0
+    } else {
+        cycle + latency
+    };
+
+    // Walk the chain backwards from the last slot: a bound slot jumps to
+    // its producer, an unbound slot to its predecessor.
+    let mut hops = Vec::new();
+    let mut i = program.len();
+    while i > 0 {
+        let slot = i - 1;
+        match bindings[slot] {
+            Some(b) => {
+                hops.push(CriticalHop {
+                    slot,
+                    kind: program[slot].kind,
+                    loc: b.loc,
+                    producer_slot: b.producer_slot,
+                    stall_cycles: b.stall_cycles,
+                });
+                i = b.producer_slot + 1;
+            }
+            None => i = slot,
+        }
+    }
+    hops.reverse();
+
+    CriticalPath {
+        cycles,
+        stall_cycles: total_stall,
+        hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use mib_core::instruction::{LaneSource, LaneWrite, WriteMode};
+
+    fn config8() -> MibConfig {
+        MibConfig {
+            width: 8,
+            bank_depth: 64,
+            clock_hz: 1e6,
+        }
+    }
+
+    fn mov(lane: usize, from: usize, to: usize) -> NetInstruction {
+        let mut i = NetInstruction::nop(8);
+        i.set_input(lane, LaneSource::Reg { addr: from });
+        i.route(lane, lane);
+        i.set_write(
+            lane,
+            LaneWrite {
+                addr: to,
+                mode: WriteMode::Store,
+            },
+        );
+        i
+    }
+
+    #[test]
+    fn empty_program_has_empty_path() {
+        let cp = critical_path(&[], &config8());
+        assert_eq!(cp, CriticalPath::default());
+    }
+
+    #[test]
+    fn stalled_dependence_is_a_hop_with_stall_cost() {
+        let cfg = config8();
+        let prog = vec![mov(0, 0, 1), mov(0, 1, 2)];
+        let cp = critical_path(&prog, &cfg);
+        assert_eq!(cp.stall_cycles, cfg.latency() - 1);
+        assert_eq!(cp.hops.len(), 1);
+        let hop = cp.hops[0];
+        assert_eq!(hop.slot, 1);
+        assert_eq!(hop.producer_slot, 0);
+        assert_eq!(hop.loc, Loc::Reg { bank: 0, addr: 1 });
+        assert_eq!(hop.stall_cycles, cfg.latency() - 1);
+        // cycles = issue(last) + 1 + latency = latency + 1 + latency.
+        assert_eq!(cp.cycles, 2 * cfg.latency() + 1);
+    }
+
+    #[test]
+    fn tight_dependence_is_a_zero_stall_hop() {
+        let cfg = config8();
+        let latency = cfg.latency() as usize;
+        let mut prog = vec![mov(0, 0, 1)];
+        prog.extend((0..latency - 1).map(|_| NetInstruction::nop(8)));
+        prog.push(mov(0, 1, 2));
+        let cp = critical_path(&prog, &cfg);
+        assert_eq!(cp.stall_cycles, 0);
+        assert_eq!(cp.hops.len(), 1);
+        assert_eq!(cp.hops[0].stall_cycles, 0);
+        assert_eq!(cp.hops[0].producer_slot, 0);
+        assert_eq!(cp.cycles, prog.len() as u64 + cfg.latency());
+    }
+
+    #[test]
+    fn slack_dependence_is_not_on_the_path() {
+        let cfg = config8();
+        let latency = cfg.latency() as usize;
+        // One extra nop of slack: the consumer is bound by program order,
+        // not the dependence.
+        let mut prog = vec![mov(0, 0, 1)];
+        prog.extend((0..latency).map(|_| NetInstruction::nop(8)));
+        prog.push(mov(0, 1, 2));
+        let cp = critical_path(&prog, &cfg);
+        assert!(cp.hops.is_empty(), "{:?}", cp.hops);
+        assert_eq!(cp.stall_cycles, 0);
+    }
+
+    #[test]
+    fn hops_render_as_info_diagnostics_with_provenance() {
+        let cfg = config8();
+        let prog = vec![mov(0, 0, 1), mov(0, 1, 2)];
+        let diags = critical_path(&prog, &cfg).to_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Info);
+        assert_eq!(diags[0].slot, Some(1));
+        let s = diags[0].to_string();
+        assert!(s.contains("critical-path"), "{s}");
+        assert!(s.contains("bank 0 addr 1"), "{s}");
+        assert!(s.contains("slot 0"), "{s}");
+    }
+
+    #[test]
+    fn width_mismatch_yields_default_path() {
+        let cp = critical_path(&[NetInstruction::nop(4)], &config8());
+        assert_eq!(cp, CriticalPath::default());
+    }
+}

@@ -32,8 +32,11 @@ struct Gen {
 /// Per-location def-use history accumulated by the sweep.
 #[derive(Debug, Default)]
 struct LocHistory {
-    /// Last read before any write in this program (live-in use).
-    pre_write_read: Option<usize>,
+    /// First and last read before any write in this program (live-in
+    /// uses): the first anchors the `ReadBeforeInit` provenance, the last
+    /// bounds the live-in value's liveness interval for the pressure
+    /// report.
+    pre_write_reads: Option<(usize, usize)>,
     gens: Vec<Gen>,
 }
 
@@ -67,7 +70,10 @@ pub fn analyze(
                     }
                     gen.last_read = Some(t);
                 }
-                None => h.pre_write_read = Some(t),
+                None => match &mut h.pre_write_reads {
+                    Some((_, last)) => *last = t,
+                    None => h.pre_write_reads = Some((t, t)),
+                },
             }
         };
         // Read phase — the order the machine checks hazards in.
@@ -122,12 +128,12 @@ pub fn analyze(
     }
 
     // Live-in summary: one Info diagnostic listing locations read before
-    // any write. Registers persist across programs (and start zeroed), so
-    // this is legitimate — but the caller must guarantee it.
-    let live_in: Vec<Loc> = hist
+    // any write, each with its first-read slot as provenance. Registers
+    // persist across programs (and start zeroed), so this is legitimate —
+    // but the caller must guarantee it.
+    let live_in: Vec<(Loc, usize)> = hist
         .iter()
-        .filter(|(_, h)| h.pre_write_read.is_some())
-        .map(|(&loc, _)| loc)
+        .filter_map(|(&loc, h)| Some((loc, h.pre_write_reads?.0)))
         .collect();
     if !live_in.is_empty() {
         diags.push(Diagnostic::global(DiagKind::ReadBeforeInit {
@@ -172,7 +178,7 @@ fn pressure_report(
         touched[bank].insert(addr);
         // Live intervals of this address, in slot order.
         let mut intervals: Vec<(usize, usize)> = Vec::new();
-        if let Some(r) = h.pre_write_read {
+        if let Some((_, r)) = h.pre_write_reads {
             intervals.push((0, if h.gens.is_empty() { last } else { r }));
         }
         for (i, gen) in h.gens.iter().enumerate() {

@@ -149,8 +149,11 @@ pub enum DiagKind {
     ReadBeforeInit {
         /// Number of distinct live-in locations.
         count: usize,
-        /// A few sample locations, lowest bank/address first.
-        sample: Vec<Loc>,
+        /// A few sample locations with the slot of their **first** read,
+        /// lowest bank/address first. Register and latch locations carry
+        /// their provenance uniformly through [`Loc`], mirroring the
+        /// `bank`/`addr`/`latch` fields of `MibError::DataHazard`.
+        sample: Vec<(Loc, usize)>,
     },
     /// First-fit exhausted its probe limit and fell back to appending
     /// fresh slots; packing quality is degraded.
@@ -187,6 +190,18 @@ pub enum DiagKind {
         /// First differing word index (or the shorter length).
         word: usize,
     },
+    /// One hop of the program's critical dependence chain (see
+    /// `critical_path`): the slot's issue cycle was determined by this
+    /// dependence, not by program order.
+    CriticalPathHop {
+        /// Location the dependence flows through.
+        loc: Loc,
+        /// Slot of the producing write.
+        producer_slot: usize,
+        /// Stall cycles the hop cost (0 for a tight, hazard-free
+        /// dependence).
+        stall_cycles: u64,
+    },
 }
 
 impl DiagKind {
@@ -206,7 +221,22 @@ impl DiagKind {
             | DiagKind::DeadWrite { .. }
             | DiagKind::UndrivenWrite { .. }
             | DiagKind::ForcedAppends { .. } => Severity::Warning,
-            DiagKind::ReadBeforeInit { .. } => Severity::Info,
+            DiagKind::ReadBeforeInit { .. } | DiagKind::CriticalPathHop { .. } => Severity::Info,
+        }
+    }
+
+    /// The storage location the finding is about, when it has a single
+    /// canonical one — the third component of the deterministic
+    /// `(severity, slot, loc)` report ordering.
+    pub fn loc(&self) -> Option<Loc> {
+        match self {
+            DiagKind::HazardRead { loc, .. }
+            | DiagKind::AddressOutOfRange { loc, .. }
+            | DiagKind::DeadWrite { loc, .. }
+            | DiagKind::DoubleWrite { loc }
+            | DiagKind::CriticalPathHop { loc, .. } => Some(*loc),
+            DiagKind::ReadBeforeInit { sample, .. } => sample.first().map(|&(loc, _)| loc),
+            _ => None,
         }
     }
 
@@ -227,6 +257,7 @@ impl DiagKind {
             DiagKind::PackingDependency { .. } => "packing-dependency",
             DiagKind::PackingSlotMismatch => "packing-slot-mismatch",
             DiagKind::PackingStreamMismatch { .. } => "packing-stream-mismatch",
+            DiagKind::CriticalPathHop { .. } => "critical-path-hop",
         }
     }
 }
@@ -278,8 +309,8 @@ impl fmt::Display for DiagKind {
             ),
             DiagKind::ReadBeforeInit { count, sample } => {
                 write!(f, "{count} location(s) read before any write (live-in):")?;
-                for loc in sample {
-                    write!(f, " {loc};")?;
+                for (loc, first_read_slot) in sample {
+                    write!(f, " {loc} (first read at slot {first_read_slot});")?;
                 }
                 if *count > sample.len() {
                     write!(f, " …")?;
@@ -310,6 +341,15 @@ impl fmt::Display for DiagKind {
             DiagKind::PackingStreamMismatch { word } => write!(
                 f,
                 "HBM stream diverges from the kernel's words at index {word}"
+            ),
+            DiagKind::CriticalPathHop {
+                loc,
+                producer_slot,
+                stall_cycles,
+            } => write!(
+                f,
+                "critical-path dependence through {loc}: produced at slot \
+                 {producer_slot}, {stall_cycles} stall cycle(s)"
             ),
         }
     }

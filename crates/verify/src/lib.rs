@@ -28,16 +28,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod critical_path;
 pub mod diag;
 pub mod report;
+pub mod timing;
 
 mod dataflow;
 mod structural;
 
+pub use critical_path::{critical_path, CriticalHop, CriticalPath};
 pub use diag::{DiagKind, Diagnostic, Loc, Severity};
-pub use report::{BankPressure, Certificate, PressureReport, Report};
+pub use report::{BankPressure, Certificate, PressureReport, Report, TimingSummary};
+pub use timing::{predict, StaticTiming};
 
 use mib_core::instruction::NetInstruction;
+use mib_core::machine::HazardPolicy;
 use mib_core::MibConfig;
 
 /// Statically verifies one program against a machine configuration and an
@@ -53,25 +58,51 @@ pub fn verify_program(
     config: &MibConfig,
 ) -> Report {
     let (mut diagnostics, width_mismatch) = structural::check(program, hbm_words, config);
-    let pressure = if width_mismatch {
+    let (pressure, timing) = if width_mismatch {
         // Mixed widths make lane indexing meaningless; the width errors
         // alone already refute the program.
-        PressureReport {
-            banks: Vec::new(),
-            bank_depth: config.bank_depth,
-        }
+        (
+            PressureReport {
+                banks: Vec::new(),
+                bank_depth: config.bank_depth,
+            },
+            None,
+        )
     } else {
         let (flow_diags, pressure) = dataflow::analyze(program, config);
         diagnostics.extend(flow_diags);
-        pressure
+        // Exact timing prediction under the stall policy (a certified
+        // program has zero stalls, so this equals its strict cycle
+        // count); faulting programs carry no timing.
+        let timing = timing::predict(program, hbm_words, config, HazardPolicy::Stall)
+            .ok()
+            .map(|t| {
+                let cp = critical_path::critical_path(program, config);
+                TimingSummary {
+                    predicted_cycles: t.stats.cycles,
+                    stall_cycles: t.stats.stall_cycles,
+                    critical_path_cycles: cp.cycles,
+                    critical_path_hops: cp.hops.len(),
+                }
+            });
+        (pressure, timing)
     };
-    // Deterministic report order: by slot, whole-program findings last.
-    diagnostics.sort_by_key(|d| d.slot.unwrap_or(usize::MAX));
+    // Deterministic report order: most severe first, then by slot
+    // (whole-program findings last), then by location — byte-stable
+    // across runs and platforms.
+    diagnostics.sort_by_key(|d| {
+        (
+            std::cmp::Reverse(d.severity),
+            d.slot.map_or((1, 0), |s| (0, s)),
+            d.kind.loc(),
+        )
+    });
     Report {
         name: name.to_string(),
         slots: program.len(),
         diagnostics,
         pressure,
+        timing,
     }
 }
 
@@ -262,10 +293,11 @@ mod tests {
                 write_slot: 0,
             }
         )));
+        // The live-in sample carries the first-read slot as provenance.
         assert!(report.diagnostics.iter().any(|d| matches!(
             &d.kind,
             DiagKind::ReadBeforeInit { count: 1, sample } if sample
-                == &vec![Loc::Reg { bank: 1, addr: 9 }]
+                == &vec![(Loc::Reg { bank: 1, addr: 9 }, latency + 1)]
         )));
     }
 
@@ -358,5 +390,52 @@ mod tests {
         let report = verify_program("empty", &[], 0, &config8());
         assert!(report.is_certified());
         assert_eq!(report.pressure.peak_live(), 0);
+        assert_eq!(report.timing.map(|t| t.predicted_cycles), Some(0));
+    }
+
+    #[test]
+    fn report_carries_exact_timing_and_critical_path() {
+        let cfg = config8();
+        let latency = cfg.latency() as usize;
+        let mut prog = vec![load(0, 3)];
+        prog.extend(nop_slots(latency - 1));
+        prog.push(copy(0, 3, 4));
+        let report = verify_program("timed", &prog, 1, &cfg);
+        let timing = report.timing.expect("runnable program has timing");
+        assert_eq!(timing.predicted_cycles, (prog.len() + latency) as u64);
+        assert_eq!(timing.stall_cycles, 0);
+        assert_eq!(timing.critical_path_cycles, timing.predicted_cycles);
+        // load -> copy is a tight dependence: exactly one hop.
+        assert_eq!(timing.critical_path_hops, 1);
+        assert!(report.to_string().contains("predicted"), "{report}");
+
+        // A faulting program (stream underflow) carries no timing.
+        let report = verify_program("faulty", &[load(0, 3)], 0, &cfg);
+        assert!(report.timing.is_none());
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_severity_slot_loc() {
+        let cfg = config8();
+        let latency = cfg.latency() as usize;
+        // A program producing findings of every severity, anchored to
+        // slots out of order: a hazard (error) late in the program, a
+        // dead write (warning) early, a live-in read (info, global).
+        let mut prog = vec![load(0, 3)]; // dead write at slot 0
+        prog.push(copy(1, 9, 10)); // live-in read of (1, 9)
+        prog.extend(nop_slots(latency));
+        prog.push(load(0, 3)); // overwrite -> dead write
+        prog.push(copy(0, 3, 4)); // hazard: read inside latency window
+        let report = verify_program("sorted", &prog, 2, &cfg);
+        assert!(!report.is_certified());
+        // Severities are non-increasing across the report.
+        let sevs: Vec<Severity> = report.diagnostics.iter().map(|d| d.severity).collect();
+        let mut sorted = sevs.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(sevs, sorted, "{report}");
+        // Byte-stable: re-verifying yields the identical report text.
+        let again = verify_program("sorted", &prog, 2, &cfg);
+        assert_eq!(report.to_string(), again.to_string());
+        assert_eq!(report, again);
     }
 }

@@ -55,6 +55,33 @@ impl fmt::Display for PressureReport {
     }
 }
 
+/// Static timing facts of one analyzed program, from the exact cycle
+/// predictor (`timing::predict`) and the critical-path extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingSummary {
+    /// Predicted total cycles under the stall policy — provably equal to
+    /// `Machine::run` (a certified program stalls zero cycles, so this is
+    /// also its strict-policy cycle count).
+    pub predicted_cycles: u64,
+    /// Predicted hazard-stall cycles (0 for a certified program).
+    pub stall_cycles: u64,
+    /// Length in cycles of the critical dependence chain's program (the
+    /// same total, decomposed along the chain).
+    pub critical_path_cycles: u64,
+    /// Number of dependence hops on the critical path.
+    pub critical_path_hops: usize,
+}
+
+impl fmt::Display for TimingSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "predicted {} cycle(s) ({} stall); critical path: {} hop(s)",
+            self.predicted_cycles, self.stall_cycles, self.critical_path_hops
+        )
+    }
+}
+
 /// The result of statically analyzing one program.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
@@ -62,10 +89,13 @@ pub struct Report {
     pub name: String,
     /// Issue slots analyzed.
     pub slots: usize,
-    /// All findings, in program order.
+    /// All findings, ordered by (severity, slot, loc), most severe first.
     pub diagnostics: Vec<Diagnostic>,
     /// Static register-pressure profile.
     pub pressure: PressureReport,
+    /// Exact predicted timing, when the program is statically runnable
+    /// (`None` when a width/address/stream fault makes timing moot).
+    pub timing: Option<TimingSummary>,
 }
 
 impl Report {
@@ -100,6 +130,7 @@ impl Report {
             infos: self.count(Severity::Info),
             peak_live: self.pressure.peak_live(),
             bank_depth: self.pressure.bank_depth,
+            predicted_cycles: self.timing.map(|t| t.predicted_cycles),
         }
     }
 }
@@ -116,6 +147,9 @@ impl fmt::Display for Report {
             self.count(Severity::Info),
             self.pressure
         )?;
+        if let Some(timing) = &self.timing {
+            writeln!(f, "  {timing}")?;
+        }
         for d in &self.diagnostics {
             writeln!(f, "  {d}")?;
         }
@@ -141,6 +175,9 @@ pub struct Certificate {
     pub peak_live: usize,
     /// Configured bank depth.
     pub bank_depth: usize,
+    /// Statically predicted execution cycles, when the program is
+    /// runnable (the compiler's `StaticCost` oracle stores this).
+    pub predicted_cycles: Option<u64>,
 }
 
 impl Certificate {
@@ -167,7 +204,11 @@ impl fmt::Display for Certificate {
             self.infos,
             self.peak_live,
             self.bank_depth
-        )
+        )?;
+        if let Some(cycles) = self.predicted_cycles {
+            write!(f, " ~{cycles} cyc")?;
+        }
+        Ok(())
     }
 }
 
@@ -192,6 +233,12 @@ mod tests {
                 ],
                 bank_depth: 16,
             },
+            timing: Some(TimingSummary {
+                predicted_cycles: 8,
+                stall_cycles: 0,
+                critical_path_cycles: 8,
+                critical_path_hops: 1,
+            }),
         }
     }
 
@@ -199,7 +246,7 @@ mod tests {
     fn certification_depends_on_errors_only() {
         let clean = report_with(vec![Diagnostic::global(DiagKind::ReadBeforeInit {
             count: 1,
-            sample: vec![Loc::Reg { bank: 0, addr: 0 }],
+            sample: vec![(Loc::Reg { bank: 0, addr: 0 }, 2)],
         })]);
         assert!(clean.is_certified());
         let bad = report_with(vec![Diagnostic::global(DiagKind::StreamUnderflow {
@@ -228,8 +275,11 @@ mod tests {
         let c = r.certificate();
         assert_eq!((c.errors, c.warnings, c.infos), (0, 1, 1));
         assert_eq!(c.peak_live, 2);
+        assert_eq!(c.predicted_cycles, Some(8));
         assert!(c.is_certified());
-        assert!(c.to_string().contains("certified"));
+        let s = c.to_string();
+        assert!(s.contains("certified"), "{s}");
+        assert!(s.contains("~8 cyc"), "{s}");
     }
 
     #[test]

@@ -69,6 +69,15 @@ cargo run --release -q -p mib-bench --bin serve_bench -- --smoke >/dev/null
 echo "==> solver backends (ADMM/PDQP convergence gate)"
 cargo run --release -q -p mib-bench --bin backend_bench -- --smoke >/dev/null
 
+echo "==> static timing (predicted-vs-simulated smoke gate + checked-profile tests)"
+# One instance per domain: every compiled program's statically predicted
+# cycles and attribution must equal the simulator's, bitwise, and forced
+# appends must stay at the committed baseline.
+cargo run --release -q -p mib-bench --bin verify_schedules -- --smoke >/dev/null
+# Re-run the cycle-accounting tests optimized but with debug assertions
+# and overflow checks armed (the [profile.checked] build).
+cargo test --profile checked --test static_timing --test proptest_timing -q
+
 echo "==> tracing (enabled-mode pipeline + cycle attribution + zero-alloc guard)"
 cargo test --test trace_pipeline -q
 cargo test --test timeline_attribution -q
