@@ -1,0 +1,645 @@
+//! kernel_bench: std-only micro-benchmark of the dispatched SIMD kernels.
+//!
+//! Measures per-kernel GFLOP/s for the hot `_into` kernels under **both**
+//! dispatch paths (portable chunked-scalar and AVX2 where the host has
+//! it), sweeps the sparse kernels across the five benchmark domains, runs
+//! the [`BatchSolver`] thread-scaling study, and attributes per-stage
+//! solver time through the opt-in `mib-trace` kernel spans. The report is
+//! machine-diffable JSON with stable key order
+//! (`results/BENCH_kernels.json`); GFLOP/s numbers are
+//! environment-dependent, everything else is deterministic.
+//!
+//! The vendored `criterion` is an API stub, so timing is plain
+//! `std::time::Instant`: per measurement the kernel is warmed up, then
+//! the best (minimum) of several timed repetitions is taken — the
+//! standard floor-of-noise estimator for short deterministic kernels.
+//!
+//! `--smoke` (the `scripts/check.sh` gate) runs small sizes, validates
+//! the report schema, and asserts the two dispatch paths agree
+//! **bitwise** on every benchmarked kernel with fixed-seed data; it does
+//! not overwrite the committed results.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use mib_problems::{instance, Domain};
+use mib_qp::{BatchSolver, BatchUpdate, Settings, Solver, Status};
+use mib_sparse::simd::{self, DispatchPath};
+use mib_sparse::{ldl::LdlSolver, order::Ordering, CscMatrix, TripletMatrix};
+
+/// Timed repetitions per measurement; the minimum is reported.
+const REPS: usize = 7;
+/// Target duration of one timed repetition, used to size the inner loop.
+const TARGET_NS_PER_REP: f64 = 2e6;
+
+/// xorshift64* — deterministic, dependency-free data generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        let u = self.0.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        // Uniform in [-1, 1).
+        (u >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+
+    fn vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_f64()).collect()
+    }
+}
+
+/// Best-of-`REPS` nanoseconds per call of `f`, with `f` run `inner`
+/// times per repetition.
+fn time_ns(inner: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..inner.div_ceil(2).max(1) {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        let per_call = t0.elapsed().as_nanos() as f64 / inner as f64;
+        best = best.min(per_call);
+    }
+    best
+}
+
+/// Inner-loop length for a kernel expected to cost ~`flops` flops.
+fn inner_for(flops: f64) -> usize {
+    // Rough 1 GFLOP/s floor keeps a repetition near TARGET_NS_PER_REP.
+    ((TARGET_NS_PER_REP / flops.max(1.0)) as usize).clamp(1, 1 << 16)
+}
+
+/// One (kernel, size, path) measurement.
+struct Measurement {
+    group: &'static str,
+    kernel: &'static str,
+    /// Problem-size label: vector length, matrix dimension, ...
+    n: usize,
+    /// Analytic flop count of one kernel call.
+    flops: f64,
+    path: DispatchPath,
+    ns_per_call: f64,
+}
+
+impl Measurement {
+    fn gflops(&self) -> f64 {
+        self.flops / self.ns_per_call
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Upper-stored symmetric tridiagonal SPD matrix (diag 4, off-diag -1).
+fn tridiag_upper(n: usize) -> CscMatrix {
+    let mut t = TripletMatrix::new(n, n);
+    for j in 0..n {
+        if j > 0 {
+            t.push(j - 1, j, -1.0).expect("in range");
+        }
+        t.push(j, j, 4.0).expect("in range");
+    }
+    CscMatrix::from_triplets(&t).expect("valid tridiagonal")
+}
+
+/// Banded rectangular matrix with ~`band` entries per column.
+fn banded(nrows: usize, ncols: usize, band: usize, rng: &mut Rng) -> CscMatrix {
+    let mut t = TripletMatrix::new(nrows, ncols);
+    for j in 0..ncols {
+        let center = j * nrows / ncols;
+        let lo = center.saturating_sub(band / 2);
+        let hi = (lo + band).min(nrows);
+        for i in lo..hi {
+            t.push(i, j, rng.next_f64()).expect("in range");
+        }
+    }
+    CscMatrix::from_triplets(&t).expect("valid banded matrix")
+}
+
+/// The dispatch paths to benchmark on this host.
+fn paths() -> Vec<DispatchPath> {
+    if simd::force_dispatch(Some(DispatchPath::Avx2)) {
+        simd::force_dispatch(None);
+        vec![DispatchPath::Portable, DispatchPath::Avx2]
+    } else {
+        vec![DispatchPath::Portable]
+    }
+}
+
+/// Benchmarks the dense vector kernels at one size under every path,
+/// asserting cross-path bitwise agreement as it goes.
+fn bench_vector_kernels(n: usize, out: &mut Vec<Measurement>) {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15 ^ n as u64);
+    let x = rng.vec(n);
+    let b = rng.vec(n);
+    let c = rng.vec(n);
+    let w = rng.vec(n);
+    let l: Vec<f64> = x.iter().map(|&v| v - 0.5).collect();
+    let u: Vec<f64> = x.iter().map(|&v| v + 0.5).collect();
+    let mut buf = vec![0.0; n];
+
+    // (kernel name, flops per call)
+    let nf = n as f64;
+    let mut reference: Vec<(&'static str, Vec<u64>)> = Vec::new();
+    for path in paths() {
+        assert!(simd::force_dispatch(Some(path)), "path must be forceable");
+        let mut outputs: Vec<(&'static str, Vec<u64>)> = Vec::new();
+
+        let ns = time_ns(inner_for(2.0 * nf), || {
+            black_box(simd::dot(black_box(&x), black_box(&b)));
+        });
+        outputs.push(("dot", vec![simd::dot(&x, &b).to_bits()]));
+        out.push(Measurement {
+            group: "vector",
+            kernel: "dot",
+            n,
+            flops: 2.0 * nf,
+            path,
+            ns_per_call: ns,
+        });
+
+        buf.copy_from_slice(&x);
+        let ns = time_ns(inner_for(2.0 * nf), || {
+            simd::axpy_into(black_box(&mut buf), 1e-9, black_box(&b));
+        });
+        buf.copy_from_slice(&x);
+        simd::axpy_into(&mut buf, 0.25, &b);
+        outputs.push(("axpy_into", buf.iter().map(|v| v.to_bits()).collect()));
+        out.push(Measurement {
+            group: "vector",
+            kernel: "axpy_into",
+            n,
+            flops: 2.0 * nf,
+            path,
+            ns_per_call: ns,
+        });
+
+        let ns = time_ns(inner_for(2.0 * nf), || {
+            black_box(simd::norm_inf(black_box(&x)));
+        });
+        outputs.push(("norm_inf", vec![simd::norm_inf(&x).to_bits()]));
+        out.push(Measurement {
+            group: "vector",
+            kernel: "norm_inf",
+            n,
+            flops: 2.0 * nf,
+            path,
+            ns_per_call: ns,
+        });
+
+        buf.copy_from_slice(&b);
+        let ns = time_ns(inner_for(2.0 * nf), || {
+            simd::project_box_into(black_box(&mut buf), black_box(&l), black_box(&u));
+        });
+        buf.copy_from_slice(&b);
+        simd::project_box_into(&mut buf, &l, &u);
+        outputs.push((
+            "project_box_into",
+            buf.iter().map(|v| v.to_bits()).collect(),
+        ));
+        out.push(Measurement {
+            group: "vector",
+            kernel: "project_box_into",
+            n,
+            flops: 2.0 * nf,
+            path,
+            ns_per_call: ns,
+        });
+
+        let ns = time_ns(inner_for(3.0 * nf), || {
+            simd::add_prod_diff_into(
+                black_box(&mut buf),
+                black_box(&x),
+                black_box(&w),
+                black_box(&b),
+                black_box(&c),
+            );
+        });
+        simd::add_prod_diff_into(&mut buf, &x, &w, &b, &c);
+        outputs.push((
+            "add_prod_diff_into",
+            buf.iter().map(|v| v.to_bits()).collect(),
+        ));
+        out.push(Measurement {
+            group: "vector",
+            kernel: "add_prod_diff_into",
+            n,
+            flops: 3.0 * nf,
+            path,
+            ns_per_call: ns,
+        });
+
+        if reference.is_empty() {
+            reference = outputs;
+        } else {
+            for ((name_a, bits_a), (name_b, bits_b)) in reference.iter().zip(&outputs) {
+                assert_eq!(name_a, name_b);
+                assert_eq!(
+                    bits_a, bits_b,
+                    "{name_a}(n={n}): dispatch paths disagree bitwise"
+                );
+            }
+        }
+    }
+    simd::force_dispatch(None);
+}
+
+/// Benchmarks CSC SpMV / SpMVᵀ on one matrix under every path.
+fn bench_spmv(group: &'static str, a: &CscMatrix, out: &mut Vec<Measurement>) {
+    let mut rng = Rng(0xd1b5_4a32_d192_ed03 ^ a.nnz() as u64);
+    let x = rng.vec(a.ncols());
+    let yt = rng.vec(a.nrows());
+    let mut y = vec![0.0; a.nrows()];
+    let mut z = vec![0.0; a.ncols()];
+    let flops = 2.0 * a.nnz() as f64;
+
+    let mut reference: Vec<Vec<u64>> = Vec::new();
+    for path in paths() {
+        assert!(simd::force_dispatch(Some(path)), "path must be forceable");
+
+        let ns = time_ns(inner_for(flops), || {
+            a.gaxpy_into(black_box(&x), black_box(&mut y));
+        });
+        y.fill(0.0);
+        a.gaxpy_into(&x, &mut y);
+        out.push(Measurement {
+            group,
+            kernel: "spmv",
+            n: a.ncols(),
+            flops,
+            path,
+            ns_per_call: ns,
+        });
+
+        let ns = time_ns(inner_for(flops), || {
+            a.gaxpy_t_into(black_box(&yt), black_box(&mut z));
+        });
+        z.fill(0.0);
+        a.gaxpy_t_into(&yt, &mut z);
+        out.push(Measurement {
+            group,
+            kernel: "spmv_t",
+            n: a.ncols(),
+            flops,
+            path,
+            ns_per_call: ns,
+        });
+
+        let outputs = vec![
+            y.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+            z.iter().map(|v| v.to_bits()).collect(),
+        ];
+        if reference.is_empty() {
+            reference = outputs;
+        } else {
+            assert_eq!(
+                reference, outputs,
+                "{group} spmv/spmv_t: dispatch paths disagree bitwise"
+            );
+        }
+    }
+    simd::force_dispatch(None);
+}
+
+/// Benchmarks the LDLᵀ triangular solve (L, D, Lᵀ sweeps) under every
+/// path.
+fn bench_ldl_solve(n: usize, out: &mut Vec<Measurement>) {
+    let a = tridiag_upper(n);
+    let solver = LdlSolver::new(&a, Ordering::MinDegree).expect("SPD tridiagonal factors");
+    let l_nnz = solver.factor().l_nnz();
+    // L solve + D scale + Lᵀ solve: 2 flops per L entry in each sweep.
+    let flops = (4 * l_nnz + n) as f64;
+    let mut rng = Rng(0xa076_1d64_78bd_642f ^ n as u64);
+    let b = rng.vec(n);
+    let mut work = vec![0.0; n];
+    let mut x = vec![0.0; n];
+
+    let mut reference: Vec<u64> = Vec::new();
+    for path in paths() {
+        assert!(simd::force_dispatch(Some(path)), "path must be forceable");
+        let ns = time_ns(inner_for(flops), || {
+            solver.solve_into(black_box(&b), black_box(&mut work), black_box(&mut x));
+        });
+        solver.solve_into(&b, &mut work, &mut x);
+        out.push(Measurement {
+            group: "ldl",
+            kernel: "ldl_solve",
+            n,
+            flops,
+            path,
+            ns_per_call: ns,
+        });
+        let bits: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+        if reference.is_empty() {
+            reference = bits;
+        } else {
+            assert_eq!(
+                reference, bits,
+                "ldl_solve(n={n}): dispatch paths disagree bitwise"
+            );
+        }
+    }
+    simd::force_dispatch(None);
+}
+
+/// One batch thread-scaling row.
+struct ScalingRow {
+    threads: usize,
+    problems: usize,
+    micros: u128,
+}
+
+/// BatchSolver scaling study: same batch, increasing worker counts up to
+/// the host's available parallelism (on a single-core host this is
+/// honestly a single row).
+fn bench_batch_scaling(smoke: bool) -> Vec<ScalingRow> {
+    let spec = instance(Domain::Portfolio, if smoke { 0 } else { 4 });
+    let problems = if smoke { 8 } else { 32 };
+    let batch = BatchSolver::new(spec.problem.clone(), Settings::default()).expect("setup");
+    let q0 = spec.problem.q().to_vec();
+    let updates: Vec<BatchUpdate> = (0..problems)
+        .map(|k| {
+            let q: Vec<f64> = q0.iter().map(|&v| v + 0.01 * k as f64).collect();
+            BatchUpdate::with_q(q)
+        })
+        .collect();
+
+    let ap = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let mut thread_counts = vec![1usize];
+    let mut t = 2;
+    while t <= ap {
+        thread_counts.push(t);
+        t *= 2;
+    }
+    if *thread_counts.last().expect("non-empty") != ap {
+        thread_counts.push(ap);
+    }
+    thread_counts.dedup();
+
+    let mut rows = Vec::new();
+    for &threads in &thread_counts {
+        let b = batch.clone().with_threads(threads);
+        // Warm-up pass, then best-of-3.
+        let _ = b.solve_batch(&updates).expect("batch solves");
+        let mut best = u128::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let results = b.solve_batch(&updates).expect("batch solves");
+            let dt = t0.elapsed().as_micros();
+            assert_eq!(results.len(), problems);
+            best = best.min(dt);
+        }
+        rows.push(ScalingRow {
+            threads,
+            problems,
+            micros: best,
+        });
+    }
+    rows
+}
+
+/// Per-stage kernel time share, measured through the opt-in mib-trace
+/// kernel spans.
+struct PhaseShare {
+    algo: &'static str,
+    stage: String,
+    ns: u64,
+    share: f64,
+}
+
+/// Aggregates `Category::Kernel` span durations by name for one solve
+/// of each backend.
+fn measure_phase_shares(smoke: bool) -> Vec<PhaseShare> {
+    use mib_qp::Algorithm;
+    let spec = instance(Domain::Portfolio, if smoke { 0 } else { 4 });
+    let mut shares = Vec::new();
+    mib_trace::enable();
+    mib_trace::enable_kernel_spans();
+    for algorithm in Algorithm::all() {
+        let mut settings = Settings::with_algorithm(algorithm);
+        settings.max_iter = match algorithm {
+            Algorithm::Admm => 20_000,
+            Algorithm::Pdqp => 2_000_000,
+        };
+        let mut solver = Solver::new(spec.problem.clone(), settings).expect("setup");
+        mib_trace::clear();
+        let result = solver.solve();
+        assert_eq!(result.status, Status::Solved, "{algorithm} must converge");
+        let trace = mib_trace::take();
+
+        // Sum Begin..End durations per span name (spans nest per thread;
+        // kernel stages never self-nest, so a name-keyed open map works).
+        let mut open: std::collections::HashMap<u64, (&'static str, u64)> =
+            std::collections::HashMap::new();
+        let mut totals: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for thread in &trace.threads {
+            open.clear();
+            for rec in &thread.records {
+                match rec.event {
+                    mib_trace::Event::Begin {
+                        name,
+                        cat: mib_trace::Category::Kernel,
+                    } => {
+                        open.insert(rec.span, (name, rec.ts_ns));
+                    }
+                    mib_trace::Event::End { .. } => {
+                        if let Some((name, begin)) = open.remove(&rec.span) {
+                            *totals.entry(name).or_insert(0) += rec.ts_ns.saturating_sub(begin);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let grand: u64 = totals.values().sum();
+        assert!(
+            !totals.is_empty(),
+            "{algorithm}: kernel spans produced no stage timings"
+        );
+        for (stage, ns) in totals {
+            shares.push(PhaseShare {
+                algo: algorithm.name(),
+                stage: stage.to_string(),
+                ns,
+                share: if grand > 0 {
+                    ns as f64 / grand as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    mib_trace::disable_kernel_spans();
+    mib_trace::disable();
+    mib_trace::clear();
+    shares
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let vector_sizes: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let (band_n, ldl_n) = if smoke { (2_000, 500) } else { (10_000, 5_000) };
+
+    let mut ms: Vec<Measurement> = Vec::new();
+    for &n in vector_sizes {
+        bench_vector_kernels(n, &mut ms);
+    }
+    let mut rng = Rng(0x243f_6a88_85a3_08d3);
+    let a = banded(band_n, band_n, 16, &mut rng);
+    bench_spmv("sparse_banded", &a, &mut ms);
+    let domain_index = if smoke { 0 } else { 9 };
+    let mut domain_dims: Vec<(Domain, usize, usize, usize)> = Vec::new();
+    for domain in Domain::all() {
+        let spec = instance(domain, domain_index);
+        let am = spec.problem.a();
+        domain_dims.push((domain, am.nrows(), am.ncols(), am.nnz()));
+        bench_spmv(domain.name(), am, &mut ms);
+    }
+    bench_ldl_solve(ldl_n, &mut ms);
+
+    let scaling = bench_batch_scaling(smoke);
+    let phases = measure_phase_shares(smoke);
+
+    // ---- report ----------------------------------------------------------
+    let cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let mut json = String::from("{\"bench\":\"kernels\",");
+    let _ = write!(
+        json,
+        "\"mode\":\"{}\",\"host\":{{\"cores\":{},\"default_path\":\"{}\",\"features\":[",
+        if smoke { "smoke" } else { "full" },
+        cores,
+        simd::dispatch_path().as_str(),
+    );
+    for (i, feat) in simd::detected_features().iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(json, "\"{feat}\"");
+    }
+    json.push_str("]},\"kernels\":[");
+    for (i, m) in ms.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"group\":\"{}\",\"kernel\":\"{}\",\"n\":{},\"path\":\"{}\",\
+             \"flops\":{},\"ns_per_call\":{},\"gflops\":{}}}",
+            m.group,
+            m.kernel,
+            m.n,
+            m.path.as_str(),
+            json_f64(m.flops),
+            json_f64(m.ns_per_call),
+            json_f64(m.gflops()),
+        );
+    }
+    json.push_str("],\"speedups\":[");
+    // AVX2-over-portable ratio per (group, kernel, n) when both were run.
+    let mut first = true;
+    for m in &ms {
+        if m.path != DispatchPath::Avx2 {
+            continue;
+        }
+        let base = ms.iter().find(|p| {
+            p.path == DispatchPath::Portable
+                && p.group == m.group
+                && p.kernel == m.kernel
+                && p.n == m.n
+        });
+        if let Some(base) = base {
+            if !first {
+                json.push(',');
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "{{\"group\":\"{}\",\"kernel\":\"{}\",\"n\":{},\"avx2_over_portable\":{}}}",
+                m.group,
+                m.kernel,
+                m.n,
+                json_f64(base.ns_per_call / m.ns_per_call),
+            );
+        }
+    }
+    json.push_str("],\"domains\":[");
+    for (i, (domain, nrows, ncols, nnz)) in domain_dims.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"domain\":\"{domain}\",\"index\":{domain_index},\
+             \"rows\":{nrows},\"cols\":{ncols},\"nnz\":{nnz}}}",
+        );
+    }
+    json.push_str("],\"batch_scaling\":[");
+    let base_us = scaling.first().map_or(0, |r| r.micros);
+    for (i, row) in scaling.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"threads\":{},\"problems\":{},\"wall_us\":{},\"speedup\":{}}}",
+            row.threads,
+            row.problems,
+            row.micros,
+            json_f64(base_us as f64 / row.micros.max(1) as f64),
+        );
+    }
+    json.push_str("],\"phase_shares\":[");
+    for (i, p) in phases.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"algo\":\"{}\",\"stage\":\"{}\",\"ns\":{},\"share\":{}}}",
+            p.algo,
+            p.stage,
+            p.ns,
+            json_f64(p.share),
+        );
+    }
+    json.push_str("]}");
+    mib_trace::validate_json(&json).expect("kernel report must be valid JSON");
+
+    println!("{json}");
+    if smoke {
+        // Smoke runs gate correctness (schema + bitwise path agreement);
+        // only the full run refreshes the committed baseline.
+        eprintln!("(smoke mode: results/BENCH_kernels.json not rewritten)");
+    } else {
+        let dir = std::path::Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join("BENCH_kernels.json");
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(written to {})", path.display());
+            }
+        }
+    }
+}

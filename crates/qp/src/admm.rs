@@ -319,6 +319,9 @@ impl AdmmSolver {
         // are gated on this hoisted bool, so the disabled-mode cost of the
         // whole instrumented solve is this one relaxed atomic load.
         let tracing = mib_trace::enabled();
+        // Opt-in per-stage kernel spans (several per iteration), hoisted
+        // like `tracing` so the disabled cost is one more relaxed load.
+        let ktrace = mib_trace::kernel_spans();
         let _solve_span = mib_trace::span_if(tracing, "solve", TraceCat::Solver);
         // Keep setup factorization work, reset per-solve counters.
         let mut prof = self.profile;
@@ -370,7 +373,10 @@ impl AdmmSolver {
                 break;
             }
             iterations = k;
-            self.stage_rhs(&mut prof);
+            {
+                let _s = mib_trace::span_if(ktrace, "stage_rhs", TraceCat::Kernel);
+                self.stage_rhs(&mut prof);
+            }
             let kkt_start = if tracing { Some(Instant::now()) } else { None };
             let kkt_failed = self.kkt.solve(&mut self.ws, &mut prof).is_err();
             if let Some(t0) = kkt_start {
@@ -381,14 +387,29 @@ impl AdmmSolver {
                 // quasi-definiteness are fixed); treat defensively as a stall.
                 break;
             }
-            self.stage_ztilde(&mut prof);
-            self.stage_x_update(&mut prof);
-            self.stage_z_projection(&mut prof);
-            self.stage_y_update(&mut prof);
+            {
+                let _s = mib_trace::span_if(ktrace, "stage_ztilde", TraceCat::Kernel);
+                self.stage_ztilde(&mut prof);
+            }
+            {
+                let _s = mib_trace::span_if(ktrace, "stage_x_update", TraceCat::Kernel);
+                self.stage_x_update(&mut prof);
+            }
+            {
+                let _s = mib_trace::span_if(ktrace, "stage_z_projection", TraceCat::Kernel);
+                self.stage_z_projection(&mut prof);
+            }
+            {
+                let _s = mib_trace::span_if(ktrace, "stage_y_update", TraceCat::Kernel);
+                self.stage_y_update(&mut prof);
+            }
 
             let checking = k % check_every == 0 || k == max_iter;
             if checking {
-                let res = self.stage_residuals(&mut prof);
+                let res = {
+                    let _s = mib_trace::span_if(ktrace, "stage_residuals", TraceCat::Kernel);
+                    self.stage_residuals(&mut prof)
+                };
                 final_res = Some(res);
                 if tracing {
                     // `res.prim`/`res.dual` are the exact values a
@@ -517,12 +538,8 @@ impl AdmmSolver {
     fn stage_rhs(&mut self, prof: &mut Profile) {
         let ws = &mut self.ws;
         let sigma = self.settings.sigma;
-        for j in 0..self.x.len() {
-            ws.rhs_x[j] = sigma * self.x[j] - self.q[j];
-        }
-        for i in 0..self.z.len() {
-            ws.rhs_z[i] = self.z[i] - self.rho_inv_vec[i] * self.y[i];
-        }
+        vector::sax_sub_into(&mut ws.rhs_x, sigma, &self.x, &self.q);
+        vector::sub_prod_into(&mut ws.rhs_z, &self.z, &self.rho_inv_vec, &self.y);
         prof.add_vector((2 * self.x.len() + 2 * self.z.len()) as f64);
     }
 
@@ -530,9 +547,7 @@ impl AdmmSolver {
     /// `ws.ztilde`.
     fn stage_ztilde(&mut self, prof: &mut Profile) {
         let ws = &mut self.ws;
-        for i in 0..self.z.len() {
-            ws.ztilde[i] = self.z[i] + self.rho_inv_vec[i] * (ws.nu[i] - self.y[i]);
-        }
+        vector::add_prod_diff_into(&mut ws.ztilde, &self.z, &self.rho_inv_vec, &ws.nu, &self.y);
         prof.add_vector(3.0 * self.z.len() as f64);
     }
 
@@ -541,11 +556,7 @@ impl AdmmSolver {
     fn stage_x_update(&mut self, prof: &mut Profile) {
         let ws = &mut self.ws;
         let alpha = self.settings.alpha;
-        for j in 0..self.x.len() {
-            let x_new = alpha * ws.xtilde[j] + (1.0 - alpha) * self.x[j];
-            ws.delta_x[j] = x_new - self.x[j];
-            self.x[j] = x_new;
-        }
+        vector::relax_delta_into(&mut self.x, &mut ws.delta_x, alpha, &ws.xtilde);
         prof.add_vector(4.0 * self.x.len() as f64);
     }
 
@@ -555,12 +566,16 @@ impl AdmmSolver {
     fn stage_z_projection(&mut self, prof: &mut Profile) {
         let ws = &mut self.ws;
         let alpha = self.settings.alpha;
-        for i in 0..self.z.len() {
-            let z_relaxed = alpha * ws.ztilde[i] + (1.0 - alpha) * self.z[i];
-            ws.z_relaxed[i] = z_relaxed;
-            let w = z_relaxed + self.rho_inv_vec[i] * self.y[i];
-            self.z[i] = w.max(self.l[i]).min(self.u[i]);
-        }
+        vector::relax_project_into(
+            &mut self.z,
+            &mut ws.z_relaxed,
+            alpha,
+            &ws.ztilde,
+            &self.rho_inv_vec,
+            &self.y,
+            &self.l,
+            &self.u,
+        );
         prof.add_vector(6.0 * self.z.len() as f64);
     }
 
@@ -568,11 +583,13 @@ impl AdmmSolver {
     /// step `δy` in `ws.delta_y`.
     fn stage_y_update(&mut self, prof: &mut Profile) {
         let ws = &mut self.ws;
-        for i in 0..self.y.len() {
-            let y_new = self.y[i] + self.rho_vec[i] * (ws.z_relaxed[i] - self.z[i]);
-            ws.delta_y[i] = y_new - self.y[i];
-            self.y[i] = y_new;
-        }
+        vector::scaled_diff_update_into(
+            &mut self.y,
+            &mut ws.delta_y,
+            &self.rho_vec,
+            &ws.z_relaxed,
+            &self.z,
+        );
         prof.add_vector(3.0 * self.y.len() as f64);
     }
 
@@ -595,10 +612,7 @@ impl AdmmSolver {
         prof.add_spmv_mac(2 * p.nnz());
         a.spmv_t_into(&ws.y_us, &mut ws.aty);
         prof.add_spmv_col_elim(a.nnz());
-        let mut dual = 0.0f64;
-        for j in 0..ws.x_us.len() {
-            dual = dual.max((ws.px[j] + self.orig.q()[j] + ws.aty[j]).abs());
-        }
+        let dual = vector::norm_inf_sum3(&ws.px, self.orig.q(), &ws.aty);
         let dual_norm = vector::norm_inf(&ws.px)
             .max(vector::norm_inf(&ws.aty))
             .max(vector::norm_inf(self.orig.q()));
@@ -618,9 +632,12 @@ impl AdmmSolver {
         let eps = self.settings.eps_prim_inf;
         let ws = &mut self.ws;
         // Unscale: δy = E δȳ / c.
-        for i in 0..ws.delta_y.len() {
-            ws.cert_y[i] = ws.delta_y[i] * self.scaling.e[i] * self.scaling.cinv;
-        }
+        vector::prod_scale_into(
+            &mut ws.cert_y,
+            &ws.delta_y,
+            &self.scaling.e,
+            self.scaling.cinv,
+        );
         let norm = vector::norm_inf(&ws.cert_y);
         if norm <= 0.0 {
             return false;
@@ -652,9 +669,7 @@ impl AdmmSolver {
     fn check_dual_infeasible(&mut self, prof: &mut Profile) -> bool {
         let eps = self.settings.eps_dual_inf;
         let ws = &mut self.ws;
-        for j in 0..ws.delta_x.len() {
-            ws.cert_x[j] = ws.delta_x[j] * self.scaling.d[j];
-        }
+        vector::ew_prod_into(&mut ws.cert_x, &ws.delta_x, &self.scaling.d);
         let norm = vector::norm_inf(&ws.cert_x);
         if norm <= 0.0 {
             return false;

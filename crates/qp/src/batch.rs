@@ -81,6 +81,19 @@ impl BatchOutcome {
     }
 }
 
+/// Default worker count: the `MIB_THREADS` environment variable when it
+/// parses as a positive integer, otherwise `available_parallelism()`.
+fn default_thread_count() -> usize {
+    if let Ok(raw) = std::env::var("MIB_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Solves batches of QPs sharing one sparsity pattern (and one symbolic
 /// setup) in parallel.
 #[derive(Debug, Clone)]
@@ -93,12 +106,23 @@ impl BatchSolver {
     /// Runs setup (scaling, ordering, symbolic + numeric factorization)
     /// once on the template problem.
     ///
+    /// # Thread policy
+    ///
+    /// The default worker count is `available_parallelism()`, overridable
+    /// with the `MIB_THREADS` environment variable (parsed as a positive
+    /// integer; anything else falls back to the default). An explicit
+    /// [`with_threads`](BatchSolver::with_threads) call always wins over
+    /// both. At solve time the effective count is additionally capped at
+    /// the batch length — spawning more workers than problems only adds
+    /// idle threads — and work is split into contiguous chunks of
+    /// `ceil(batch_len / threads)` problems.
+    ///
     /// # Errors
     ///
     /// Propagates any [`Solver::new`] setup error.
     pub fn new(problem: Problem, settings: Settings) -> Result<Self> {
         let template = Solver::new(problem, settings)?;
-        let num_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let num_threads = default_thread_count();
         Ok(BatchSolver {
             template,
             num_threads,

@@ -250,17 +250,13 @@ impl IndirectKkt {
         self.p.sym_upper_mul_vec_acc(v, out);
         profile.add_spmv_mac(2 * self.p.nnz());
         // ... + σ v ...
-        for (o, &vi) in out.iter_mut().zip(v) {
-            *o += self.sigma * vi;
-        }
+        vector::axpy_into(out, self.sigma, v);
         // ... + Aᵀ (ρ ∘ (A v)): A·v is the MAC primitive, Aᵀ·w is column
         // elimination (Section IV.B of the paper).
         az.fill(0.0);
         self.a.mul_vec_acc(v, az);
         profile.add_spmv_mac(self.a.nnz());
-        for (azi, &rho) in az.iter_mut().zip(&self.rho_vec) {
-            *azi *= rho;
-        }
+        vector::mul_assign(az, &self.rho_vec);
         self.a.tr_mul_vec_acc(az, out);
         profile.add_spmv_col_elim(self.a.nnz());
         profile.add_vector((2 * v.len() + az.len()) as f64);
@@ -285,9 +281,7 @@ impl IndirectKkt {
         x.copy_from_slice(&self.x_prev);
         // r = S x - b
         self.apply_s(x, sp, az, profile);
-        for i in 0..n {
-            r[i] = sp[i] - b[i];
-        }
+        vector::sub_into(r, sp, b);
         let b_norm = vector::norm2(b);
         let threshold = (self.tol * b_norm).max(self.eps_min);
         let mut r_norm = vector::norm2(r);
@@ -296,10 +290,8 @@ impl IndirectKkt {
             return 0;
         }
         // d = M⁻¹ r, p = -d
-        for i in 0..n {
-            dvec[i] = self.precond_inv[i] * r[i];
-            pdir[i] = -dvec[i];
-        }
+        vector::ew_prod_into(dvec, &self.precond_inv, r);
+        vector::neg_into(pdir, dvec);
         let mut rd = vector::dot(r, dvec);
         let mut iters = 0usize;
         while iters < self.max_iter {
@@ -312,24 +304,18 @@ impl IndirectKkt {
                 break;
             }
             let lambda = rd / p_sp;
-            for i in 0..n {
-                x[i] += lambda * pdir[i];
-                r[i] += lambda * sp[i];
-            }
+            vector::axpy_into(x, lambda, pdir);
+            vector::axpy_into(r, lambda, sp);
             r_norm = vector::norm2(r);
             profile.add_vector(6.0 * n as f64);
             if r_norm <= threshold {
                 break;
             }
-            for i in 0..n {
-                dvec[i] = self.precond_inv[i] * r[i];
-            }
+            vector::ew_prod_into(dvec, &self.precond_inv, r);
             let rd_new = vector::dot(r, dvec);
             let mu = rd_new / rd;
             rd = rd_new;
-            for i in 0..n {
-                pdir[i] = -dvec[i] + mu * pdir[i];
-            }
+            vector::update_dir_into(pdir, dvec, mu);
             profile.add_vector(5.0 * n as f64);
         }
         self.x_prev.copy_from_slice(x);
@@ -357,9 +343,7 @@ impl KktSolver for IndirectKkt {
         // b = rhs_x + Aᵀ (ρ ∘ rhs_z); `az` doubles as the ρ ∘ rhs_z scratch
         // before PCG overwrites it.
         b_red.copy_from_slice(rhs_x);
-        for i in 0..rhs_z.len() {
-            az[i] = rhs_z[i] * self.rho_vec[i];
-        }
+        vector::ew_prod_into(az, rhs_z, &self.rho_vec);
         self.a.tr_mul_vec_acc(az, b_red);
         profile.add_spmv_col_elim(self.a.nnz());
         profile.add_vector(rhs_z.len() as f64);
@@ -367,9 +351,7 @@ impl KktSolver for IndirectKkt {
         // ν = ρ ∘ (A x̃ - rhs_z)
         self.a.mul_vec_into(xtilde, az);
         profile.add_spmv_mac(self.a.nnz());
-        for i in 0..nu.len() {
-            nu[i] = self.rho_vec[i] * (az[i] - rhs_z[i]);
-        }
+        vector::prod_diff_into(nu, &self.rho_vec, az, rhs_z);
         profile.add_vector(2.0 * nu.len() as f64);
         Ok(())
     }

@@ -265,6 +265,8 @@ impl PdqpSolver {
     pub fn solve_into(&mut self, result: &mut SolveResult) {
         let start = Instant::now();
         let tracing = mib_trace::enabled();
+        // Opt-in per-segment kernel spans, hoisted like `tracing`.
+        let ktrace = mib_trace::kernel_spans();
         let _solve_span = mib_trace::span_if(tracing, "solve", TraceCat::Solver);
         let mut prof = self.profile;
         prof.admm_iters = 0;
@@ -299,18 +301,14 @@ impl PdqpSolver {
                 break;
             }
             iterations = k;
-            self.step(&mut prof);
+            self.step(ktrace, &mut prof);
 
             let checking = k % check_every == 0 || k == max_iter;
             if checking {
                 // Average candidate for this restart epoch.
                 let t = self.inner as f64;
-                for j in 0..n {
-                    self.x_avg[j] = self.x_sum[j] / t;
-                }
-                for i in 0..m {
-                    self.y_avg[i] = self.y_sum[i] / t;
-                }
+                vector::div_scale_into(&mut self.x_avg, &self.x_sum, t);
+                vector::div_scale_into(&mut self.y_avg, &self.y_sum, t);
                 let res_cur = self.residuals_at(false, &mut prof);
                 let res_avg = self.residuals_at(true, &mut prof);
                 let (use_avg, res) = if self.score(&res_avg) < self.score(&res_cur) {
@@ -373,9 +371,7 @@ impl PdqpSolver {
         self.scaling.unscale_x_into(&self.x, &mut result.x);
         self.scaling.unscale_y_into(&self.y, &mut result.y);
         self.orig.a().mul_vec_into(&result.x, &mut self.ws.ax);
-        for (i, zi) in result.z.iter_mut().enumerate() {
-            *zi = self.ws.ax[i].max(self.orig.l()[i]).min(self.orig.u()[i]);
-        }
+        vector::clamp_into(&mut result.z, &self.ws.ax, self.orig.l(), self.orig.u());
         let res = final_res.unwrap_or(Residuals {
             prim: f64::INFINITY,
             dual: f64::INFINITY,
@@ -401,36 +397,41 @@ impl PdqpSolver {
     /// One PDHG iteration: primal gradient step, dual extrapolated step
     /// via Moreau decomposition, then epoch-average accumulation. Three
     /// sparse mat-vecs, all through preallocated workspace buffers.
-    fn step(&mut self, prof: &mut Profile) {
+    /// `ktrace` is the caller-hoisted [`mib_trace::kernel_spans`] flag.
+    fn step(&mut self, ktrace: bool, prof: &mut Profile) {
         let ws = &mut self.ws;
         let n = self.x.len();
         let m = self.y.len();
-        // Gradient: P x + q + Aᵀ y, staged through px / aty.
-        self.p.sym_upper_mul_vec_into(&self.x, &mut ws.px);
-        prof.add_spmv_mac(2 * self.p.nnz());
-        self.a.spmv_t_into(&self.y, &mut ws.aty);
-        prof.add_spmv_col_elim(self.a.nnz());
-        for j in 0..n {
-            let x_new = self.x[j] - self.tau * (ws.px[j] + self.q[j] + ws.aty[j]);
-            ws.xtilde[j] = x_new;
-            // Extrapolation 2 x⁺ − x for the dual step.
-            ws.rhs_x[j] = 2.0 * x_new - self.x[j];
+        {
+            // Gradient: P x + q + Aᵀ y, staged through px / aty, then the
+            // primal step with extrapolation 2 x⁺ − x for the dual step.
+            let _s = mib_trace::span_if(ktrace, "stage_gradient", TraceCat::Kernel);
+            self.p.sym_upper_mul_vec_into(&self.x, &mut ws.px);
+            prof.add_spmv_mac(2 * self.p.nnz());
+            self.a.spmv_t_into(&self.y, &mut ws.aty);
+            prof.add_spmv_col_elim(self.a.nnz());
+            vector::grad_step_into(
+                &mut ws.xtilde,
+                &mut ws.rhs_x,
+                &self.x,
+                self.tau,
+                &ws.px,
+                &self.q,
+                &ws.aty,
+            );
         }
-        self.a.mul_vec_into(&ws.rhs_x, &mut ws.ax);
-        prof.add_spmv_mac(self.a.nnz());
-        let sigma = self.sigma;
-        for i in 0..m {
-            let w = self.y[i] + sigma * ws.ax[i];
-            let zt = (w / sigma).max(self.l[i]).min(self.u[i]);
-            ws.ztilde[i] = zt;
-            self.y[i] = w - sigma * zt;
+        {
+            let _s = mib_trace::span_if(ktrace, "stage_dual", TraceCat::Kernel);
+            self.a.mul_vec_into(&ws.rhs_x, &mut ws.ax);
+            prof.add_spmv_mac(self.a.nnz());
+            let sigma = self.sigma;
+            vector::moreau_into(&mut self.y, &mut ws.ztilde, sigma, &ws.ax, &self.l, &self.u);
         }
-        self.x.copy_from_slice(&ws.xtilde);
-        for j in 0..n {
-            self.x_sum[j] += self.x[j];
-        }
-        for i in 0..m {
-            self.y_sum[i] += self.y[i];
+        {
+            let _s = mib_trace::span_if(ktrace, "stage_average", TraceCat::Kernel);
+            self.x.copy_from_slice(&ws.xtilde);
+            vector::add_assign(&mut self.x_sum, &self.x);
+            vector::add_assign(&mut self.y_sum, &self.y);
         }
         self.inner += 1;
         prof.add_vector((5 * n + 6 * m) as f64);
@@ -452,9 +453,7 @@ impl PdqpSolver {
 
         a.mul_vec_into(&ws.x_us, &mut ws.ax);
         prof.add_spmv_mac(a.nnz());
-        for (i, zi) in ws.z_us.iter_mut().enumerate() {
-            *zi = ws.ax[i].max(self.orig.l()[i]).min(self.orig.u()[i]);
-        }
+        vector::clamp_into(&mut ws.z_us, &ws.ax, self.orig.l(), self.orig.u());
         let prim = vector::norm_inf_diff(&ws.ax, &ws.z_us);
         let prim_norm = vector::norm_inf(&ws.ax).max(vector::norm_inf(&ws.z_us));
 
@@ -462,10 +461,7 @@ impl PdqpSolver {
         prof.add_spmv_mac(2 * p.nnz());
         a.spmv_t_into(&ws.y_us, &mut ws.aty);
         prof.add_spmv_col_elim(a.nnz());
-        let mut dual = 0.0f64;
-        for j in 0..ws.x_us.len() {
-            dual = dual.max((ws.px[j] + self.orig.q()[j] + ws.aty[j]).abs());
-        }
+        let dual = vector::norm_inf_sum3(&ws.px, self.orig.q(), &ws.aty);
         let dual_norm = vector::norm_inf(&ws.px)
             .max(vector::norm_inf(&ws.aty))
             .max(vector::norm_inf(self.orig.q()));
@@ -574,9 +570,7 @@ fn operator_norm_a(a: &CscMatrix, n: usize, m: usize) -> f64 {
         if next <= 0.0 {
             return 0.0;
         }
-        for (vi, &wi) in v.iter_mut().zip(&atav) {
-            *vi = wi / next;
-        }
+        vector::div_scale_into(&mut v, &atav, next);
         let converged = (next - lambda).abs() <= POWER_TOL * next.max(1.0);
         lambda = next;
         if converged {
@@ -600,9 +594,7 @@ fn operator_norm_p(p: &CscMatrix, n: usize) -> f64 {
         if next <= 0.0 {
             return 0.0;
         }
-        for (vi, &wi) in v.iter_mut().zip(&pv) {
-            *vi = wi / next;
-        }
+        vector::div_scale_into(&mut v, &pv, next);
         let converged = (next - lambda).abs() <= POWER_TOL * next.max(1.0);
         lambda = next;
         if converged {

@@ -57,9 +57,7 @@ impl Scaling {
 
     /// Allocation-free form of [`Scaling::unscale_x`].
     pub fn unscale_x_into(&self, x_scaled: &[f64], out: &mut [f64]) {
-        for (o, (&d, &x)) in out.iter_mut().zip(self.d.iter().zip(x_scaled)) {
-            *o = d * x;
-        }
+        vector::ew_prod_into(out, &self.d, x_scaled);
     }
 
     /// Maps a scaled constraint iterate back: `z = E⁻¹ z̄`.
@@ -69,9 +67,7 @@ impl Scaling {
 
     /// Allocation-free form of [`Scaling::unscale_z`].
     pub fn unscale_z_into(&self, z_scaled: &[f64], out: &mut [f64]) {
-        for (o, (&e, &z)) in out.iter_mut().zip(self.einv.iter().zip(z_scaled)) {
-            *o = e * z;
-        }
+        vector::ew_prod_into(out, &self.einv, z_scaled);
     }
 
     /// Maps a scaled dual iterate back: `y = E ȳ / c`.
@@ -85,9 +81,7 @@ impl Scaling {
 
     /// Allocation-free form of [`Scaling::unscale_y`].
     pub fn unscale_y_into(&self, y_scaled: &[f64], out: &mut [f64]) {
-        for (o, (&e, &y)) in out.iter_mut().zip(self.e.iter().zip(y_scaled)) {
-            *o = e * y * self.cinv;
-        }
+        vector::prod_scale_into(out, &self.e, y_scaled, self.cinv);
     }
 
     /// Maps a scaled objective value back: `f = f̄ / c`.

@@ -28,7 +28,10 @@ const MIN_SAMPLES: u64 = 2;
 /// Per-(structure, algorithm) routing state.
 #[derive(Debug, Clone, Copy, Default)]
 struct Arm {
+    /// Routed primary solves only — gates cold exploration.
     samples: u64,
+    /// Every observation that updated the EWMA (routed + audits).
+    observations: u64,
     ewma_us: f64,
 }
 
@@ -48,13 +51,32 @@ impl BackendRouter {
         BackendRouter::default()
     }
 
-    /// Feeds back one observed solve: `micros` of wall time for
-    /// `algorithm` on the structure identified by `structure`.
+    /// Feeds back one routed solve: `micros` of wall time for
+    /// `algorithm` on the structure identified by `structure`. Counts
+    /// toward the cold-exploration quota.
     pub fn record(&self, structure: u64, algorithm: Algorithm, micros: f64) {
+        self.feed(structure, algorithm, micros, true);
+    }
+
+    /// Feeds back one shadow-audit solve. Audits sharpen the EWMA but do
+    /// **not** count toward the exploration quota: an audit piggybacks on
+    /// a request routed to a *sibling* backend, so letting it satisfy the
+    /// quota would let a candidate go straight from cold to
+    /// EWMA-compared without ever serving a routed request — and a
+    /// candidate whose EWMA never wins would then never be exercised at
+    /// all.
+    pub fn record_audit(&self, structure: u64, algorithm: Algorithm, micros: f64) {
+        self.feed(structure, algorithm, micros, false);
+    }
+
+    fn feed(&self, structure: u64, algorithm: Algorithm, micros: f64, routed: bool) {
         let mut arms = self.arms.lock().expect("router lock");
         let arm = &mut arms.entry(structure).or_default()[algorithm.index()];
-        arm.samples += 1;
-        arm.ewma_us = if arm.samples == 1 {
+        if routed {
+            arm.samples += 1;
+        }
+        arm.observations += 1;
+        arm.ewma_us = if arm.observations == 1 {
             micros
         } else {
             ALPHA * micros + (1.0 - ALPHA) * arm.ewma_us
@@ -109,7 +131,7 @@ impl BackendRouter {
             .get(&structure)
             .and_then(|row| {
                 let arm = row[algorithm.index()];
-                (arm.samples > 0).then_some(arm.ewma_us)
+                (arm.observations > 0).then_some(arm.ewma_us)
             })
     }
 }
@@ -163,6 +185,27 @@ mod tests {
         assert_eq!(r.samples(3, Algorithm::Admm), 0);
         assert!(r.ewma_micros(1, Algorithm::Admm).is_some());
         assert!(r.ewma_micros(3, Algorithm::Admm).is_none());
+    }
+
+    #[test]
+    fn audits_do_not_satisfy_the_exploration_quota() {
+        let r = BackendRouter::new();
+        // ADMM is warmed by routed solves; PDQP only ever by audits,
+        // with a (slower) EWMA that would lose the warm comparison.
+        r.record(7, Algorithm::Admm, 10.0);
+        r.record(7, Algorithm::Admm, 10.0);
+        for _ in 0..5 {
+            r.record_audit(7, Algorithm::Pdqp, 1000.0);
+        }
+        assert_eq!(r.samples(7, Algorithm::Pdqp), 0);
+        assert!(r.ewma_micros(7, Algorithm::Pdqp).is_some());
+        // PDQP must still be explored with real routed traffic.
+        assert_eq!(r.choose(7, &BOTH), Algorithm::Pdqp);
+        r.record(7, Algorithm::Pdqp, 1000.0);
+        assert_eq!(r.choose(7, &BOTH), Algorithm::Pdqp);
+        // Quota met: now (and only now) the EWMA decides.
+        r.record(7, Algorithm::Pdqp, 1000.0);
+        assert_eq!(r.choose(7, &BOTH), Algorithm::Admm);
     }
 
     #[test]

@@ -345,7 +345,7 @@ fn serve_one(shard: &Shard, warm: &mut HashMap<u64, Solver>, pending: Pending, b
                 Status::TimedOut => metrics.inc(&c.timed_out),
                 Status::Cancelled => metrics.inc(&c.cancelled),
             }
-            record_solve_telemetry(shard, &tenant, &result);
+            record_solve_telemetry(shard, &tenant, &result, false);
             Outcome::Finished(result)
         }
         Err(e) => {
@@ -372,7 +372,11 @@ fn serve_one(shard: &Shard, warm: &mut HashMap<u64, Solver>, pending: Pending, b
 /// Feeds one terminal solve into the backend-labelled counters and, for
 /// runs that actually iterated to an answer (converged or ran out of
 /// iterations — not interrupted), into the router's per-structure EWMA.
-fn record_solve_telemetry(shard: &Shard, tenant: &Tenant, result: &SolveResult) {
+/// Audit solves update the EWMA only — they never count toward the
+/// router's cold-exploration quota (see [`BackendRouter::record_audit`]).
+///
+/// [`BackendRouter::record_audit`]: crate::router::BackendRouter::record_audit
+fn record_solve_telemetry(shard: &Shard, tenant: &Tenant, result: &SolveResult, audit: bool) {
     let micros = u64::try_from(result.solve_time.as_micros()).unwrap_or(u64::MAX);
     shard.metrics.backend.record(
         result.algorithm,
@@ -381,11 +385,15 @@ fn record_solve_telemetry(shard: &Shard, tenant: &Tenant, result: &SolveResult) 
         micros,
     );
     if matches!(result.status, Status::Solved | Status::MaxIterations) {
-        shard.router.record(
-            tenant.pattern.structure_digest(),
-            result.algorithm,
-            micros as f64,
-        );
+        let structure = tenant.pattern.structure_digest();
+        let micros = micros as f64;
+        if audit {
+            shard
+                .router
+                .record_audit(structure, result.algorithm, micros);
+        } else {
+            shard.router.record(structure, result.algorithm, micros);
+        }
     }
 }
 
@@ -393,7 +401,8 @@ fn record_solve_telemetry(shard: &Shard, tenant: &Tenant, result: &SolveResult) 
 /// backend of the same portfolio) and cross-checks the two answers.
 /// Shadow solves run without the request's deadline or cancellation flag
 /// — the audit compares algorithms, not interruptions — and feed the
-/// same backend/router telemetry as primaries. A verdict needs both
+/// backend counters and the router's EWMA (but not its exploration
+/// quota, which only routed primaries satisfy). A verdict needs both
 /// solves terminal-by-convergence: agreement when both converge to
 /// objectives within the relative tolerance (or both prove
 /// infeasibility), mismatch when they contradict, inconclusive
@@ -417,7 +426,7 @@ fn shadow_audit(
         metrics.inc(&c.shadow_inconclusive);
         return;
     };
-    record_solve_telemetry(shard, tenant, &shadow);
+    record_solve_telemetry(shard, tenant, &shadow, true);
     let infeasible = |s: Status| matches!(s, Status::PrimalInfeasible | Status::DualInfeasible);
     match (primary.status, shadow.status) {
         (Status::Solved, Status::Solved) => {

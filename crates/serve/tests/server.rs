@@ -426,15 +426,22 @@ fn portfolio_routing_explores_then_exploits_with_clean_shadow_audits() {
     assert_eq!(m.counters.shadow_inconclusive.load(ord), 0);
     assert_eq!(m.counters.shadow_agreements.load(ord), 5);
 
-    // The router accumulated per-structure telemetry for both backends
-    // (primaries plus shadows).
+    // The router accumulated per-structure telemetry for both backends.
+    // Only the 10 routed primaries count toward the exploration quota;
+    // the 5 shadow audits sharpen the EWMAs without inflating it.
     let key = mib_serve::PatternKey::of(&spec.problem, KktBackend::Direct, mib_qp::Algorithm::Admm);
     let router = server.router();
     let total: u64 = mib_qp::Algorithm::all()
         .iter()
         .map(|&a| router.samples(key.structure_digest(), a))
         .sum();
-    assert_eq!(total, 15, "10 primaries + 5 shadows feed the router");
+    assert_eq!(total, 10, "exactly the routed primaries gate exploration");
+    for a in mib_qp::Algorithm::all() {
+        assert!(
+            router.ewma_micros(key.structure_digest(), a).is_some(),
+            "backend {a} has no EWMA despite primaries and audits"
+        );
+    }
 
     let text = m.render();
     assert!(text.contains("mib_serve_backend_solves_total{backend=\"admm\"}"));

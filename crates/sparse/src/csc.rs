@@ -397,10 +397,23 @@ impl CscMatrix {
     pub fn gaxpy_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: x has wrong length");
         assert_eq!(y.len(), self.nrows, "spmv: y has wrong length");
+        let path = crate::simd::dispatch_path();
         for (j, &xj) in x.iter().enumerate() {
             if xj != 0.0 {
-                for k in self.col_range(j) {
-                    y[self.row_ind[k]] += self.values[k] * xj;
+                let r = self.col_range(j);
+                let idx = &self.row_ind[r.clone()];
+                let vals = &self.values[r];
+                // Row indices within a column are strictly increasing
+                // (struct invariant), so one O(1) span check detects a
+                // fully contiguous column; the dense axpy then runs with
+                // zero index traffic. Bitwise-neutral: the updates are
+                // element-wise on distinct rows (no reduction order) and
+                // IEEE multiplication commutes.
+                match idx {
+                    [first, .., last] if last - first == idx.len() - 1 => {
+                        crate::simd::axpy_into_with(path, &mut y[*first..=*last], xj, vals);
+                    }
+                    _ => crate::simd::scatter_axpy(path, y, idx, vals, xj),
                 }
             }
         }
@@ -427,12 +440,21 @@ impl CscMatrix {
     pub fn gaxpy_t_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.nrows, "spmv^T: x has wrong length");
         assert_eq!(y.len(), self.ncols, "spmv^T: y has wrong length");
+        let path = crate::simd::dispatch_path();
         for (j, yj) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for k in self.col_range(j) {
-                acc += self.values[k] * x[self.row_ind[k]];
-            }
-            *yj += acc;
+            let r = self.col_range(j);
+            let idx = &self.row_ind[r.clone()];
+            let vals = &self.values[r];
+            // Same O(1) contiguous-column detection as `gaxpy_into`. The
+            // dense dot is bitwise-identical to the gather-dot here: both
+            // implement the canonical lane-chunked reduction order and the
+            // contiguous indices make them read identical operands.
+            *yj += match idx {
+                [first, .., last] if last - first == idx.len() - 1 => {
+                    crate::simd::dot_with(path, vals, &x[*first..=*last])
+                }
+                _ => crate::simd::gather_dot(path, vals, idx, x),
+            };
         }
     }
 
@@ -526,16 +548,23 @@ impl CscMatrix {
         );
         assert_eq!(x.len(), self.ncols, "sym spmv: x has wrong length");
         assert_eq!(y.len(), self.nrows, "sym spmv: y has wrong length");
+        let path = crate::simd::dispatch_path();
         for j in 0..self.ncols {
-            for k in self.col_range(j) {
-                let i = self.row_ind[k];
-                let v = self.values[k];
-                debug_assert!(i <= j, "matrix is not upper triangular");
-                y[i] += v * x[j];
-                if i != j {
-                    y[j] += v * x[i];
-                }
-            }
+            let r = self.col_range(j);
+            let rows = &self.row_ind[r.clone()];
+            let vals = &self.values[r];
+            debug_assert!(
+                rows.iter().all(|&i| i <= j),
+                "matrix is not upper triangular"
+            );
+            // Upper-triangle pass: y[i] += v * x[j] for every stored entry
+            // of column j, diagonal included.
+            crate::simd::scatter_axpy(path, y, rows, vals, x[j]);
+            // Mirrored strictly-lower pass, as one gather-dot over the
+            // strictly-upper entries (row indices are ascending, so a
+            // diagonal entry is always last in the column).
+            let strict = rows.len() - usize::from(rows.last() == Some(&j));
+            y[j] += crate::simd::gather_dot(path, &vals[..strict], &rows[..strict], x);
         }
     }
 

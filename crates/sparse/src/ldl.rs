@@ -103,6 +103,7 @@ impl LdlSymbolic {
         let fill = &mut f.work_fill;
         fill.fill(0);
         let mut flops = 0u64;
+        let path = crate::simd::dispatch_path();
 
         for k in 0..n {
             // Scatter column k of A (upper triangle) into the accumulator and
@@ -134,9 +135,10 @@ impl LdlSymbolic {
                 let yi = y[i];
                 y[i] = 0.0;
                 let col_start = self.l_col_ptr[i];
-                for p in col_start..col_start + fill[i] {
-                    y[f.l_row_ind[p]] -= f.l_values[p] * yi;
-                }
+                // `y -= l * yi` as `y += l * (-yi)`: IEEE negation is
+                // exact, so this is bitwise identical to the subtract loop.
+                let r = col_start..col_start + fill[i];
+                crate::simd::scatter_axpy(path, y, &f.l_row_ind[r.clone()], &f.l_values[r], -yi);
                 let di = f.d[i];
                 // di == 0 cannot happen: rows < k already produced valid pivots.
                 let l_ki = yi / di;
@@ -263,12 +265,19 @@ impl LdlFactor {
     /// Panics if `x.len() != n`.
     pub fn l_solve(&self, x: &mut [f64]) {
         assert_eq!(x.len(), self.n, "l_solve: rhs has wrong length");
+        let path = crate::simd::dispatch_path();
         for j in 0..self.n {
             let xj = x[j];
             if xj != 0.0 {
-                for p in self.l_col_ptr[j]..self.l_col_ptr[j + 1] {
-                    x[self.l_row_ind[p]] -= self.l_values[p] * xj;
-                }
+                // `x -= l * xj` as `x += l * (-xj)` (exact negation).
+                let r = self.l_col_ptr[j]..self.l_col_ptr[j + 1];
+                crate::simd::scatter_axpy(
+                    path,
+                    x,
+                    &self.l_row_ind[r.clone()],
+                    &self.l_values[r],
+                    -xj,
+                );
             }
         }
     }
@@ -282,12 +291,11 @@ impl LdlFactor {
     /// Panics if `x.len() != n`.
     pub fn lt_solve(&self, x: &mut [f64]) {
         assert_eq!(x.len(), self.n, "lt_solve: rhs has wrong length");
+        let path = crate::simd::dispatch_path();
         for j in (0..self.n).rev() {
-            let mut acc = x[j];
-            for p in self.l_col_ptr[j]..self.l_col_ptr[j + 1] {
-                acc -= self.l_values[p] * x[self.l_row_ind[p]];
-            }
-            x[j] = acc;
+            let r = self.l_col_ptr[j]..self.l_col_ptr[j + 1];
+            let s = crate::simd::gather_dot(path, &self.l_values[r.clone()], &self.l_row_ind[r], x);
+            x[j] -= s;
         }
     }
 
@@ -299,9 +307,7 @@ impl LdlFactor {
     /// Panics if `x.len() != n`.
     pub fn d_solve(&self, x: &mut [f64]) {
         assert_eq!(x.len(), self.n, "d_solve: rhs has wrong length");
-        for (v, &di) in x.iter_mut().zip(&self.dinv) {
-            *v *= di;
-        }
+        crate::simd::mul_assign(x, &self.dinv);
     }
 
     /// Solves `(L D Lᵀ) x = b` in place via forward–backward substitution.

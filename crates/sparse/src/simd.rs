@@ -1,0 +1,1667 @@
+//! Runtime-dispatched SIMD kernels behind **one canonical reduction
+//! order**.
+//!
+//! Every hot `_into` kernel in this crate (and the ADMM/PDQP stage loops
+//! in `mib-qp`) routes through the free functions in this module. Each
+//! function has two implementations:
+//!
+//! * a **portable** chunked-scalar path (plain safe Rust, autovectorized
+//!   by LLVM to whatever the build target offers), and
+//! * an **AVX2** path written with `core::arch` intrinsics, selected at
+//!   runtime via `is_x86_feature_detected!` so the shipped binary runs
+//!   everywhere.
+//!
+//! The two paths are **bitwise identical** by construction, which is what
+//! lets the rest of the repo keep its reproducibility invariants
+//! (pooled ≡ fresh, parallel ≡ sequential, shadow audits) while the
+//! dispatch decision varies per host:
+//!
+//! * **Canonical reduction order.** Reductions accumulate into
+//!   [`LANES`] = 4 independent lanes over the full 4-chunks
+//!   (`acc[l] += term(4c + l)`), combine the lanes as
+//!   `(acc[0] + acc[2]) + (acc[1] + acc[3])` — exactly the cheap AVX2
+//!   horizontal reduction (`vaddpd` of the two 128-bit halves, then one
+//!   scalar add) — and fold the remainder sequentially *after* the
+//!   combine. The portable path implements the same schedule in scalar
+//!   code, so both paths perform the identical sequence of IEEE-754
+//!   additions.
+//! * **No FMA.** Both paths multiply then add as separate (exactly
+//!   rounded) operations; fused multiply-add would change the bits.
+//! * **Canonical min/max.** `vmaxpd`/`vminpd` have fixed NaN/±0
+//!   semantics (`max(a,b) = a > b ? a : b`). [`cmax`]/[`cmin`] reproduce
+//!   them exactly and are what the portable path (and the scalar tails)
+//!   use instead of `f64::max`/`f64::min`.
+//! * **Scatter order.** AVX2 has no scatter instruction; the vector path
+//!   computes the four products with `vmulpd` and applies the four adds
+//!   in lane order — the same order as the scalar loop — so even
+//!   duplicate indices (which cannot occur in CSC columns, but still)
+//!   would be handled identically.
+//!
+//! Dispatch is resolved once per process from the `MIB_SIMD` environment
+//! variable (`scalar`/`portable` forces the fallback, `avx2` requests
+//! AVX2, unset auto-detects) and can be overridden at runtime with
+//! [`force_dispatch`] — the hook the differential proptest suite and
+//! `kernel_bench` use to measure and compare both paths in one process.
+//! Because the paths are bitwise identical, flipping the global override
+//! mid-solve is harmless.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Number of `f64` lanes every kernel chunks by, on every dispatch path.
+pub const LANES: usize = 4;
+
+/// Which kernel implementation [`dispatch_path`] resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchPath {
+    /// Chunked-scalar fallback (safe Rust, works on every target).
+    Portable,
+    /// `core::arch::x86_64` AVX2 intrinsics (runtime-detected).
+    Avx2,
+}
+
+impl DispatchPath {
+    /// Stable lowercase name (used by benches and logs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DispatchPath::Portable => "portable",
+            DispatchPath::Avx2 => "avx2",
+        }
+    }
+}
+
+/// 0 = no override, 1 = forced portable, 2 = forced AVX2.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+/// Process-wide default, resolved once from `MIB_SIMD` + CPU detection.
+static DEFAULT: OnceLock<DispatchPath> = OnceLock::new();
+
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn default_path() -> DispatchPath {
+    *DEFAULT.get_or_init(|| match std::env::var("MIB_SIMD").as_deref() {
+        Ok("scalar" | "portable") => DispatchPath::Portable,
+        Ok("avx2") => {
+            if avx2_available() {
+                DispatchPath::Avx2
+            } else {
+                DispatchPath::Portable
+            }
+        }
+        _ => {
+            if avx2_available() {
+                DispatchPath::Avx2
+            } else {
+                DispatchPath::Portable
+            }
+        }
+    })
+}
+
+/// The path kernels currently dispatch to: a [`force_dispatch`] override
+/// if one is set, otherwise the process default (`MIB_SIMD` env var, or
+/// auto-detection). One relaxed atomic load; hoist the result when
+/// calling the `*_with` sparse primitives in a per-column loop.
+#[inline]
+pub fn dispatch_path() -> DispatchPath {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => DispatchPath::Portable,
+        2 => DispatchPath::Avx2,
+        _ => default_path(),
+    }
+}
+
+/// Overrides (or with `None`, restores) the dispatch decision process
+/// wide. Returns `false` — leaving the state unchanged — if AVX2 was
+/// requested on a host that does not support it. This is the test /
+/// bench hook; because all paths are bitwise identical, flipping it
+/// while solves are in flight cannot change any result.
+pub fn force_dispatch(path: Option<DispatchPath>) -> bool {
+    let code = match path {
+        None => 0,
+        Some(DispatchPath::Portable) => 1,
+        Some(DispatchPath::Avx2) => {
+            if !avx2_available() {
+                return false;
+            }
+            2
+        }
+    };
+    FORCED.store(code, Ordering::Relaxed);
+    true
+}
+
+/// CPU features this host actually exposes, for bench provenance.
+pub fn detected_features() -> Vec<&'static str> {
+    let mut out = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, have) in [
+            ("sse2", is_x86_feature_detected!("sse2")),
+            ("sse4.2", is_x86_feature_detected!("sse4.2")),
+            ("avx", is_x86_feature_detected!("avx")),
+            ("avx2", is_x86_feature_detected!("avx2")),
+            ("fma", is_x86_feature_detected!("fma")),
+            ("avx512f", is_x86_feature_detected!("avx512f")),
+        ] {
+            if have {
+                out.push(name);
+            }
+        }
+    }
+    out
+}
+
+/// Canonical maximum with `vmaxpd` semantics: `if a > b { a } else { b }`
+/// (so the second operand wins on NaN and on ±0 ties). Used by every
+/// max-reduction and projection on every dispatch path.
+#[inline(always)]
+pub fn cmax(a: f64, b: f64) -> f64 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Canonical minimum with `vminpd` semantics: `if a < b { a } else { b }`.
+#[inline(always)]
+pub fn cmin(a: f64, b: f64) -> f64 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Selects the body for the given path; on non-x86_64 targets the AVX2
+/// arm falls back to portable (that path is never produced there anyway).
+macro_rules! dispatched {
+    ($path:expr, $portable:expr, $avx2:expr) => {
+        match $path {
+            DispatchPath::Portable => $portable,
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY (for every use in this module): the Avx2 variant is
+            // only ever produced after `is_x86_feature_detected!("avx2")`
+            // returned true (see `default_path`/`force_dispatch`), and
+            // the wrappers assert every slice-length precondition the
+            // `#[target_feature]` bodies rely on.
+            DispatchPath::Avx2 => $avx2,
+            #[cfg(not(target_arch = "x86_64"))]
+            DispatchPath::Avx2 => $portable,
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Reductions (canonical lane-chunked order).
+// ---------------------------------------------------------------------------
+
+/// Dot product `Σ x[i]·y[i]` in the canonical reduction order.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    dispatched!(dispatch_path(), portable::dot(x, y), unsafe {
+        avx2::dot(x, y)
+    })
+}
+
+/// `max |x[i]|` (canonical max semantics; `0.0` for an empty slice).
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    dispatched!(dispatch_path(), portable::norm_inf(x), unsafe {
+        avx2::norm_inf(x)
+    })
+}
+
+/// `max |a[i] - b[i]|`.
+#[inline]
+pub fn norm_inf_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "norm_inf_diff: length mismatch");
+    dispatched!(dispatch_path(), portable::norm_inf_diff(a, b), unsafe {
+        avx2::norm_inf_diff(a, b)
+    })
+}
+
+/// `max |(a[i] + b[i]) + c[i]|` — the ADMM/PDQP dual-residual reduction,
+/// fused so the three-term sum is formed once per element.
+#[inline]
+pub fn norm_inf_sum3(a: &[f64], b: &[f64], c: &[f64]) -> f64 {
+    let n = a.len();
+    assert!(
+        b.len() == n && c.len() == n,
+        "norm_inf_sum3: length mismatch"
+    );
+    dispatched!(dispatch_path(), portable::norm_inf_sum3(a, b, c), unsafe {
+        avx2::norm_inf_sum3(a, b, c)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sparse primitives (dispatch hoisted by the caller).
+// ---------------------------------------------------------------------------
+
+/// Sparse dot `Σ vals[k]·x[idx[k]]` in the canonical reduction order.
+///
+/// The AVX2 path uses `vgatherqpd`, upgraded to a contiguous `vmovupd`
+/// when a 4-chunk of indices is consecutive (the common case for banded
+/// columns) — the load strategy does not affect the arithmetic. Callers
+/// hoist [`dispatch_path`] out of their per-column loops.
+#[inline]
+pub fn gather_dot(path: DispatchPath, vals: &[f64], idx: &[usize], x: &[f64]) -> f64 {
+    assert_eq!(vals.len(), idx.len(), "gather_dot: length mismatch");
+    dispatched!(path, portable::gather_dot(vals, idx, x), unsafe {
+        avx2::gather_dot(vals, idx, x)
+    })
+}
+
+/// Sparse update `y[idx[k]] += vals[k]·s` for every `k`, in index order.
+///
+/// AVX2 has no scatter: the vector path forms the four products with one
+/// `vmulpd` and applies the adds in lane order (bitwise identical to the
+/// scalar loop, duplicate-safe), with a contiguous fast path when the
+/// 4-chunk of indices is consecutive.
+#[inline]
+pub fn scatter_axpy(path: DispatchPath, y: &mut [f64], idx: &[usize], vals: &[f64], s: f64) {
+    assert_eq!(vals.len(), idx.len(), "scatter_axpy: length mismatch");
+    dispatched!(path, portable::scatter_axpy(y, idx, vals, s), unsafe {
+        avx2::scatter_axpy(y, idx, vals, s)
+    })
+}
+
+/// [`dot`] with a caller-hoisted dispatch path, for per-column hot loops
+/// (fully contiguous columns degrade a gather-dot into a dense dot with
+/// zero index traffic; re-resolving dispatch per column would waste it).
+#[inline]
+pub fn dot_with(path: DispatchPath, x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    dispatched!(path, portable::dot(x, y), unsafe { avx2::dot(x, y) })
+}
+
+/// [`axpy_into`] with a caller-hoisted dispatch path (see [`dot_with`]).
+#[inline]
+pub fn axpy_into_with(path: DispatchPath, y: &mut [f64], a: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy_into: length mismatch");
+    dispatched!(path, portable::axpy_into(y, a, x), unsafe {
+        avx2::axpy_into(y, a, x)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels. Per-element formulas are evaluated in the same
+// operation order on both paths, so bitwise parity is automatic; the
+// wrappers assert the length preconditions the AVX2 bodies rely on.
+// ---------------------------------------------------------------------------
+
+macro_rules! assert_same_len {
+    ($name:literal, $n:expr $(, $s:expr)+) => {
+        assert!($( $s.len() == $n )&&+, concat!($name, ": length mismatch"));
+    };
+}
+
+/// `y[i] += a·x[i]`.
+#[inline]
+pub fn axpy_into(y: &mut [f64], a: f64, x: &[f64]) {
+    assert_same_len!("axpy_into", y.len(), x);
+    dispatched!(dispatch_path(), portable::axpy_into(y, a, x), unsafe {
+        avx2::axpy_into(y, a, x)
+    })
+}
+
+/// `v0[i] = s0·v0[i] + s1·v1[i]`.
+#[inline]
+pub fn axpby_into(s0: f64, v0: &mut [f64], s1: f64, v1: &[f64]) {
+    assert_same_len!("axpby_into", v0.len(), v1);
+    dispatched!(
+        dispatch_path(),
+        portable::axpby_into(s0, v0, s1, v1),
+        unsafe { avx2::axpby_into(s0, v0, s1, v1) }
+    )
+}
+
+/// `out[i] = a[i]·b[i]`.
+#[inline]
+pub fn ew_prod_into(out: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_same_len!("ew_prod_into", out.len(), a, b);
+    dispatched!(dispatch_path(), portable::ew_prod_into(out, a, b), unsafe {
+        avx2::ew_prod_into(out, a, b)
+    })
+}
+
+/// `out[i] = (a[i]·b[i])·s`.
+#[inline]
+pub fn prod_scale_into(out: &mut [f64], a: &[f64], b: &[f64], s: f64) {
+    assert_same_len!("prod_scale_into", out.len(), a, b);
+    dispatched!(
+        dispatch_path(),
+        portable::prod_scale_into(out, a, b, s),
+        unsafe { avx2::prod_scale_into(out, a, b, s) }
+    )
+}
+
+/// `x[i] *= w[i]`.
+#[inline]
+pub fn mul_assign(x: &mut [f64], w: &[f64]) {
+    assert_same_len!("mul_assign", x.len(), w);
+    dispatched!(dispatch_path(), portable::mul_assign(x, w), unsafe {
+        avx2::mul_assign(x, w)
+    })
+}
+
+/// `y[i] += x[i]`.
+#[inline]
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    assert_same_len!("add_assign", y.len(), x);
+    dispatched!(dispatch_path(), portable::add_assign(y, x), unsafe {
+        avx2::add_assign(y, x)
+    })
+}
+
+/// `out[i] = a[i] - b[i]`.
+#[inline]
+pub fn sub_into(out: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_same_len!("sub_into", out.len(), a, b);
+    dispatched!(dispatch_path(), portable::sub_into(out, a, b), unsafe {
+        avx2::sub_into(out, a, b)
+    })
+}
+
+/// `out[i] = -a[i]` (sign-bit flip, exact).
+#[inline]
+pub fn neg_into(out: &mut [f64], a: &[f64]) {
+    assert_same_len!("neg_into", out.len(), a);
+    dispatched!(dispatch_path(), portable::neg_into(out, a), unsafe {
+        avx2::neg_into(out, a)
+    })
+}
+
+/// `out[i] = x[i] / t` (true IEEE division — not a reciprocal multiply).
+#[inline]
+pub fn div_scale_into(out: &mut [f64], x: &[f64], t: f64) {
+    assert_same_len!("div_scale_into", out.len(), x);
+    dispatched!(
+        dispatch_path(),
+        portable::div_scale_into(out, x, t),
+        unsafe { avx2::div_scale_into(out, x, t) }
+    )
+}
+
+/// `out[i] = s·x[i] - y[i]`.
+#[inline]
+pub fn sax_sub_into(out: &mut [f64], s: f64, x: &[f64], y: &[f64]) {
+    assert_same_len!("sax_sub_into", out.len(), x, y);
+    dispatched!(
+        dispatch_path(),
+        portable::sax_sub_into(out, s, x, y),
+        unsafe { avx2::sax_sub_into(out, s, x, y) }
+    )
+}
+
+/// `out[i] = a[i] - w[i]·b[i]`.
+#[inline]
+pub fn sub_prod_into(out: &mut [f64], a: &[f64], w: &[f64], b: &[f64]) {
+    assert_same_len!("sub_prod_into", out.len(), a, w, b);
+    dispatched!(
+        dispatch_path(),
+        portable::sub_prod_into(out, a, w, b),
+        unsafe { avx2::sub_prod_into(out, a, w, b) }
+    )
+}
+
+/// `out[i] = a[i] + w[i]·(b[i] - c[i])`.
+#[inline]
+pub fn add_prod_diff_into(out: &mut [f64], a: &[f64], w: &[f64], b: &[f64], c: &[f64]) {
+    assert_same_len!("add_prod_diff_into", out.len(), a, w, b, c);
+    dispatched!(
+        dispatch_path(),
+        portable::add_prod_diff_into(out, a, w, b, c),
+        unsafe { avx2::add_prod_diff_into(out, a, w, b, c) }
+    )
+}
+
+/// `out[i] = w[i]·(b[i] - c[i])`.
+#[inline]
+pub fn prod_diff_into(out: &mut [f64], w: &[f64], b: &[f64], c: &[f64]) {
+    assert_same_len!("prod_diff_into", out.len(), w, b, c);
+    dispatched!(
+        dispatch_path(),
+        portable::prod_diff_into(out, w, b, c),
+        unsafe { avx2::prod_diff_into(out, w, b, c) }
+    )
+}
+
+/// Over-relaxation + delta capture (ADMM x-update):
+/// `x_new = α·xt[i] + (1-α)·x[i]`, `delta[i] = x_new - x[i]`,
+/// `x[i] = x_new`.
+#[inline]
+pub fn relax_delta_into(x: &mut [f64], delta: &mut [f64], alpha: f64, xt: &[f64]) {
+    assert_same_len!("relax_delta_into", x.len(), delta, xt);
+    dispatched!(
+        dispatch_path(),
+        portable::relax_delta_into(x, delta, alpha, xt),
+        unsafe { avx2::relax_delta_into(x, delta, alpha, xt) }
+    )
+}
+
+/// Over-relaxation + box projection (ADMM z-update):
+/// `zr = α·zt[i] + (1-α)·z[i]`, `z_rel[i] = zr`,
+/// `z[i] = clamp(zr + w[i]·y[i], l[i], u[i])` with canonical min/max.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn relax_project_into(
+    z: &mut [f64],
+    z_rel: &mut [f64],
+    alpha: f64,
+    zt: &[f64],
+    w: &[f64],
+    y: &[f64],
+    l: &[f64],
+    u: &[f64],
+) {
+    assert_same_len!("relax_project_into", z.len(), z_rel, zt, w, y, l, u);
+    dispatched!(
+        dispatch_path(),
+        portable::relax_project_into(z, z_rel, alpha, zt, w, y, l, u),
+        unsafe { avx2::relax_project_into(z, z_rel, alpha, zt, w, y, l, u) }
+    )
+}
+
+/// Scaled-difference update + delta capture (ADMM y-update):
+/// `y_new = y[i] + w[i]·(b[i] - c[i])`, `delta[i] = y_new - y[i]`,
+/// `y[i] = y_new`.
+#[inline]
+pub fn scaled_diff_update_into(y: &mut [f64], delta: &mut [f64], w: &[f64], b: &[f64], c: &[f64]) {
+    assert_same_len!("scaled_diff_update_into", y.len(), delta, w, b, c);
+    dispatched!(
+        dispatch_path(),
+        portable::scaled_diff_update_into(y, delta, w, b, c),
+        unsafe { avx2::scaled_diff_update_into(y, delta, w, b, c) }
+    )
+}
+
+/// In-place box projection `x[i] = clamp(x[i], l[i], u[i])` with
+/// canonical min/max (`cmin(cmax(x, l), u)`).
+#[inline]
+pub fn project_box_into(x: &mut [f64], l: &[f64], u: &[f64]) {
+    assert_same_len!("project_box_into", x.len(), l, u);
+    dispatched!(
+        dispatch_path(),
+        portable::project_box_into(x, l, u),
+        unsafe { avx2::project_box_into(x, l, u) }
+    )
+}
+
+/// Out-of-place box projection `out[i] = clamp(v[i], l[i], u[i])`.
+#[inline]
+pub fn clamp_into(out: &mut [f64], v: &[f64], l: &[f64], u: &[f64]) {
+    assert_same_len!("clamp_into", out.len(), v, l, u);
+    dispatched!(
+        dispatch_path(),
+        portable::clamp_into(out, v, l, u),
+        unsafe { avx2::clamp_into(out, v, l, u) }
+    )
+}
+
+/// PDQP gradient step + extrapolation:
+/// `x_new = x[i] - τ·((g1[i] + g2[i]) + g3[i])`, `xt[i] = x_new`,
+/// `ext[i] = 2·x_new - x[i]`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn grad_step_into(
+    xt: &mut [f64],
+    ext: &mut [f64],
+    x: &[f64],
+    tau: f64,
+    g1: &[f64],
+    g2: &[f64],
+    g3: &[f64],
+) {
+    assert_same_len!("grad_step_into", xt.len(), ext, x, g1, g2, g3);
+    dispatched!(
+        dispatch_path(),
+        portable::grad_step_into(xt, ext, x, tau, g1, g2, g3),
+        unsafe { avx2::grad_step_into(xt, ext, x, tau, g1, g2, g3) }
+    )
+}
+
+/// PDQP dual Moreau step:
+/// `w = y[i] + σ·ax[i]`, `t = clamp(w/σ, l[i], u[i])`, `zt[i] = t`,
+/// `y[i] = w - σ·t`.
+#[inline]
+pub fn moreau_into(y: &mut [f64], zt: &mut [f64], sigma: f64, ax: &[f64], l: &[f64], u: &[f64]) {
+    assert_same_len!("moreau_into", y.len(), zt, ax, l, u);
+    dispatched!(
+        dispatch_path(),
+        portable::moreau_into(y, zt, sigma, ax, l, u),
+        unsafe { avx2::moreau_into(y, zt, sigma, ax, l, u) }
+    )
+}
+
+/// PCG direction update `p[i] = -d[i] + μ·p[i]`.
+#[inline]
+pub fn update_dir_into(p: &mut [f64], d: &[f64], mu: f64) {
+    assert_same_len!("update_dir_into", p.len(), d);
+    dispatched!(
+        dispatch_path(),
+        portable::update_dir_into(p, d, mu),
+        unsafe { avx2::update_dir_into(p, d, mu) }
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Portable (chunked-scalar) implementations.
+// ---------------------------------------------------------------------------
+
+mod portable {
+    use super::{cmax, cmin, LANES};
+
+    pub(super) fn dot(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let c4 = n - n % LANES;
+        let mut acc = [0.0f64; LANES];
+        for base in (0..c4).step_by(LANES) {
+            for l in 0..LANES {
+                acc[l] += x[base + l] * y[base + l];
+            }
+        }
+        let mut s = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+        for i in c4..n {
+            s += x[i] * y[i];
+        }
+        s
+    }
+
+    pub(super) fn norm_inf(x: &[f64]) -> f64 {
+        let n = x.len();
+        let c4 = n - n % LANES;
+        let mut acc = [0.0f64; LANES];
+        for base in (0..c4).step_by(LANES) {
+            for l in 0..LANES {
+                acc[l] = cmax(acc[l], x[base + l].abs());
+            }
+        }
+        let mut m = cmax(cmax(acc[0], acc[2]), cmax(acc[1], acc[3]));
+        for &v in &x[c4..] {
+            m = cmax(m, v.abs());
+        }
+        m
+    }
+
+    pub(super) fn norm_inf_diff(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        let c4 = n - n % LANES;
+        let mut acc = [0.0f64; LANES];
+        for base in (0..c4).step_by(LANES) {
+            for l in 0..LANES {
+                acc[l] = cmax(acc[l], (a[base + l] - b[base + l]).abs());
+            }
+        }
+        let mut m = cmax(cmax(acc[0], acc[2]), cmax(acc[1], acc[3]));
+        for i in c4..n {
+            m = cmax(m, (a[i] - b[i]).abs());
+        }
+        m
+    }
+
+    pub(super) fn norm_inf_sum3(a: &[f64], b: &[f64], c: &[f64]) -> f64 {
+        let n = a.len();
+        let c4 = n - n % LANES;
+        let mut acc = [0.0f64; LANES];
+        for base in (0..c4).step_by(LANES) {
+            for (l, a_l) in acc.iter_mut().enumerate() {
+                let i = base + l;
+                *a_l = cmax(*a_l, ((a[i] + b[i]) + c[i]).abs());
+            }
+        }
+        let mut m = cmax(cmax(acc[0], acc[2]), cmax(acc[1], acc[3]));
+        for i in c4..n {
+            m = cmax(m, ((a[i] + b[i]) + c[i]).abs());
+        }
+        m
+    }
+
+    pub(super) fn gather_dot(vals: &[f64], idx: &[usize], x: &[f64]) -> f64 {
+        let n = vals.len();
+        let c4 = n - n % LANES;
+        let mut acc = [0.0f64; LANES];
+        for base in (0..c4).step_by(LANES) {
+            for l in 0..LANES {
+                acc[l] += vals[base + l] * x[idx[base + l]];
+            }
+        }
+        let mut s = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+        for k in c4..n {
+            s += vals[k] * x[idx[k]];
+        }
+        s
+    }
+
+    pub(super) fn scatter_axpy(y: &mut [f64], idx: &[usize], vals: &[f64], s: f64) {
+        for (&v, &i) in vals.iter().zip(idx) {
+            y[i] += v * s;
+        }
+    }
+
+    pub(super) fn axpy_into(y: &mut [f64], a: f64, x: &[f64]) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
+    }
+
+    pub(super) fn axpby_into(s0: f64, v0: &mut [f64], s1: f64, v1: &[f64]) {
+        for (a, &b) in v0.iter_mut().zip(v1) {
+            *a = s0 * *a + s1 * b;
+        }
+    }
+
+    pub(super) fn ew_prod_into(out: &mut [f64], a: &[f64], b: &[f64]) {
+        for i in 0..out.len() {
+            out[i] = a[i] * b[i];
+        }
+    }
+
+    pub(super) fn prod_scale_into(out: &mut [f64], a: &[f64], b: &[f64], s: f64) {
+        for i in 0..out.len() {
+            out[i] = (a[i] * b[i]) * s;
+        }
+    }
+
+    pub(super) fn mul_assign(x: &mut [f64], w: &[f64]) {
+        for (a, &b) in x.iter_mut().zip(w) {
+            *a *= b;
+        }
+    }
+
+    pub(super) fn add_assign(y: &mut [f64], x: &[f64]) {
+        for (a, &b) in y.iter_mut().zip(x) {
+            *a += b;
+        }
+    }
+
+    pub(super) fn sub_into(out: &mut [f64], a: &[f64], b: &[f64]) {
+        for i in 0..out.len() {
+            out[i] = a[i] - b[i];
+        }
+    }
+
+    pub(super) fn neg_into(out: &mut [f64], a: &[f64]) {
+        for i in 0..out.len() {
+            out[i] = -a[i];
+        }
+    }
+
+    pub(super) fn div_scale_into(out: &mut [f64], x: &[f64], t: f64) {
+        for i in 0..out.len() {
+            out[i] = x[i] / t;
+        }
+    }
+
+    pub(super) fn sax_sub_into(out: &mut [f64], s: f64, x: &[f64], y: &[f64]) {
+        for i in 0..out.len() {
+            out[i] = s * x[i] - y[i];
+        }
+    }
+
+    pub(super) fn sub_prod_into(out: &mut [f64], a: &[f64], w: &[f64], b: &[f64]) {
+        for i in 0..out.len() {
+            out[i] = a[i] - w[i] * b[i];
+        }
+    }
+
+    pub(super) fn add_prod_diff_into(out: &mut [f64], a: &[f64], w: &[f64], b: &[f64], c: &[f64]) {
+        for i in 0..out.len() {
+            out[i] = a[i] + w[i] * (b[i] - c[i]);
+        }
+    }
+
+    pub(super) fn prod_diff_into(out: &mut [f64], w: &[f64], b: &[f64], c: &[f64]) {
+        for i in 0..out.len() {
+            out[i] = w[i] * (b[i] - c[i]);
+        }
+    }
+
+    pub(super) fn relax_delta_into(x: &mut [f64], delta: &mut [f64], alpha: f64, xt: &[f64]) {
+        let beta = 1.0 - alpha;
+        for i in 0..x.len() {
+            let x_new = alpha * xt[i] + beta * x[i];
+            delta[i] = x_new - x[i];
+            x[i] = x_new;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn relax_project_into(
+        z: &mut [f64],
+        z_rel: &mut [f64],
+        alpha: f64,
+        zt: &[f64],
+        w: &[f64],
+        y: &[f64],
+        l: &[f64],
+        u: &[f64],
+    ) {
+        let beta = 1.0 - alpha;
+        for i in 0..z.len() {
+            let zr = alpha * zt[i] + beta * z[i];
+            z_rel[i] = zr;
+            let v = zr + w[i] * y[i];
+            z[i] = cmin(cmax(v, l[i]), u[i]);
+        }
+    }
+
+    pub(super) fn scaled_diff_update_into(
+        y: &mut [f64],
+        delta: &mut [f64],
+        w: &[f64],
+        b: &[f64],
+        c: &[f64],
+    ) {
+        for i in 0..y.len() {
+            let y_new = y[i] + w[i] * (b[i] - c[i]);
+            delta[i] = y_new - y[i];
+            y[i] = y_new;
+        }
+    }
+
+    pub(super) fn project_box_into(x: &mut [f64], l: &[f64], u: &[f64]) {
+        for i in 0..x.len() {
+            x[i] = cmin(cmax(x[i], l[i]), u[i]);
+        }
+    }
+
+    pub(super) fn clamp_into(out: &mut [f64], v: &[f64], l: &[f64], u: &[f64]) {
+        for i in 0..out.len() {
+            out[i] = cmin(cmax(v[i], l[i]), u[i]);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn grad_step_into(
+        xt: &mut [f64],
+        ext: &mut [f64],
+        x: &[f64],
+        tau: f64,
+        g1: &[f64],
+        g2: &[f64],
+        g3: &[f64],
+    ) {
+        for i in 0..xt.len() {
+            let x_new = x[i] - tau * ((g1[i] + g2[i]) + g3[i]);
+            xt[i] = x_new;
+            ext[i] = 2.0 * x_new - x[i];
+        }
+    }
+
+    pub(super) fn moreau_into(
+        y: &mut [f64],
+        zt: &mut [f64],
+        sigma: f64,
+        ax: &[f64],
+        l: &[f64],
+        u: &[f64],
+    ) {
+        for i in 0..y.len() {
+            let w = y[i] + sigma * ax[i];
+            let t = cmin(cmax(w / sigma, l[i]), u[i]);
+            zt[i] = t;
+            y[i] = w - sigma * t;
+        }
+    }
+
+    pub(super) fn update_dir_into(p: &mut [f64], d: &[f64], mu: f64) {
+        for i in 0..p.len() {
+            p[i] = -d[i] + mu * p[i];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 implementations. Every body is `unsafe fn` + `#[target_feature]`;
+// callers guarantee AVX2 is present (runtime detection) and that all
+// slice lengths match (asserted in the public wrappers). No FMA — all
+// multiplies and adds are separate, exactly rounded ops, matching the
+// portable path bit for bit.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::LANES;
+    use core::arch::x86_64::*;
+
+    /// Canonical horizontal sum: `(v0 + v2) + (v1 + v3)`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd::<1>(v);
+        let t = _mm_add_pd(lo, hi); // [v0+v2, v1+v3]
+        _mm_cvtsd_f64(_mm_add_sd(t, _mm_unpackhi_pd(t, t)))
+    }
+
+    /// Canonical horizontal max: `cmax(cmax(v0, v2), cmax(v1, v3))`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hmax(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd::<1>(v);
+        let t = _mm_max_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_max_sd(t, _mm_unpackhi_pd(t, t)))
+    }
+
+    /// `|v|` via sign-bit clear — identical to `f64::abs` per lane.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn vabs(v: __m256d) -> __m256d {
+        _mm256_andnot_pd(_mm256_set1_pd(-0.0), v)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let c4 = n - n % LANES;
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < c4 {
+            let xv = _mm256_loadu_pd(xp.add(i));
+            let yv = _mm256_loadu_pd(yp.add(i));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(xv, yv));
+            i += LANES;
+        }
+        let mut s = hsum(acc);
+        for k in c4..n {
+            s += x[k] * y[k];
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn norm_inf(x: &[f64]) -> f64 {
+        let n = x.len();
+        let c4 = n - n % LANES;
+        let xp = x.as_ptr();
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < c4 {
+            acc = _mm256_max_pd(acc, vabs(_mm256_loadu_pd(xp.add(i))));
+            i += LANES;
+        }
+        let mut m = hmax(acc);
+        for &v in &x[c4..] {
+            m = super::cmax(m, v.abs());
+        }
+        m
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn norm_inf_diff(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        let c4 = n - n % LANES;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < c4 {
+            let d = _mm256_sub_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+            acc = _mm256_max_pd(acc, vabs(d));
+            i += LANES;
+        }
+        let mut m = hmax(acc);
+        for k in c4..n {
+            m = super::cmax(m, (a[k] - b[k]).abs());
+        }
+        m
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn norm_inf_sum3(a: &[f64], b: &[f64], c: &[f64]) -> f64 {
+        let n = a.len();
+        let c4 = n - n % LANES;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_ptr();
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < c4 {
+            let s = _mm256_add_pd(
+                _mm256_add_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i))),
+                _mm256_loadu_pd(cp.add(i)),
+            );
+            acc = _mm256_max_pd(acc, vabs(s));
+            i += LANES;
+        }
+        let mut m = hmax(acc);
+        for k in c4..n {
+            m = super::cmax(m, ((a[k] + b[k]) + c[k]).abs());
+        }
+        m
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gather_dot(vals: &[f64], idx: &[usize], x: &[f64]) -> f64 {
+        let n = vals.len();
+        let c4 = n - n % LANES;
+        let vp = vals.as_ptr();
+        let xp = x.as_ptr();
+        let xlen = x.len();
+        #[allow(clippy::cast_possible_wrap)]
+        let lim = _mm256_set1_epi64x(xlen as i64);
+        let mut acc = _mm256_setzero_pd();
+        let mut k = 0;
+        while k < c4 {
+            let i0 = idx[k];
+            let xv = if idx[k + 3] == i0 + 3
+                && idx[k + 1] == i0 + 1
+                && idx[k + 2] == i0 + 2
+                && i0 + LANES <= xlen
+            {
+                // Consecutive indices (banded column): plain vector load;
+                // the load strategy does not change the arithmetic.
+                _mm256_loadu_pd(xp.add(i0))
+            } else {
+                let vindex = _mm256_loadu_si256(idx.as_ptr().add(k).cast());
+                // All four indices must be in bounds for the gather.
+                let ok = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(lim, vindex)));
+                assert!(ok == 0b1111, "gather_dot: index out of bounds");
+                _mm256_i64gather_pd::<8>(xp, vindex)
+            };
+            let vv = _mm256_loadu_pd(vp.add(k));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+            k += LANES;
+        }
+        let mut s = hsum(acc);
+        for k in c4..n {
+            s += vals[k] * x[idx[k]];
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scatter_axpy(y: &mut [f64], idx: &[usize], vals: &[f64], s: f64) {
+        let n = vals.len();
+        let c4 = n - n % LANES;
+        let ylen = y.len();
+        let yp = y.as_mut_ptr();
+        let vp = vals.as_ptr();
+        let sv = _mm256_set1_pd(s);
+        let mut k = 0;
+        while k < c4 {
+            let prod = _mm256_mul_pd(_mm256_loadu_pd(vp.add(k)), sv);
+            let i0 = idx[k];
+            if idx[k + 3] == i0 + 3
+                && idx[k + 1] == i0 + 1
+                && idx[k + 2] == i0 + 2
+                && i0 + LANES <= ylen
+            {
+                // Consecutive (necessarily distinct) targets: vector RMW,
+                // same per-lane add as the scalar loop.
+                let yv = _mm256_loadu_pd(yp.add(i0));
+                _mm256_storeu_pd(yp.add(i0), _mm256_add_pd(yv, prod));
+            } else {
+                // No AVX2 scatter: apply the four adds in lane order,
+                // exactly like the scalar loop (duplicate-safe).
+                let mut buf = [0.0f64; LANES];
+                _mm256_storeu_pd(buf.as_mut_ptr(), prod);
+                for (l, &b) in buf.iter().enumerate() {
+                    y[idx[k + l]] += b;
+                }
+            }
+            k += LANES;
+        }
+        for k in c4..n {
+            y[idx[k]] += vals[k] * s;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_into(y: &mut [f64], a: f64, x: &[f64]) {
+        let n = y.len();
+        let c4 = n - n % LANES;
+        let c8 = n - n % (2 * LANES);
+        let yp = y.as_mut_ptr();
+        let xp = x.as_ptr();
+        let av = _mm256_set1_pd(a);
+        let mut i = 0;
+        // Two independent chunks per iteration hide the load-use latency;
+        // each lane still computes exactly `y[i] + a * x[i]`, so the
+        // unroll is bitwise-neutral (element-wise ops have no cross-lane
+        // reduction order to preserve).
+        while i < c8 {
+            let y0 = _mm256_loadu_pd(yp.add(i));
+            let x0 = _mm256_loadu_pd(xp.add(i));
+            let y1 = _mm256_loadu_pd(yp.add(i + LANES));
+            let x1 = _mm256_loadu_pd(xp.add(i + LANES));
+            _mm256_storeu_pd(yp.add(i), _mm256_add_pd(y0, _mm256_mul_pd(av, x0)));
+            _mm256_storeu_pd(yp.add(i + LANES), _mm256_add_pd(y1, _mm256_mul_pd(av, x1)));
+            i += 2 * LANES;
+        }
+        while i < c4 {
+            let yv = _mm256_loadu_pd(yp.add(i));
+            let xv = _mm256_loadu_pd(xp.add(i));
+            _mm256_storeu_pd(yp.add(i), _mm256_add_pd(yv, _mm256_mul_pd(av, xv)));
+            i += LANES;
+        }
+        while i < n {
+            y[i] += a * x[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpby_into(s0: f64, v0: &mut [f64], s1: f64, v1: &[f64]) {
+        let n = v0.len();
+        let c4 = n - n % LANES;
+        let ap = v0.as_mut_ptr();
+        let bp = v1.as_ptr();
+        let s0v = _mm256_set1_pd(s0);
+        let s1v = _mm256_set1_pd(s1);
+        let mut i = 0;
+        while i < c4 {
+            let av = _mm256_loadu_pd(ap.add(i));
+            let bv = _mm256_loadu_pd(bp.add(i));
+            _mm256_storeu_pd(
+                ap.add(i),
+                _mm256_add_pd(_mm256_mul_pd(s0v, av), _mm256_mul_pd(s1v, bv)),
+            );
+            i += LANES;
+        }
+        while i < n {
+            v0[i] = s0 * v0[i] + s1 * v1[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn ew_prod_into(out: &mut [f64], a: &[f64], b: &[f64]) {
+        let n = out.len();
+        let c4 = n - n % LANES;
+        let op = out.as_mut_ptr();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut i = 0;
+        while i < c4 {
+            _mm256_storeu_pd(
+                op.add(i),
+                _mm256_mul_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i))),
+            );
+            i += LANES;
+        }
+        while i < n {
+            out[i] = a[i] * b[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn prod_scale_into(out: &mut [f64], a: &[f64], b: &[f64], s: f64) {
+        let n = out.len();
+        let c4 = n - n % LANES;
+        let op = out.as_mut_ptr();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let sv = _mm256_set1_pd(s);
+        let mut i = 0;
+        while i < c4 {
+            let prod = _mm256_mul_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+            _mm256_storeu_pd(op.add(i), _mm256_mul_pd(prod, sv));
+            i += LANES;
+        }
+        while i < n {
+            out[i] = (a[i] * b[i]) * s;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_assign(x: &mut [f64], w: &[f64]) {
+        let n = x.len();
+        let c4 = n - n % LANES;
+        let xp = x.as_mut_ptr();
+        let wp = w.as_ptr();
+        let mut i = 0;
+        while i < c4 {
+            _mm256_storeu_pd(
+                xp.add(i),
+                _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(wp.add(i))),
+            );
+            i += LANES;
+        }
+        while i < n {
+            x[i] *= w[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_assign(y: &mut [f64], x: &[f64]) {
+        let n = y.len();
+        let c4 = n - n % LANES;
+        let yp = y.as_mut_ptr();
+        let xp = x.as_ptr();
+        let mut i = 0;
+        while i < c4 {
+            _mm256_storeu_pd(
+                yp.add(i),
+                _mm256_add_pd(_mm256_loadu_pd(yp.add(i)), _mm256_loadu_pd(xp.add(i))),
+            );
+            i += LANES;
+        }
+        while i < n {
+            y[i] += x[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sub_into(out: &mut [f64], a: &[f64], b: &[f64]) {
+        let n = out.len();
+        let c4 = n - n % LANES;
+        let op = out.as_mut_ptr();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut i = 0;
+        while i < c4 {
+            _mm256_storeu_pd(
+                op.add(i),
+                _mm256_sub_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i))),
+            );
+            i += LANES;
+        }
+        while i < n {
+            out[i] = a[i] - b[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn neg_into(out: &mut [f64], a: &[f64]) {
+        let n = out.len();
+        let c4 = n - n % LANES;
+        let op = out.as_mut_ptr();
+        let ap = a.as_ptr();
+        let sign = _mm256_set1_pd(-0.0);
+        let mut i = 0;
+        while i < c4 {
+            _mm256_storeu_pd(op.add(i), _mm256_xor_pd(_mm256_loadu_pd(ap.add(i)), sign));
+            i += LANES;
+        }
+        while i < n {
+            out[i] = -a[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn div_scale_into(out: &mut [f64], x: &[f64], t: f64) {
+        let n = out.len();
+        let c4 = n - n % LANES;
+        let op = out.as_mut_ptr();
+        let xp = x.as_ptr();
+        let tv = _mm256_set1_pd(t);
+        let mut i = 0;
+        while i < c4 {
+            _mm256_storeu_pd(op.add(i), _mm256_div_pd(_mm256_loadu_pd(xp.add(i)), tv));
+            i += LANES;
+        }
+        while i < n {
+            out[i] = x[i] / t;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sax_sub_into(out: &mut [f64], s: f64, x: &[f64], y: &[f64]) {
+        let n = out.len();
+        let c4 = n - n % LANES;
+        let op = out.as_mut_ptr();
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let sv = _mm256_set1_pd(s);
+        let mut i = 0;
+        while i < c4 {
+            let sx = _mm256_mul_pd(sv, _mm256_loadu_pd(xp.add(i)));
+            _mm256_storeu_pd(op.add(i), _mm256_sub_pd(sx, _mm256_loadu_pd(yp.add(i))));
+            i += LANES;
+        }
+        while i < n {
+            out[i] = s * x[i] - y[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sub_prod_into(out: &mut [f64], a: &[f64], w: &[f64], b: &[f64]) {
+        let n = out.len();
+        let c4 = n - n % LANES;
+        let op = out.as_mut_ptr();
+        let ap = a.as_ptr();
+        let wp = w.as_ptr();
+        let bp = b.as_ptr();
+        let mut i = 0;
+        while i < c4 {
+            let wb = _mm256_mul_pd(_mm256_loadu_pd(wp.add(i)), _mm256_loadu_pd(bp.add(i)));
+            _mm256_storeu_pd(op.add(i), _mm256_sub_pd(_mm256_loadu_pd(ap.add(i)), wb));
+            i += LANES;
+        }
+        while i < n {
+            out[i] = a[i] - w[i] * b[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_prod_diff_into(
+        out: &mut [f64],
+        a: &[f64],
+        w: &[f64],
+        b: &[f64],
+        c: &[f64],
+    ) {
+        let n = out.len();
+        let c4 = n - n % LANES;
+        let op = out.as_mut_ptr();
+        let ap = a.as_ptr();
+        let wp = w.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_ptr();
+        let mut i = 0;
+        while i < c4 {
+            let d = _mm256_sub_pd(_mm256_loadu_pd(bp.add(i)), _mm256_loadu_pd(cp.add(i)));
+            let wd = _mm256_mul_pd(_mm256_loadu_pd(wp.add(i)), d);
+            _mm256_storeu_pd(op.add(i), _mm256_add_pd(_mm256_loadu_pd(ap.add(i)), wd));
+            i += LANES;
+        }
+        while i < n {
+            out[i] = a[i] + w[i] * (b[i] - c[i]);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn prod_diff_into(out: &mut [f64], w: &[f64], b: &[f64], c: &[f64]) {
+        let n = out.len();
+        let c4 = n - n % LANES;
+        let op = out.as_mut_ptr();
+        let wp = w.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_ptr();
+        let mut i = 0;
+        while i < c4 {
+            let d = _mm256_sub_pd(_mm256_loadu_pd(bp.add(i)), _mm256_loadu_pd(cp.add(i)));
+            _mm256_storeu_pd(op.add(i), _mm256_mul_pd(_mm256_loadu_pd(wp.add(i)), d));
+            i += LANES;
+        }
+        while i < n {
+            out[i] = w[i] * (b[i] - c[i]);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn relax_delta_into(
+        x: &mut [f64],
+        delta: &mut [f64],
+        alpha: f64,
+        xt: &[f64],
+    ) {
+        let n = x.len();
+        let c4 = n - n % LANES;
+        let beta = 1.0 - alpha;
+        let xp = x.as_mut_ptr();
+        let dp = delta.as_mut_ptr();
+        let tp = xt.as_ptr();
+        let av = _mm256_set1_pd(alpha);
+        let bv = _mm256_set1_pd(beta);
+        let mut i = 0;
+        while i < c4 {
+            let xv = _mm256_loadu_pd(xp.add(i));
+            let tv = _mm256_loadu_pd(tp.add(i));
+            let xn = _mm256_add_pd(_mm256_mul_pd(av, tv), _mm256_mul_pd(bv, xv));
+            _mm256_storeu_pd(dp.add(i), _mm256_sub_pd(xn, xv));
+            _mm256_storeu_pd(xp.add(i), xn);
+            i += LANES;
+        }
+        while i < n {
+            let x_new = alpha * xt[i] + beta * x[i];
+            delta[i] = x_new - x[i];
+            x[i] = x_new;
+            i += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn relax_project_into(
+        z: &mut [f64],
+        z_rel: &mut [f64],
+        alpha: f64,
+        zt: &[f64],
+        w: &[f64],
+        y: &[f64],
+        l: &[f64],
+        u: &[f64],
+    ) {
+        let n = z.len();
+        let c4 = n - n % LANES;
+        let beta = 1.0 - alpha;
+        let zp = z.as_mut_ptr();
+        let rp = z_rel.as_mut_ptr();
+        let tp = zt.as_ptr();
+        let wp = w.as_ptr();
+        let yp = y.as_ptr();
+        let lp = l.as_ptr();
+        let up = u.as_ptr();
+        let av = _mm256_set1_pd(alpha);
+        let bv = _mm256_set1_pd(beta);
+        let mut i = 0;
+        while i < c4 {
+            let zv = _mm256_loadu_pd(zp.add(i));
+            let tv = _mm256_loadu_pd(tp.add(i));
+            let zr = _mm256_add_pd(_mm256_mul_pd(av, tv), _mm256_mul_pd(bv, zv));
+            _mm256_storeu_pd(rp.add(i), zr);
+            let wy = _mm256_mul_pd(_mm256_loadu_pd(wp.add(i)), _mm256_loadu_pd(yp.add(i)));
+            let v = _mm256_add_pd(zr, wy);
+            let clamped = _mm256_min_pd(
+                _mm256_max_pd(v, _mm256_loadu_pd(lp.add(i))),
+                _mm256_loadu_pd(up.add(i)),
+            );
+            _mm256_storeu_pd(zp.add(i), clamped);
+            i += LANES;
+        }
+        while i < n {
+            let zr = alpha * zt[i] + beta * z[i];
+            z_rel[i] = zr;
+            let v = zr + w[i] * y[i];
+            z[i] = super::cmin(super::cmax(v, l[i]), u[i]);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scaled_diff_update_into(
+        y: &mut [f64],
+        delta: &mut [f64],
+        w: &[f64],
+        b: &[f64],
+        c: &[f64],
+    ) {
+        let n = y.len();
+        let c4 = n - n % LANES;
+        let yp = y.as_mut_ptr();
+        let dp = delta.as_mut_ptr();
+        let wp = w.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_ptr();
+        let mut i = 0;
+        while i < c4 {
+            let yv = _mm256_loadu_pd(yp.add(i));
+            let d = _mm256_sub_pd(_mm256_loadu_pd(bp.add(i)), _mm256_loadu_pd(cp.add(i)));
+            let yn = _mm256_add_pd(yv, _mm256_mul_pd(_mm256_loadu_pd(wp.add(i)), d));
+            _mm256_storeu_pd(dp.add(i), _mm256_sub_pd(yn, yv));
+            _mm256_storeu_pd(yp.add(i), yn);
+            i += LANES;
+        }
+        while i < n {
+            let y_new = y[i] + w[i] * (b[i] - c[i]);
+            delta[i] = y_new - y[i];
+            y[i] = y_new;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn project_box_into(x: &mut [f64], l: &[f64], u: &[f64]) {
+        let n = x.len();
+        let c4 = n - n % LANES;
+        let xp = x.as_mut_ptr();
+        let lp = l.as_ptr();
+        let up = u.as_ptr();
+        let mut i = 0;
+        while i < c4 {
+            let v = _mm256_max_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(lp.add(i)));
+            _mm256_storeu_pd(xp.add(i), _mm256_min_pd(v, _mm256_loadu_pd(up.add(i))));
+            i += LANES;
+        }
+        while i < n {
+            x[i] = super::cmin(super::cmax(x[i], l[i]), u[i]);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn clamp_into(out: &mut [f64], v: &[f64], l: &[f64], u: &[f64]) {
+        let n = out.len();
+        let c4 = n - n % LANES;
+        let op = out.as_mut_ptr();
+        let vp = v.as_ptr();
+        let lp = l.as_ptr();
+        let up = u.as_ptr();
+        let mut i = 0;
+        while i < c4 {
+            let t = _mm256_max_pd(_mm256_loadu_pd(vp.add(i)), _mm256_loadu_pd(lp.add(i)));
+            _mm256_storeu_pd(op.add(i), _mm256_min_pd(t, _mm256_loadu_pd(up.add(i))));
+            i += LANES;
+        }
+        while i < n {
+            out[i] = super::cmin(super::cmax(v[i], l[i]), u[i]);
+            i += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn grad_step_into(
+        xt: &mut [f64],
+        ext: &mut [f64],
+        x: &[f64],
+        tau: f64,
+        g1: &[f64],
+        g2: &[f64],
+        g3: &[f64],
+    ) {
+        let n = xt.len();
+        let c4 = n - n % LANES;
+        let tp = xt.as_mut_ptr();
+        let ep = ext.as_mut_ptr();
+        let xp = x.as_ptr();
+        let g1p = g1.as_ptr();
+        let g2p = g2.as_ptr();
+        let g3p = g3.as_ptr();
+        let tauv = _mm256_set1_pd(tau);
+        let two = _mm256_set1_pd(2.0);
+        let mut i = 0;
+        while i < c4 {
+            let g = _mm256_add_pd(
+                _mm256_add_pd(_mm256_loadu_pd(g1p.add(i)), _mm256_loadu_pd(g2p.add(i))),
+                _mm256_loadu_pd(g3p.add(i)),
+            );
+            let xv = _mm256_loadu_pd(xp.add(i));
+            let xn = _mm256_sub_pd(xv, _mm256_mul_pd(tauv, g));
+            _mm256_storeu_pd(tp.add(i), xn);
+            _mm256_storeu_pd(ep.add(i), _mm256_sub_pd(_mm256_mul_pd(two, xn), xv));
+            i += LANES;
+        }
+        while i < n {
+            let x_new = x[i] - tau * ((g1[i] + g2[i]) + g3[i]);
+            xt[i] = x_new;
+            ext[i] = 2.0 * x_new - x[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn moreau_into(
+        y: &mut [f64],
+        zt: &mut [f64],
+        sigma: f64,
+        ax: &[f64],
+        l: &[f64],
+        u: &[f64],
+    ) {
+        let n = y.len();
+        let c4 = n - n % LANES;
+        let yp = y.as_mut_ptr();
+        let zp = zt.as_mut_ptr();
+        let ap = ax.as_ptr();
+        let lp = l.as_ptr();
+        let up = u.as_ptr();
+        let sv = _mm256_set1_pd(sigma);
+        let mut i = 0;
+        while i < c4 {
+            let w = _mm256_add_pd(
+                _mm256_loadu_pd(yp.add(i)),
+                _mm256_mul_pd(sv, _mm256_loadu_pd(ap.add(i))),
+            );
+            let t = _mm256_min_pd(
+                _mm256_max_pd(_mm256_div_pd(w, sv), _mm256_loadu_pd(lp.add(i))),
+                _mm256_loadu_pd(up.add(i)),
+            );
+            _mm256_storeu_pd(zp.add(i), t);
+            _mm256_storeu_pd(yp.add(i), _mm256_sub_pd(w, _mm256_mul_pd(sv, t)));
+            i += LANES;
+        }
+        while i < n {
+            let w = y[i] + sigma * ax[i];
+            let t = super::cmin(super::cmax(w / sigma, l[i]), u[i]);
+            zt[i] = t;
+            y[i] = w - sigma * t;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn update_dir_into(p: &mut [f64], d: &[f64], mu: f64) {
+        let n = p.len();
+        let c4 = n - n % LANES;
+        let pp = p.as_mut_ptr();
+        let dp = d.as_ptr();
+        let sign = _mm256_set1_pd(-0.0);
+        let muv = _mm256_set1_pd(mu);
+        let mut i = 0;
+        while i < c4 {
+            let nd = _mm256_xor_pd(_mm256_loadu_pd(dp.add(i)), sign);
+            let mp = _mm256_mul_pd(muv, _mm256_loadu_pd(pp.add(i)));
+            _mm256_storeu_pd(pp.add(i), _mm256_add_pd(nd, mp));
+            i += LANES;
+        }
+        while i < n {
+            p[i] = -d[i] + mu * p[i];
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        // Deterministic xorshift64* stream mapped into [-1, 1].
+        let mut s = seed.wrapping_mul(2685821657736338717).max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                #[allow(clippy::cast_precision_loss)]
+                let u = (s >> 11) as f64 / (1u64 << 53) as f64;
+                2.0 * u - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn short_vectors_match_sequential_sums() {
+        // For n < LANES the canonical order degenerates to the plain
+        // sequential sum (lane accumulators stay zero).
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 1.0 * 4.0 + 2.0 * 5.0 + 3.0 * 6.0);
+        assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn canonical_order_is_lane_chunked() {
+        let x = data(11, 7);
+        let y = data(11, 9);
+        let mut acc = [0.0f64; LANES];
+        for base in (0..8).step_by(LANES) {
+            for l in 0..LANES {
+                acc[l] += x[base + l] * y[base + l];
+            }
+        }
+        let mut want = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+        for i in 8..11 {
+            want += x[i] * y[i];
+        }
+        assert_eq!(dot(&x, &y).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn force_dispatch_roundtrip_and_paths_agree() {
+        let x = data(1003, 3);
+        let y = data(1003, 5);
+        let idx: Vec<usize> = (0..x.len()).step_by(1).collect();
+        assert!(force_dispatch(Some(DispatchPath::Portable)));
+        assert_eq!(dispatch_path(), DispatchPath::Portable);
+        let d_p = dot(&x, &y);
+        let g_p = gather_dot(DispatchPath::Portable, &x, &idx, &y);
+        let mut s_p = vec![0.0; x.len()];
+        scatter_axpy(DispatchPath::Portable, &mut s_p, &idx, &x, 1.5);
+        if force_dispatch(Some(DispatchPath::Avx2)) {
+            assert_eq!(dispatch_path(), DispatchPath::Avx2);
+            let d_a = dot(&x, &y);
+            let g_a = gather_dot(DispatchPath::Avx2, &x, &idx, &y);
+            let mut s_a = vec![0.0; x.len()];
+            scatter_axpy(DispatchPath::Avx2, &mut s_a, &idx, &x, 1.5);
+            assert_eq!(d_p.to_bits(), d_a.to_bits());
+            assert_eq!(g_p.to_bits(), g_a.to_bits());
+            for (p, a) in s_p.iter().zip(&s_a) {
+                assert_eq!(p.to_bits(), a.to_bits());
+            }
+        }
+        assert!(force_dispatch(None));
+    }
+
+    #[test]
+    fn gather_respects_non_contiguous_indices() {
+        let x = data(64, 11);
+        let vals = data(8, 13);
+        let idx = [0usize, 9, 18, 27, 36, 45, 54, 63];
+        let want: f64 = {
+            let mut acc = [0.0f64; LANES];
+            for base in (0..8).step_by(LANES) {
+                for l in 0..LANES {
+                    acc[l] += vals[base + l] * x[idx[base + l]];
+                }
+            }
+            (acc[0] + acc[2]) + (acc[1] + acc[3])
+        };
+        for path in [DispatchPath::Portable, DispatchPath::Avx2] {
+            if path == DispatchPath::Avx2 && !force_dispatch(Some(DispatchPath::Avx2)) {
+                continue;
+            }
+            force_dispatch(None);
+            assert_eq!(gather_dot(path, &vals, &idx, &x).to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn cmax_cmin_match_vector_semantics() {
+        // Second operand wins on ties and NaN — the vmaxpd/vminpd rule.
+        assert_eq!(cmax(0.0, -0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(cmin(-0.0, 0.0).to_bits(), (0.0f64).to_bits());
+        assert!(cmax(1.0, f64::NAN).is_nan());
+        assert_eq!(cmax(f64::NAN, 1.0), 1.0);
+    }
+}

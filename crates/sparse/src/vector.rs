@@ -4,37 +4,26 @@
 //! of the MIB ISA (Table I of the paper): `norm_inf`, `ew_reci`, `ew_prod`,
 //! `axpby`, `select_min`, `select_max`, plus the dot products and Euclidean
 //! projection the ADMM loop needs.
+//!
+//! Every hot kernel here is a thin re-export of (or delegates to) the
+//! runtime-dispatched implementations in [`crate::simd`] — the single
+//! source of truth for the canonical lane-chunked reduction order and the
+//! canonical min/max semantics. The allocating convenience wrappers
+//! (`ew_prod`, `axpby`, `project_box`, ...) build their output through the
+//! same kernels, so there is exactly one definition of every arithmetic
+//! sequence in the crate.
 
-/// Infinity norm `max_i |x_i|` (`norm_inf` in the MIB ISA).
-pub fn norm_inf(x: &[f64]) -> f64 {
-    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
-}
+pub use crate::simd::{
+    add_assign, add_prod_diff_into, axpby_into, axpy_into, clamp_into, div_scale_into, dot,
+    ew_prod_into, grad_step_into, moreau_into, mul_assign, neg_into, norm_inf, norm_inf_diff,
+    norm_inf_sum3, prod_diff_into, prod_scale_into, project_box_into, relax_delta_into,
+    relax_project_into, sax_sub_into, scaled_diff_update_into, sub_into, sub_prod_into,
+    update_dir_into,
+};
 
-/// Euclidean norm `sqrt(sum x_i^2)`.
+/// Euclidean norm `sqrt(sum x_i^2)` (canonical reduction order).
 pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
-}
-
-/// Infinity norm of the difference `max_i |x_i - y_i|`.
-///
-/// # Panics
-///
-/// Panics if the lengths differ.
-pub fn norm_inf_diff(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "norm_inf_diff length mismatch");
-    x.iter()
-        .zip(y)
-        .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
-}
-
-/// Dot product `xᵀy`.
-///
-/// # Panics
-///
-/// Panics if the lengths differ.
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "dot length mismatch");
-    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
 }
 
 /// Element-wise reciprocal `out_i = 1 / x_i` (`ew_reci`).
@@ -48,8 +37,9 @@ pub fn ew_reci(x: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the lengths differ.
 pub fn ew_prod(x: &[f64], y: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), y.len(), "ew_prod length mismatch");
-    x.iter().zip(y).map(|(&a, &b)| a * b).collect()
+    let mut out = vec![0.0; x.len()];
+    ew_prod_into(&mut out, x, y);
+    out
 }
 
 /// Scaled sum `out = s0 * v0 + s1 * v1` (`axpby`).
@@ -58,40 +48,37 @@ pub fn ew_prod(x: &[f64], y: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the lengths differ.
 pub fn axpby(s0: f64, v0: &[f64], s1: f64, v1: &[f64]) -> Vec<f64> {
-    assert_eq!(v0.len(), v1.len(), "axpby length mismatch");
-    v0.iter().zip(v1).map(|(&a, &b)| s0 * a + s1 * b).collect()
+    let mut out = v0.to_vec();
+    axpby_into(s0, &mut out, s1, v1);
+    out
 }
 
-/// In-place scaled sum `v0 <- s0 * v0 + s1 * v1`.
-///
-/// # Panics
-///
-/// Panics if the lengths differ.
-pub fn axpby_into(s0: f64, v0: &mut [f64], s1: f64, v1: &[f64]) {
-    assert_eq!(v0.len(), v1.len(), "axpby length mismatch");
-    for (a, &b) in v0.iter_mut().zip(v1) {
-        *a = s0 * *a + s1 * b;
-    }
-}
-
-/// Element-wise maximum (`select_max`).
+/// Element-wise maximum (`select_max`), with the canonical
+/// [`cmax`](crate::simd::cmax) semantics.
 ///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn select_max(x: &[f64], y: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), y.len(), "select_max length mismatch");
-    x.iter().zip(y).map(|(&a, &b)| a.max(b)).collect()
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| crate::simd::cmax(a, b))
+        .collect()
 }
 
-/// Element-wise minimum (`select_min`).
+/// Element-wise minimum (`select_min`), with the canonical
+/// [`cmin`](crate::simd::cmin) semantics.
 ///
 /// # Panics
 ///
 /// Panics if the lengths differ.
 pub fn select_min(x: &[f64], y: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), y.len(), "select_min length mismatch");
-    x.iter().zip(y).map(|(&a, &b)| a.min(b)).collect()
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| crate::simd::cmin(a, b))
+        .collect()
 }
 
 /// Euclidean projection of `x` onto the box `[l, u]`, element-wise
@@ -101,25 +88,9 @@ pub fn select_min(x: &[f64], y: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the lengths differ.
 pub fn project_box(x: &[f64], l: &[f64], u: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), l.len(), "project_box length mismatch");
-    assert_eq!(x.len(), u.len(), "project_box length mismatch");
-    x.iter()
-        .zip(l.iter().zip(u))
-        .map(|(&v, (&lo, &hi))| v.max(lo).min(hi))
-        .collect()
-}
-
-/// In-place box projection.
-///
-/// # Panics
-///
-/// Panics if the lengths differ.
-pub fn project_box_into(x: &mut [f64], l: &[f64], u: &[f64]) {
-    assert_eq!(x.len(), l.len(), "project_box length mismatch");
-    assert_eq!(x.len(), u.len(), "project_box length mismatch");
-    for ((v, &lo), &hi) in x.iter_mut().zip(l).zip(u) {
-        *v = v.max(lo).min(hi);
-    }
+    let mut out = vec![0.0; x.len()];
+    clamp_into(&mut out, x, l, u);
+    out
 }
 
 /// Geometric mean of strictly positive values; returns `f64::NAN` on an
@@ -169,6 +140,16 @@ mod tests {
         assert_eq!(p, vec![0.0, 0.5, 1.0]);
         // Projection is idempotent.
         assert_eq!(project_box(&p, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]), p);
+    }
+
+    #[test]
+    fn project_box_into_matches_allocating_form() {
+        let mut x = vec![-5.0, 0.5, 5.0, 2.0, -1.0];
+        let l = vec![0.0; 5];
+        let u = vec![1.0; 5];
+        let want = project_box(&x, &l, &u);
+        project_box_into(&mut x, &l, &u);
+        assert_eq!(x, want);
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum Category {
     Serve,
     /// Cycle-accurate machine model (mib-core).
     Machine,
+    /// Per-stage vector/sparse kernel work inside solver iterations.
+    /// High-frequency; only recorded when kernel spans are explicitly
+    /// enabled (see [`enable_kernel_spans`](crate::enable_kernel_spans)).
+    Kernel,
     /// Anything else (benchmarks, tests, ad-hoc instrumentation).
     Other,
 }
@@ -34,6 +38,7 @@ impl Category {
             Category::Compiler => "compiler",
             Category::Serve => "serve",
             Category::Machine => "machine",
+            Category::Kernel => "kernel",
             Category::Other => "other",
         }
     }
@@ -174,6 +179,7 @@ mod tests {
             Category::Compiler,
             Category::Serve,
             Category::Machine,
+            Category::Kernel,
             Category::Other,
         ];
         for (i, a) in cats.iter().enumerate() {

@@ -61,6 +61,10 @@ pub const BUFFER_CAPACITY: usize = 1 << 16;
 
 /// The single flag every instrumentation site checks.
 static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Opt-in flag for high-frequency per-stage kernel spans
+/// ([`Category::Kernel`]): these fire several times per solver iteration,
+/// so they stay off even when tracing is otherwise enabled.
+static KERNEL_SPANS: AtomicBool = AtomicBool::new(false);
 /// Process-unique span ids (0 is reserved for "no enclosing span").
 static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
 /// Trace-local thread ids, assigned at first use per thread.
@@ -130,6 +134,25 @@ pub fn disable() {
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Opts in to per-stage kernel spans ([`Category::Kernel`]). They still
+/// only record while tracing itself is [`enable`]d.
+pub fn enable_kernel_spans() {
+    KERNEL_SPANS.store(true, Ordering::SeqCst);
+}
+
+/// Turns kernel spans back off (the default).
+pub fn disable_kernel_spans() {
+    KERNEL_SPANS.store(false, Ordering::SeqCst);
+}
+
+/// Whether kernel spans should record: tracing enabled *and* kernel
+/// spans opted in. Hot loops hoist this once per solve/iteration, like
+/// [`enabled`].
+#[inline]
+pub fn kernel_spans() -> bool {
+    enabled() && KERNEL_SPANS.load(Ordering::Relaxed)
 }
 
 /// Nanoseconds since the trace epoch.
@@ -468,6 +491,28 @@ mod tests {
         assert_eq!(worker.records.len(), 3);
         // Thread ids are sorted and unique.
         assert!(trace.threads[0].tid < trace.threads[1].tid);
+    }
+
+    #[test]
+    fn kernel_spans_require_both_flags() {
+        let _guard = test_lock::hold();
+        disable();
+        disable_kernel_spans();
+        clear();
+        // Off by default, even with tracing enabled.
+        enable();
+        assert!(!kernel_spans());
+        drop(span_if(kernel_spans(), "stage_x", Category::Kernel));
+        assert!(take().is_empty());
+        // Opted in: records while tracing is on ...
+        enable_kernel_spans();
+        assert!(kernel_spans());
+        drop(span_if(kernel_spans(), "stage_x", Category::Kernel));
+        assert_eq!(take().len(), 2);
+        // ... but not once tracing itself is off.
+        disable();
+        assert!(!kernel_spans());
+        disable_kernel_spans();
     }
 
     #[test]

@@ -69,6 +69,12 @@ cargo run --release -q -p mib-bench --bin serve_bench -- --smoke >/dev/null
 echo "==> solver backends (ADMM/PDQP convergence gate)"
 cargo run --release -q -p mib-bench --bin backend_bench -- --smoke >/dev/null
 
+echo "==> SIMD kernels (dispatch-path agreement + bench schema smoke gate)"
+# Every benched kernel is cross-checked bitwise between the portable and
+# the vectorized dispatch path on a fixed seed, and the emitted JSON must
+# validate; the differential proptest suite runs under --workspace above.
+cargo run --release -q -p mib-bench --bin kernel_bench -- --smoke >/dev/null
+
 echo "==> static timing (predicted-vs-simulated smoke gate + checked-profile tests)"
 # One instance per domain: every compiled program's statically predicted
 # cycles and attribution must equal the simulator's, bitwise, and forced

@@ -1,0 +1,266 @@
+//! Differential property suite for the runtime-dispatched SIMD kernels.
+//!
+//! The contract pinned here is the heart of the PR-8 vectorization: for
+//! **every** kernel in `mib::sparse::simd`, the AVX2 path and the
+//! portable chunked-scalar path are **bitwise identical** on arbitrary
+//! inputs — both implement the same canonical lane-chunked reduction
+//! order, the same canonical min/max semantics and the same
+//! mul-then-add (no FMA) arithmetic. On hosts without AVX2 the forced
+//! dispatch is refused and each property degenerates to a self-check of
+//! the portable path (trivially equal); on AVX2 hosts every case is a
+//! real cross-path comparison.
+//!
+//! Dispatch forcing is process-global, so all properties in this binary
+//! serialize on one lock: a concurrently flipped path could otherwise
+//! make a case silently compare one path against itself.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use mib::problems::random_qp;
+use mib::qp::{Settings, Solver};
+use mib::sparse::simd::{self, DispatchPath};
+use proptest::prelude::*;
+
+/// Serializes every property case: `force_dispatch` is process-global.
+static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+fn hold() -> MutexGuard<'static, ()> {
+    DISPATCH_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Restores auto-detected dispatch when a case exits (even via a failed
+/// `prop_assert!`, which returns early).
+struct ForceGuard;
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        simd::force_dispatch(None);
+    }
+}
+
+/// Runs `f` once under the forced portable path and once under forced
+/// AVX2, returning both outputs. The second element is `None` when the
+/// host has no AVX2 (nothing to differentiate against).
+fn on_both_paths<T>(mut f: impl FnMut() -> T) -> (T, Option<T>) {
+    let _restore = ForceGuard;
+    assert!(
+        simd::force_dispatch(Some(DispatchPath::Portable)),
+        "portable dispatch must always be available"
+    );
+    let portable = f();
+    let vectorized = simd::force_dispatch(Some(DispatchPath::Avx2)).then(&mut f);
+    (portable, vectorized)
+}
+
+/// Bit-exact view of a float slice (NaN-safe equality).
+fn bits(x: &[f64]) -> Vec<u64> {
+    x.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Strategy for `k` same-length value vectors of length `< max_len`
+/// (lengths 0..4 exercise the degenerate no-full-chunk cases, longer
+/// ones the lane loop plus tail).
+fn same_len(k: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (0usize..max_len)
+        .prop_flat_map(move |n| collection::vec(collection::vec(-100.0f64..100.0, n..n), k..k))
+}
+
+/// Sorted lower/upper bound pair plus a subject vector, for the
+/// projection/clamp kernels.
+fn boxed(
+    k_extra: usize,
+    max_len: usize,
+) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>, Vec<f64>)> {
+    same_len(k_extra + 2, max_len).prop_map(|mut vs| {
+        let ub = vs.pop().expect("k_extra + 2 >= 2");
+        let lb = vs.pop().expect("k_extra + 2 >= 2");
+        let (l, u): (Vec<f64>, Vec<f64>) = lb
+            .iter()
+            .zip(&ub)
+            .map(|(&a, &b)| (simd::cmin(a, b), simd::cmax(a, b)))
+            .unzip();
+        (vs, l, u)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reductions_bitwise_match(vs in same_len(3, 40)) {
+        let _guard = hold();
+        let (x, y, z) = (&vs[0], &vs[1], &vs[2]);
+        let (a, b) = on_both_paths(|| {
+            [
+                simd::dot(x, y).to_bits(),
+                simd::norm_inf(x).to_bits(),
+                simd::norm_inf_diff(x, y).to_bits(),
+                simd::norm_inf_sum3(x, y, z).to_bits(),
+            ]
+        });
+        if let Some(b) = b {
+            prop_assert_eq!(a, b, "reduction kernels disagree across paths");
+        }
+    }
+
+    #[test]
+    fn gather_scatter_bitwise_match(
+        vs in same_len(2, 40),
+        target_len in 1usize..60,
+        s in -3.0f64..3.0,
+    ) {
+        let _guard = hold();
+        let vals = &vs[0];
+        // Indices into a separate target vector, duplicates allowed —
+        // scatter order (lane order == index order) is part of the
+        // contract.
+        let idx: Vec<usize> = vals
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (k + v.abs() as usize * 7) % target_len)
+            .collect();
+        let x: Vec<f64> = (0..target_len).map(|i| (i as f64) * 0.37 - 3.0).collect();
+        let (a, b) = on_both_paths(|| {
+            let g = simd::gather_dot(simd::dispatch_path(), vals, &idx, &x);
+            let mut y = x.clone();
+            simd::scatter_axpy(simd::dispatch_path(), &mut y, &idx, vals, s);
+            (g.to_bits(), bits(&y))
+        });
+        if let Some(b) = b {
+            prop_assert_eq!(a, b, "gather/scatter kernels disagree across paths");
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_bitwise_match(
+        vs in same_len(5, 40),
+        s0 in -3.0f64..3.0,
+        s1 in -3.0f64..3.0,
+    ) {
+        let _guard = hold();
+        let (v0, v1, v2, v3, v4) = (&vs[0], &vs[1], &vs[2], &vs[3], &vs[4]);
+        let n = v0.len();
+        let (a, b) = on_both_paths(|| {
+            let mut out = vec![0.0; n];
+            let mut acc = Vec::new();
+            let mut y = v0.clone();
+            simd::axpy_into(&mut y, s0, v1);
+            acc.extend(bits(&y));
+            let mut y = v0.clone();
+            simd::axpby_into(s0, &mut y, s1, v1);
+            acc.extend(bits(&y));
+            simd::ew_prod_into(&mut out, v0, v1);
+            acc.extend(bits(&out));
+            simd::prod_scale_into(&mut out, v0, v1, s0);
+            acc.extend(bits(&out));
+            let mut y = v0.clone();
+            simd::mul_assign(&mut y, v1);
+            acc.extend(bits(&y));
+            let mut y = v0.clone();
+            simd::add_assign(&mut y, v1);
+            acc.extend(bits(&y));
+            simd::sub_into(&mut out, v0, v1);
+            acc.extend(bits(&out));
+            simd::neg_into(&mut out, v0);
+            acc.extend(bits(&out));
+            simd::div_scale_into(&mut out, v0, 1.0 + s0.abs());
+            acc.extend(bits(&out));
+            simd::sax_sub_into(&mut out, s0, v0, v1);
+            acc.extend(bits(&out));
+            simd::sub_prod_into(&mut out, v0, v1, v2);
+            acc.extend(bits(&out));
+            simd::add_prod_diff_into(&mut out, v0, v1, v2, v3);
+            acc.extend(bits(&out));
+            simd::prod_diff_into(&mut out, v0, v1, v2);
+            acc.extend(bits(&out));
+            let mut p = v0.clone();
+            simd::update_dir_into(&mut p, v4, s1);
+            acc.extend(bits(&p));
+            acc
+        });
+        if let Some(b) = b {
+            prop_assert_eq!(a, b, "element-wise kernels disagree across paths");
+        }
+    }
+
+    #[test]
+    fn stage_fusion_kernels_bitwise_match(
+        data in boxed(4, 40),
+        alpha in 0.1f64..1.9,
+        tau in 0.01f64..2.0,
+        sigma in 0.1f64..5.0,
+    ) {
+        let _guard = hold();
+        let (vs, l, u) = data;
+        let (v0, v1, v2, v3) = (&vs[0], &vs[1], &vs[2], &vs[3]);
+        let n = v0.len();
+        let (a, b) = on_both_paths(|| {
+            let mut acc = Vec::new();
+            let mut x = v0.clone();
+            let mut delta = vec![0.0; n];
+            simd::relax_delta_into(&mut x, &mut delta, alpha, v1);
+            acc.extend(bits(&x));
+            acc.extend(bits(&delta));
+            let mut z = v0.clone();
+            let mut z_rel = vec![0.0; n];
+            simd::relax_project_into(&mut z, &mut z_rel, alpha, v1, v2, v3, &l, &u);
+            acc.extend(bits(&z));
+            acc.extend(bits(&z_rel));
+            let mut y = v0.clone();
+            simd::scaled_diff_update_into(&mut y, &mut delta, v1, v2, v3);
+            acc.extend(bits(&y));
+            acc.extend(bits(&delta));
+            let mut x = v0.clone();
+            simd::project_box_into(&mut x, &l, &u);
+            acc.extend(bits(&x));
+            let mut out = vec![0.0; n];
+            simd::clamp_into(&mut out, v0, &l, &u);
+            acc.extend(bits(&out));
+            let mut xt = vec![0.0; n];
+            let mut ext = vec![0.0; n];
+            simd::grad_step_into(&mut xt, &mut ext, v0, tau, v1, v2, v3);
+            acc.extend(bits(&xt));
+            acc.extend(bits(&ext));
+            let mut y = v0.clone();
+            let mut zt = vec![0.0; n];
+            simd::moreau_into(&mut y, &mut zt, sigma, v1, &l, &u);
+            acc.extend(bits(&y));
+            acc.extend(bits(&zt));
+            acc
+        });
+        if let Some(b) = b {
+            prop_assert_eq!(a, b, "fused stage kernels disagree across paths");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// End-to-end differential: a full ADMM solve (SpMV, LDLᵀ solves,
+    /// every vector stage, residuals, termination) forced down each
+    /// dispatch path returns bitwise-identical results — iterate
+    /// trajectories, iteration counts and objective included.
+    #[test]
+    fn full_solve_bitwise_matches_across_paths(
+        n in 2usize..7,
+        m in 2usize..9,
+        seed in 0u64..10_000,
+    ) {
+        let _guard = hold();
+        let problem = random_qp(n, m, 0.6, seed);
+        let (a, b) = on_both_paths(|| {
+            let mut solver =
+                Solver::new(problem.clone(), Settings::default()).expect("setup");
+            let r = solver.solve();
+            (r.status, r.iterations, bits(&r.x), bits(&r.y), r.obj_val.to_bits())
+        });
+        if let Some(b) = b {
+            prop_assert_eq!(a.0, b.0, "status differs across dispatch paths");
+            prop_assert_eq!(a.1, b.1, "iteration count differs across dispatch paths");
+            prop_assert_eq!(a.2, b.2, "x differs across dispatch paths");
+            prop_assert_eq!(a.3, b.3, "y differs across dispatch paths");
+            prop_assert_eq!(a.4, b.4, "obj_val differs across dispatch paths");
+        }
+    }
+}
