@@ -527,5 +527,48 @@ fn main() {
         println!("{body}");
     } else {
         emit_report("serve_trace", &body);
+        // Structured export, merged into the document the socket-level
+        // load_bench also writes (one run object per mode).
+        let latency = [
+            ("queue_wait", &metrics.queue_wait),
+            ("service", &metrics.service),
+            ("e2e", &metrics.e2e),
+        ]
+        .into_iter()
+        .map(|(name, h)| mib_bench::serve_json::LatencySummary {
+            name: name.to_string(),
+            mean_us: h.mean(),
+            p50_us: h.quantile_bound(0.5),
+            p99_us: h.quantile_bound(0.99),
+        })
+        .collect();
+        let run = mib_bench::serve_json::ServeRun {
+            mode: "inprocess".to_string(),
+            requests: (total_requests + routed_total) as u64,
+            clients: CLIENTS as u64,
+            tenants: (tenants.len() + portfolios.len()) as u64,
+            wall_seconds: wall.as_secs_f64(),
+            throughput_rps: (total_requests + routed_total) as f64 / wall.as_secs_f64(),
+            verified_bitwise: (checked + routed_total) as u64,
+            outcomes: vec![
+                ("solved".to_string(), (by_outcome[0] + routed_total) as u64),
+                ("max_iterations".to_string(), by_outcome[1] as u64),
+                ("infeasible".to_string(), by_outcome[2] as u64),
+                ("timed_out".to_string(), by_outcome[3] as u64),
+                ("cancelled".to_string(), by_outcome[4] as u64),
+                ("expired_queued".to_string(), expired as u64),
+            ],
+            // In process there is no admission layer; the only shedding
+            // signal is queue-full backpressure absorbed by client retry.
+            sheds: vec![(
+                "queue_full_retried".to_string(),
+                load(&c.rejected_queue_full),
+            )],
+            latency,
+        };
+        match mib_bench::serve_json::merge_bench_serve(&run) {
+            Ok(path) => eprintln!("(written to {})", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_serve.json: {e}"),
+        }
     }
 }

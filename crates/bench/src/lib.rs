@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve_json;
+
 use std::fmt::Write as _;
 
 use mib_compiler::lower::{lower, LoweredQp};

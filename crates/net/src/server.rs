@@ -1,0 +1,726 @@
+//! The network front-end: a TCP listener multiplexing client
+//! connections onto a [`QpServer`].
+//!
+//! Threading model (std threads + blocking-with-timeout sockets, no
+//! async runtime):
+//!
+//! * one **acceptor** thread polls a non-blocking listener;
+//! * each connection gets a **reader** thread (blocking reads with a
+//!   short timeout so shutdown is observed promptly) and a **writer**
+//!   thread draining an mpsc channel of outbound frames — solver
+//!   workers never block on a slow client socket;
+//! * responses are demultiplexed by *client-assigned* request id: the
+//!   reader registers a [`Ticket::on_ready`] callback that forwards the
+//!   finished [`Response`] to the writer channel, so no thread ever
+//!   parks on an individual ticket.
+//!
+//! Admission control runs **in front of** the shard queues. Every
+//! submit passes the tenant's token bucket and (under congestion) the
+//! weighted fair-share check of [`AdmissionController`]; a rejection
+//! becomes an explicit [`Frame::Shed`] with a retry-after hint, as does
+//! a bounded-queue rejection ([`SubmitError::QueueFull`]) — a client
+//! never observes a silently dropped request or a hung connection.
+//!
+//! [`Ticket::on_ready`]: mib_serve::Ticket::on_ready
+//! [`SubmitError::QueueFull`]: mib_serve::SubmitError::QueueFull
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use mib_qp::Status;
+use mib_serve::{
+    queue_full_retry_after, AdmissionConfig, AdmissionController, CancelHandle, Metrics, Outcome,
+    PortfolioId, QpServer, Request, Response, SubmitError, TenantId, TenantPolicy, TenantSlot,
+};
+
+use crate::frame::{
+    self, encode_to_vec, error_code, EndpointInfo, Frame, FrameReader, ReplyCode, ShedReason,
+    WireReply, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// What a catalog endpoint submits to.
+#[derive(Debug, Clone, Copy)]
+pub enum EndpointTarget {
+    /// A single registered tenant (`QpServer::submit`).
+    Tenant(TenantId),
+    /// A portfolio, routed across backends (`QpServer::submit_routed`).
+    Portfolio(PortfolioId),
+}
+
+/// One entry of the endpoint catalog a server advertises.
+#[derive(Debug, Clone)]
+pub struct EndpointSpec {
+    /// Where submissions go.
+    pub target: EndpointTarget,
+    /// Name echoed in the [`Frame::HelloAck`] catalog.
+    pub name: String,
+    /// Decision-variable count (`q`/`x` length), advertised to clients.
+    pub num_vars: usize,
+    /// Constraint count (`l`/`u`/`y` length), advertised to clients.
+    pub num_constraints: usize,
+}
+
+/// One accepted tenant credential.
+#[derive(Debug, Clone)]
+pub struct TenantAuth {
+    /// Opaque token the client presents in its [`Frame::Hello`].
+    pub token: Vec<u8>,
+    /// Label used for admission metrics
+    /// (`mib_serve_admission_*_total{tenant="..."}`).
+    pub label: String,
+    /// Rate/weight policy enforced by the admission controller.
+    pub policy: TenantPolicy,
+}
+
+/// Network front-end configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Cap on a single frame body; oversized frames tear the
+    /// connection down before any allocation.
+    pub max_frame_bytes: usize,
+    /// Admission-control window/slack (see [`AdmissionConfig`]).
+    pub admission: AdmissionConfig,
+    /// Socket read timeout of reader threads: the granularity at which
+    /// a parked reader observes shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            admission: AdmissionConfig::default(),
+            read_timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Outbound traffic of one connection, drained by its writer thread.
+enum WriterMsg {
+    /// A finished serve response for the given request id.
+    Reply(u64, Response),
+    /// Any pre-built frame (HelloAck, Shed, Error, Goodbye).
+    Frame(Frame),
+    /// Flush and exit.
+    Shutdown,
+}
+
+struct Shared {
+    qp: Arc<QpServer>,
+    metrics: Arc<Metrics>,
+    admission: AdmissionController,
+    endpoints: Vec<EndpointSpec>,
+    catalog: Vec<EndpointInfo>,
+    auth: HashMap<Vec<u8>, (TenantSlot, String)>,
+    cfg: NetConfig,
+    stop: AtomicBool,
+}
+
+/// The TCP front-end. Dropping it shuts the listener and every
+/// connection down; in-flight solves still complete and are answered
+/// before the writer threads exit.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` and starts accepting connections. `endpoints` is
+    /// the catalog advertised to every authenticated client; `auth`
+    /// maps Hello tokens to tenant labels and admission policies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind/configuration failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` or `auth` is empty.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        qp: Arc<QpServer>,
+        endpoints: Vec<EndpointSpec>,
+        auth: Vec<TenantAuth>,
+        cfg: NetConfig,
+    ) -> io::Result<NetServer> {
+        assert!(
+            !endpoints.is_empty(),
+            "the endpoint catalog must be non-empty"
+        );
+        assert!(
+            !auth.is_empty(),
+            "at least one tenant credential is required"
+        );
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let metrics = qp.metrics();
+        let admission = AdmissionController::new(cfg.admission, Arc::clone(&metrics));
+        let now = Instant::now();
+        let mut tokens = HashMap::new();
+        for entry in auth {
+            let slot = admission.register(&entry.label, entry.policy, now);
+            tokens.insert(entry.token, (slot, entry.label));
+        }
+        let catalog = endpoints
+            .iter()
+            .enumerate()
+            .map(|(id, e)| EndpointInfo {
+                id: u32::try_from(id).expect("catalog fits u32 ids"),
+                routed: matches!(e.target, EndpointTarget::Portfolio(_)),
+                num_vars: u32::try_from(e.num_vars).expect("num_vars fits u32"),
+                num_constraints: u32::try_from(e.num_constraints)
+                    .expect("num_constraints fits u32"),
+                name: e.name.clone(),
+            })
+            .collect();
+
+        let shared = Arc::new(Shared {
+            qp,
+            metrics,
+            admission,
+            endpoints,
+            catalog,
+            auth: tokens,
+            cfg,
+            stop: AtomicBool::new(false),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            thread::Builder::new()
+                .name("mib-net-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(NetServer {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            conns,
+        })
+    }
+
+    /// The bound address (use with port 0 to discover the OS pick).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The underlying serve runtime.
+    pub fn qp(&self) -> &Arc<QpServer> {
+        &self.shared.qp
+    }
+
+    /// Stops accepting, tears every connection down (in-flight solves
+    /// still get answered), and joins all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = {
+            let mut conns = self.conns.lock().expect("connection registry lock");
+            conns.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let handle = thread::Builder::new()
+                    .name("mib-net-conn".into())
+                    .spawn(move || serve_connection(stream, &shared))
+                    .expect("spawn connection thread");
+                conns.lock().expect("connection registry lock").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Reads bytes until the next frame or a fatal condition. `Ok(None)`
+/// means "no full frame yet, stop flag not raised" — the caller decides
+/// whether to keep waiting.
+enum ReadStep {
+    Frame(Frame, usize),
+    /// Peer closed its write half.
+    Eof,
+    /// Timeout tick — no bytes; check stop/drain conditions.
+    Idle,
+    /// Decode failure: the stream is unrecoverable.
+    Corrupt(frame::FrameError),
+    /// Socket error.
+    Io,
+}
+
+fn read_step(stream: &mut TcpStream, reader: &mut FrameReader, buf: &mut [u8]) -> ReadStep {
+    // Drain frames already buffered before touching the socket.
+    let before = reader.pending_bytes();
+    match reader.next_frame() {
+        // Consumed bytes minus the 4-byte length prefix = the body size.
+        Ok(Some(f)) => return ReadStep::Frame(f, before - reader.pending_bytes() - 4),
+        Ok(None) => {}
+        Err(e) => return ReadStep::Corrupt(e),
+    }
+    match stream.read(buf) {
+        Ok(0) => ReadStep::Eof,
+        Ok(n) => {
+            reader.extend(&buf[..n]);
+            let before = reader.pending_bytes();
+            match reader.next_frame() {
+                Ok(Some(f)) => ReadStep::Frame(f, before - reader.pending_bytes() - 4),
+                Ok(None) => ReadStep::Idle,
+                Err(e) => ReadStep::Corrupt(e),
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            ReadStep::Idle
+        }
+        Err(_) => ReadStep::Io,
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let metrics = &shared.metrics;
+    metrics.inc(&metrics.counters.net_connections_opened);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+
+    if let Some((slot, label)) = handshake(&mut stream, shared) {
+        connection_loop(&mut stream, shared, slot, &label);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    metrics.inc(&metrics.counters.net_connections_closed);
+}
+
+/// Runs the Hello/HelloAck exchange. `None` means the connection was
+/// refused (an Error frame was already sent best-effort).
+fn handshake(stream: &mut TcpStream, shared: &Arc<Shared>) -> Option<(TenantSlot, String)> {
+    let metrics = &shared.metrics;
+    let mut reader = FrameReader::new(shared.cfg.max_frame_bytes);
+    let mut buf = vec![0u8; 64 * 1024];
+    let patience = Instant::now() + Duration::from_secs(5);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || Instant::now() > patience {
+            send_direct(
+                stream,
+                &Frame::Error {
+                    code: error_code::SHUTTING_DOWN,
+                    message: "server unavailable".into(),
+                },
+                metrics,
+            );
+            return None;
+        }
+        match read_step(stream, &mut reader, &mut buf) {
+            ReadStep::Idle => {}
+            ReadStep::Eof | ReadStep::Io => return None,
+            ReadStep::Corrupt(e) => {
+                metrics.inc(&metrics.counters.net_frame_decode_errors);
+                send_direct(
+                    stream,
+                    &Frame::Error {
+                        code: error_code::PROTOCOL,
+                        message: e.to_string(),
+                    },
+                    metrics,
+                );
+                return None;
+            }
+            ReadStep::Frame(Frame::Hello { token }, bytes) => {
+                metrics.inc(&metrics.counters.net_frames_received);
+                metrics.net_frame_bytes.observe(bytes as u64);
+                match shared.auth.get(&token) {
+                    Some((slot, label)) => {
+                        if reader.pending_bytes() > 0 {
+                            // Pipelined bytes after the Hello would be
+                            // lost when this reader is dropped; a
+                            // conforming client waits for the ack.
+                            metrics.inc(&metrics.counters.net_frame_decode_errors);
+                            send_direct(
+                                stream,
+                                &Frame::Error {
+                                    code: error_code::PROTOCOL,
+                                    message: "frames pipelined before the HelloAck".into(),
+                                },
+                                metrics,
+                            );
+                            return None;
+                        }
+                        send_direct(
+                            stream,
+                            &Frame::HelloAck {
+                                tenant: label.clone(),
+                                endpoints: shared.catalog.clone(),
+                            },
+                            metrics,
+                        );
+                        return Some((*slot, label.clone()));
+                    }
+                    None => {
+                        metrics.inc(&metrics.counters.net_auth_failures);
+                        send_direct(
+                            stream,
+                            &Frame::Error {
+                                code: error_code::AUTH_FAILED,
+                                message: "unknown tenant token".into(),
+                            },
+                            metrics,
+                        );
+                        return None;
+                    }
+                }
+            }
+            ReadStep::Frame(_, bytes) => {
+                metrics.inc(&metrics.counters.net_frames_received);
+                metrics.net_frame_bytes.observe(bytes as u64);
+                send_direct(
+                    stream,
+                    &Frame::Error {
+                        code: error_code::EXPECTED_HELLO,
+                        message: "the first frame must be a Hello".into(),
+                    },
+                    metrics,
+                );
+                return None;
+            }
+        }
+    }
+}
+
+fn connection_loop(stream: &mut TcpStream, shared: &Arc<Shared>, slot: TenantSlot, _label: &str) {
+    let metrics = Arc::clone(&shared.metrics);
+    let (tx, rx) = mpsc::channel::<WriterMsg>();
+    let writer = {
+        let out = stream.try_clone().expect("clone connection socket");
+        let metrics = Arc::clone(&metrics);
+        thread::Builder::new()
+            .name("mib-net-write".into())
+            .spawn(move || writer_loop(out, &rx, &metrics))
+            .expect("spawn writer thread")
+    };
+
+    // In-flight requests of this connection: id -> cancel handle. An
+    // entry is removed by the on_ready callback *after* the reply is
+    // queued, so "pending is empty" implies every answer is at least
+    // in the writer channel (Goodbye ordering relies on this).
+    let pending: Arc<Mutex<HashMap<u64, CancelHandle>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let mut reader = FrameReader::new(shared.cfg.max_frame_bytes);
+    let mut buf = vec![0u8; 256 * 1024];
+    let mut goodbye = false;
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            let _ = tx.send(WriterMsg::Frame(Frame::Error {
+                code: error_code::SHUTTING_DOWN,
+                message: "server shutting down".into(),
+            }));
+            break;
+        }
+        if goodbye {
+            // No more requests are coming; once every in-flight answer
+            // is queued behind us, confirm and part ways.
+            if pending.lock().expect("pending map lock").is_empty() {
+                let _ = tx.send(WriterMsg::Frame(Frame::Goodbye));
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        match read_step(stream, &mut reader, &mut buf) {
+            ReadStep::Idle => {}
+            ReadStep::Eof | ReadStep::Io => break,
+            ReadStep::Corrupt(e) => {
+                metrics.inc(&metrics.counters.net_frame_decode_errors);
+                let _ = tx.send(WriterMsg::Frame(Frame::Error {
+                    code: error_code::PROTOCOL,
+                    message: e.to_string(),
+                }));
+                break;
+            }
+            ReadStep::Frame(f, bytes) => {
+                metrics.inc(&metrics.counters.net_frames_received);
+                metrics.net_frame_bytes.observe(bytes as u64);
+                match f {
+                    Frame::Submit {
+                        request_id,
+                        endpoint,
+                        deadline_us,
+                        q,
+                        bounds,
+                        warm_start,
+                    } => {
+                        if !handle_submit(
+                            shared,
+                            slot,
+                            &tx,
+                            &pending,
+                            request_id,
+                            endpoint,
+                            deadline_us,
+                            q,
+                            bounds,
+                            warm_start,
+                        ) {
+                            break;
+                        }
+                    }
+                    Frame::Cancel { request_id } => {
+                        if let Some(h) = pending.lock().expect("pending map lock").get(&request_id)
+                        {
+                            h.cancel();
+                        }
+                    }
+                    Frame::Goodbye => goodbye = true,
+                    _ => {
+                        metrics.inc(&metrics.counters.net_frame_decode_errors);
+                        let _ = tx.send(WriterMsg::Frame(Frame::Error {
+                            code: error_code::PROTOCOL,
+                            message: "unexpected frame kind from a client".into(),
+                        }));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let _ = tx.send(WriterMsg::Shutdown);
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Admits and submits one request. `false` tears the connection down
+/// (fatal submit error); shed and per-request failures answer in-band
+/// and return `true`.
+#[allow(clippy::too_many_arguments)]
+fn handle_submit(
+    shared: &Arc<Shared>,
+    slot: TenantSlot,
+    tx: &Sender<WriterMsg>,
+    pending: &Arc<Mutex<HashMap<u64, CancelHandle>>>,
+    request_id: u64,
+    endpoint: u32,
+    deadline_us: u64,
+    q: Option<Vec<f64>>,
+    bounds: Option<(Vec<f64>, Vec<f64>)>,
+    warm_start: Option<(Vec<f64>, Vec<f64>)>,
+) -> bool {
+    let Some(spec) = shared.endpoints.get(endpoint as usize) else {
+        let _ = tx.send(WriterMsg::Frame(Frame::Error {
+            code: error_code::UNKNOWN_ENDPOINT,
+            message: format!("endpoint {endpoint} is not in the advertised catalog"),
+        }));
+        return false;
+    };
+
+    match shared.admission.admit(slot, Instant::now()) {
+        mib_serve::Verdict::Admit => {}
+        mib_serve::Verdict::RateLimited { retry_after } => {
+            let _ = tx.send(WriterMsg::Frame(Frame::Shed {
+                request_id,
+                reason: ShedReason::RateLimited,
+                depth: 0,
+                capacity: 0,
+                retry_after_us: duration_us(retry_after),
+            }));
+            return true;
+        }
+        mib_serve::Verdict::OverShare { retry_after } => {
+            let _ = tx.send(WriterMsg::Frame(Frame::Shed {
+                request_id,
+                reason: ShedReason::OverShare,
+                depth: 0,
+                capacity: 0,
+                retry_after_us: duration_us(retry_after),
+            }));
+            return true;
+        }
+    }
+
+    let request = Request {
+        q,
+        bounds,
+        deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
+        warm_start,
+    };
+    let submitted = match spec.target {
+        EndpointTarget::Tenant(id) => shared.qp.submit(id, request),
+        EndpointTarget::Portfolio(id) => shared.qp.submit_routed(id, request),
+    };
+    match submitted {
+        Ok(ticket) => {
+            pending
+                .lock()
+                .expect("pending map lock")
+                .insert(request_id, ticket.cancel_handle());
+            let tx = tx.clone();
+            let pending = Arc::clone(pending);
+            ticket.on_ready(move |response| {
+                // Queue the answer BEFORE retiring the id: the Goodbye
+                // path treats an empty pending map as "all answers are
+                // ordered ahead of the Goodbye frame".
+                let _ = tx.send(WriterMsg::Reply(request_id, response));
+                pending
+                    .lock()
+                    .expect("pending map lock")
+                    .remove(&request_id);
+            });
+            true
+        }
+        Err(SubmitError::QueueFull { depth, capacity }) => {
+            let now = Instant::now();
+            shared.admission.note_queue_full(slot, now);
+            let mean_us = shared.metrics.service.mean();
+            let retry = queue_full_retry_after(
+                depth,
+                shared.qp.config().workers_per_shard,
+                Duration::from_micros(mean_us as u64),
+            );
+            let _ = tx.send(WriterMsg::Frame(Frame::Shed {
+                request_id,
+                reason: ShedReason::QueueFull,
+                depth: u32::try_from(depth).unwrap_or(u32::MAX),
+                capacity: u32::try_from(capacity).unwrap_or(u32::MAX),
+                retry_after_us: duration_us(retry),
+            }));
+            true
+        }
+        Err(e) => {
+            let _ = tx.send(WriterMsg::Frame(Frame::Error {
+                code: error_code::SHUTTING_DOWN,
+                message: e.to_string(),
+            }));
+            false
+        }
+    }
+}
+
+fn writer_loop(mut out: TcpStream, rx: &Receiver<WriterMsg>, metrics: &Metrics) {
+    let mut scratch = Vec::new();
+    loop {
+        let frame = match rx.recv() {
+            Ok(WriterMsg::Reply(request_id, response)) => Frame::Response {
+                request_id,
+                reply: wire_reply(&response),
+            },
+            Ok(WriterMsg::Frame(f)) => f,
+            Ok(WriterMsg::Shutdown) | Err(_) => break,
+        };
+        scratch.clear();
+        frame::encode(&frame, &mut scratch);
+        if out.write_all(&scratch).is_err() {
+            // The client is gone; drain silently so tickets can retire.
+            continue;
+        }
+        metrics.inc(&metrics.counters.net_frames_sent);
+        metrics.net_frame_bytes.observe((scratch.len() - 4) as u64);
+    }
+    let _ = out.flush();
+}
+
+/// Best-effort synchronous send on the reader thread (handshake and
+/// refusal paths, before a writer exists).
+fn send_direct(stream: &mut TcpStream, frame: &Frame, metrics: &Metrics) {
+    let bytes = encode_to_vec(frame);
+    if stream.write_all(&bytes).is_ok() {
+        metrics.inc(&metrics.counters.net_frames_sent);
+        metrics.net_frame_bytes.observe((bytes.len() - 4) as u64);
+    }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Converts a serve [`Response`] into its wire form. Solution vectors
+/// and the objective cross as raw bits — bitwise exact.
+pub fn wire_reply(response: &Response) -> WireReply {
+    let (code, iterations, obj_val, x, y, message) = match &response.outcome {
+        Outcome::Finished(r) => {
+            let code = match r.status {
+                Status::Solved => ReplyCode::Solved,
+                Status::MaxIterations => ReplyCode::MaxIterations,
+                Status::PrimalInfeasible => ReplyCode::PrimalInfeasible,
+                Status::DualInfeasible => ReplyCode::DualInfeasible,
+                Status::TimedOut => ReplyCode::TimedOut,
+                Status::Cancelled => ReplyCode::Cancelled,
+            };
+            (
+                code,
+                u32::try_from(r.iterations).unwrap_or(u32::MAX),
+                r.obj_val,
+                r.x.clone(),
+                r.y.clone(),
+                String::new(),
+            )
+        }
+        Outcome::Expired => (
+            ReplyCode::Expired,
+            0,
+            f64::NAN,
+            vec![],
+            vec![],
+            String::new(),
+        ),
+        Outcome::Cancelled => (
+            ReplyCode::CancelledQueued,
+            0,
+            f64::NAN,
+            vec![],
+            vec![],
+            String::new(),
+        ),
+        Outcome::Failed(e) => (
+            ReplyCode::Failed,
+            0,
+            f64::NAN,
+            vec![],
+            vec![],
+            e.to_string(),
+        ),
+    };
+    WireReply {
+        code,
+        iterations,
+        obj_val,
+        queue_wait_us: duration_us(response.queue_wait),
+        service_us: duration_us(response.service_time),
+        batch_size: u32::try_from(response.batch_size).unwrap_or(u32::MAX),
+        x,
+        y,
+        message,
+    }
+}

@@ -14,9 +14,13 @@
 //!   within a bounded window into one back-to-back multi-solve, in the
 //!   style of `mib_qp::BatchSolver`.
 //! - **Admission control**: bounded queues reject with an explicit
-//!   [`SubmitError::QueueFull`] at the submission boundary; per-request
-//!   deadlines and cancellation are observed by the ADMM loop at
-//!   iteration-check boundaries; shutdown drains before it joins.
+//!   [`SubmitError::QueueFull`] (carrying observed depth and capacity)
+//!   at the submission boundary; per-request deadlines and cancellation
+//!   are observed by the ADMM loop at iteration-check boundaries;
+//!   shutdown drains before it joins. In front of the queues, an
+//!   [`AdmissionController`] adds per-tenant token-bucket rate limiting
+//!   and weighted fair-share admission under congestion — the policy
+//!   layer the `mib-net` wire front-end answers shed frames from.
 //! - **Metrics** ([`Metrics`]): lock-free counters and fixed-bucket
 //!   histograms wired through submit → queue → solve → complete, with a
 //!   text snapshot export.
@@ -67,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod metrics;
 mod pattern;
 mod request;
@@ -74,10 +79,14 @@ mod router;
 mod server;
 mod shard;
 
+pub use admission::{
+    queue_full_retry_after, AdmissionConfig, AdmissionController, TenantPolicy, TenantSlot, Verdict,
+};
 pub use metrics::{
-    BackendCounters, Counters, Histogram, Metrics, DEPTH_BUCKETS, LATENCY_BUCKETS_US,
+    BackendCounters, Counters, Histogram, Metrics, TenantCounters, DEPTH_BUCKETS,
+    FRAME_BYTES_BUCKETS, LATENCY_BUCKETS_US,
 };
 pub use pattern::PatternKey;
-pub use request::{Outcome, RegisterError, Request, Response, SubmitError, Ticket};
+pub use request::{CancelHandle, Outcome, RegisterError, Request, Response, SubmitError, Ticket};
 pub use router::BackendRouter;
 pub use server::{PortfolioId, QpServer, ServeConfig, TenantId};

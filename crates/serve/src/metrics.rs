@@ -8,8 +8,10 @@
 //! text snapshot (`mib_serve_*` lines) suitable for scraping or for the
 //! trace reports under `results/`.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use mib_qp::{Algorithm, ALGORITHM_COUNT};
@@ -27,6 +29,13 @@ pub const LATENCY_BUCKETS_US: [u64; 10] =
 /// Upper bucket bounds (inclusive) of the queue-depth histogram; the last
 /// bucket is unbounded.
 pub const DEPTH_BUCKETS: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
+
+/// Upper bucket bounds (inclusive) of the wire-frame-size histogram,
+/// bytes; the last bucket is unbounded. Powers of eight cover the
+/// 18-byte cancel frame up to multi-megabyte warm-start payloads.
+pub const FRAME_BYTES_BUCKETS: [u64; 8] = [
+    32, 256, 2_048, 16_384, 131_072, 1_048_576, 8_388_608, 67_108_864,
+];
 
 /// A fixed-bucket histogram over `u64` samples (microseconds or queue
 /// depths). `B` bounded buckets plus one overflow bucket, a running sum
@@ -209,6 +218,28 @@ counters! {
     shadow_mismatches,
     /// Shadow audits with no verdict (either solve non-terminal).
     shadow_inconclusive,
+    /// Requests admitted by the admission controller (all tenants).
+    admitted,
+    /// Requests shed by per-tenant token-bucket rate limiting.
+    shed_rate_limited,
+    /// Requests shed by weighted fair-share under congestion.
+    shed_over_share,
+    /// Queue-full sheds recorded by the admission controller (the
+    /// explicit shed-frame counterpart of `rejected_queue_full`).
+    shed_queue_full,
+    /// TCP connections accepted by the networked front-end.
+    net_connections_opened,
+    /// TCP connections torn down (cleanly or on protocol error).
+    net_connections_closed,
+    /// Wire frames decoded from clients.
+    net_frames_received,
+    /// Wire frames sent to clients.
+    net_frames_sent,
+    /// Frames rejected by the decoder (bad magic/version/kind, torn
+    /// length, oversized, malformed payload).
+    net_frame_decode_errors,
+    /// Connections dropped at the hello handshake (unknown token).
+    net_auth_failures,
 }
 
 /// Per-backend solve counters: every cell is keyed by
@@ -256,13 +287,19 @@ impl BackendCounters {
     }
 
     fn render_into(&self, out: &mut String) {
+        // Labelled series render in sorted label order within each
+        // metric, independent of enum declaration order, so snapshot
+        // diffs stay stable (`Algorithm::all()` happens to be sorted
+        // today; don't rely on it).
+        let mut algos: Vec<Algorithm> = Algorithm::all().to_vec();
+        algos.sort_by_key(|a| a.name());
         for (name, cells) in [
             ("solves", &self.solves),
             ("solved", &self.solved),
             ("iterations", &self.iterations),
             ("solve_micros", &self.solve_micros),
         ] {
-            for algo in Algorithm::all() {
+            for algo in &algos {
                 let _ = writeln!(
                     out,
                     "mib_serve_backend_{name}_total{{backend=\"{}\"}} {}",
@@ -272,6 +309,24 @@ impl BackendCounters {
             }
         }
     }
+}
+
+/// Per-tenant admission counters, labelled by the tenant string in the
+/// rendered snapshot
+/// (`mib_serve_admission_admitted_total{tenant="..."}`). Handles are
+/// shared `Arc`s: the admission controller caches one per tenant, so
+/// hot-path decisions are plain atomic increments — the registry mutex
+/// is touched only at registration and render time.
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    /// Requests admitted for the tenant.
+    pub admitted: AtomicU64,
+    /// Requests shed by the tenant's token bucket.
+    pub shed_rate_limited: AtomicU64,
+    /// Requests shed by fair share under congestion.
+    pub shed_over_share: AtomicU64,
+    /// Queue-full sheds attributed to the tenant.
+    pub shed_queue_full: AtomicU64,
 }
 
 /// The serving metrics registry: counters plus latency/depth histograms.
@@ -292,6 +347,13 @@ pub struct Metrics {
     pub e2e: Histogram<10>,
     /// Shard queue depth observed at each enqueue.
     pub queue_depth: Histogram<8>,
+    /// Wire-frame sizes (bytes) seen by the networked front-end, both
+    /// directions.
+    pub net_frame_bytes: Histogram<8>,
+    /// Per-tenant admission counters, keyed by tenant label. `BTreeMap`
+    /// so the rendered series are sorted by label regardless of
+    /// registration order.
+    tenant_admission: Mutex<BTreeMap<String, Arc<TenantCounters>>>,
 }
 
 impl Default for Metrics {
@@ -303,6 +365,8 @@ impl Default for Metrics {
             service: Histogram::new(LATENCY_BUCKETS_US),
             e2e: Histogram::new(LATENCY_BUCKETS_US),
             queue_depth: Histogram::new(DEPTH_BUCKETS),
+            net_frame_bytes: Histogram::new(FRAME_BYTES_BUCKETS),
+            tenant_admission: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -319,12 +383,62 @@ impl Metrics {
         counter.fetch_add(1, ORD);
     }
 
+    /// The admission-counter handle for `label`, creating it on first
+    /// use. The returned `Arc` is cached by callers (the admission
+    /// controller) so decisions never re-enter the registry lock.
+    pub fn tenant_admission(&self, label: &str) -> Arc<TenantCounters> {
+        let mut registry = self
+            .tenant_admission
+            .lock()
+            .expect("tenant admission registry lock");
+        Arc::clone(registry.entry(label.to_string()).or_default())
+    }
+
+    /// Snapshot of every tenant's admission counters, sorted by label:
+    /// `(label, admitted, shed_rate_limited, shed_over_share,
+    /// shed_queue_full)`.
+    pub fn tenant_admission_snapshot(&self) -> Vec<(String, u64, u64, u64, u64)> {
+        let registry = self
+            .tenant_admission
+            .lock()
+            .expect("tenant admission registry lock");
+        registry
+            .iter()
+            .map(|(label, c)| {
+                (
+                    label.clone(),
+                    c.admitted.load(ORD),
+                    c.shed_rate_limited.load(ORD),
+                    c.shed_over_share.load(ORD),
+                    c.shed_queue_full.load(ORD),
+                )
+            })
+            .collect()
+    }
+
     /// Renders the whole registry as Prometheus-flavored text lines
-    /// (`mib_serve_*`). Stable ordering; suitable for golden files.
+    /// (`mib_serve_*`). Stable ordering — labelled series (backend,
+    /// tenant) emit in sorted label order — so snapshots diff cleanly
+    /// across runs and are suitable for golden files.
     pub fn render(&self) -> String {
         let mut out = String::new();
         self.counters.render_into(&mut out);
         self.backend.render_into(&mut out);
+        let tenants = self.tenant_admission_snapshot();
+        for (name, field) in [
+            ("admitted", 0usize),
+            ("shed_rate_limited", 1),
+            ("shed_over_share", 2),
+            ("shed_queue_full", 3),
+        ] {
+            for (label, admitted, rate_limited, over_share, queue_full) in &tenants {
+                let value = [*admitted, *rate_limited, *over_share, *queue_full][field];
+                let _ = writeln!(
+                    out,
+                    "mib_serve_admission_{name}_total{{tenant=\"{label}\"}} {value}"
+                );
+            }
+        }
         self.queue_wait
             .render_into("mib_serve_queue_wait_micros", &mut out);
         self.service
@@ -332,6 +446,8 @@ impl Metrics {
         self.e2e.render_into("mib_serve_e2e_micros", &mut out);
         self.queue_depth
             .render_into("mib_serve_queue_depth", &mut out);
+        self.net_frame_bytes
+            .render_into("mib_serve_net_frame_bytes", &mut out);
         // Derived latency breakdown: where the end-to-end time goes
         // (queueing vs solving), as mean/p50/p99 summaries of the same
         // histograms — the text-report companion to the per-request
@@ -414,6 +530,47 @@ mod tests {
         assert!(text.contains("mib_serve_backend_iterations_total{backend=\"admm\"} 4075"));
         assert!(text.contains("mib_serve_shadow_mismatches_total 0"));
         assert!(text.contains("mib_serve_routed_portfolio_total 0"));
+    }
+
+    #[test]
+    fn labelled_series_render_sorted_regardless_of_registration_order() {
+        let m = Metrics::new();
+        // Register tenants in reverse-sorted order; the render must come
+        // out sorted by label anyway.
+        for label in ["zeta", "alpha", "mid"] {
+            m.tenant_admission(label).admitted.fetch_add(1, ORD);
+        }
+        let text = m.render();
+        let tenant_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("mib_serve_admission_admitted_total"))
+            .collect();
+        assert_eq!(tenant_lines.len(), 3);
+        let mut sorted = tenant_lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(tenant_lines, sorted, "tenant series must be sorted");
+        let backend_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("mib_serve_backend_solves_total"))
+            .collect();
+        let mut sorted = backend_lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(backend_lines, sorted, "backend series must be sorted");
+        // Two renders of the same registry are identical.
+        assert_eq!(text, m.render());
+    }
+
+    #[test]
+    fn tenant_counters_are_shared_handles() {
+        let m = Metrics::new();
+        let h1 = m.tenant_admission("t");
+        let h2 = m.tenant_admission("t");
+        h1.shed_queue_full.fetch_add(2, ORD);
+        assert_eq!(h2.shed_queue_full.load(ORD), 2);
+        assert_eq!(
+            m.tenant_admission_snapshot(),
+            vec![("t".to_string(), 0, 0, 0, 2)]
+        );
     }
 
     #[test]

@@ -114,9 +114,15 @@ pub struct Response {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// The shard's bounded queue is full; retry later or shed load.
+    ///
+    /// Carries the observed depth *and* the configured capacity so the
+    /// caller (in-process or the `mib-net` shed frame) can compute a
+    /// retry hint instead of guessing from a bare rejection.
     QueueFull {
-        /// Queue depth observed at rejection (== configured capacity).
+        /// Queue depth observed at rejection.
         depth: usize,
+        /// Configured capacity of the rejecting queue.
+        capacity: usize,
     },
     /// The server is draining; no new work is accepted.
     ShuttingDown,
@@ -127,8 +133,8 @@ pub enum SubmitError {
 impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SubmitError::QueueFull { depth } => {
-                write!(f, "shard queue full (depth {depth})")
+            SubmitError::QueueFull { depth, capacity } => {
+                write!(f, "shard queue full (depth {depth} of {capacity})")
             }
             SubmitError::ShuttingDown => f.write_str("server is shutting down"),
             SubmitError::UnknownTenant => f.write_str("unknown tenant id"),
@@ -171,11 +177,34 @@ impl From<QpError> for RegisterError {
     }
 }
 
+/// Completion callback registered through [`Ticket::on_ready`].
+type ReadyCallback = Box<dyn FnOnce(Response) + Send + 'static>;
+
+/// Slot state behind the ticket mutex: at most one of `response` /
+/// `callback` is ever populated (a delivered response consumes the
+/// callback; a registered callback consumes the response on arrival).
+#[derive(Default)]
+struct TicketState {
+    response: Option<Response>,
+    callback: Option<ReadyCallback>,
+    fulfilled: bool,
+}
+
+impl fmt::Debug for TicketState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TicketState")
+            .field("response", &self.response)
+            .field("callback", &self.callback.as_ref().map(|_| "..."))
+            .field("fulfilled", &self.fulfilled)
+            .finish()
+    }
+}
+
 /// Shared state behind a [`Ticket`]: the response slot, its condvar and
 /// the cancellation flag the ADMM loop polls.
 #[derive(Debug)]
 pub(crate) struct TicketShared {
-    slot: Mutex<Option<Response>>,
+    slot: Mutex<TicketState>,
     ready: Condvar,
     cancel: Arc<AtomicBool>,
 }
@@ -183,7 +212,7 @@ pub(crate) struct TicketShared {
 impl TicketShared {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(TicketShared {
-            slot: Mutex::new(None),
+            slot: Mutex::new(TicketState::default()),
             ready: Condvar::new(),
             cancel: Arc::new(AtomicBool::new(false)),
         })
@@ -199,11 +228,19 @@ impl TicketShared {
         self.cancel.load(Ordering::Relaxed)
     }
 
-    /// Delivers the terminal response and wakes every waiter.
+    /// Delivers the terminal response: either straight into a registered
+    /// [`Ticket::on_ready`] callback (run on this thread, outside the
+    /// lock) or into the slot, waking every waiter.
     pub(crate) fn fulfill(&self, response: Response) {
         let mut slot = self.slot.lock().expect("ticket lock poisoned");
-        debug_assert!(slot.is_none(), "a ticket must be fulfilled exactly once");
-        *slot = Some(response);
+        debug_assert!(!slot.fulfilled, "a ticket must be fulfilled exactly once");
+        slot.fulfilled = true;
+        if let Some(callback) = slot.callback.take() {
+            drop(slot);
+            callback(response);
+            return;
+        }
+        slot.response = Some(response);
         drop(slot);
         self.ready.notify_all();
     }
@@ -225,7 +262,7 @@ impl Ticket {
     pub fn wait(self) -> Response {
         let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
         loop {
-            if let Some(response) = slot.take() {
+            if let Some(response) = slot.response.take() {
                 return response;
             }
             slot = self.shared.ready.wait(slot).expect("ticket lock poisoned");
@@ -238,7 +275,7 @@ impl Ticket {
         let deadline = Instant::now() + timeout;
         let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
         loop {
-            if let Some(response) = slot.take() {
+            if let Some(response) = slot.response.take() {
                 return Ok(response);
             }
             let now = Instant::now();
@@ -261,7 +298,40 @@ impl Ticket {
             .slot
             .lock()
             .expect("ticket lock poisoned")
+            .response
             .is_some()
+    }
+
+    /// Registers a completion callback instead of blocking: `callback`
+    /// runs exactly once with the terminal [`Response`] — immediately
+    /// (on this thread) if the response already arrived, otherwise on
+    /// the worker thread that fulfills the ticket. The callback must be
+    /// cheap and non-blocking (a channel send, a counter bump): it runs
+    /// on the serving hot path. This is the event-driven alternative to
+    /// [`wait`](Self::wait) that `mib-net` uses to demultiplex thousands
+    /// of in-flight requests onto one writer per connection without a
+    /// thread per ticket.
+    pub fn on_ready(self, callback: impl FnOnce(Response) + Send + 'static) {
+        let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
+        if let Some(response) = slot.response.take() {
+            drop(slot);
+            callback(response);
+            return;
+        }
+        debug_assert!(
+            slot.callback.is_none(),
+            "a ticket accepts at most one completion callback"
+        );
+        slot.callback = Some(Box::new(callback));
+    }
+
+    /// A detached cancellation handle: lets the caller request
+    /// cancellation after the ticket itself has been consumed by
+    /// [`wait`](Self::wait) or [`on_ready`](Self::on_ready).
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle {
+            cancel: self.shared.cancel_flag(),
+        }
     }
 
     /// Requests cancellation. Queued requests are answered with
@@ -271,6 +341,22 @@ impl Ticket {
     /// cooperative — the response still arrives through the ticket.
     pub fn cancel(&self) {
         self.shared.cancel.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Cancellation handle detached from its [`Ticket`] (see
+/// [`Ticket::cancel_handle`]): carries only the shared cancel flag, so
+/// it stays usable after the ticket was consumed.
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    cancel: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Requests cooperative cancellation (same semantics as
+    /// [`Ticket::cancel`]).
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
     }
 }
 
@@ -339,10 +425,51 @@ mod tests {
     }
 
     #[test]
+    fn on_ready_runs_after_fulfill() {
+        let shared = TicketShared::new();
+        let ticket = Ticket {
+            shared: Arc::clone(&shared),
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        ticket.on_ready(move |r| tx.send(r).expect("receiver alive"));
+        shared.fulfill(dummy_response());
+        let r = rx.recv().expect("callback must fire on fulfill");
+        assert_eq!(r.outcome, Outcome::Expired);
+    }
+
+    #[test]
+    fn on_ready_runs_immediately_when_already_fulfilled() {
+        let shared = TicketShared::new();
+        let ticket = Ticket {
+            shared: Arc::clone(&shared),
+        };
+        shared.fulfill(dummy_response());
+        let (tx, rx) = std::sync::mpsc::channel();
+        ticket.on_ready(move |r| tx.send(r).expect("receiver alive"));
+        assert_eq!(rx.try_recv().expect("ran inline").batch_size, 1);
+    }
+
+    #[test]
+    fn cancel_handle_outlives_the_ticket() {
+        let shared = TicketShared::new();
+        let ticket = Ticket {
+            shared: Arc::clone(&shared),
+        };
+        let handle = ticket.cancel_handle();
+        ticket.on_ready(|_| {});
+        assert!(!shared.is_cancelled());
+        handle.cancel();
+        assert!(shared.is_cancelled());
+    }
+
+    #[test]
     fn outcome_predicates() {
         assert!(!Outcome::Expired.is_solved());
         assert!(Outcome::Expired.result().is_none());
-        let e = SubmitError::QueueFull { depth: 8 };
+        let e = SubmitError::QueueFull {
+            depth: 8,
+            capacity: 8,
+        };
         assert!(e.to_string().contains('8'));
         let e = RegisterError::Setup(QpError::InvalidSetting("x".into()));
         assert!(e.source().is_some());

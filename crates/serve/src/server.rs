@@ -190,6 +190,11 @@ impl QpServer {
         Arc::clone(&self.metrics)
     }
 
+    /// The server configuration (read-only; fixed at construction).
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
     /// The shared backend router (per-structure solve-time telemetry
     /// behind portfolio routing).
     pub fn router(&self) -> Arc<BackendRouter> {

@@ -150,6 +150,7 @@ impl Shard {
             return Err((
                 SubmitError::QueueFull {
                     depth: st.queue.len(),
+                    capacity: self.cfg.queue_capacity,
                 },
                 pending,
             ));

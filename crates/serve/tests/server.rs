@@ -164,8 +164,9 @@ fn queue_full_is_reported_synchronously() {
     for _ in 0..64 {
         match server.submit(tenant, Request::default()) {
             Ok(t) => tickets.push(t),
-            Err(SubmitError::QueueFull { depth }) => {
+            Err(SubmitError::QueueFull { depth, capacity }) => {
                 assert_eq!(depth, 1);
+                assert_eq!(capacity, 1);
                 rejected += 1;
             }
             Err(e) => panic!("unexpected rejection: {e}"),

@@ -66,6 +66,14 @@ cargo test -p mib-serve -q
 cargo test --test serve_soak -q
 cargo run --release -q -p mib-bench --bin serve_bench -- --smoke >/dev/null
 
+echo "==> network front-end (mib-net tests + loopback load smoke gate)"
+# Frame-codec proptests, loopback protocol tests, then a few thousand
+# requests over real sockets in both loop modes: bitwise verification of
+# sampled answers, explicit rate-limit sheds on the limited tenant, zero
+# unexplained sheds, zero decode errors (all asserted inside the bin).
+cargo test -p mib-net -q
+cargo run --release -q -p mib-bench --bin load_bench -- --smoke >/dev/null
+
 echo "==> solver backends (ADMM/PDQP convergence gate)"
 cargo run --release -q -p mib-bench --bin backend_bench -- --smoke >/dev/null
 

@@ -31,4 +31,14 @@ done
 echo "==> serve_bench (full trace)"
 cargo run --release -q -p mib-bench --bin serve_bench
 
-echo "Soak passed (${iterations} iterations + full trace)."
+echo "==> network soak (socket-level load, both loop modes)"
+# A sustained run over real sockets: ~20k closed-loop + 2k open-loop
+# requests through the mib-net front-end with sampled bitwise
+# verification every 200th answer. Catches scheduling-dependent protocol
+# bugs (demux races, writer-ordering, shed/retry loops) that single-shot
+# tests miss. Writes nothing to results/ (smoke mode).
+cargo build --release -q -p mib-bench --bin load_bench
+cargo run --release -q -p mib-bench --bin load_bench -- \
+  --smoke --requests 20000 --clients 4 --sample-every 200 >/dev/null
+
+echo "Soak passed (${iterations} iterations + full trace + network soak)."

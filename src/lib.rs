@@ -15,7 +15,9 @@
 //! * [`problems`] — the five-domain benchmark generators,
 //! * [`platforms`] — reference CPU/GPU/RSQP performance models,
 //! * [`serve`] — the multi-tenant serving runtime (pattern-sharded warm
-//!   solver pools, micro-batching, deadlines, backpressure, metrics).
+//!   solver pools, micro-batching, deadlines, backpressure, metrics),
+//! * [`net`] — the wire-protocol front-end (length-prefixed binary TCP
+//!   frames, tenant auth, admission-controlled load shedding).
 //!
 //! Runnable entry points live in `examples/` (quickstart, portfolio
 //! backtest, closed-loop MPC, Lasso path, on-machine acceleration) and in
@@ -24,6 +26,7 @@
 
 pub use mib_compiler as compiler;
 pub use mib_core as core;
+pub use mib_net as net;
 pub use mib_platforms as platforms;
 pub use mib_problems as problems;
 pub use mib_qp as qp;

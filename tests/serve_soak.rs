@@ -60,8 +60,9 @@ fn perturbed_request(rng: &mut StdRng, problem: &Problem) -> Request {
 #[test]
 fn soak_mixed_tenants_under_backpressure() {
     // Small queue so QueueFull genuinely fires under 4 clients.
+    const QUEUE_CAPACITY: usize = 4;
     let server = QpServer::new(ServeConfig {
-        queue_capacity: 4,
+        queue_capacity: QUEUE_CAPACITY,
         workers_per_shard: 2,
         max_batch: 8,
         batch_window: Duration::from_micros(100),
@@ -162,8 +163,9 @@ fn soak_mixed_tenants_under_backpressure() {
                     let ticket = loop {
                         match server.submit(tenants[t].id, request.clone()) {
                             Ok(ticket) => break ticket,
-                            Err(SubmitError::QueueFull { depth }) => {
+                            Err(SubmitError::QueueFull { depth, capacity }) => {
                                 assert!(depth >= 1);
+                                assert_eq!(capacity, QUEUE_CAPACITY);
                                 rejected.fetch_add(1, Ordering::Relaxed);
                                 std::thread::yield_now();
                             }
