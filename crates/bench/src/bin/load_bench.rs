@@ -27,6 +27,15 @@
 //! with an unexplained reason, if any protocol error occurs, or if any
 //! request goes unanswered (a hung connection).
 //!
+//! A final phase prices the observability plane: the same closed-loop
+//! workload runs on a fresh obs-disabled server and again on a fresh
+//! obs-enabled one (admin listener up, a scraper thread pulling
+//! `/metrics`, `/slo` and `/healthz` throughout). Full runs assert the
+//! plane costs < 5% of closed-loop throughput and record the figure as
+//! `obs_overhead_pct` on the `net-closed` run object; every run asserts
+//! the quiesced admin `/metrics` scrape is byte-identical to the
+//! in-process `Metrics::render()` snapshot.
+//!
 //! `--smoke` shrinks the run for `scripts/check.sh`: a few thousand
 //! requests through both loop modes plus a rate-limited tenant phase
 //! that must observe explicit `RateLimited` sheds. Smoke runs print
@@ -36,7 +45,7 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -47,7 +56,7 @@ use mib_net::{
 };
 use mib_problems::{instance, Domain};
 use mib_qp::{Algorithm, Settings, Solver};
-use mib_serve::{Histogram, QpServer, ServeConfig, TenantPolicy, LATENCY_BUCKETS_US};
+use mib_serve::{Histogram, ObsConfig, QpServer, ServeConfig, TenantPolicy, LATENCY_BUCKETS_US};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -445,6 +454,127 @@ fn verify_sample(i: u64, reply: &WireReply, mix: &Mix) -> Result<(), String> {
     }
 }
 
+/// Builds the client-side problem/template context. Pure derivation
+/// from the instance generators — no server state, so a fresh server
+/// carrying the same registrations can be verified against it.
+fn build_mix() -> Mix {
+    let mut problems = Vec::new();
+    let mut templates = Vec::new();
+    for domain in DOMAINS {
+        for index in 0..TENANTS_PER_DOMAIN {
+            let spec = instance(domain, index);
+            templates.push(
+                Solver::new(spec.problem.clone(), Settings::default()).expect("reference template"),
+            );
+            problems.push(spec.problem);
+        }
+    }
+    let mut routed_problems = Vec::new();
+    let mut routed_templates = Vec::new();
+    for domain in DOMAINS {
+        let spec = instance(domain, TENANTS_PER_DOMAIN);
+        routed_templates.push([
+            Solver::new(spec.problem.clone(), portfolio_settings(Algorithm::Admm))
+                .expect("admm template"),
+            Solver::new(spec.problem.clone(), portfolio_settings(Algorithm::Pdqp))
+                .expect("pdqp template"),
+        ]);
+        routed_problems.push(spec.problem);
+    }
+    let warm_points: Vec<(Vec<f64>, Vec<f64>)> = templates
+        .iter()
+        .map(|t| {
+            let r = t.clone().solve();
+            (r.x, r.y)
+        })
+        .collect();
+    Mix {
+        problems,
+        templates,
+        warm_points,
+        routed_problems,
+        routed_templates,
+    }
+}
+
+/// Boots a fresh serving stack carrying the full tenant mix behind a
+/// socket. With `obs` the observability plane is enabled and the admin
+/// listener rides along on its own ephemeral port.
+///
+/// Note the process-global consequence: the first obs-enabled server
+/// turns tracing on for the rest of the process, so any obs-disabled
+/// measurement must happen before this is ever called with `obs: true`.
+fn boot_server(obs: bool) -> (NetServer, Arc<QpServer>) {
+    let config = ServeConfig {
+        queue_capacity: 32,
+        max_shards: 24,
+        obs: ObsConfig {
+            enabled: obs,
+            ..ObsConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let qp = Arc::new(QpServer::new(config));
+    let mut endpoints = Vec::new();
+    for domain in DOMAINS {
+        for index in 0..TENANTS_PER_DOMAIN {
+            let spec = instance(domain, index);
+            let (num_vars, num_constraints) =
+                (spec.problem.num_vars(), spec.problem.num_constraints());
+            let id = qp
+                .register(spec.problem, Settings::default())
+                .expect("tenant registration");
+            endpoints.push(EndpointSpec {
+                target: EndpointTarget::Tenant(id),
+                name: format!("{domain:?}[{index}]"),
+                num_vars,
+                num_constraints,
+            });
+        }
+    }
+    for domain in DOMAINS {
+        let spec = instance(domain, TENANTS_PER_DOMAIN);
+        let id = qp
+            .register_portfolio(
+                &spec.problem,
+                vec![
+                    portfolio_settings(Algorithm::Admm),
+                    portfolio_settings(Algorithm::Pdqp),
+                ],
+            )
+            .expect("portfolio registration");
+        endpoints.push(EndpointSpec {
+            target: EndpointTarget::Portfolio(id),
+            name: format!("{domain:?}[{TENANTS_PER_DOMAIN}:routed]"),
+            num_vars: spec.problem.num_vars(),
+            num_constraints: spec.problem.num_constraints(),
+        });
+    }
+    let auth = vec![
+        TenantAuth {
+            token: TOKEN_UNLIMITED.to_vec(),
+            label: "load-unlimited".into(),
+            policy: TenantPolicy::default(),
+        },
+        TenantAuth {
+            token: TOKEN_LIMITED.to_vec(),
+            label: "load-limited".into(),
+            policy: TenantPolicy {
+                rate_per_sec: 50.0,
+                burst: 10.0,
+                weight: 1.0,
+            },
+        },
+    ];
+    let cfg = NetConfig {
+        admin_addr: obs.then(|| "127.0.0.1:0".to_string()),
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&qp), endpoints, auth, cfg)
+        .expect("bind load server");
+    (server, qp)
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -466,99 +596,8 @@ fn main() {
     );
 
     // ---- Server side: the serve_bench tenant mix behind a socket. ----
-    let config = ServeConfig {
-        queue_capacity: 32,
-        max_shards: 24,
-        ..ServeConfig::default()
-    };
-    let qp = Arc::new(QpServer::new(config));
-    let mut endpoints = Vec::new();
-    let mut problems = Vec::new();
-    let mut templates = Vec::new();
-    for domain in DOMAINS {
-        for index in 0..TENANTS_PER_DOMAIN {
-            let spec = instance(domain, index);
-            let id = qp
-                .register(spec.problem.clone(), Settings::default())
-                .expect("tenant registration");
-            endpoints.push(EndpointSpec {
-                target: EndpointTarget::Tenant(id),
-                name: format!("{domain:?}[{index}]"),
-                num_vars: spec.problem.num_vars(),
-                num_constraints: spec.problem.num_constraints(),
-            });
-            templates.push(
-                Solver::new(spec.problem.clone(), Settings::default()).expect("reference template"),
-            );
-            problems.push(spec.problem);
-        }
-    }
-    let mut routed_problems = Vec::new();
-    let mut routed_templates = Vec::new();
-    for domain in DOMAINS {
-        let spec = instance(domain, TENANTS_PER_DOMAIN);
-        let id = qp
-            .register_portfolio(
-                &spec.problem,
-                vec![
-                    portfolio_settings(Algorithm::Admm),
-                    portfolio_settings(Algorithm::Pdqp),
-                ],
-            )
-            .expect("portfolio registration");
-        endpoints.push(EndpointSpec {
-            target: EndpointTarget::Portfolio(id),
-            name: format!("{domain:?}[{TENANTS_PER_DOMAIN}:routed]"),
-            num_vars: spec.problem.num_vars(),
-            num_constraints: spec.problem.num_constraints(),
-        });
-        routed_templates.push([
-            Solver::new(spec.problem.clone(), portfolio_settings(Algorithm::Admm))
-                .expect("admm template"),
-            Solver::new(spec.problem.clone(), portfolio_settings(Algorithm::Pdqp))
-                .expect("pdqp template"),
-        ]);
-        routed_problems.push(spec.problem);
-    }
-    let warm_points: Vec<(Vec<f64>, Vec<f64>)> = templates
-        .iter()
-        .map(|t| {
-            let r = t.clone().solve();
-            (r.x, r.y)
-        })
-        .collect();
-    let mix = Mix {
-        problems,
-        templates,
-        warm_points,
-        routed_problems,
-        routed_templates,
-    };
-
-    let auth = vec![
-        TenantAuth {
-            token: TOKEN_UNLIMITED.to_vec(),
-            label: "load-unlimited".into(),
-            policy: TenantPolicy::default(),
-        },
-        TenantAuth {
-            token: TOKEN_LIMITED.to_vec(),
-            label: "load-limited".into(),
-            policy: TenantPolicy {
-                rate_per_sec: 50.0,
-                burst: 10.0,
-                weight: 1.0,
-            },
-        },
-    ];
-    let mut server = NetServer::bind(
-        "127.0.0.1:0",
-        Arc::clone(&qp),
-        endpoints,
-        auth,
-        NetConfig::default(),
-    )
-    .expect("bind load server");
+    let mix = build_mix();
+    let (mut server, qp) = boot_server(false);
     let addr = server.local_addr();
 
     let mut body = String::new();
@@ -745,6 +784,7 @@ fn main() {
                     p99_us: metrics.service.quantile_bound(0.99),
                 },
             ],
+            obs_overhead_pct: None,
         });
     }
     let _ = writeln!(
@@ -771,6 +811,130 @@ fn main() {
     );
     body.push_str("\n-- server metrics snapshot --\n");
     body.push_str(&metrics.render());
+
+    // ---- Phase 4: observability overhead + admin-plane scrape. ----
+    //
+    // The same closed-loop workload runs twice on *fresh* servers: first
+    // with the obs plane off (reference), then with the full plane on —
+    // tracing, tail sampling, rolling SLO windows — while a scraper
+    // thread hammers the admin listener's `/metrics` and `/slo` the
+    // whole time. The obs-off reference must come first: constructing an
+    // obs-enabled server flips the process-global trace flag for good.
+    let obs_total = if smoke { 600 } else { (total / 40).max(10_000) };
+    let warmup = (obs_total / 10).max(200);
+    // Best-of-N on both sides: single-core machines timeshare the
+    // shards, the clients and the scraper, so individual reps are noisy
+    // (±10 pp run to run) and slow drift penalizes whichever side runs
+    // later; many short reps give each side more draws at its true peak
+    // rate, which is the comparable quantity.
+    let reps = if smoke { 1 } else { 8 };
+    let check_phase = |label: &str, phase: &PhaseResult| {
+        for st in &phase.stats {
+            assert!(
+                st.errors.is_empty(),
+                "[{label}] protocol/connection errors: {:?}",
+                st.errors
+            );
+            assert_eq!(st.unanswered, 0, "[{label}] requests left unanswered");
+        }
+        assert_eq!(
+            phase.completed, obs_total,
+            "[{label}] every request must complete"
+        );
+    };
+    let (mut ref_server, _ref_qp) = boot_server(false);
+    let ref_addr = ref_server.local_addr();
+    run_phase(ref_addr, &mix, warmup, clients, None, u64::MAX, 0);
+    let mut ref_rps = 0.0f64;
+    for _ in 0..reps {
+        let phase = run_phase(ref_addr, &mix, obs_total, clients, None, u64::MAX, 0);
+        check_phase("obs-off", &phase);
+        ref_rps = ref_rps.max(phase.completed as f64 / phase.wall.as_secs_f64());
+    }
+    ref_server.shutdown();
+
+    let (mut obs_server, obs_qp) = boot_server(true);
+    let obs_addr = obs_server.local_addr();
+    let admin = obs_server
+        .admin_addr()
+        .expect("obs server exposes an admin listener");
+    eprintln!("admin plane listening on http://{admin} (/metrics /slo /healthz /trace/<id>)");
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapes = Arc::new(AtomicU64::new(0));
+    let scraper = {
+        let (stop, scrapes) = (Arc::clone(&stop), Arc::clone(&scrapes));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for path in ["/metrics", "/slo", "/healthz"] {
+                    if let Ok((status, body)) = mib_obs::http_get(admin, path) {
+                        assert!(
+                            status == 200 || (path == "/healthz" && status == 503),
+                            "admin {path} returned {status}: {body}"
+                        );
+                        scrapes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+    };
+    run_phase(obs_addr, &mix, warmup, clients, None, u64::MAX, 0);
+    let mut obs_rps = 0.0f64;
+    for _ in 0..reps {
+        let phase = run_phase(obs_addr, &mix, obs_total, clients, None, u64::MAX, 0);
+        check_phase("obs-on", &phase);
+        obs_rps = obs_rps.max(phase.completed as f64 / phase.wall.as_secs_f64());
+    }
+    stop.store(true, Ordering::Relaxed);
+    scraper.join().expect("scraper thread");
+    let overhead_pct = (ref_rps - obs_rps) / ref_rps * 100.0;
+
+    // Quiesced cross-checks: the admin scrape must be byte-identical to
+    // the in-process snapshot (retry while writer-thread counters
+    // settle), and `/healthz` must report a coherent verdict.
+    let mut scrape_matches = false;
+    for _ in 0..100 {
+        let (status, scraped) = mib_obs::http_get(admin, "/metrics").expect("admin /metrics");
+        assert_eq!(status, 200, "admin /metrics must answer 200");
+        if scraped == obs_qp.metrics().render() {
+            scrape_matches = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        scrape_matches,
+        "admin /metrics must converge to the exact in-process Metrics::render() bytes"
+    );
+    let (hz_status, hz_body) = mib_obs::http_get(admin, "/healthz").expect("admin /healthz");
+    assert!(
+        (hz_status == 200 && hz_body.starts_with("ok"))
+            || (hz_status == 503 && hz_body.starts_with("shedding")),
+        "admin /healthz verdict must be coherent, got {hz_status}: {hz_body}"
+    );
+    let (slo_status, slo_body) = mib_obs::http_get(admin, "/slo").expect("admin /slo");
+    assert!(
+        slo_status == 200 && slo_body.contains("mib_slo_burn_rate"),
+        "admin /slo must expose burn rates, got {slo_status}"
+    );
+    obs_server.shutdown();
+
+    let _ = writeln!(
+        body,
+        "\nobs overhead: {obs_total} closed-loop requests, obs off {ref_rps:.0} req/s vs obs on \
+         {obs_rps:.0} req/s => {overhead_pct:+.2}% ({} admin scrapes mid-run, /healthz {})",
+        scrapes.load(Ordering::Relaxed),
+        hz_body.lines().next().unwrap_or(""),
+    );
+    if !smoke {
+        assert!(
+            overhead_pct < 5.0,
+            "full observability must cost < 5% closed-loop throughput, measured {overhead_pct:.2}%"
+        );
+        if let Some(run) = serve_runs.iter_mut().find(|r| r.mode == "net-closed") {
+            run.obs_overhead_pct = Some(overhead_pct);
+        }
+    }
 
     if smoke {
         println!("{body}");

@@ -565,6 +565,7 @@ fn main() {
                 load(&c.rejected_queue_full),
             )],
             latency,
+            obs_overhead_pct: None,
         };
         match mib_bench::serve_json::merge_bench_serve(&run) {
             Ok(path) => eprintln!("(written to {})", path.display()),

@@ -52,6 +52,11 @@ pub struct ServeRun {
     pub sheds: Vec<(String, u64)>,
     /// Latency series summaries.
     pub latency: Vec<LatencySummary>,
+    /// Closed-loop throughput cost of the full observability plane
+    /// (tracing + tail sampling + rolling windows + a live scraper), as
+    /// a percentage of the obs-disabled rate. Only the `net-closed` run
+    /// measures this; `None` elsewhere.
+    pub obs_overhead_pct: Option<f64>,
 }
 
 fn json_f64(v: f64) -> String {
@@ -106,6 +111,9 @@ impl ServeRun {
             json_f64(self.throughput_rps)
         );
         let _ = writeln!(o, "      \"verified_bitwise\": {},", self.verified_bitwise);
+        if let Some(pct) = self.obs_overhead_pct {
+            let _ = writeln!(o, "      \"obs_overhead_pct\": {},", json_f64(pct));
+        }
         o.push_str("      \"outcomes\": {");
         for (i, (name, count)) in self.outcomes.iter().enumerate() {
             if i > 0 {
@@ -279,6 +287,7 @@ mod tests {
                     p99_us: 4096,
                 },
             ],
+            obs_overhead_pct: (mode == "net-closed").then_some(1.25),
         }
     }
 

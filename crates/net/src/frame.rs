@@ -28,8 +28,23 @@ use std::fmt;
 /// Protocol magic leading every [`Frame::Hello`]: `"MIBQ"` LE.
 pub const MAGIC: u32 = 0x4d49_4251;
 
-/// Protocol version spoken by this build.
-pub const VERSION: u16 = 1;
+/// Newest protocol version spoken by this build.
+///
+/// * **v1** — the PR 9 wire format.
+/// * **v2** — adds an optional 128-bit trace id to [`Frame::Submit`]
+///   (section mask bit 3), propagating a client-chosen trace context
+///   into the server's span pipeline and flight recorder.
+///
+/// Negotiation is one-sided and implicit: the client offers a version
+/// in its [`Frame::Hello`], and a server accepting the connection
+/// speaks exactly that version for the rest of the stream. A server
+/// capped below the offer refuses with [`error_code::VERSION`]; the
+/// client then retries the connection offering v1 — both directions
+/// degrade to trace-id-free operation, never to an application error.
+pub const VERSION: u16 = 2;
+
+/// Oldest protocol version this build still accepts.
+pub const MIN_VERSION: u16 = 1;
 
 /// Default cap on a single frame body, bytes. Generous for solution
 /// vectors of every benchmark domain, small enough that a hostile
@@ -140,6 +155,9 @@ pub mod error_code {
     pub const SHUTTING_DOWN: u8 = 4;
     /// A submit named an endpoint outside the advertised catalog.
     pub const UNKNOWN_ENDPOINT: u8 = 5;
+    /// The Hello offered a protocol version this server does not speak;
+    /// retry the connection offering an older version.
+    pub const VERSION: u8 = 6;
 }
 
 /// One entry of the endpoint catalog advertised in [`Frame::HelloAck`]:
@@ -186,6 +204,10 @@ pub struct WireReply {
 pub enum Frame {
     /// Connection opener: magic + version + tenant auth token.
     Hello {
+        /// Protocol version the client offers (any of
+        /// `MIN_VERSION..=VERSION`). An accepting server speaks exactly
+        /// this version for the rest of the connection.
+        version: u16,
         /// Tenant auth token (opaque bytes; the server maps it to a
         /// tenant label and admission policy).
         token: Vec<u8>,
@@ -213,6 +235,11 @@ pub enum Frame {
         bounds: Option<(Vec<f64>, Vec<f64>)>,
         /// Warm-start point `(x, y)`.
         warm_start: Option<(Vec<f64>, Vec<f64>)>,
+        /// 128-bit trace-context id linking the server-side spans of
+        /// this request (0 = none). v2 only: a v1 stream neither
+        /// carries nor decodes it — the encoder silently drops a
+        /// nonzero id when speaking v1 (graceful degradation).
+        trace_id: u128,
     },
     /// Terminal answer to a [`Frame::Submit`].
     Response {
@@ -310,7 +337,7 @@ impl fmt::Display for FrameError {
             FrameError::BadVersion { got } => {
                 write!(
                     f,
-                    "peer speaks protocol version {got}, this build speaks {VERSION}"
+                    "peer offered protocol version {got}, this build speaks {MIN_VERSION}..={VERSION}"
                 )
             }
             FrameError::UnknownKind(kind) => write!(f, "unknown frame kind {kind}"),
@@ -355,22 +382,35 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-/// Encodes `frame` (length prefix included) onto `out`.
+/// Encodes `frame` (length prefix included) onto `out`, speaking the
+/// newest protocol dialect ([`VERSION`]).
 ///
 /// # Panics
 ///
 /// Panics if a payload section exceeds `u32` counts — unreachable for
 /// anything produced by this stack.
 pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    encode_versioned(frame, VERSION, out);
+}
+
+/// Encodes `frame` speaking the `wire_version` dialect — how a peer
+/// that negotiated an older version keeps its stream decodable by the
+/// other side. The only dialect difference today is the v2 submit
+/// trace-id section, which a v1 encoding silently drops.
+///
+/// # Panics
+///
+/// As [`encode`].
+pub fn encode_versioned(frame: &Frame, wire_version: u16, out: &mut Vec<u8>) {
     let len_at = out.len();
     put_u32(out, 0); // patched below
     out.push(frame.kind());
     out.push(0); // flags
     put_u64(out, frame.request_id());
     match frame {
-        Frame::Hello { token } => {
+        Frame::Hello { version, token } => {
             put_u32(out, MAGIC);
-            put_u16(out, VERSION);
+            put_u16(out, *version);
             put_u16(
                 out,
                 u16::try_from(token.len()).expect("auth token fits a u16 length"),
@@ -397,13 +437,16 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             q,
             bounds,
             warm_start,
+            trace_id,
             ..
         } => {
             put_u32(out, *endpoint);
             put_u64(out, *deadline_us);
+            let trace = *trace_id != 0 && wire_version >= 2;
             let mask = u8::from(q.is_some())
                 | (u8::from(bounds.is_some()) << 1)
-                | (u8::from(warm_start.is_some()) << 2);
+                | (u8::from(warm_start.is_some()) << 2)
+                | (u8::from(trace) << 3);
             out.push(mask);
             if let Some(q) = q {
                 put_f64_vec(out, q);
@@ -415,6 +458,10 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             if let Some((x, y)) = warm_start {
                 put_f64_vec(out, x);
                 put_f64_vec(out, y);
+            }
+            if trace {
+                put_u64(out, *trace_id as u64);
+                put_u64(out, (*trace_id >> 64) as u64);
             }
         }
         Frame::Response { reply, .. } => {
@@ -531,8 +578,16 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes one frame body (the bytes after the length prefix).
+/// Decodes one frame body (the bytes after the length prefix),
+/// speaking the newest protocol dialect ([`VERSION`]).
 pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+    decode_body_versioned(body, VERSION)
+}
+
+/// Decodes one frame body under the `wire_version` dialect (what a
+/// server sets after negotiating the client's offered version): at v1
+/// the submit trace-id section bit is unknown and rejected.
+pub fn decode_body_versioned(body: &[u8], wire_version: u16) -> Result<Frame, FrameError> {
     if body.len() < HEADER_BYTES {
         return Err(FrameError::Malformed("body shorter than the fixed header"));
     }
@@ -550,12 +605,15 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
                 return Err(FrameError::BadMagic(magic));
             }
             let version = c.u16()?;
-            if version != VERSION {
+            // The Hello is version *negotiation*, not version use: any
+            // offer this build can speak is accepted here, and the
+            // connection then runs at the offered version.
+            if !(MIN_VERSION..=VERSION).contains(&version) {
                 return Err(FrameError::BadVersion { got: version });
             }
             let token_len = c.u16()? as usize;
             let token = c.take(token_len)?.to_vec();
-            Frame::Hello { token }
+            Frame::Hello { version, token }
         }
         1 => {
             let tenant = c.string()?;
@@ -576,7 +634,8 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
             let endpoint = c.u32()?;
             let deadline_us = c.u64()?;
             let mask = c.u8()?;
-            if mask & !0b111 != 0 {
+            let known = if wire_version >= 2 { 0b1111 } else { 0b111 };
+            if mask & !known != 0 {
                 return Err(FrameError::Malformed("unknown submit section bits"));
             }
             let q = (mask & 1 != 0).then(|| c.f64_vec()).transpose()?;
@@ -590,6 +649,13 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
             } else {
                 None
             };
+            let trace_id = if mask & 8 != 0 {
+                let lo = c.u64()?;
+                let hi = c.u64()?;
+                (u128::from(hi) << 64) | u128::from(lo)
+            } else {
+                0
+            };
             Frame::Submit {
                 request_id,
                 endpoint,
@@ -597,6 +663,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
                 q,
                 bounds,
                 warm_start,
+                trace_id,
             }
         }
         3 => Frame::Response {
@@ -641,16 +708,34 @@ pub struct FrameReader {
     buf: Vec<u8>,
     start: usize,
     max_frame: usize,
+    version: u16,
 }
 
 impl FrameReader {
-    /// A reader enforcing `max_frame` bytes per body.
+    /// A reader enforcing `max_frame` bytes per body, speaking the
+    /// newest dialect ([`VERSION`]) until [`set_version`] says
+    /// otherwise.
+    ///
+    /// [`set_version`]: FrameReader::set_version
     pub fn new(max_frame: usize) -> Self {
         FrameReader {
             buf: Vec::new(),
             start: 0,
             max_frame,
+            version: VERSION,
         }
+    }
+
+    /// Pins the dialect for subsequent frames — a server calls this
+    /// with the client's offered Hello version right after the
+    /// handshake, before any request traffic is decoded.
+    pub fn set_version(&mut self, version: u16) {
+        self.version = version;
+    }
+
+    /// The dialect currently decoded.
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Appends freshly read bytes.
@@ -681,7 +766,7 @@ impl FrameReader {
         if avail.len() < 4 + body_len {
             return Ok(None);
         }
-        let frame = decode_body(&avail[4..4 + body_len])?;
+        let frame = decode_body_versioned(&avail[4..4 + body_len], self.version)?;
         self.start += 4 + body_len;
         Ok(Some(frame))
     }
@@ -712,7 +797,12 @@ mod tests {
     fn every_frame_kind_round_trips() {
         let frames = [
             Frame::Hello {
+                version: VERSION,
                 token: b"tenant-a-secret".to_vec(),
+            },
+            Frame::Hello {
+                version: MIN_VERSION,
+                token: b"old-client".to_vec(),
             },
             Frame::HelloAck {
                 tenant: "tenant-a".into(),
@@ -740,6 +830,7 @@ mod tests {
                 q: Some(vec![1.5, -2.25, f64::NAN, 0.0]),
                 bounds: Some((vec![f64::NEG_INFINITY, 0.0], vec![1.0, f64::INFINITY])),
                 warm_start: Some((vec![0.1], vec![0.2, 0.3])),
+                trace_id: 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210,
             },
             Frame::Submit {
                 request_id: 43,
@@ -748,6 +839,7 @@ mod tests {
                 q: None,
                 bounds: None,
                 warm_start: None,
+                trace_id: 0,
             },
             Frame::Response {
                 request_id: 42,
@@ -806,6 +898,7 @@ mod tests {
             q: Some(q),
             bounds: None,
             warm_start: None,
+            trace_id: 0,
         }) else {
             panic!("submit round-trip changed the frame kind")
         };
@@ -824,6 +917,7 @@ mod tests {
                 q: Some(vec![1.0, 2.0, 3.0]),
                 bounds: None,
                 warm_start: None,
+                trace_id: u128::MAX,
             },
             Frame::Goodbye,
         ];
@@ -858,19 +952,124 @@ mod tests {
 
     #[test]
     fn bad_magic_and_bad_version_are_rejected() {
-        let mut wire = encode_to_vec(&Frame::Hello { token: vec![1, 2] });
+        let mut wire = encode_to_vec(&Frame::Hello {
+            version: VERSION,
+            token: vec![1, 2],
+        });
         // Corrupt the magic (body offset: 4 len + 10 header).
         wire[14] ^= 0xff;
         let mut r = FrameReader::new(DEFAULT_MAX_FRAME_BYTES);
         r.extend(&wire);
         assert!(matches!(r.next_frame(), Err(FrameError::BadMagic(_))));
 
-        let mut wire = encode_to_vec(&Frame::Hello { token: vec![] });
+        let mut wire = encode_to_vec(&Frame::Hello {
+            version: VERSION,
+            token: vec![],
+        });
         // Corrupt the version (low byte of the LE u16 at body offset 4).
         wire[18] = 0x7f;
         let mut r = FrameReader::new(DEFAULT_MAX_FRAME_BYTES);
         r.extend(&wire);
         assert_eq!(r.next_frame(), Err(FrameError::BadVersion { got: 0x7f }));
+
+        // Version 0 is below MIN_VERSION: rejected.
+        let mut wire = encode_to_vec(&Frame::Hello {
+            version: VERSION,
+            token: vec![],
+        });
+        wire[18] = 0;
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME_BYTES);
+        r.extend(&wire);
+        assert_eq!(r.next_frame(), Err(FrameError::BadVersion { got: 0 }));
+
+        // Every version in the supported range decodes.
+        for v in MIN_VERSION..=VERSION {
+            let wire = encode_to_vec(&Frame::Hello {
+                version: v,
+                token: b"tok".to_vec(),
+            });
+            let mut r = FrameReader::new(DEFAULT_MAX_FRAME_BYTES);
+            r.extend(&wire);
+            assert_eq!(
+                r.next_frame(),
+                Ok(Some(Frame::Hello {
+                    version: v,
+                    token: b"tok".to_vec(),
+                }))
+            );
+        }
+    }
+
+    #[test]
+    fn v1_encoding_silently_drops_the_trace_id() {
+        let submit = Frame::Submit {
+            request_id: 9,
+            endpoint: 1,
+            deadline_us: 100,
+            q: Some(vec![0.5]),
+            bounds: None,
+            warm_start: None,
+            trace_id: 0xabcd_ef01_2345_6789_abcd_ef01_2345_6789,
+        };
+        let mut v1 = Vec::new();
+        encode_versioned(&submit, 1, &mut v1);
+        let mut v2 = Vec::new();
+        encode_versioned(&submit, 2, &mut v2);
+        // The v1 wire image is the v2 image minus the 16-byte trace
+        // section (and the mask bit).
+        assert_eq!(v1.len() + 16, v2.len());
+
+        // A v1 reader accepts the v1 image and reports trace_id 0.
+        let decoded = decode_body_versioned(&v1[4..], 1).expect("v1 image decodes at v1");
+        let Frame::Submit { trace_id, .. } = decoded else {
+            panic!("expected a submit");
+        };
+        assert_eq!(trace_id, 0);
+
+        // A v2 reader round-trips the id.
+        let decoded = decode_body_versioned(&v2[4..], 2).expect("v2 image decodes at v2");
+        let Frame::Submit { trace_id, .. } = decoded else {
+            panic!("expected a submit");
+        };
+        assert_eq!(trace_id, 0xabcd_ef01_2345_6789_abcd_ef01_2345_6789);
+    }
+
+    #[test]
+    fn v1_reader_rejects_the_trace_section_bit() {
+        let submit = Frame::Submit {
+            request_id: 9,
+            endpoint: 1,
+            deadline_us: 100,
+            q: None,
+            bounds: None,
+            warm_start: None,
+            trace_id: 7,
+        };
+        let mut v2 = Vec::new();
+        encode_versioned(&submit, 2, &mut v2);
+        // At wire version 1 the trace bit is an unknown section.
+        assert_eq!(
+            decode_body_versioned(&v2[4..], 1),
+            Err(FrameError::Malformed("unknown submit section bits"))
+        );
+    }
+
+    #[test]
+    fn zero_trace_id_costs_no_wire_bytes_at_v2() {
+        let submit = Frame::Submit {
+            request_id: 9,
+            endpoint: 1,
+            deadline_us: 100,
+            q: None,
+            bounds: None,
+            warm_start: None,
+            trace_id: 0,
+        };
+        let mut v1 = Vec::new();
+        encode_versioned(&submit, 1, &mut v1);
+        let mut v2 = Vec::new();
+        encode_versioned(&submit, 2, &mut v2);
+        assert_eq!(v1, v2);
     }
 
     #[test]

@@ -41,8 +41,9 @@ use mib_serve::{
 
 use crate::frame::{
     self, encode_to_vec, error_code, EndpointInfo, Frame, FrameReader, ReplyCode, ShedReason,
-    WireReply, DEFAULT_MAX_FRAME_BYTES,
+    WireReply, DEFAULT_MAX_FRAME_BYTES, MIN_VERSION, VERSION,
 };
+use mib_obs::AdminServer;
 
 /// What a catalog endpoint submits to.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +90,16 @@ pub struct NetConfig {
     /// Socket read timeout of reader threads: the granularity at which
     /// a parked reader observes shutdown.
     pub read_timeout: Duration,
+    /// Highest wire version this server negotiates. Defaults to
+    /// [`VERSION`]; capping it below lets deployments hold a fleet at
+    /// an older protocol while clients that offer newer versions fall
+    /// back transparently (they re-offer each older version on an
+    /// `error_code::VERSION` refusal).
+    pub max_version: u16,
+    /// Where to bind the observability admin listener (`/metrics`,
+    /// `/healthz`, `/slo`, `/trace/*`), e.g. `"127.0.0.1:0"`. `None`
+    /// (the default) runs no admin plane.
+    pub admin_addr: Option<String>,
 }
 
 impl Default for NetConfig {
@@ -97,6 +108,8 @@ impl Default for NetConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             admission: AdmissionConfig::default(),
             read_timeout: Duration::from_millis(25),
+            max_version: VERSION,
+            admin_addr: None,
         }
     }
 }
@@ -130,6 +143,7 @@ pub struct NetServer {
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    admin: Option<AdminServer>,
 }
 
 impl NetServer {
@@ -158,6 +172,10 @@ impl NetServer {
         assert!(
             !auth.is_empty(),
             "at least one tenant credential is required"
+        );
+        assert!(
+            (MIN_VERSION..=VERSION).contains(&cfg.max_version),
+            "max_version must be a wire version this build can speak"
         );
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -196,6 +214,13 @@ impl NetServer {
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
+        // Bind the admin plane before the acceptor thread exists so a
+        // failed admin bind cannot leak a running acceptor.
+        let admin = match &shared.cfg.admin_addr {
+            Some(addr) => Some(AdminServer::bind(addr.as_str(), Arc::clone(&shared.qp))?),
+            None => None,
+        };
+
         let acceptor = {
             let shared = Arc::clone(&shared);
             let conns = Arc::clone(&conns);
@@ -210,12 +235,18 @@ impl NetServer {
             local_addr,
             acceptor: Some(acceptor),
             conns,
+            admin,
         })
     }
 
     /// The bound address (use with port 0 to discover the OS pick).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound address of the admin plane, when one was configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(AdminServer::local_addr)
     }
 
     /// The underlying serve runtime.
@@ -236,6 +267,9 @@ impl NetServer {
         };
         for h in handles {
             let _ = h.join();
+        }
+        if let Some(admin) = self.admin.as_mut() {
+            admin.shutdown();
         }
     }
 }
@@ -317,16 +351,18 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
 
-    if let Some((slot, label)) = handshake(&mut stream, shared) {
-        connection_loop(&mut stream, shared, slot, &label);
+    if let Some((slot, label, version)) = handshake(&mut stream, shared) {
+        connection_loop(&mut stream, shared, slot, &label, version);
     }
     let _ = stream.shutdown(Shutdown::Both);
     metrics.inc(&metrics.counters.net_connections_closed);
 }
 
 /// Runs the Hello/HelloAck exchange. `None` means the connection was
-/// refused (an Error frame was already sent best-effort).
-fn handshake(stream: &mut TcpStream, shared: &Arc<Shared>) -> Option<(TenantSlot, String)> {
+/// refused (an Error frame was already sent best-effort). On success
+/// the returned version is the one the Hello offered — the whole
+/// connection speaks exactly that version from here on.
+fn handshake(stream: &mut TcpStream, shared: &Arc<Shared>) -> Option<(TenantSlot, String, u16)> {
     let metrics = &shared.metrics;
     let mut reader = FrameReader::new(shared.cfg.max_frame_bytes);
     let mut buf = vec![0u8; 64 * 1024];
@@ -358,9 +394,25 @@ fn handshake(stream: &mut TcpStream, shared: &Arc<Shared>) -> Option<(TenantSlot
                 );
                 return None;
             }
-            ReadStep::Frame(Frame::Hello { token }, bytes) => {
+            ReadStep::Frame(Frame::Hello { version, token }, bytes) => {
                 metrics.inc(&metrics.counters.net_frames_received);
                 metrics.net_frame_bytes.observe(bytes as u64);
+                if version > shared.cfg.max_version {
+                    // Refuse with the VERSION code: a conforming client
+                    // reconnects offering its next-older version.
+                    send_direct(
+                        stream,
+                        &Frame::Error {
+                            code: error_code::VERSION,
+                            message: format!(
+                                "wire version {version} refused; highest accepted is {}",
+                                shared.cfg.max_version
+                            ),
+                        },
+                        metrics,
+                    );
+                    return None;
+                }
                 match shared.auth.get(&token) {
                     Some((slot, label)) => {
                         if reader.pending_bytes() > 0 {
@@ -386,7 +438,7 @@ fn handshake(stream: &mut TcpStream, shared: &Arc<Shared>) -> Option<(TenantSlot
                             },
                             metrics,
                         );
-                        return Some((*slot, label.clone()));
+                        return Some((*slot, label.clone(), version));
                     }
                     None => {
                         metrics.inc(&metrics.counters.net_auth_failures);
@@ -419,7 +471,13 @@ fn handshake(stream: &mut TcpStream, shared: &Arc<Shared>) -> Option<(TenantSlot
     }
 }
 
-fn connection_loop(stream: &mut TcpStream, shared: &Arc<Shared>, slot: TenantSlot, _label: &str) {
+fn connection_loop(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    slot: TenantSlot,
+    _label: &str,
+    version: u16,
+) {
     let metrics = Arc::clone(&shared.metrics);
     let (tx, rx) = mpsc::channel::<WriterMsg>();
     let writer = {
@@ -438,6 +496,7 @@ fn connection_loop(stream: &mut TcpStream, shared: &Arc<Shared>, slot: TenantSlo
     let pending: Arc<Mutex<HashMap<u64, CancelHandle>>> = Arc::new(Mutex::new(HashMap::new()));
 
     let mut reader = FrameReader::new(shared.cfg.max_frame_bytes);
+    reader.set_version(version);
     let mut buf = vec![0u8; 256 * 1024];
     let mut goodbye = false;
 
@@ -478,6 +537,7 @@ fn connection_loop(stream: &mut TcpStream, shared: &Arc<Shared>, slot: TenantSlo
                         request_id,
                         endpoint,
                         deadline_us,
+                        trace_id,
                         q,
                         bounds,
                         warm_start,
@@ -490,6 +550,7 @@ fn connection_loop(stream: &mut TcpStream, shared: &Arc<Shared>, slot: TenantSlo
                             request_id,
                             endpoint,
                             deadline_us,
+                            trace_id,
                             q,
                             bounds,
                             warm_start,
@@ -534,6 +595,7 @@ fn handle_submit(
     request_id: u64,
     endpoint: u32,
     deadline_us: u64,
+    trace_id: u128,
     q: Option<Vec<f64>>,
     bounds: Option<(Vec<f64>, Vec<f64>)>,
     warm_start: Option<(Vec<f64>, Vec<f64>)>,
@@ -549,6 +611,7 @@ fn handle_submit(
     match shared.admission.admit(slot, Instant::now()) {
         mib_serve::Verdict::Admit => {}
         mib_serve::Verdict::RateLimited { retry_after } => {
+            shed_trace(shared, trace_id, "rate_limited");
             let _ = tx.send(WriterMsg::Frame(Frame::Shed {
                 request_id,
                 reason: ShedReason::RateLimited,
@@ -559,6 +622,7 @@ fn handle_submit(
             return true;
         }
         mib_serve::Verdict::OverShare { retry_after } => {
+            shed_trace(shared, trace_id, "over_share");
             let _ = tx.send(WriterMsg::Frame(Frame::Shed {
                 request_id,
                 reason: ShedReason::OverShare,
@@ -575,6 +639,7 @@ fn handle_submit(
         bounds,
         deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
         warm_start,
+        trace_id,
     };
     let submitted = match spec.target {
         EndpointTarget::Tenant(id) => shared.qp.submit(id, request),
@@ -663,6 +728,17 @@ fn send_direct(stream: &mut TcpStream, frame: &Frame, metrics: &Metrics) {
 
 fn duration_us(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Marks a front-door admission rejection in the observability plane:
+/// the tail sampler retains a synthetic "shed" span under the client's
+/// trace id so `/trace/<id>` explains requests that never reached a
+/// queue. Free when the obs plane is disabled.
+fn shed_trace(shared: &Arc<Shared>, trace_id: u128, reason: &'static str) {
+    let obs = shared.qp.obs();
+    if obs.is_active() {
+        obs.record_shed(trace_id, reason, Instant::now());
+    }
 }
 
 /// Converts a serve [`Response`] into its wire form. Solution vectors

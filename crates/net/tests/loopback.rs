@@ -361,6 +361,7 @@ fn submits_before_hello_are_refused() {
         request_id: 1,
         endpoint: 0,
         deadline_us: 0,
+        trace_id: 0,
         q: None,
         bounds: None,
         warm_start: None,
@@ -383,6 +384,143 @@ fn submits_before_hello_are_refused() {
         }
     }
     assert_eq!(code_seen, Some(error_code::EXPECTED_HELLO));
+}
+
+/// As [`start_server`] with an explicit [`NetConfig`] and serve config,
+/// for the negotiation/observability matrix below.
+fn start_server_cfg(serve: ServeConfig, cfg: NetConfig) -> NetServer {
+    let qp = Arc::new(QpServer::new(serve));
+    let spec = instance(Domain::Portfolio, 0);
+    let tenant = qp
+        .register(spec.problem.clone(), Settings::default())
+        .unwrap();
+    let endpoints = vec![EndpointSpec {
+        target: EndpointTarget::Tenant(tenant),
+        name: "portfolio-direct".into(),
+        num_vars: spec.problem.num_vars(),
+        num_constraints: spec.problem.num_constraints(),
+    }];
+    let auth = vec![TenantAuth {
+        token: TOKEN_A.to_vec(),
+        label: "tenant-a".into(),
+        policy: TenantPolicy::default(),
+    }];
+    NetServer::bind("127.0.0.1:0", qp, endpoints, auth, cfg).unwrap()
+}
+
+fn wait_for_reply(client: &mut NetClient, request_id: u64) -> ReplyCode {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while std::time::Instant::now() < deadline {
+        match client.recv_timeout(Duration::from_secs(1)) {
+            Some(ClientEvent::Reply {
+                request_id: id,
+                reply,
+            }) if id == request_id => {
+                return reply.code;
+            }
+            Some(_) | None => {}
+        }
+    }
+    panic!("no reply for request {request_id}");
+}
+
+#[test]
+fn old_server_downgrades_new_clients_without_breaking_them() {
+    // A server pinned to wire v1 refuses the client's v2 offer; the
+    // client transparently reconnects at v1 and everything — including
+    // a *traced* submit, whose id silently stays client-side — works.
+    let server = start_server_cfg(
+        ServeConfig::default(),
+        NetConfig {
+            max_version: 1,
+            ..NetConfig::default()
+        },
+    );
+    let mut client = NetClient::connect(server.local_addr(), TOKEN_A).unwrap();
+    assert_eq!(client.negotiated_version(), 1);
+    client
+        .submit_traced(7, 0, None, 0xfeed_f00d_dead_beef, None, None, None)
+        .unwrap();
+    assert_eq!(wait_for_reply(&mut client, 7), ReplyCode::Solved);
+}
+
+#[test]
+fn matched_versions_negotiate_the_newest_and_carry_trace_ids() {
+    // v2 client against a v2 server: one handshake, and the Submit's
+    // trace id crosses the wire into the serving runtime's request.
+    let server = start_server_cfg(
+        ServeConfig {
+            obs: mib_serve::ObsConfig {
+                enabled: true,
+                // Retain every finished request: anything slower than
+                // 0us is "slow".
+                slow_us: 0,
+                ..mib_serve::ObsConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        NetConfig::default(),
+    );
+    let mut client = NetClient::connect(server.local_addr(), TOKEN_A).unwrap();
+    assert_eq!(client.negotiated_version(), mib_net::VERSION);
+    let trace_id: u128 = (0xabad_1dea_u128 << 64) | 0x0ddc_0ffe;
+    client
+        .submit_traced(9, 0, None, trace_id, None, None, None)
+        .unwrap();
+    assert_eq!(wait_for_reply(&mut client, 9), ReplyCode::Solved);
+    let flight = server.qp().obs();
+    let record = flight
+        .flight()
+        .lookup(trace_id)
+        .expect("traced request retained under the client-supplied id");
+    assert!(
+        record.records.iter().any(|r| matches!(
+            &r.event,
+            mib_trace::Event::Begin { name, .. } if *name == "solve_request"
+        )),
+        "flight record must contain the serve-side solve span"
+    );
+}
+
+#[test]
+fn admin_listener_rides_along_when_configured() {
+    let server = start_server_cfg(
+        ServeConfig {
+            obs: mib_serve::ObsConfig {
+                enabled: true,
+                ..mib_serve::ObsConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        NetConfig {
+            admin_addr: Some("127.0.0.1:0".into()),
+            ..NetConfig::default()
+        },
+    );
+    let admin = server.admin_addr().expect("admin plane is bound");
+    let mut client = NetClient::connect(server.local_addr(), TOKEN_A).unwrap();
+    client.submit(3, 0, None, None, None, None).unwrap();
+    assert_eq!(wait_for_reply(&mut client, 3), ReplyCode::Solved);
+
+    // The writer thread bumps its sent-counters *after* the socket
+    // write, so the counter may trail the reply by a scheduler quantum;
+    // scrape until the view settles.
+    let mut matched = false;
+    for _ in 0..100 {
+        let (status, body) = mib_obs::http_get(admin, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        if body == server.qp().metrics().render() {
+            matched = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        matched,
+        "admin scrape must converge to Metrics::render() verbatim"
+    );
+    let (status, body) = mib_obs::http_get(admin, "/healthz").unwrap();
+    assert_eq!(status, 200, "healthy: {body}");
 }
 
 #[test]

@@ -322,6 +322,10 @@ impl AdmmSolver {
         // Opt-in per-stage kernel spans (several per iteration), hoisted
         // like `tracing` so the disabled cost is one more relaxed load.
         let ktrace = mib_trace::kernel_spans();
+        // Iteration stride for per-iteration detail (stage spans and the
+        // KKT timestamp pair): 1 records every iteration exactly; the
+        // serving plane raises it so always-on tracing samples instead.
+        let kstride = usize::try_from(mib_trace::kernel_span_stride()).unwrap_or(usize::MAX);
         let _solve_span = mib_trace::span_if(tracing, "solve", TraceCat::Solver);
         // Keep setup factorization work, reset per-solve counters.
         let mut prof = self.profile;
@@ -373,11 +377,20 @@ impl AdmmSolver {
                 break;
             }
             iterations = k;
+            // Per-iteration detail is sampled at the kernel stride; with
+            // the default stride of 1 every iteration records, so the
+            // attribution harnesses keep exact stage totals.
+            let sampled = k == 1 || k % kstride == 0;
+            let kdetail = ktrace && sampled;
             {
-                let _s = mib_trace::span_if(ktrace, "stage_rhs", TraceCat::Kernel);
+                let _s = mib_trace::span_if(kdetail, "stage_rhs", TraceCat::Kernel);
                 self.stage_rhs(&mut prof);
             }
-            let kkt_start = if tracing { Some(Instant::now()) } else { None };
+            let kkt_start = if tracing && sampled {
+                Some(Instant::now())
+            } else {
+                None
+            };
             let kkt_failed = self.kkt.solve(&mut self.ws, &mut prof).is_err();
             if let Some(t0) = kkt_start {
                 kkt_ns_total += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -388,26 +401,26 @@ impl AdmmSolver {
                 break;
             }
             {
-                let _s = mib_trace::span_if(ktrace, "stage_ztilde", TraceCat::Kernel);
+                let _s = mib_trace::span_if(kdetail, "stage_ztilde", TraceCat::Kernel);
                 self.stage_ztilde(&mut prof);
             }
             {
-                let _s = mib_trace::span_if(ktrace, "stage_x_update", TraceCat::Kernel);
+                let _s = mib_trace::span_if(kdetail, "stage_x_update", TraceCat::Kernel);
                 self.stage_x_update(&mut prof);
             }
             {
-                let _s = mib_trace::span_if(ktrace, "stage_z_projection", TraceCat::Kernel);
+                let _s = mib_trace::span_if(kdetail, "stage_z_projection", TraceCat::Kernel);
                 self.stage_z_projection(&mut prof);
             }
             {
-                let _s = mib_trace::span_if(ktrace, "stage_y_update", TraceCat::Kernel);
+                let _s = mib_trace::span_if(kdetail, "stage_y_update", TraceCat::Kernel);
                 self.stage_y_update(&mut prof);
             }
 
             let checking = k % check_every == 0 || k == max_iter;
             if checking {
                 let res = {
-                    let _s = mib_trace::span_if(ktrace, "stage_residuals", TraceCat::Kernel);
+                    let _s = mib_trace::span_if(kdetail, "stage_residuals", TraceCat::Kernel);
                     self.stage_residuals(&mut prof)
                 };
                 final_res = Some(res);

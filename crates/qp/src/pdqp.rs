@@ -267,6 +267,9 @@ impl PdqpSolver {
         let tracing = mib_trace::enabled();
         // Opt-in per-segment kernel spans, hoisted like `tracing`.
         let ktrace = mib_trace::kernel_spans();
+        // Per-iteration kernel detail is sampled at the kernel stride;
+        // the default stride of 1 records every iteration exactly.
+        let kstride = usize::try_from(mib_trace::kernel_span_stride()).unwrap_or(usize::MAX);
         let _solve_span = mib_trace::span_if(tracing, "solve", TraceCat::Solver);
         let mut prof = self.profile;
         prof.admm_iters = 0;
@@ -301,7 +304,7 @@ impl PdqpSolver {
                 break;
             }
             iterations = k;
-            self.step(ktrace, &mut prof);
+            self.step(ktrace && (k == 1 || k % kstride == 0), &mut prof);
 
             let checking = k % check_every == 0 || k == max_iter;
             if checking {

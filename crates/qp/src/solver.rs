@@ -160,6 +160,11 @@ impl Solver {
     /// Returns [`QpError::InvalidProblem`] on length mismatch or non-finite
     /// entries.
     pub fn update_q(&mut self, q: &[f64]) -> Result<()> {
+        let _span = mib_trace::span_if(
+            mib_trace::enabled(),
+            "update_q",
+            mib_trace::Category::Solver,
+        );
         self.inner.update_q(q)
     }
 
@@ -170,6 +175,11 @@ impl Solver {
     /// Returns [`QpError::InvalidProblem`] if any `l[i] > u[i]` or lengths
     /// mismatch.
     pub fn update_bounds(&mut self, l: &[f64], u: &[f64]) -> Result<()> {
+        let _span = mib_trace::span_if(
+            mib_trace::enabled(),
+            "update_bounds",
+            mib_trace::Category::Solver,
+        );
         self.inner.update_bounds(l, u)
     }
 

@@ -73,6 +73,7 @@
 
 mod admission;
 mod metrics;
+mod obs;
 mod pattern;
 mod request;
 mod router;
@@ -83,9 +84,10 @@ pub use admission::{
     queue_full_retry_after, AdmissionConfig, AdmissionController, TenantPolicy, TenantSlot, Verdict,
 };
 pub use metrics::{
-    BackendCounters, Counters, Histogram, Metrics, TenantCounters, DEPTH_BUCKETS,
-    FRAME_BYTES_BUCKETS, LATENCY_BUCKETS_US,
+    log2_buckets, BackendCounters, Counters, Histogram, Metrics, TenantCounters,
+    BATCH_SIZE_BUCKETS, DEPTH_BUCKETS, FRAME_BYTES_BUCKETS, LATENCY_BUCKETS_US,
 };
+pub use obs::{BurnWindow, ObsConfig, ObsPlane, SloReport, WindowStats};
 pub use pattern::PatternKey;
 pub use request::{CancelHandle, Outcome, RegisterError, Request, Response, SubmitError, Ticket};
 pub use router::BackendRouter;

@@ -37,6 +37,24 @@ pub const FRAME_BYTES_BUCKETS: [u64; 8] = [
     32, 256, 2_048, 16_384, 131_072, 1_048_576, 8_388_608, 67_108_864,
 ];
 
+/// Log-spaced (power-of-two) bucket bounds starting at 1: the preset
+/// for small-count gauges (queue depths, batch sizes) whose interesting
+/// range is 1..few-thousand — doubling buckets give constant relative
+/// resolution where the fixed latency preset would waste buckets.
+pub const fn log2_buckets<const B: usize>() -> [u64; B] {
+    let mut bounds = [0u64; B];
+    let mut i = 0;
+    while i < B {
+        bounds[i] = 1 << i;
+        i += 1;
+    }
+    bounds
+}
+
+/// Upper bucket bounds (inclusive) of the micro-batch-size histogram:
+/// log-spaced 1..=2048, the preset sized for batch/depth gauges.
+pub const BATCH_SIZE_BUCKETS: [u64; 12] = log2_buckets();
+
 /// A fixed-bucket histogram over `u64` samples (microseconds or queue
 /// depths). `B` bounded buckets plus one overflow bucket, a running sum
 /// and a count — everything atomic.
@@ -240,6 +258,17 @@ counters! {
     net_frame_decode_errors,
     /// Connections dropped at the hello handshake (unknown token).
     net_auth_failures,
+    /// Responses that met the SLO (within the latency objective and
+    /// terminal by convergence). Only counted when the observability
+    /// plane is enabled.
+    slo_good,
+    /// Responses that violated the SLO (too slow, expired, timed out or
+    /// failed). Only counted when the observability plane is enabled.
+    slo_bad,
+    /// Anomalous requests retained by the flight recorder.
+    flight_kept,
+    /// Flight records evicted by the ring bound.
+    flight_evicted,
 }
 
 /// Per-backend solve counters: every cell is keyed by
@@ -347,6 +376,8 @@ pub struct Metrics {
     pub e2e: Histogram<10>,
     /// Shard queue depth observed at each enqueue.
     pub queue_depth: Histogram<8>,
+    /// Micro-batch sizes drained by shard workers (log-spaced buckets).
+    pub batch_size: Histogram<12>,
     /// Wire-frame sizes (bytes) seen by the networked front-end, both
     /// directions.
     pub net_frame_bytes: Histogram<8>,
@@ -365,6 +396,7 @@ impl Default for Metrics {
             service: Histogram::new(LATENCY_BUCKETS_US),
             e2e: Histogram::new(LATENCY_BUCKETS_US),
             queue_depth: Histogram::new(DEPTH_BUCKETS),
+            batch_size: Histogram::new(BATCH_SIZE_BUCKETS),
             net_frame_bytes: Histogram::new(FRAME_BYTES_BUCKETS),
             tenant_admission: Mutex::new(BTreeMap::new()),
         }
@@ -446,6 +478,8 @@ impl Metrics {
         self.e2e.render_into("mib_serve_e2e_micros", &mut out);
         self.queue_depth
             .render_into("mib_serve_queue_depth", &mut out);
+        self.batch_size
+            .render_into("mib_serve_batch_size", &mut out);
         self.net_frame_bytes
             .render_into("mib_serve_net_frame_bytes", &mut out);
         // Derived latency breakdown: where the end-to-end time goes
@@ -466,6 +500,14 @@ impl Metrics {
                 );
             }
         }
+        // Span loss visibility: the trace layer's process-lifetime count
+        // of records dropped by full thread buffers. Silent loss in the
+        // flight recorder's source would otherwise be invisible.
+        let _ = writeln!(
+            out,
+            "mib_trace_dropped_records_total {}",
+            mib_trace::total_dropped()
+        );
         out
     }
 }
@@ -612,6 +654,63 @@ mod tests {
         // becomes u64::MAX.
         h.observe(DEPTH_BUCKETS.last().unwrap() + 1);
         assert_eq!(h.quantile_bound(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn log2_preset_is_doubling_from_one() {
+        assert_eq!(
+            BATCH_SIZE_BUCKETS,
+            [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+        );
+        let small: [u64; 4] = log2_buckets();
+        assert_eq!(small, [1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn log2_preset_quantile_round_trips_at_bucket_edges() {
+        let h: Histogram<12> = Histogram::new(BATCH_SIZE_BUCKETS);
+        // Empty: every quantile (including the extremes) is 0.
+        assert_eq!(h.quantile_bound(0.0), 0);
+        assert_eq!(h.quantile_bound(0.5), 0);
+        assert_eq!(h.quantile_bound(1.0), 0);
+        // Single sample exactly on a bucket edge: every quantile reports
+        // that edge back.
+        h.observe(16);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_bound(q), 16);
+        }
+        // One sample on every edge: q=0 is the smallest edge, q=1 the
+        // largest, q=0.5 the median edge.
+        let h: Histogram<12> = Histogram::new(BATCH_SIZE_BUCKETS);
+        for &b in &BATCH_SIZE_BUCKETS {
+            h.observe(b);
+        }
+        assert_eq!(h.quantile_bound(0.0), 1);
+        assert_eq!(h.quantile_bound(0.5), 32);
+        assert_eq!(h.quantile_bound(1.0), 2048);
+        // Beyond the last edge: overflow reports u64::MAX.
+        h.observe(2049);
+        assert_eq!(h.quantile_bound(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn render_exposes_batch_size_histogram_and_trace_drops() {
+        let m = Metrics::new();
+        m.batch_size.observe(4);
+        let text = m.render();
+        assert!(text.contains("mib_serve_batch_size_bucket{le=\"4\"} 1"));
+        assert!(text.contains("mib_serve_batch_size_count 1"));
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("mib_trace_dropped_records_total"))
+            .expect("render must expose the trace drop counter");
+        let value: u64 = line
+            .split_whitespace()
+            .nth(1)
+            .expect("counter line has a value")
+            .parse()
+            .expect("counter value is numeric");
+        assert_eq!(value, mib_trace::total_dropped());
     }
 
     #[test]

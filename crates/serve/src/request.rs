@@ -32,6 +32,13 @@ pub struct Request {
     /// Warm-started requests trade the bitwise cold-start reproducibility
     /// guarantee for fewer iterations.
     pub warm_start: Option<(Vec<f64>, Vec<f64>)>,
+    /// 128-bit trace id correlating this request's server-side spans
+    /// (queue wait, solve phases, kernels) with the caller's view of it.
+    /// `0` means untraced; over the wire the id arrives in the v2
+    /// `Submit` frame's trace section. When the observability plane is
+    /// enabled, untraced anomalous requests get a server-generated id so
+    /// they are still addressable in the flight recorder.
+    pub trace_id: u128,
 }
 
 impl Request {
@@ -60,6 +67,12 @@ impl Request {
     /// Sets a warm-start point.
     pub fn warm_started(mut self, x: Vec<f64>, y: Vec<f64>) -> Self {
         self.warm_start = Some((x, y));
+        self
+    }
+
+    /// Stamps the request with a trace id (see [`Request::trace_id`]).
+    pub fn traced(mut self, trace_id: u128) -> Self {
+        self.trace_id = trace_id;
         self
     }
 }

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use mib_qp::{Algorithm, Problem, Settings, Solver};
 
 use crate::metrics::Metrics;
+use crate::obs::{ObsConfig, ObsPlane};
 use crate::pattern::PatternKey;
 use crate::request::{RegisterError, Request, SubmitError, Ticket, TicketShared};
 use crate::router::BackendRouter;
@@ -46,6 +47,11 @@ pub struct ServeConfig {
     /// `eps_abs = eps_rel = 1e-3`. Tighten it together with the solver
     /// tolerances.
     pub shadow_rel_tol: f64,
+    /// Observability plane configuration (flight recorder, SLO
+    /// objectives, rolling windows). Disabled by default; enabling it
+    /// also enables `mib-trace` spans (including kernel spans) so the
+    /// flight recorder has records to retain.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +64,7 @@ impl Default for ServeConfig {
             max_shards: 8,
             shadow_every: 0,
             shadow_rel_tol: 1e-2,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -75,6 +82,7 @@ impl ServeConfig {
             self.shadow_rel_tol.is_finite() && self.shadow_rel_tol >= 0.0,
             "shadow_rel_tol must be finite and non-negative"
         );
+        self.obs.validate();
     }
 
     fn shard(&self) -> ShardConfig {
@@ -147,6 +155,7 @@ pub struct QpServer {
     config: ServeConfig,
     metrics: Arc<Metrics>,
     router: Arc<BackendRouter>,
+    obs: Arc<ObsPlane>,
     /// Monotonic routed-submission counter driving deterministic
     /// shadow-audit sampling.
     shadow_tick: AtomicU64,
@@ -168,10 +177,22 @@ impl QpServer {
     /// Panics if the configuration is degenerate (any zero bound).
     pub fn new(config: ServeConfig) -> Self {
         config.validate();
+        let metrics = Arc::new(Metrics::new());
+        let obs = Arc::new(ObsPlane::new(config.obs, Arc::clone(&metrics)));
+        if config.obs.enabled {
+            // The flight recorder feeds on trace records; without spans
+            // there is nothing to tail-sample. Kernel detail is sampled
+            // at the configured stride so always-on tracing prices a
+            // fraction of the solver iterations.
+            mib_trace::enable();
+            mib_trace::enable_kernel_spans();
+            mib_trace::set_kernel_span_stride(config.obs.kernel_span_stride);
+        }
         QpServer {
             config,
-            metrics: Arc::new(Metrics::new()),
+            metrics,
             router: Arc::new(BackendRouter::new()),
+            obs,
             shadow_tick: AtomicU64::new(0),
             state: Mutex::new(ServerState {
                 tenants: HashMap::new(),
@@ -188,6 +209,13 @@ impl QpServer {
     /// The shared metrics registry.
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The observability plane (flight recorder, rolling windows, SLO
+    /// state). Always present; inert unless
+    /// [`ObsConfig::enabled`](crate::ObsConfig) was set.
+    pub fn obs(&self) -> Arc<ObsPlane> {
+        Arc::clone(&self.obs)
     }
 
     /// The server configuration (read-only; fixed at construction).
@@ -466,6 +494,7 @@ impl QpServer {
             self.config.shard(),
             Arc::clone(&self.metrics),
             Arc::clone(&self.router),
+            Arc::clone(&self.obs),
         );
         st.shards.insert(
             pattern.clone(),

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use mib_qp::{Algorithm, QpError, SolveResult, Solver, Status};
 
 use crate::metrics::Metrics;
+use crate::obs::ObsPlane;
 use crate::pattern::PatternKey;
 use crate::request::{Outcome, Request, Response, SubmitError, TicketShared};
 use crate::router::BackendRouter;
@@ -98,6 +99,7 @@ pub(crate) struct Shard {
     available: Condvar,
     metrics: Arc<Metrics>,
     router: Arc<BackendRouter>,
+    obs: Arc<ObsPlane>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -108,6 +110,7 @@ impl Shard {
         cfg: ShardConfig,
         metrics: Arc<Metrics>,
         router: Arc<BackendRouter>,
+        obs: Arc<ObsPlane>,
     ) -> Arc<Shard> {
         let shard = Arc::new(Shard {
             key,
@@ -119,6 +122,7 @@ impl Shard {
             available: Condvar::new(),
             metrics,
             router,
+            obs,
             workers: Mutex::new(Vec::with_capacity(cfg.workers)),
         });
         let mut workers = shard.workers.lock().expect("shard worker lock");
@@ -146,10 +150,18 @@ impl Shard {
             return Err((SubmitError::ShuttingDown, pending));
         }
         if st.queue.len() >= self.cfg.queue_capacity {
+            let depth = st.queue.len();
+            drop(st);
             self.metrics.inc(&self.metrics.counters.rejected_queue_full);
+            // A queue-full rejection is a shed: feed the readiness
+            // window and (for trace-stamped requests) the flight ring.
+            if self.obs.is_active() {
+                self.obs
+                    .record_shed(pending.request.trace_id, "queue_full", Instant::now());
+            }
             return Err((
                 SubmitError::QueueFull {
-                    depth: st.queue.len(),
+                    depth,
                     capacity: self.cfg.queue_capacity,
                 },
                 pending,
@@ -160,6 +172,9 @@ impl Shard {
         drop(st);
         self.metrics.inc(&self.metrics.counters.submitted);
         self.metrics.queue_depth.observe(depth);
+        if self.obs.is_active() {
+            self.obs.record_admitted(Instant::now());
+        }
         // The submit instant, with the observed depth: a trace viewer pairs
         // this with the worker-side `request` span to see the queue wait.
         mib_trace::mark("submit", mib_trace::Category::Serve, depth as f64);
@@ -253,18 +268,28 @@ fn worker_loop(shard: &Arc<Shard>) {
             .counters
             .batched_requests
             .fetch_add(size as u64, std::sync::atomic::Ordering::Relaxed);
-        let tracing = mib_trace::enabled();
-        let _batch_span = mib_trace::span_if(tracing, "batch", mib_trace::Category::Serve);
-        mib_trace::record_if(
-            tracing,
-            mib_trace::Event::Mark {
-                name: "batch_size",
-                cat: mib_trace::Category::Serve,
-                value: size as f64,
-            },
-        );
-        for pending in batch {
-            serve_one(shard, &mut warm, pending, size);
+        shard.metrics.batch_size.observe(size as u64);
+        {
+            let tracing = mib_trace::enabled();
+            let _batch_span = mib_trace::span_if(tracing, "batch", mib_trace::Category::Serve);
+            mib_trace::record_if(
+                tracing,
+                mib_trace::Event::Mark {
+                    name: "batch_size",
+                    cat: mib_trace::Category::Serve,
+                    value: size as f64,
+                },
+            );
+            for pending in batch {
+                serve_one(shard, &mut warm, pending, size);
+            }
+        }
+        // Tail sampling consumed each request's records inside
+        // serve_one; discard the ambient leftovers (the batch envelope
+        // span, marks between requests) so this worker's buffer never
+        // creeps toward the drop bound.
+        if shard.obs.is_active() {
+            mib_trace::discard_local();
         }
     }
 }
@@ -283,11 +308,17 @@ fn serve_one(shard: &Shard, warm: &mut HashMap<u64, Solver>, pending: Pending, b
     let picked_up = Instant::now();
     let queue_wait = picked_up.saturating_duration_since(submitted_at);
     let c = &metrics.counters;
+    // Tail sampling: mark the start of this request's records so the
+    // flight recorder can lift exactly them if the request turns out to
+    // be worth a post-mortem. One cheap thread-local length read.
+    let obs_active = shard.obs.is_active();
+    let cursor = obs_active.then(mib_trace::cursor);
     // Request lifecycle span: nests under the worker's `batch` span and
     // encloses the solver's own `solve` span. The queue wait already
-    // elapsed before this span opened, so it is attached as a mark.
+    // elapsed before this span opened, so it is attached as a mark (and
+    // reconstructed as a synthetic span in flight-recorder exports).
     let tracing = mib_trace::enabled();
-    let _request_span = mib_trace::span_if(tracing, "request", mib_trace::Category::Serve);
+    let request_span = mib_trace::span_if(tracing, "request", mib_trace::Category::Serve);
     mib_trace::record_if(
         tracing,
         mib_trace::Event::Mark {
@@ -298,69 +329,70 @@ fn serve_one(shard: &Shard, warm: &mut HashMap<u64, Solver>, pending: Pending, b
     );
 
     // Short-circuits: never start a solve that is already moot.
-    if ticket.is_cancelled() {
+    let (outcome, service_time) = if ticket.is_cancelled() {
         metrics.inc(&c.cancelled_before_start);
-        finish(
-            metrics,
-            &ticket,
-            Outcome::Cancelled,
-            queue_wait,
-            Duration::ZERO,
-            batch_size,
-            submitted_at,
-        );
-        return;
-    }
-    if deadline.is_some_and(|d| picked_up >= d) {
+        (Outcome::Cancelled, Duration::ZERO)
+    } else if deadline.is_some_and(|d| picked_up >= d) {
         metrics.inc(&c.expired);
-        finish(
-            metrics,
-            &ticket,
-            Outcome::Expired,
-            queue_wait,
-            Duration::ZERO,
-            batch_size,
-            submitted_at,
-        );
-        return;
-    }
-
-    let solver = match warm.entry(tenant.id) {
-        Entry::Occupied(e) => {
-            metrics.inc(&c.warm_hits);
-            e.into_mut()
-        }
-        Entry::Vacant(v) => {
-            metrics.inc(&c.warm_builds);
-            v.insert(tenant.template.clone())
-        }
-    };
-
-    let solve_span = mib_trace::span_if(tracing, "solve_request", mib_trace::Category::Serve);
-    let outcome = match solve_request(solver, &tenant, &request, deadline, Some(&ticket)) {
-        Ok(result) => {
-            match result.status {
-                Status::Solved => metrics.inc(&c.solved),
-                Status::MaxIterations => metrics.inc(&c.max_iterations),
-                Status::PrimalInfeasible | Status::DualInfeasible => metrics.inc(&c.infeasible),
-                Status::TimedOut => metrics.inc(&c.timed_out),
-                Status::Cancelled => metrics.inc(&c.cancelled),
+        (Outcome::Expired, Duration::ZERO)
+    } else {
+        let solver = match warm.entry(tenant.id) {
+            Entry::Occupied(e) => {
+                metrics.inc(&c.warm_hits);
+                e.into_mut()
             }
-            record_solve_telemetry(shard, &tenant, &result, false);
-            Outcome::Finished(result)
+            Entry::Vacant(v) => {
+                metrics.inc(&c.warm_builds);
+                v.insert(tenant.template.clone())
+            }
+        };
+
+        let solve_span = mib_trace::span_if(tracing, "solve_request", mib_trace::Category::Serve);
+        let outcome = match solve_request(solver, &tenant, &request, deadline, Some(&ticket)) {
+            Ok(result) => {
+                match result.status {
+                    Status::Solved => metrics.inc(&c.solved),
+                    Status::MaxIterations => metrics.inc(&c.max_iterations),
+                    Status::PrimalInfeasible | Status::DualInfeasible => metrics.inc(&c.infeasible),
+                    Status::TimedOut => metrics.inc(&c.timed_out),
+                    Status::Cancelled => metrics.inc(&c.cancelled),
+                }
+                record_solve_telemetry(shard, &tenant, &result, false);
+                Outcome::Finished(result)
+            }
+            Err(e) => {
+                metrics.inc(&c.failed);
+                Outcome::Failed(e)
+            }
+        };
+        drop(solve_span);
+        if let (Some(sibling), Outcome::Finished(primary)) = (&shadow, &outcome) {
+            shadow_audit(shard, warm, sibling, &request, primary);
         }
-        Err(e) => {
-            metrics.inc(&c.failed);
-            Outcome::Failed(e)
-        }
+        (outcome, picked_up.elapsed())
     };
-    drop(solve_span);
-    if let (Some(sibling), Outcome::Finished(primary)) = (&shadow, &outcome) {
-        shadow_audit(shard, warm, sibling, &request, primary);
+    // Close the request span before sampling so its End record is part
+    // of the captured tree.
+    drop(request_span);
+    if let Some(cursor) = cursor {
+        let trace_id = if request.trace_id != 0 {
+            request.trace_id
+        } else {
+            shard.obs.next_trace_id()
+        };
+        let service_us = u64::try_from(service_time.as_micros()).unwrap_or(u64::MAX);
+        shard.obs.capture(
+            cursor,
+            trace_id,
+            &outcome,
+            service_us,
+            submitted_at,
+            picked_up,
+        );
     }
-    let service_time = picked_up.elapsed();
     finish(
-        metrics,
+        shard,
+        &tenant,
         &ticket,
         outcome,
         queue_wait,
@@ -485,8 +517,10 @@ fn solve_request(
 }
 
 /// Records the terminal latency observations and fulfills the ticket.
+#[allow(clippy::too_many_arguments)]
 fn finish(
-    metrics: &Metrics,
+    shard: &Shard,
+    tenant: &Tenant,
     ticket: &TicketShared,
     outcome: Outcome,
     queue_wait: Duration,
@@ -494,10 +528,26 @@ fn finish(
     batch_size: usize,
     submitted_at: Instant,
 ) {
+    let metrics = &*shard.metrics;
+    let e2e = submitted_at.elapsed();
     metrics.queue_wait.observe_duration(queue_wait);
     metrics.service.observe_duration(service_time);
-    metrics.e2e.observe_duration(submitted_at.elapsed());
+    metrics.e2e.observe_duration(e2e);
     metrics.inc(&metrics.counters.completed);
+    if shard.obs.is_active() {
+        let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let e2e_us = us(e2e);
+        let verdict = shard.obs.slo_verdict(&outcome, e2e_us);
+        shard.obs.record_response(
+            tenant.id,
+            tenant.algorithm,
+            us(queue_wait),
+            us(service_time),
+            e2e_us,
+            verdict,
+            Instant::now(),
+        );
+    }
     ticket.fulfill(Response {
         outcome,
         queue_wait,

@@ -42,16 +42,18 @@
 
 mod chrome;
 mod event;
+mod flight;
 mod json;
 mod summary;
 
 pub use chrome::to_chrome_json;
 pub use event::{Category, Event, Record};
+pub use flight::{format_trace_id, parse_trace_id, FlightRecord, FlightRecorder, KeepReason};
 pub use json::validate_json;
 pub use summary::summarize;
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -65,6 +67,9 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// ([`Category::Kernel`]): these fire several times per solver iteration,
 /// so they stay off even when tracing is otherwise enabled.
 static KERNEL_SPANS: AtomicBool = AtomicBool::new(false);
+/// Iteration stride for per-iteration kernel detail (1 = every
+/// iteration; see [`set_kernel_span_stride`]).
+static KERNEL_STRIDE: AtomicU32 = AtomicU32::new(1);
 /// Process-unique span ids (0 is reserved for "no enclosing span").
 static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
 /// Trace-local thread ids, assigned at first use per thread.
@@ -74,6 +79,10 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 /// Every live (or drained-pending) thread buffer, so [`take`] can see
 /// records from threads other than the caller, including exited ones.
 static REGISTRY: Mutex<Vec<Arc<ThreadBuf>>> = Mutex::new(Vec::new());
+/// Process-lifetime count of records lost to buffer overflow. Unlike the
+/// per-drain [`ThreadTrace::dropped`] counters this one is never reset by
+/// [`take`] — it is the monotonic series metrics exporters scrape.
+static TOTAL_DROPPED: AtomicU64 = AtomicU64::new(0);
 
 /// One thread's bounded record buffer, shared between the owning thread
 /// (push) and [`take`] (drain).
@@ -92,6 +101,7 @@ impl ThreadBuf {
         } else {
             drop(records);
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            TOTAL_DROPPED.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -155,9 +165,94 @@ pub fn kernel_spans() -> bool {
     enabled() && KERNEL_SPANS.load(Ordering::Relaxed)
 }
 
+/// Sets the kernel-detail stride: with stride `n`, instrumented solver
+/// loops record their per-iteration kernel detail (stage spans and KKT
+/// timing) only on iteration 1 and every `n`-th iteration thereafter.
+///
+/// Stride 1 — the default — records every iteration and is what the
+/// offline attribution harnesses rely on for exact stage totals. The
+/// serving plane raises the stride so always-on tracing prices a
+/// *sample* of iterations instead of timestamping every one; retained
+/// flight traces still carry representative kernel spans. `0` is
+/// coerced to 1.
+pub fn set_kernel_span_stride(stride: u32) {
+    KERNEL_STRIDE.store(stride.max(1), Ordering::SeqCst);
+}
+
+/// The current kernel-detail stride (see [`set_kernel_span_stride`]).
+/// Hot loops hoist this once per solve.
+#[inline]
+pub fn kernel_span_stride() -> u32 {
+    KERNEL_STRIDE.load(Ordering::Relaxed).max(1)
+}
+
 /// Nanoseconds since the trace epoch.
 fn now_ns() -> u64 {
     u64::try_from(EPOCH.get_or_init(Instant::now).elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Records lost to buffer overflow over the whole process lifetime.
+/// Monotonic — [`take`] resets the per-drain counters but not this one —
+/// so it renders directly as a Prometheus-style `_total` series.
+pub fn total_dropped() -> u64 {
+    TOTAL_DROPPED.load(Ordering::Relaxed)
+}
+
+/// Converts an [`Instant`] into nanoseconds since the trace epoch
+/// (saturating at 0 for instants before the epoch). Lets callers build
+/// synthetic [`Record`]s — e.g. a queue-wait span whose begin predates
+/// the worker picking the request up — on the same clock as live spans.
+pub fn timestamp_ns(at: Instant) -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(at.saturating_duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Allocates a process-unique span id without opening a span — for
+/// synthetic records built by hand (see [`timestamp_ns`]).
+pub fn fresh_span_id() -> u64 {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The calling thread's trace-local id and registered name.
+pub fn thread_info() -> (u64, String) {
+    LOCAL.with(|buf| (buf.tid, buf.name.clone()))
+}
+
+/// A position in the calling thread's record buffer (see [`cursor`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor {
+    len: usize,
+}
+
+/// Marks the current end of the calling thread's buffer. Pair with
+/// [`take_since`] to extract exactly the records this thread appended in
+/// between — the tail-sampling primitive: cheap to capture per request,
+/// and the records are only materialized for requests worth keeping.
+pub fn cursor() -> Cursor {
+    LOCAL.with(|buf| Cursor {
+        len: buf.records.lock().expect("trace buffer lock").len(),
+    })
+}
+
+/// Removes and returns the calling thread's records appended since
+/// `cursor`. Only touches this thread's own buffer; a concurrent global
+/// [`take`] may have already drained them, in which case the result is
+/// simply shorter (the position is clamped, never out of bounds).
+pub fn take_since(cursor: Cursor) -> Vec<Record> {
+    LOCAL.with(|buf| {
+        let mut records = buf.records.lock().expect("trace buffer lock");
+        let at = cursor.len.min(records.len());
+        records.split_off(at)
+    })
+}
+
+/// Discards every record currently in the calling thread's buffer
+/// without counting them as dropped. Housekeeping for long-lived worker
+/// threads that consume their own records per request ([`take_since`])
+/// and must not let ambient records (batch envelopes, marks recorded
+/// between requests) accumulate to the buffer bound.
+pub fn discard_local() {
+    LOCAL.with(|buf| buf.records.lock().expect("trace buffer lock").clear());
 }
 
 /// Appends `record` to the current thread's buffer.
@@ -513,6 +608,81 @@ mod tests {
         disable();
         assert!(!kernel_spans());
         disable_kernel_spans();
+    }
+
+    #[test]
+    fn total_dropped_is_cumulative_across_drains() {
+        let _guard = test_lock::hold();
+        clear();
+        enable();
+        let before = total_dropped();
+        for i in 0..(BUFFER_CAPACITY + 3) {
+            mark("flood", Category::Other, i as f64);
+        }
+        disable();
+        let trace = take();
+        assert_eq!(trace.dropped(), 3, "per-drain counter sees this overflow");
+        assert_eq!(
+            total_dropped() - before,
+            3,
+            "process-lifetime counter advances with it"
+        );
+        // A second drain resets nothing: the cumulative count survives.
+        let _ = take();
+        assert_eq!(total_dropped() - before, 3);
+    }
+
+    #[test]
+    fn cursor_take_since_extracts_only_the_tail() {
+        let _guard = test_lock::hold();
+        clear();
+        enable();
+        mark("before", Category::Other, 0.0);
+        let cur = cursor();
+        mark("after_a", Category::Other, 1.0);
+        mark("after_b", Category::Other, 2.0);
+        let tail = take_since(cur);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].event.name(), "after_a");
+        assert_eq!(tail[1].event.name(), "after_b");
+        // The prefix is still in the buffer for the global drain.
+        disable();
+        let trace = take();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.records().next().unwrap().event.name(), "before");
+    }
+
+    #[test]
+    fn stale_cursor_after_global_drain_is_clamped() {
+        let _guard = test_lock::hold();
+        clear();
+        enable();
+        mark("a", Category::Other, 0.0);
+        mark("b", Category::Other, 1.0);
+        let cur = cursor();
+        let _ = take(); // concurrent drain invalidates the position
+        mark("c", Category::Other, 2.0);
+        let tail = take_since(cur);
+        // Position 2 is clamped to the buffer length (1): nothing panics,
+        // and the result is at worst short, never wrong-thread data.
+        assert!(tail.len() <= 1);
+        disable();
+        clear();
+    }
+
+    #[test]
+    fn synthetic_timestamps_share_the_epoch() {
+        let _guard = test_lock::hold();
+        clear();
+        enable();
+        let before = Instant::now();
+        mark("live", Category::Other, 0.0);
+        let live_ts = take().records().next().unwrap().ts_ns;
+        assert!(timestamp_ns(before) <= live_ts);
+        assert!(fresh_span_id() > 0);
+        let (tid, _name) = thread_info();
+        assert!(tid > 0);
+        disable();
     }
 
     #[test]

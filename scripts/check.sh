@@ -98,4 +98,10 @@ cargo test --test timeline_attribution -q
 cargo test --test zero_alloc -q
 cargo run --release -q -p mib-bench --bin trace_report -- --smoke >/dev/null
 
+echo "==> benchmark regression gate (working tree vs HEAD baselines)"
+# Diffs results/BENCH_serve.json and results/BENCH_kernels.json against
+# the copies committed at HEAD with generous single-core tolerances;
+# fails on lost runs/rows, large slowdowns, or obs overhead >= 5%.
+scripts/bench_diff.sh
+
 echo "All checks passed."

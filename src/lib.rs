@@ -27,6 +27,7 @@
 pub use mib_compiler as compiler;
 pub use mib_core as core;
 pub use mib_net as net;
+pub use mib_obs as obs;
 pub use mib_platforms as platforms;
 pub use mib_problems as problems;
 pub use mib_qp as qp;

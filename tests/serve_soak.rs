@@ -71,6 +71,7 @@ fn soak_mixed_tenants_under_backpressure() {
         // acceptance bar below requires zero discrepancies.
         shadow_every: 3,
         shadow_rel_tol: 1e-2,
+        obs: mib::serve::ObsConfig::default(),
     });
 
     // Mixed patterns: one tenant per domain on the direct backend, plus
